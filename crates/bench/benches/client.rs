@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the full client pipeline — the host-CPU
+//! counterpart of the workloads ABC-FHE accelerates (encode+encrypt at
+//! 24 primes, decode+decrypt at 2, per the paper's evaluation setup).
+
+use abc_ckks::{params::CkksParams, CkksContext};
+use abc_float::Complex;
+use abc_prng::Seed;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn context(log_n: u32, primes: usize) -> CkksContext {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_n(log_n)
+            .num_primes(primes)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("context")
+}
+
+fn bench_client(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ckks_client");
+    g.sample_size(10);
+    for log_n in [12u32, 13] {
+        let ctx = context(log_n, 24);
+        let (sk, pk) = ctx.keygen(Seed::from_u128(1));
+        let msg: Vec<Complex> = (0..ctx.params().slots())
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+            .collect();
+        let pt = ctx.encode(&msg).expect("encode");
+        let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(2));
+        let low = ct.truncated(2);
+
+        g.bench_with_input(BenchmarkId::new("encode_encrypt_24p", 1u64 << log_n), &log_n, |b, _| {
+            b.iter(|| {
+                let pt = ctx.encode(black_box(&msg)).expect("encode");
+                ctx.encrypt(&pt, &pk, Seed::from_u128(3))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("decrypt_decode_2p", 1u64 << log_n), &log_n, |b, _| {
+            b.iter(|| {
+                let pt = ctx.decrypt(black_box(&low), &sk).expect("decrypt");
+                ctx.decode(&pt).expect("decode")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use abc_sim::{simulate, SimConfig, Workload};
+    let mut g = c.benchmark_group("cycle_simulator");
+    g.bench_function("encode_encrypt_n16", |b| {
+        let cfg = SimConfig::paper_default();
+        b.iter(|| simulate(black_box(&Workload::encode_encrypt(16, 24)), &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_client, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the three modular-multiplication
+//! algorithms of Table I (software throughput counterpart to the area
+//! comparison).
+
+use abc_math::reduce::{Barrett, ModMul, Montgomery, NttFriendlyMontgomery};
+use abc_math::Modulus;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_reducers(c: &mut Criterion) {
+    // 2^44 - 2^14 + 1: a structured 44-bit prime (the paper's datapath).
+    let m = Modulus::new(0xFFF_FFFF_C001).expect("valid modulus");
+    let barrett = Barrett::new(m);
+    let mont = Montgomery::new(m);
+    let nttf = NttFriendlyMontgomery::new(m).expect("structured prime");
+    let pairs: Vec<(u64, u64)> = (0..1024u64)
+        .map(|i| {
+            let a = i.wrapping_mul(0x9E3779B97F4A7C15) % m.q();
+            let b = i.wrapping_mul(0xD1B54A32D192ED03) % m.q();
+            (a, b)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("modmul_44bit");
+    g.bench_function("reference_u128", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(m.mul(black_box(x), black_box(y)));
+            }
+            acc
+        })
+    });
+    g.bench_function("barrett", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(barrett.mul_mod(black_box(x), black_box(y)));
+            }
+            acc
+        })
+    });
+    g.bench_function("montgomery", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(mont.mul_mod(black_box(x), black_box(y)));
+            }
+            acc
+        })
+    });
+    g.bench_function("ntt_friendly_shift_add", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(nttf.mul_mod(black_box(x), black_box(y)));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reducers);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the Fourier layer: negacyclic NTT (table vs
+//! on-the-fly twiddles) and the CKKS special FFT at FP64 and FP55.
+
+use abc_float::{F64Field, SoftFloatField};
+use abc_transform::{NttPlan, OtfTwiddleGen, SpecialFft};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ntt(c: &mut Criterion) {
+    let m = abc_math::Modulus::new(0xF_FFF0_0001).expect("prime");
+    let mut g = c.benchmark_group("ntt");
+    for log_n in [12u32, 13, 14] {
+        let n = 1usize << log_n;
+        let plan = NttPlan::new(m, n).expect("plan");
+        let otf = OtfTwiddleGen::with_psi(m, n, plan.table().psi()).expect("otf");
+        let poly: Vec<u64> = (0..n as u64).map(|i| i % m.q()).collect();
+        g.bench_with_input(BenchmarkId::new("forward_table", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = poly.clone();
+                plan.forward(black_box(&mut a));
+                a
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("forward_otf", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = poly.clone();
+                plan.forward_with(&otf, black_box(&mut a));
+                a
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("roundtrip_table", n), &n, |b, _| {
+            b.iter(|| {
+                let mut a = poly.clone();
+                plan.forward(&mut a);
+                plan.inverse(black_box(&mut a));
+                a
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special_fft");
+    for log_slots in [11u32, 12, 13] {
+        let slots = 1usize << log_slots;
+        let plan = SpecialFft::new(slots);
+        let vals: Vec<abc_float::Complex> = (0..slots)
+            .map(|i| abc_float::Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("fp64", slots), &slots, |b, _| {
+            let f = F64Field;
+            b.iter(|| {
+                let mut v = vals.clone();
+                plan.inverse(&f, black_box(&mut v));
+                v
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fp55", slots), &slots, |b, _| {
+            let f = SoftFloatField::fp55();
+            b.iter(|| {
+                let mut v = vals.clone();
+                plan.inverse(&f, black_box(&mut v));
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Measured host-CPU baseline: times our from-scratch Rust CKKS client
+//! doing exactly the paper's workloads (the role Lattigo-on-i7 plays in
+//! the paper).
+
+use abc_ckks::{params::CkksParams, CkksContext, CkksError};
+use abc_float::Complex;
+use abc_prng::Seed;
+use std::time::Instant;
+
+/// A measured host run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuMeasurement {
+    /// `log2(N)`.
+    pub log_n: u32,
+    /// Encryption-side primes.
+    pub enc_primes: usize,
+    /// Decryption-side primes.
+    pub dec_primes: usize,
+    /// Encode+encrypt wall time (ms).
+    pub enc_ms: f64,
+    /// Decrypt+decode wall time (ms).
+    pub dec_ms: f64,
+}
+
+/// Times encode+encrypt and decrypt+decode on the host CPU.
+///
+/// # Errors
+///
+/// Propagates [`CkksError`] from context construction or the pipeline.
+pub fn measure_host_cpu(
+    log_n: u32,
+    enc_primes: usize,
+    dec_primes: usize,
+) -> Result<CpuMeasurement, CkksError> {
+    let params = CkksParams::builder()
+        .log_n(log_n)
+        .num_primes(enc_primes)
+        .build()?;
+    let ctx = CkksContext::new(params)?;
+    let (sk, pk) = ctx.keygen(Seed::from_u128(2024));
+    let msg: Vec<Complex> = (0..ctx.params().slots())
+        .map(|i| Complex::new((i as f64 * 0.11).sin(), (i as f64 * 0.07).cos()))
+        .collect();
+
+    let t0 = Instant::now();
+    let pt = ctx.encode(&msg)?;
+    let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(7));
+    let enc_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let low = ct.truncated(dec_primes.min(ct.num_primes()));
+    let t1 = Instant::now();
+    let out = ctx.decode(&ctx.decrypt(&low, &sk)?)?;
+    let dec_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    // Sanity: the round trip must actually work.
+    let err = out
+        .iter()
+        .zip(&msg)
+        .map(|(a, b)| a.dist(*b))
+        .fold(0.0, f64::max);
+    assert!(err < 1e-2, "round trip failed during measurement: {err}");
+
+    Ok(CpuMeasurement {
+        log_n,
+        enc_primes,
+        dec_primes,
+        enc_ms,
+        dec_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_measurement_runs() {
+        let m = measure_host_cpu(10, 3, 2).unwrap();
+        assert!(m.enc_ms > 0.0);
+        assert!(m.dec_ms > 0.0);
+        assert_eq!(m.log_n, 10);
+    }
+}

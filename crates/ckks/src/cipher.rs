@@ -1,0 +1,180 @@
+//! Plaintext and ciphertext containers (RNS + NTT domain).
+
+/// An encoded message: one residue polynomial per RNS prime, stored in
+/// the NTT (evaluation) domain, plus the scale it was encoded at.
+///
+/// Produced by [`CkksContext::encode`](crate::CkksContext::encode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    /// `rns[i][j]` = coefficient `j` of the residue polynomial mod `q_i`,
+    /// in NTT domain.
+    pub(crate) rns: Vec<Vec<u64>>,
+    /// Encoding scale Δ.
+    pub(crate) scale: f64,
+    /// Ring degree (for cheap validation).
+    pub(crate) n: usize,
+}
+
+impl Plaintext {
+    /// Number of RNS primes this plaintext carries (level + 1).
+    pub fn num_primes(&self) -> usize {
+        self.rns.len()
+    }
+
+    /// The encoding scale Δ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read-only view of the residue polynomials.
+    pub fn residues(&self) -> &[Vec<u64>] {
+        &self.rns
+    }
+}
+
+/// A CKKS ciphertext `(c0, c1)` in RNS + NTT domain.
+///
+/// Decryption computes `c0 + c1·s`. The *level* of the ciphertext is
+/// `num_primes() - 1`; the paper's client encrypts at 24 primes and
+/// decrypts server outputs carrying 2 primes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    pub(crate) c0: Vec<Vec<u64>>,
+    pub(crate) c1: Vec<Vec<u64>>,
+    pub(crate) scale: f64,
+    pub(crate) n: usize,
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from raw components — the entry point for
+    /// *evaluator* code (server-side homomorphic operations) that
+    /// produces new ciphertexts from existing ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CkksError::InvalidParams`] if the component
+    /// shapes are empty, ragged, or disagree with each other.
+    pub fn from_components(
+        c0: Vec<Vec<u64>>,
+        c1: Vec<Vec<u64>>,
+        scale: f64,
+    ) -> Result<Self, crate::CkksError> {
+        if c0.is_empty() || c0.len() != c1.len() {
+            return Err(crate::CkksError::InvalidParams(
+                "component prime counts must match and be non-zero".to_owned(),
+            ));
+        }
+        let n = c0[0].len();
+        if n == 0
+            || !n.is_power_of_two()
+            || c0.iter().any(|p| p.len() != n)
+            || c1.iter().any(|p| p.len() != n)
+        {
+            return Err(crate::CkksError::InvalidParams(
+                "residue polynomials must all share one power-of-two length".to_owned(),
+            ));
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(crate::CkksError::InvalidParams(
+                "scale must be positive and finite".to_owned(),
+            ));
+        }
+        Ok(Self { c0, c1, scale, n })
+    }
+
+    /// Number of RNS primes (level + 1).
+    pub fn num_primes(&self) -> usize {
+        self.c0.len()
+    }
+
+    /// Ciphertext level (`num_primes - 1`).
+    pub fn level(&self) -> usize {
+        self.c0.len().saturating_sub(1)
+    }
+
+    /// The scale carried by this ciphertext.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read-only views of the two components.
+    pub fn components(&self) -> (&[Vec<u64>], &[Vec<u64>]) {
+        (&self.c0, &self.c1)
+    }
+
+    /// Drops RNS primes beyond the first `count`, emulating a ciphertext
+    /// that the server has rescaled down to a lower level (the paper's
+    /// decryption workload receives 2-prime ciphertexts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the current prime count.
+    pub fn truncated(&self, count: usize) -> Self {
+        assert!(
+            count >= 1 && count <= self.c0.len(),
+            "prime count {count} out of range 1..={}",
+            self.c0.len()
+        );
+        Self {
+            c0: self.c0[..count].to_vec(),
+            c1: self.c1[..count].to_vec(),
+            scale: self.scale,
+            n: self.n,
+        }
+    }
+
+    /// Serialized size in bytes (both components, 8 B per residue
+    /// coefficient) — the client→server traffic the simulator's DRAM
+    /// model charges.
+    pub fn byte_size(&self) -> usize {
+        2 * self.num_primes() * self.n * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_ct(primes: usize, n: usize) -> Ciphertext {
+        Ciphertext {
+            c0: vec![vec![0u64; n]; primes],
+            c1: vec![vec![0u64; n]; primes],
+            scale: 2f64.powi(36),
+            n,
+        }
+    }
+
+    #[test]
+    fn level_accounting() {
+        let ct = dummy_ct(24, 64);
+        assert_eq!(ct.num_primes(), 24);
+        assert_eq!(ct.level(), 23);
+        let low = ct.truncated(2);
+        assert_eq!(low.level(), 1);
+        assert_eq!(low.scale(), ct.scale());
+        assert_eq!(low.n(), 64);
+    }
+
+    #[test]
+    fn byte_size_formula() {
+        let ct = dummy_ct(24, 1 << 16);
+        // 2 components × 24 primes × 65536 coeffs × 8 B = 25.2 MB
+        assert_eq!(ct.byte_size(), 2 * 24 * 65536 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn truncate_zero_panics() {
+        dummy_ct(4, 8).truncated(0);
+    }
+}

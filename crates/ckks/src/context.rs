@@ -1,0 +1,509 @@
+//! The CKKS client context: encode, encrypt, decrypt, decode.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::key::{PublicKey, SecretKey};
+use crate::params::CkksParams;
+use crate::CkksError;
+use abc_float::{Complex, F64Field, RealField};
+use abc_math::{poly, RnsBasis};
+use abc_prng::sampler::{GaussianSampler, TernarySampler, UniformSampler};
+use abc_prng::Seed;
+use abc_transform::{NttPlan, SpecialFft};
+
+/// A ready-to-use CKKS client: owns the RNS basis, one NTT plan per
+/// prime, and the canonical-embedding FFT plan.
+///
+/// The four public operations mirror the paper's Fig. 2a:
+/// [`encode`](Self::encode) (IFFT → expand RNS → NTT),
+/// [`encrypt`](Self::encrypt) (PRNG mask/error + public-key combination),
+/// [`decrypt`](Self::decrypt) (`c0 + c1·s`),
+/// [`decode`](Self::decode) (INTT → combine CRT → FFT).
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    basis: RnsBasis,
+    plans: Vec<NttPlan>,
+    fft: SpecialFft,
+}
+
+impl CkksContext {
+    /// Builds a context: generates the NTT-prime basis and all transform
+    /// plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Math`] if prime generation or root finding
+    /// fails for the requested parameters.
+    pub fn new(params: CkksParams) -> Result<Self, CkksError> {
+        let n = params.n();
+        let primes = abc_math::primes::generate_ntt_primes(
+            params.prime_bits(),
+            params.num_primes(),
+            2 * n as u64,
+        )?;
+        let basis = RnsBasis::new(primes)?;
+        let plans = basis
+            .moduli()
+            .iter()
+            .map(|&m| NttPlan::new(m, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fft = SpecialFft::new(params.slots());
+        Ok(Self {
+            params,
+            basis,
+            plans,
+            fft,
+        })
+    }
+
+    /// The parameters this context was built with.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The RNS basis (all primes).
+    pub fn basis(&self) -> &RnsBasis {
+        &self.basis
+    }
+
+    /// The per-prime NTT plans.
+    pub fn ntt_plans(&self) -> &[NttPlan] {
+        &self.plans
+    }
+
+    /// The canonical-embedding FFT plan.
+    pub fn fft(&self) -> &SpecialFft {
+        &self.fft
+    }
+
+    // ------------------------------------------------------------------
+    // Encode / decode
+    // ------------------------------------------------------------------
+
+    /// Encodes a slot vector on the FP64 datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] if `message` exceeds `N/2`
+    /// entries.
+    pub fn encode(&self, message: &[Complex]) -> Result<Plaintext, CkksError> {
+        self.encode_with(&F64Field, message)
+    }
+
+    /// Encodes on an arbitrary real datapath (e.g. the paper's FP55) —
+    /// the IFFT runs entirely inside `field`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] if `message` exceeds `N/2`
+    /// entries.
+    pub fn encode_with<F: RealField>(
+        &self,
+        field: &F,
+        message: &[Complex],
+    ) -> Result<Plaintext, CkksError> {
+        self.encode_at_scale_with(field, message, self.params.scale())
+    }
+
+    /// Encodes at an explicit scale — needed when matching the scale of
+    /// an evaluated ciphertext (e.g. adding a bias after a rescale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] for oversize messages and
+    /// [`CkksError::InvalidParams`] for non-positive scales.
+    pub fn encode_at_scale(&self, message: &[Complex], scale: f64) -> Result<Plaintext, CkksError> {
+        self.encode_at_scale_with(&F64Field, message, scale)
+    }
+
+    /// [`Self::encode_at_scale`] on an arbitrary datapath.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::encode_at_scale`].
+    pub fn encode_at_scale_with<F: RealField>(
+        &self,
+        field: &F,
+        message: &[Complex],
+        scale: f64,
+    ) -> Result<Plaintext, CkksError> {
+        let slots = self.params.slots();
+        if message.len() > slots {
+            return Err(CkksError::TooManySlots {
+                got: message.len(),
+                max: slots,
+            });
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(CkksError::InvalidParams(
+                "encoding scale must be positive and finite".to_owned(),
+            ));
+        }
+        // Slot vector, zero-padded, through the inverse embedding.
+        let mut vals = vec![Complex::zero(); slots];
+        vals[..message.len()].copy_from_slice(message);
+        self.fft.inverse(field, &mut vals);
+        let coeffs = self.fft.slots_to_coeffs(&vals);
+        // Scale by Δ, round to integers, expand into RNS, NTT per prime.
+        let ints: Vec<i128> = coeffs.iter().map(|&c| (c * scale).round() as i128).collect();
+        let rns = self.expand_and_ntt(&ints);
+        Ok(Plaintext {
+            rns,
+            scale,
+            n: self.params.n(),
+        })
+    }
+
+    /// Decodes a plaintext back to slot values on the FP64 datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::ContextMismatch`] if the plaintext belongs to
+    /// different parameters.
+    pub fn decode(&self, pt: &Plaintext) -> Result<Vec<Complex>, CkksError> {
+        self.decode_with(&F64Field, pt)
+    }
+
+    /// Decodes on an arbitrary real datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::ContextMismatch`] if the plaintext belongs to
+    /// different parameters.
+    pub fn decode_with<F: RealField>(
+        &self,
+        field: &F,
+        pt: &Plaintext,
+    ) -> Result<Vec<Complex>, CkksError> {
+        if pt.n != self.params.n() || pt.num_primes() > self.basis.len() {
+            return Err(CkksError::ContextMismatch);
+        }
+        let n = self.params.n();
+        let lvl = pt.num_primes();
+        // INTT each residue polynomial (paper: INTT stage of decoding).
+        let mut res: Vec<Vec<u64>> = pt.rns.clone();
+        for (i, poly_i) in res.iter_mut().enumerate() {
+            self.plans[i].inverse(poly_i);
+        }
+        // CRT-combine per coefficient, center, and undo the scale.
+        let sub_basis = if lvl == self.basis.len() {
+            self.basis.clone()
+        } else {
+            self.basis.truncated(lvl)
+        };
+        let mut coeffs = vec![0.0f64; n];
+        let mut residues = vec![0u64; lvl];
+        for j in 0..n {
+            for i in 0..lvl {
+                residues[i] = res[i][j];
+            }
+            coeffs[j] = sub_basis.combine_centered(&residues) / pt.scale;
+        }
+        // Coefficients → slots through the forward embedding.
+        let mut vals = self.fft.coeffs_to_slots(&coeffs);
+        self.fft.forward(field, &mut vals);
+        Ok(vals)
+    }
+
+    // ------------------------------------------------------------------
+    // Keys
+    // ------------------------------------------------------------------
+
+    /// Generates a key pair deterministically from `seed`.
+    pub fn keygen(&self, seed: Seed) -> (SecretKey, PublicKey) {
+        let n = self.params.n();
+        let mut ternary = TernarySampler::new(seed.derive(0), 0);
+        let s = ternary.sample_poly(n, self.params.secret_hamming_weight());
+        let s_ntt = self.signed_to_ntt(&s);
+
+        let mut gauss = GaussianSampler::new(seed.derive(2), 0, self.params.error_sigma());
+        let e = gauss.sample_poly(n);
+        let e_ntt = self.signed64_to_ntt(&e);
+
+        // Uniform mask a, sampled directly in NTT domain per prime (the
+        // distribution is invariant under the NTT).
+        let mask_seed = seed.derive(1);
+        let mut pk0 = Vec::with_capacity(self.basis.len());
+        let mut pk1 = Vec::with_capacity(self.basis.len());
+        for (i, &m) in self.basis.moduli().iter().enumerate() {
+            let mut uni = UniformSampler::new(mask_seed, i as u64);
+            let mut a = vec![0u64; n];
+            uni.sample_poly(&m, &mut a);
+            // pk0 = -(a·s) + e
+            let mut p0 = a.clone();
+            poly::mul_assign(&m, &mut p0, &s_ntt[i]);
+            poly::neg_assign(&m, &mut p0);
+            poly::add_assign(&m, &mut p0, &e_ntt[i]);
+            pk0.push(p0);
+            pk1.push(a);
+        }
+        (
+            SecretKey {
+                coeffs: s,
+                ntt: s_ntt,
+            },
+            PublicKey {
+                pk0,
+                pk1,
+                seed: mask_seed,
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Encrypt / decrypt
+    // ------------------------------------------------------------------
+
+    /// Public-key encryption: `ct = (pk0·v + e0 + m, pk1·v + e1)` with
+    /// `v` ternary and `e0, e1` Gaussian, all derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext or key do not match this context's
+    /// parameters (encode/keygen from the same context always match).
+    pub fn encrypt(&self, pt: &Plaintext, pk: &PublicKey, seed: Seed) -> Ciphertext {
+        assert_eq!(pt.n, self.params.n(), "plaintext from different context");
+        assert_eq!(
+            pk.num_primes(),
+            self.basis.len(),
+            "public key from different context"
+        );
+        let n = self.params.n();
+        let lvl = pt.num_primes();
+
+        let mut ternary = TernarySampler::new(seed.derive(0), 0);
+        let v = ternary.sample_poly(n, None);
+        let v_ntt = self.signed_to_ntt(&v);
+
+        let mut gauss0 = GaussianSampler::new(seed.derive(1), 0, self.params.error_sigma());
+        let e0 = gauss0.sample_poly(n);
+        let e0_ntt = self.signed64_to_ntt(&e0);
+        let mut gauss1 = GaussianSampler::new(seed.derive(2), 0, self.params.error_sigma());
+        let e1 = gauss1.sample_poly(n);
+        let e1_ntt = self.signed64_to_ntt(&e1);
+
+        let mut c0 = Vec::with_capacity(lvl);
+        let mut c1 = Vec::with_capacity(lvl);
+        for i in 0..lvl {
+            let m = &self.basis.moduli()[i];
+            // c0 = pk0·v + e0 + m
+            let mut x = pk.pk0[i].clone();
+            poly::mul_assign(m, &mut x, &v_ntt[i]);
+            poly::add_assign(m, &mut x, &e0_ntt[i]);
+            poly::add_assign(m, &mut x, &pt.rns[i]);
+            c0.push(x);
+            // c1 = pk1·v + e1
+            let mut y = pk.pk1[i].clone();
+            poly::mul_assign(m, &mut y, &v_ntt[i]);
+            poly::add_assign(m, &mut y, &e1_ntt[i]);
+            c1.push(y);
+        }
+        Ciphertext {
+            c0,
+            c1,
+            scale: pt.scale,
+            n,
+        }
+    }
+
+    /// Decryption: `d = c0 + c1·s` per prime, returned still in NTT
+    /// domain (decode performs the INTT, matching the paper's pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::ContextMismatch`] if the ciphertext carries
+    /// more primes than the context.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Result<Plaintext, CkksError> {
+        if ct.n != self.params.n() || ct.num_primes() > self.basis.len() {
+            return Err(CkksError::ContextMismatch);
+        }
+        let lvl = ct.num_primes();
+        let mut rns = Vec::with_capacity(lvl);
+        for i in 0..lvl {
+            let m = &self.basis.moduli()[i];
+            let mut d = ct.c1[i].clone();
+            poly::mul_assign(m, &mut d, &sk.ntt[i]);
+            poly::add_assign(m, &mut d, &ct.c0[i]);
+            rns.push(d);
+        }
+        Ok(Plaintext {
+            rns,
+            scale: ct.scale,
+            n: ct.n,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    /// Expands signed integers into RNS residues and transforms each
+    /// residue polynomial into NTT domain.
+    fn expand_and_ntt(&self, ints: &[i128]) -> Vec<Vec<u64>> {
+        self.basis
+            .moduli()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut r: Vec<u64> = ints.iter().map(|&x| m.from_i128(x)).collect();
+                self.plans[i].forward(&mut r);
+                r
+            })
+            .collect()
+    }
+
+    fn signed_to_ntt(&self, coeffs: &[i8]) -> Vec<Vec<u64>> {
+        let ints: Vec<i128> = coeffs.iter().map(|&c| c as i128).collect();
+        self.expand_and_ntt(&ints)
+    }
+
+    fn signed64_to_ntt(&self, coeffs: &[i64]) -> Vec<Vec<u64>> {
+        let ints: Vec<i128> = coeffs.iter().map(|&c| c as i128).collect();
+        self.expand_and_ntt(&ints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_context() -> CkksContext {
+        let params = CkksParams::builder()
+            .log_n(9)
+            .num_primes(4)
+            .secret_hamming_weight(Some(64))
+            .build()
+            .unwrap();
+        CkksContext::new(params).unwrap()
+    }
+
+    fn test_message(slots: usize) -> Vec<Complex> {
+        (0..slots)
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos() * 0.5))
+            .collect()
+    }
+
+    fn max_dist(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.dist(*y)).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ctx = small_context();
+        let msg = test_message(ctx.params().slots());
+        let pt = ctx.encode(&msg).unwrap();
+        assert_eq!(pt.num_primes(), 4);
+        let back = ctx.decode(&pt).unwrap();
+        // Only Δ-quantization error: ~2^-36 · N-ish.
+        assert!(max_dist(&back, &msg) < 1e-7, "err = {}", max_dist(&back, &msg));
+    }
+
+    #[test]
+    fn encode_partial_message_pads() {
+        let ctx = small_context();
+        let msg = test_message(5);
+        let pt = ctx.encode(&msg).unwrap();
+        let back = ctx.decode(&pt).unwrap();
+        assert_eq!(back.len(), ctx.params().slots());
+        assert!(max_dist(&back[..5], &msg) < 1e-7);
+        for v in &back[5..] {
+            assert!(v.norm_sqr() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_oversize() {
+        let ctx = small_context();
+        let msg = test_message(ctx.params().slots() + 1);
+        assert!(matches!(
+            ctx.encode(&msg),
+            Err(CkksError::TooManySlots { .. })
+        ));
+    }
+
+    #[test]
+    fn full_pipeline_roundtrip() {
+        let ctx = small_context();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(42));
+        let msg = test_message(ctx.params().slots());
+        let pt = ctx.encode(&msg).unwrap();
+        let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(1000));
+        let back = ctx.decode(&ctx.decrypt(&ct, &sk).unwrap()).unwrap();
+        let err = max_dist(&back, &msg);
+        // Encryption noise: e0 + e1·s + ... over Δ = 2^36.
+        assert!(err < 1e-4, "err = {err}");
+        assert!(err > 0.0, "encryption must add noise");
+    }
+
+    #[test]
+    fn decrypt_truncated_ciphertext() {
+        // The paper's decode workload: server returns a low-level ct.
+        let ctx = small_context();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(43));
+        let msg = test_message(ctx.params().slots());
+        let pt = ctx.encode(&msg).unwrap();
+        let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(2000)).truncated(2);
+        assert_eq!(ct.level(), 1);
+        let back = ctx.decode(&ctx.decrypt(&ct, &sk).unwrap()).unwrap();
+        assert!(max_dist(&back, &msg) < 1e-4);
+    }
+
+    #[test]
+    fn encryption_is_deterministic_in_seed() {
+        let ctx = small_context();
+        let (_, pk) = ctx.keygen(Seed::from_u128(44));
+        let pt = ctx.encode(&test_message(8)).unwrap();
+        let a = ctx.encrypt(&pt, &pk, Seed::from_u128(5));
+        let b = ctx.encrypt(&pt, &pk, Seed::from_u128(5));
+        let c = ctx.encrypt(&pt, &pk, Seed::from_u128(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let ctx = small_context();
+        let (_, pk) = ctx.keygen(Seed::from_u128(45));
+        let (sk2, _) = ctx.keygen(Seed::from_u128(46));
+        let msg = test_message(ctx.params().slots());
+        let pt = ctx.encode(&msg).unwrap();
+        let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(7));
+        let garbage = ctx.decode(&ctx.decrypt(&ct, &sk2).unwrap()).unwrap();
+        assert!(max_dist(&garbage, &msg) > 1.0);
+    }
+
+    #[test]
+    fn secret_key_respects_hamming_weight() {
+        let ctx = small_context();
+        let (sk, _) = ctx.keygen(Seed::from_u128(47));
+        assert_eq!(sk.hamming_weight(), 64);
+        assert_eq!(sk.n(), 512);
+    }
+
+    #[test]
+    fn public_key_size_accounting() {
+        let ctx = small_context();
+        let (_, pk) = ctx.keygen(Seed::from_u128(48));
+        assert_eq!(pk.byte_size(), 2 * 4 * 512 * 8);
+        assert_eq!(pk.num_primes(), 4);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_plaintext() {
+        let ctx = small_context();
+        let other = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(2)
+                .secret_hamming_weight(None)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let pt = other.encode(&test_message(4)).unwrap();
+        assert!(matches!(
+            ctx.decode(&pt),
+            Err(CkksError::ContextMismatch)
+        ));
+    }
+}

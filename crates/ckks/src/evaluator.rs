@@ -1,0 +1,283 @@
+//! Server-side homomorphic operations on client ciphertexts.
+//!
+//! The client-side accelerator exists so that a *server* can compute on
+//! the ciphertexts; this module provides the primitive the paper's
+//! "level" vocabulary comes from — RNS **rescaling** — plus the
+//! degree-preserving operations (addition, plaintext multiplication)
+//! that need no evaluation keys. Together they are enough to run
+//! linear layers end to end and to produce the low-level ciphertexts
+//! the paper's decryption workload receives (fresh at 24 primes,
+//! returned at 2).
+//!
+//! Rescaling in RNS drops the last prime `q_L`:
+//! `c'_i = (c_i − [c]_{q_L}) · q_L^{-1} (mod q_i)`, which divides the
+//! underlying integer (and the scale) by `q_L` exactly. It needs the
+//! last residue polynomial in *coefficient* form, so each rescale costs
+//! one INTT plus `L` NTTs — the reason server-side accelerators care
+//! about transform throughput just as the client does.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::CkksError;
+use abc_math::poly;
+
+/// Homomorphic addition: `enc(a) + enc(b) = enc(a + b)`.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if levels or scales mismatch and
+/// [`CkksError::ContextMismatch`] for foreign ciphertexts.
+pub fn add(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
+    if a.n() != ctx.params().n() || b.n() != ctx.params().n() {
+        return Err(CkksError::ContextMismatch);
+    }
+    if a.num_primes() != b.num_primes() {
+        return Err(CkksError::InvalidParams(format!(
+            "level mismatch: {} vs {} primes",
+            a.num_primes(),
+            b.num_primes()
+        )));
+    }
+    if (a.scale() - b.scale()).abs() > a.scale() * 1e-9 {
+        return Err(CkksError::InvalidParams(
+            "scale mismatch in homomorphic addition".to_owned(),
+        ));
+    }
+    let (a0, a1) = a.components();
+    let (b0, b1) = b.components();
+    let mut c0 = a0.to_vec();
+    let mut c1 = a1.to_vec();
+    for (i, m) in ctx.basis().moduli()[..a.num_primes()].iter().enumerate() {
+        poly::add_assign(m, &mut c0[i], &b0[i]);
+        poly::add_assign(m, &mut c1[i], &b1[i]);
+    }
+    Ciphertext::from_components(c0, c1, a.scale())
+}
+
+/// Plaintext-ciphertext addition at matching scale:
+/// `enc(a) + pt(b) = enc(a + b)` (only `c0` changes).
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] on scale/level mismatch and
+/// [`CkksError::ContextMismatch`] for foreign inputs.
+pub fn add_plaintext(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    pt: &Plaintext,
+) -> Result<Ciphertext, CkksError> {
+    if ct.n() != ctx.params().n() || pt.n() != ctx.params().n() {
+        return Err(CkksError::ContextMismatch);
+    }
+    if pt.num_primes() < ct.num_primes() {
+        return Err(CkksError::InvalidParams(
+            "plaintext carries fewer primes than the ciphertext".to_owned(),
+        ));
+    }
+    if (ct.scale() - pt.scale()).abs() > ct.scale() * 1e-9 {
+        return Err(CkksError::InvalidParams(
+            "scale mismatch in plaintext addition".to_owned(),
+        ));
+    }
+    let (c0, c1) = ct.components();
+    let mut n0 = c0.to_vec();
+    for (i, m) in ctx.basis().moduli()[..ct.num_primes()].iter().enumerate() {
+        poly::add_assign(m, &mut n0[i], &pt.residues()[i]);
+    }
+    Ciphertext::from_components(n0, c1.to_vec(), ct.scale())
+}
+
+/// Plaintext-ciphertext multiplication: `enc(a) · pt(b) = enc(a ⊙ b)` at
+/// scale `Δ_a · Δ_b` (follow with [`rescale`]).
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if the plaintext has fewer
+/// primes than the ciphertext and [`CkksError::ContextMismatch`] for
+/// foreign inputs.
+pub fn plaintext_mul(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    pt: &Plaintext,
+) -> Result<Ciphertext, CkksError> {
+    if ct.n() != ctx.params().n() || pt.n() != ctx.params().n() {
+        return Err(CkksError::ContextMismatch);
+    }
+    if pt.num_primes() < ct.num_primes() {
+        return Err(CkksError::InvalidParams(
+            "plaintext carries fewer primes than the ciphertext".to_owned(),
+        ));
+    }
+    let (c0, c1) = ct.components();
+    let mut n0 = c0.to_vec();
+    let mut n1 = c1.to_vec();
+    for (i, m) in ctx.basis().moduli()[..ct.num_primes()].iter().enumerate() {
+        poly::mul_assign(m, &mut n0[i], &pt.residues()[i]);
+        poly::mul_assign(m, &mut n1[i], &pt.residues()[i]);
+    }
+    Ciphertext::from_components(n0, n1, ct.scale() * pt.scale())
+}
+
+/// RNS rescaling: drops the last prime and divides the scale by it.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] for single-prime ciphertexts
+/// (nothing left to drop) and [`CkksError::ContextMismatch`] for foreign
+/// ciphertexts.
+pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+    if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
+        return Err(CkksError::ContextMismatch);
+    }
+    let lvl = ct.num_primes();
+    if lvl < 2 {
+        return Err(CkksError::InvalidParams(
+            "cannot rescale a single-prime ciphertext".to_owned(),
+        ));
+    }
+    let last = lvl - 1;
+    let q_last = ctx.basis().moduli()[last];
+    let (c0, c1) = ct.components();
+    let mut out0 = Vec::with_capacity(last);
+    let mut out1 = Vec::with_capacity(last);
+    for (component, out) in [(c0, &mut out0), (c1, &mut out1)] {
+        // Last residue back to coefficient domain, centered.
+        let mut tail = component[last].clone();
+        ctx.ntt_plans()[last].inverse(&mut tail);
+        let centered: Vec<i64> = tail.iter().map(|&x| q_last.to_centered(x)).collect();
+        for i in 0..last {
+            let m = &ctx.basis().moduli()[i];
+            // NTT of the centered tail under q_i.
+            let mut tail_i: Vec<u64> = centered.iter().map(|&x| m.from_i64(x)).collect();
+            ctx.ntt_plans()[i].forward(&mut tail_i);
+            // c'_i = (c_i - tail) * q_last^{-1} mod q_i.
+            let mut r = component[i].clone();
+            poly::sub_assign(m, &mut r, &tail_i);
+            let q_last_inv = m.inv(m.reduce(q_last.q())).expect("coprime basis");
+            poly::scalar_mul_assign(m, &mut r, q_last_inv);
+            out.push(r);
+        }
+    }
+    Ciphertext::from_components(out0, out1, ct.scale() / q_last.q() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use abc_float::Complex;
+    use abc_prng::Seed;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .num_primes(5)
+                .secret_hamming_weight(Some(64))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx")
+    }
+
+    fn msg(slots: usize, phase: f64) -> Vec<Complex> {
+        (0..slots)
+            .map(|i| Complex::new((i as f64 * 0.21 + phase).sin() * 0.5, (i as f64 * 0.11).cos() * 0.3))
+            .collect()
+    }
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x.dist(*y)).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn homomorphic_add_correct() {
+        let ctx = ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(1));
+        let a = msg(ctx.params().slots(), 0.0);
+        let b = msg(ctx.params().slots(), 1.0);
+        let ca = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(2));
+        let cb = ctx.encrypt(&ctx.encode(&b).expect("e"), &pk, Seed::from_u128(3));
+        let sum = add(&ctx, &ca, &cb).expect("add");
+        let out = ctx.decode(&ctx.decrypt(&sum, &sk).expect("d")).expect("decode");
+        let expected: Vec<Complex> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| Complex::new(x.re + y.re, x.im + y.im))
+            .collect();
+        assert!(max_err(&out, &expected) < 1e-4);
+    }
+
+    #[test]
+    fn plaintext_mul_then_rescale() {
+        let ctx = ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(4));
+        let a = msg(ctx.params().slots(), 0.0);
+        let w = msg(ctx.params().slots(), 2.0);
+        let ct = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(5));
+        let product = plaintext_mul(&ctx, &ct, &ctx.encode(&w).expect("e")).expect("mul");
+        assert_eq!(product.scale(), ct.scale() * ctx.params().scale());
+        let rescaled = rescale(&ctx, &product).expect("rescale");
+        // One prime dropped; scale back near Δ (q_i ≈ Δ with double-scale).
+        assert_eq!(rescaled.num_primes(), ct.num_primes() - 1);
+        let ratio = rescaled.scale() / ctx.params().scale();
+        assert!(ratio > 0.5 && ratio < 2.0, "scale ratio {ratio}");
+        let out = ctx
+            .decode(&ctx.decrypt(&rescaled, &sk).expect("d"))
+            .expect("decode");
+        let expected: Vec<Complex> = a
+            .iter()
+            .zip(&w)
+            .map(|(x, y)| {
+                Complex::new(x.re * y.re - x.im * y.im, x.re * y.im + x.im * y.re)
+            })
+            .collect();
+        let err = max_err(&out, &expected);
+        assert!(err < 1e-3, "slot error {err}");
+    }
+
+    #[test]
+    fn rescale_chain_to_bottom_level() {
+        // Drive a fresh ciphertext all the way down: multiply by the
+        // all-ones plaintext and rescale until two primes remain —
+        // exactly the paper's "server returns a 2-level ciphertext".
+        let ctx = ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(6));
+        let a = msg(ctx.params().slots(), 0.5);
+        let ones = vec![Complex::new(1.0, 0.0); ctx.params().slots()];
+        let ones_pt = ctx.encode(&ones).expect("e");
+        let mut ct = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(7));
+        while ct.num_primes() > 2 {
+            let prod = plaintext_mul(&ctx, &ct, &ones_pt).expect("mul");
+            ct = rescale(&ctx, &prod).expect("rescale");
+        }
+        assert_eq!(ct.level(), 1);
+        let out = ctx.decode(&ctx.decrypt(&ct, &sk).expect("d")).expect("decode");
+        assert!(max_err(&out, &a) < 1e-2, "err {}", max_err(&out, &a));
+    }
+
+    #[test]
+    fn add_rejects_mismatches() {
+        let ctx = ctx();
+        let (_, pk) = ctx.keygen(Seed::from_u128(8));
+        let a = ctx.encrypt(&ctx.encode(&msg(8, 0.0)).expect("e"), &pk, Seed::from_u128(9));
+        let b = a.truncated(3);
+        assert!(matches!(
+            add(&ctx, &a, &b),
+            Err(CkksError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn rescale_rejects_bottom() {
+        let ctx = ctx();
+        let (_, pk) = ctx.keygen(Seed::from_u128(10));
+        let ct = ctx
+            .encrypt(&ctx.encode(&msg(8, 0.0)).expect("e"), &pk, Seed::from_u128(11))
+            .truncated(1);
+        assert!(matches!(
+            rescale(&ctx, &ct),
+            Err(CkksError::InvalidParams(_))
+        ));
+    }
+}

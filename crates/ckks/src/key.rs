@@ -1,0 +1,60 @@
+//! Secret and public keys.
+
+/// The secret key: a ternary polynomial, stored both as signed
+/// coefficients and per-prime in NTT domain (decryption uses the latter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecretKey {
+    /// Signed ternary coefficients.
+    pub(crate) coeffs: Vec<i8>,
+    /// `ntt[i][j]`: the secret reduced mod `q_i`, NTT domain.
+    pub(crate) ntt: Vec<Vec<u64>>,
+}
+
+impl SecretKey {
+    /// Hamming weight of the ternary secret.
+    pub fn hamming_weight(&self) -> usize {
+        self.coeffs.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+/// The public key `(pk0, pk1) = (-(a·s) + e, a)`, one residue polynomial
+/// pair per RNS prime, NTT domain.
+///
+/// The paper never stores `a` in memory: it is regenerated from the PRNG
+/// seed on demand (16.5 MB of public-key storage avoided, §IV-B). The
+/// [`seed`](PublicKey::seed) records the stream used so the simulator can
+/// model either choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublicKey {
+    pub(crate) pk0: Vec<Vec<u64>>,
+    pub(crate) pk1: Vec<Vec<u64>>,
+    /// PRNG seed the mask `a` was derived from.
+    pub(crate) seed: abc_prng::Seed,
+}
+
+impl PublicKey {
+    /// Number of RNS primes the key covers.
+    pub fn num_primes(&self) -> usize {
+        self.pk0.len()
+    }
+
+    /// The PRNG seed that regenerates the mask component.
+    pub fn seed(&self) -> abc_prng::Seed {
+        self.seed
+    }
+
+    /// Storage bytes if the key were held in memory (both components) —
+    /// the quantity the paper's on-chip generation avoids fetching.
+    pub fn byte_size(&self) -> usize {
+        self.pk0
+            .iter()
+            .chain(self.pk1.iter())
+            .map(|p| p.len() * 8)
+            .sum()
+    }
+}

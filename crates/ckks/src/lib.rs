@@ -1,0 +1,107 @@
+//! Client-side RNS-CKKS — the workload ABC-FHE accelerates.
+//!
+//! This crate implements, from scratch, everything a CKKS *client* does
+//! (paper Fig. 2a):
+//!
+//! * **Encoding** — slot vector → canonical-embedding IFFT → scale by Δ →
+//!   round → RNS expansion → per-prime NTT ([`CkksContext::encode`]).
+//! * **Encrypt** — public-key encryption with on-chip-style PRNG-derived
+//!   mask/error polynomials ([`CkksContext::encrypt`]).
+//! * **Decrypt** — `c0 + c1·s`, per-prime INTT, CRT recombination
+//!   ([`CkksContext::decrypt`]).
+//! * **Decoding** — centered big-integer → /Δ → canonical-embedding FFT →
+//!   slot vector ([`CkksContext::decode`]).
+//!
+//! Parameters cover the paper's **bootstrappable** regime: `N = 2^13 …
+//! 2^16`, 36-bit double-scale primes, up to 24 RNS levels
+//! ([`params::CkksParams::bootstrappable`]).
+//!
+//! Instrumentation for the paper's figures lives in [`opcount`]
+//! (Fig. 2b operation breakdown) and [`precision`] (Fig. 3c
+//! bootstrapping-precision vs mantissa-width sweep).
+//!
+//! # Example
+//!
+//! ```
+//! use abc_ckks::{params::CkksParams, CkksContext};
+//! use abc_float::Complex;
+//! use abc_prng::Seed;
+//!
+//! # fn main() -> Result<(), abc_ckks::CkksError> {
+//! let params = CkksParams::builder().log_n(10).num_primes(3).build()?;
+//! let ctx = CkksContext::new(params)?;
+//! let (sk, pk) = ctx.keygen(Seed::from_u128(7));
+//!
+//! let msg: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64 * 0.1, 0.0)).collect();
+//! let pt = ctx.encode(&msg)?;
+//! let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(99));
+//! let decoded = ctx.decode(&ctx.decrypt(&ct, &sk)?)?;
+//! for (a, b) in decoded.iter().zip(&msg) {
+//!     assert!(a.dist(*b) < 1e-4);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cipher;
+pub mod context;
+pub mod evaluator;
+pub mod key;
+pub mod noise;
+pub mod opcount;
+pub mod params;
+pub mod precision;
+pub mod security;
+pub mod symmetric;
+pub mod wire;
+
+pub use cipher::{Ciphertext, Plaintext};
+pub use context::CkksContext;
+pub use key::{PublicKey, SecretKey};
+
+/// Errors produced by the CKKS layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkksError {
+    /// Parameter validation failed.
+    InvalidParams(String),
+    /// The message has more slots than the parameters allow.
+    TooManySlots {
+        /// Slots supplied.
+        got: usize,
+        /// Slots available (`N/2`).
+        max: usize,
+    },
+    /// A ciphertext/plaintext was used with a context of different
+    /// parameters.
+    ContextMismatch,
+    /// The underlying math substrate failed (prime generation, roots…).
+    Math(abc_math::MathError),
+}
+
+impl core::fmt::Display for CkksError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CkksError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            CkksError::TooManySlots { got, max } => {
+                write!(f, "message has {got} slots but parameters allow {max}")
+            }
+            CkksError::ContextMismatch => write!(f, "object belongs to a different context"),
+            CkksError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkksError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<abc_math::MathError> for CkksError {
+    fn from(e: abc_math::MathError) -> Self {
+        CkksError::Math(e)
+    }
+}

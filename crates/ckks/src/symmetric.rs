@@ -1,0 +1,202 @@
+//! Symmetric (secret-key) encryption with seed-compressed ciphertexts.
+//!
+//! A client encrypting under its *own* key does not need the public-key
+//! path: it can sample the mask `a` from a PRNG seed and send only
+//! `(c0, seed)` — the server re-expands `a` itself. This halves upload
+//! traffic, composing naturally with ABC-FHE's on-chip generation story
+//! (the hardware already derives `a` from a 128-bit seed; transmitting
+//! the seed instead of the polynomial is free). This is an extension
+//! beyond the paper (Lattigo ships the same trick as "seeded
+//! ciphertexts"); `abc-sim` exposes it as the `compressed_upload` knob.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::key::SecretKey;
+use crate::CkksError;
+use abc_math::poly;
+use abc_prng::sampler::{GaussianSampler, UniformSampler};
+use abc_prng::Seed;
+
+/// A seed-compressed symmetric ciphertext: the full `c0` component plus
+/// the 128-bit seed that regenerates `c1 = a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedCiphertext {
+    c0: Vec<Vec<u64>>,
+    mask_seed: Seed,
+    scale: f64,
+    n: usize,
+}
+
+impl CompressedCiphertext {
+    /// Number of RNS primes.
+    pub fn num_primes(&self) -> usize {
+        self.c0.len()
+    }
+
+    /// Serialized size in bytes: one component plus the seed — about
+    /// half of [`Ciphertext::byte_size`].
+    pub fn byte_size(&self) -> usize {
+        self.c0.len() * self.n * 8 + 16
+    }
+
+    /// The seed that regenerates the mask component.
+    pub fn mask_seed(&self) -> Seed {
+        self.mask_seed
+    }
+
+    /// Expands back into a full two-component ciphertext (what the
+    /// server does on receipt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::ContextMismatch`] if the ciphertext carries
+    /// more primes than the context provides.
+    pub fn expand(&self, ctx: &CkksContext) -> Result<Ciphertext, CkksError> {
+        if self.n != ctx.params().n() || self.num_primes() > ctx.basis().len() {
+            return Err(CkksError::ContextMismatch);
+        }
+        let c1 = sample_mask(ctx, self.mask_seed, self.num_primes());
+        Ciphertext::from_components(self.c0.clone(), c1, self.scale)
+    }
+}
+
+/// Samples the uniform mask `a` per prime, NTT domain, from a seed —
+/// shared by encryption and expansion so both sides agree bit-exactly.
+fn sample_mask(ctx: &CkksContext, seed: Seed, primes: usize) -> Vec<Vec<u64>> {
+    let n = ctx.params().n();
+    ctx.basis().moduli()[..primes]
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let mut uni = UniformSampler::new(seed, i as u64);
+            let mut a = vec![0u64; n];
+            uni.sample_poly(m, &mut a);
+            a
+        })
+        .collect()
+}
+
+/// Symmetric encryption: `ct = (-(a·s) + m + e, a)` with `a` derived
+/// from `seed` — the compressed form keeps only `c0` and the seed.
+///
+/// # Panics
+///
+/// Panics if the plaintext belongs to a different context (encode from
+/// the same context always matches).
+pub fn encrypt_symmetric_compressed(
+    ctx: &CkksContext,
+    pt: &Plaintext,
+    sk: &SecretKey,
+    seed: Seed,
+) -> CompressedCiphertext {
+    assert_eq!(pt.n(), ctx.params().n(), "plaintext from different context");
+    let n = ctx.params().n();
+    let lvl = pt.num_primes();
+    let mask_seed = seed.derive(0);
+    let a = sample_mask(ctx, mask_seed, lvl);
+    let mut gauss = GaussianSampler::new(seed.derive(1), 0, ctx.params().error_sigma());
+    let e = gauss.sample_poly(n);
+    let mut c0 = Vec::with_capacity(lvl);
+    for i in 0..lvl {
+        let m = &ctx.basis().moduli()[i];
+        // c0 = -(a·s) + e + m
+        let mut x = a[i].clone();
+        poly::mul_assign(m, &mut x, &sk.ntt[i]);
+        poly::neg_assign(m, &mut x);
+        let e_res: Vec<u64> = e.iter().map(|&v| m.from_i64(v)).collect();
+        let mut e_ntt = e_res;
+        ctx.ntt_plans()[i].forward(&mut e_ntt);
+        poly::add_assign(m, &mut x, &e_ntt);
+        poly::add_assign(m, &mut x, pt.residues()[i].as_slice());
+        c0.push(x);
+    }
+    CompressedCiphertext {
+        c0,
+        mask_seed,
+        scale: pt.scale(),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use abc_float::Complex;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(
+            CkksParams::builder()
+                .log_n(9)
+                .num_primes(4)
+                .secret_hamming_weight(Some(32))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx")
+    }
+
+    fn msg(slots: usize) -> Vec<Complex> {
+        (0..slots)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.2).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let ctx = ctx();
+        let (sk, _) = ctx.keygen(Seed::from_u128(1));
+        let m = msg(ctx.params().slots());
+        let pt = ctx.encode(&m).expect("encode");
+        let cct = encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(2));
+        let ct = cct.expand(&ctx).expect("expand");
+        let out = ctx.decode(&ctx.decrypt(&ct, &sk).expect("decrypt")).expect("decode");
+        let err = out
+            .iter()
+            .zip(&m)
+            .map(|(a, b)| a.dist(*b))
+            .fold(0.0, f64::max);
+        assert!(err < 1e-4, "err = {err}");
+    }
+
+    #[test]
+    fn compression_halves_size() {
+        let ctx = ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(3));
+        let pt = ctx.encode(&msg(8)).expect("encode");
+        let full = ctx.encrypt(&pt, &pk, Seed::from_u128(4));
+        let compressed = encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(4));
+        assert!(compressed.byte_size() * 2 <= full.byte_size() + 32);
+        assert_eq!(compressed.num_primes(), full.num_primes());
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let ctx = ctx();
+        let (sk, _) = ctx.keygen(Seed::from_u128(5));
+        let pt = ctx.encode(&msg(8)).expect("encode");
+        let cct = encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(6));
+        assert_eq!(cct.expand(&ctx).expect("a"), cct.expand(&ctx).expect("b"));
+    }
+
+    #[test]
+    fn foreign_context_rejected() {
+        let ctx_a = ctx();
+        let ctx_b = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(2)
+                .secret_hamming_weight(None)
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (sk, _) = ctx_a.keygen(Seed::from_u128(7));
+        let pt = ctx_a.encode(&msg(4)).expect("encode");
+        let cct = encrypt_symmetric_compressed(&ctx_a, &pt, &sk, Seed::from_u128(8));
+        assert!(matches!(
+            cct.expand(&ctx_b),
+            Err(CkksError::ContextMismatch)
+        ));
+    }
+}

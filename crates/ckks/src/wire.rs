@@ -1,0 +1,195 @@
+//! Wire format for ciphertexts — the client↔server transport whose byte
+//! counts drive the paper's DRAM-traffic analysis.
+//!
+//! A simple versioned little-endian layout (no external dependencies):
+//!
+//! ```text
+//! magic  "ABCF"            4 B
+//! version u16              2 B
+//! kind    u8 (1=full ct)   1 B
+//! log_n   u8               1 B
+//! primes  u16              2 B
+//! scale   f64              8 B
+//! c0 residues              primes · N · 8 B
+//! c1 residues              primes · N · 8 B
+//! ```
+//!
+//! The format stores residues as full `u64` words; a production codec
+//! would bit-pack to the prime width (44 bits → ×0.69), which is exactly
+//! the `coeff_bits` the simulator charges. Compressed (seeded)
+//! ciphertexts serialize via kind 2 with the 16-byte seed in place of
+//! `c1`.
+
+use crate::cipher::Ciphertext;
+use crate::CkksError;
+
+const MAGIC: &[u8; 4] = b"ABCF";
+const VERSION: u16 = 1;
+const KIND_FULL: u8 = 1;
+
+/// Serializes a ciphertext to the wire format.
+pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let n = ct.n();
+    let primes = ct.num_primes();
+    let mut out = Vec::with_capacity(18 + 2 * primes * n * 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(KIND_FULL);
+    out.push(n.trailing_zeros() as u8);
+    out.extend_from_slice(&(primes as u16).to_le_bytes());
+    out.extend_from_slice(&ct.scale().to_le_bytes());
+    let (c0, c1) = ct.components();
+    for component in [c0, c1] {
+        for poly in component {
+            for &w in poly {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes a ciphertext from the wire format.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] for malformed input: bad magic,
+/// unsupported version/kind, truncated payload, or inconsistent sizes.
+pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
+    let err = |msg: &str| CkksError::InvalidParams(format!("wire: {msg}"));
+    if bytes.len() < 18 {
+        return Err(err("truncated header"));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(err("unsupported version"));
+    }
+    if bytes[6] != KIND_FULL {
+        return Err(err("unsupported kind"));
+    }
+    let log_n = bytes[7] as u32;
+    if log_n == 0 || log_n > 20 {
+        return Err(err("implausible ring degree"));
+    }
+    let n = 1usize << log_n;
+    let primes = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes")) as usize;
+    if primes == 0 || primes > 64 {
+        return Err(err("implausible prime count"));
+    }
+    let scale = f64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes"));
+    let expected = 18 + 2 * primes * n * 8;
+    if bytes.len() != expected {
+        return Err(err("payload length mismatch"));
+    }
+    let mut cursor = 18usize;
+    let mut read_component = |cursor: &mut usize| -> Vec<Vec<u64>> {
+        (0..primes)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        let w = u64::from_le_bytes(
+                            bytes[*cursor..*cursor + 8].try_into().expect("8 bytes"),
+                        );
+                        *cursor += 8;
+                        w
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let c0 = read_component(&mut cursor);
+    let c1 = read_component(&mut cursor);
+    Ciphertext::from_components(c0, c1, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::params::CkksParams;
+    use abc_float::Complex;
+    use abc_prng::Seed;
+
+    fn sample_ct() -> (CkksContext, Ciphertext) {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(3)
+                .secret_hamming_weight(None)
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (_, pk) = ctx.keygen(Seed::from_u128(1));
+        let msg = vec![Complex::new(0.25, -0.5); 16];
+        let ct = ctx.encrypt(&ctx.encode(&msg).expect("e"), &pk, Seed::from_u128(2));
+        (ctx, ct)
+    }
+
+    #[test]
+    fn roundtrip_bit_exact() {
+        let (_, ct) = sample_ct();
+        let bytes = serialize_ciphertext(&ct);
+        let back = deserialize_ciphertext(&bytes).expect("roundtrip");
+        assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn wire_size_matches_accounting() {
+        let (_, ct) = sample_ct();
+        let bytes = serialize_ciphertext(&ct);
+        // Header + residues at 8 B words (byte_size() charges coefficient
+        // words too; both are 2·primes·N·8).
+        assert_eq!(bytes.len(), 18 + 2 * 3 * 256 * 8);
+        let words = 2 * ct.num_primes() * ct.n() * 8;
+        assert_eq!(bytes.len() - 18, words);
+    }
+
+    #[test]
+    fn deserialized_ciphertext_still_decrypts() {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(3)
+                .secret_hamming_weight(None)
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (sk, pk) = ctx.keygen(Seed::from_u128(3));
+        let msg = vec![Complex::new(0.25, -0.5); 16];
+        let ct = ctx.encrypt(&ctx.encode(&msg).expect("e"), &pk, Seed::from_u128(4));
+        let back = deserialize_ciphertext(&serialize_ciphertext(&ct)).expect("wire");
+        let out = ctx.decode(&ctx.decrypt(&back, &sk).expect("d")).expect("decode");
+        assert!(out[0].dist(msg[0]) < 1e-4);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let (_, ct) = sample_ct();
+        let good = serialize_ciphertext(&ct);
+        // Truncated.
+        assert!(deserialize_ciphertext(&good[..good.len() - 1]).is_err());
+        assert!(deserialize_ciphertext(&good[..10]).is_err());
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(deserialize_ciphertext(&bad).is_err());
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(deserialize_ciphertext(&bad).is_err());
+        // Bad kind.
+        let mut bad = good.clone();
+        bad[6] = 7;
+        assert!(deserialize_ciphertext(&bad).is_err());
+        // Implausible prime count.
+        let mut bad = good;
+        bad[8] = 0;
+        bad[9] = 0;
+        assert!(deserialize_ciphertext(&bad).is_err());
+    }
+}

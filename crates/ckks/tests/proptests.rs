@@ -1,0 +1,121 @@
+//! Property-based tests for the CKKS client pipeline.
+
+use abc_ckks::{params::CkksParams, CkksContext};
+use abc_float::Complex;
+use abc_prng::Seed;
+use proptest::prelude::*;
+
+fn small_ctx(log_n: u32, primes: usize) -> CkksContext {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_n(log_n)
+            .num_primes(primes)
+            .secret_hamming_weight(Some(1 << (log_n - 3)))
+            .build()
+            .expect("valid params"),
+    )
+    .expect("context")
+}
+
+fn message_from_seed(slots: usize, seed: u64) -> Vec<Complex> {
+    (0..slots)
+        .map(|i| {
+            let x = (seed.wrapping_mul(i as u64 * 2 + 1) % 2001) as f64 / 1000.0 - 1.0;
+            let y = (seed.wrapping_add(i as u64 * 13) % 2001) as f64 / 1000.0 - 1.0;
+            Complex::new(x, y)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn roundtrip_over_random_messages(seed in any::<u64>(), log_n in 7u32..10) {
+        let ctx = small_ctx(log_n, 3);
+        let msg = message_from_seed(ctx.params().slots(), seed);
+        let (sk, pk) = ctx.keygen(Seed::from_u128(seed as u128));
+        let pt = ctx.encode(&msg).expect("encode");
+        let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(seed as u128 + 1));
+        let out = ctx.decode(&ctx.decrypt(&ct, &sk).expect("decrypt")).expect("decode");
+        for (a, b) in out.iter().zip(&msg) {
+            prop_assert!(a.dist(*b) < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn encode_decode_error_within_quantization(seed in any::<u64>()) {
+        // Without encryption the only error is Δ-quantization.
+        let ctx = small_ctx(9, 2);
+        let msg = message_from_seed(ctx.params().slots(), seed);
+        let pt = ctx.encode(&msg).expect("encode");
+        let out = ctx.decode(&pt).expect("decode");
+        for (a, b) in out.iter().zip(&msg) {
+            // Δ = 2^36; allow N·2^-36 ≈ 1e-8 of spread.
+            prop_assert!(a.dist(*b) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scale_invariance_of_decode(seed in any::<u64>(), shift in 0u32..3) {
+        // Encoding at a larger Δ (builder scale_bits) yields strictly
+        // more precision, never less.
+        let msg_seed = seed | 1;
+        let mut errs = Vec::new();
+        for scale_bits in [20 + 6 * shift, 36] {
+            let ctx = CkksContext::new(
+                CkksParams::builder()
+                    .log_n(8)
+                    .num_primes(2)
+                    .prime_bits(40)
+                    .scale_bits(scale_bits)
+                    .secret_hamming_weight(None)
+                    .build()
+                    .expect("params"),
+            )
+            .expect("ctx");
+            let msg = message_from_seed(ctx.params().slots(), msg_seed);
+            let out = ctx.decode(&ctx.encode(&msg).expect("encode")).expect("decode");
+            let err = out
+                .iter()
+                .zip(&msg)
+                .map(|(a, b)| a.dist(*b))
+                .fold(0.0f64, f64::max);
+            errs.push(err);
+        }
+        prop_assert!(errs[1] <= errs[0] * 1.5, "{errs:?}");
+    }
+
+    #[test]
+    fn ciphertexts_differ_across_messages(seed in any::<u64>()) {
+        let ctx = small_ctx(7, 2);
+        let (_, pk) = ctx.keygen(Seed::from_u128(1));
+        let a = message_from_seed(ctx.params().slots(), seed);
+        let b = message_from_seed(ctx.params().slots(), seed.wrapping_add(999));
+        let ca = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(2));
+        let cb = ctx.encrypt(&ctx.encode(&b).expect("e"), &pk, Seed::from_u128(2));
+        // Same encryption randomness, different messages: c0 differs,
+        // c1 identical (c1 carries only the mask).
+        prop_assert_ne!(ca.components().0, cb.components().0);
+        prop_assert_eq!(ca.components().1, cb.components().1);
+    }
+
+    #[test]
+    fn truncation_never_increases_precision(seed in any::<u64>()) {
+        let ctx = small_ctx(8, 4);
+        let (sk, pk) = ctx.keygen(Seed::from_u128(3));
+        let msg = message_from_seed(ctx.params().slots(), seed);
+        let ct = ctx.encrypt(&ctx.encode(&msg).expect("e"), &pk, Seed::from_u128(4));
+        let err_at = |primes: usize| {
+            let out = ctx
+                .decode(&ctx.decrypt(&ct.truncated(primes), &sk).expect("d"))
+                .expect("decode");
+            out.iter().zip(&msg).map(|(a, b)| a.dist(*b)).fold(0.0f64, f64::max)
+        };
+        // All levels decrypt correctly; the error stays in the noise
+        // regime at every level (no cliff).
+        for primes in 1..=4usize {
+            prop_assert!(err_at(primes) < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Datapath contexts: arithmetic routed through a context object so the
+//! same kernel runs at full or reduced precision.
+
+use crate::softfloat::round_to_mantissa;
+
+/// A real-arithmetic datapath.
+///
+/// Numeric kernels (the CKKS special FFT in `abc-transform`) are generic
+/// over this trait; instantiating them with [`SoftFloatField`] reproduces
+/// the rounding behaviour of a narrow hardware FPU after *every*
+/// operation, which is what the paper's Fig. 3c sweep measures.
+pub trait RealField {
+    /// Rounds a constant into the datapath format.
+    fn from_f64(&self, x: f64) -> f64;
+
+    /// Addition in the datapath.
+    fn add(&self, a: f64, b: f64) -> f64;
+
+    /// Subtraction in the datapath.
+    fn sub(&self, a: f64, b: f64) -> f64;
+
+    /// Multiplication in the datapath.
+    fn mul(&self, a: f64, b: f64) -> f64;
+
+    /// Negation (sign flip is exact in every binary float format).
+    fn neg(&self, a: f64) -> f64 {
+        -a
+    }
+
+    /// Human-readable datapath name for reports.
+    fn name(&self) -> String;
+}
+
+/// The full-precision IEEE binary64 datapath.
+///
+/// # Example
+///
+/// ```
+/// use abc_float::{F64Field, RealField};
+///
+/// assert_eq!(F64Field.mul(0.1, 10.0), 0.1 * 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F64Field;
+
+impl RealField for F64Field {
+    fn from_f64(&self, x: f64) -> f64 {
+        x
+    }
+
+    fn add(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn sub(&self, a: f64, b: f64) -> f64 {
+        a - b
+    }
+
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+
+    fn name(&self) -> String {
+        "fp64".to_owned()
+    }
+}
+
+/// A reduced-precision datapath that rounds to `mantissa_bits` fraction
+/// bits after every operation.
+///
+/// # Example
+///
+/// ```
+/// use abc_float::{RealField, SoftFloatField};
+///
+/// let f = SoftFloatField::new(10);
+/// // 1 + 2^-14 collapses to 1 in a 10-bit-mantissa format.
+/// assert_eq!(f.add(1.0, 2.0_f64.powi(-14)), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftFloatField {
+    mantissa_bits: u32,
+}
+
+impl SoftFloatField {
+    /// Creates a datapath with the given mantissa width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mantissa_bits` is 0 or exceeds 52.
+    pub fn new(mantissa_bits: u32) -> Self {
+        assert!(
+            (1..=52).contains(&mantissa_bits),
+            "mantissa_bits must be in 1..=52, got {mantissa_bits}"
+        );
+        Self { mantissa_bits }
+    }
+
+    /// The paper's FP55 datapath (43 mantissa bits).
+    pub fn fp55() -> Self {
+        Self::new(crate::FP55_MANTISSA_BITS)
+    }
+
+    /// The configured mantissa width.
+    pub fn mantissa_bits(&self) -> u32 {
+        self.mantissa_bits
+    }
+
+    /// Total storage width of the format (1 sign + 11 exponent + mantissa),
+    /// the per-coefficient cost the hardware model charges.
+    pub fn storage_bits(&self) -> u32 {
+        1 + 11 + self.mantissa_bits
+    }
+}
+
+impl RealField for SoftFloatField {
+    fn from_f64(&self, x: f64) -> f64 {
+        round_to_mantissa(x, self.mantissa_bits)
+    }
+
+    fn add(&self, a: f64, b: f64) -> f64 {
+        round_to_mantissa(a + b, self.mantissa_bits)
+    }
+
+    fn sub(&self, a: f64, b: f64) -> f64 {
+        round_to_mantissa(a - b, self.mantissa_bits)
+    }
+
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        round_to_mantissa(a * b, self.mantissa_bits)
+    }
+
+    fn name(&self) -> String {
+        format!("fp{}", self.storage_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_field_is_exact() {
+        let f = F64Field;
+        assert_eq!(f.add(0.1, 0.2), 0.1 + 0.2);
+        assert_eq!(f.sub(0.1, 0.2), 0.1 - 0.2);
+        assert_eq!(f.mul(0.1, 0.2), 0.1 * 0.2);
+        assert_eq!(f.neg(0.1), -0.1);
+        assert_eq!(f.from_f64(0.1), 0.1);
+        assert_eq!(f.name(), "fp64");
+    }
+
+    #[test]
+    fn softfloat_field_rounds_each_op() {
+        let f = SoftFloatField::new(10);
+        let exact = F64Field;
+        // Accumulating many small values: reduced precision loses them,
+        // full precision keeps them.
+        let tiny = 2f64.powi(-15);
+        let mut lo = 1.0;
+        let mut hi = 1.0;
+        for _ in 0..100 {
+            lo = f.add(lo, tiny);
+            hi = exact.add(hi, tiny);
+        }
+        assert_eq!(lo, 1.0);
+        assert!(hi > 1.0);
+    }
+
+    #[test]
+    fn fp55_naming_and_width() {
+        let f = SoftFloatField::fp55();
+        assert_eq!(f.mantissa_bits(), 43);
+        assert_eq!(f.storage_bits(), 55);
+        assert_eq!(f.name(), "fp55");
+    }
+
+    #[test]
+    #[should_panic(expected = "mantissa_bits")]
+    fn rejects_wide_mantissa() {
+        SoftFloatField::new(53);
+    }
+
+    #[test]
+    fn monotone_precision() {
+        // Wider mantissa ⇒ result at least as close to the f64 answer.
+        let x = 1.0 / 7.0;
+        let y = core::f64::consts::E;
+        let exact = x * y;
+        let mut last_err = f64::INFINITY;
+        for m in [8u32, 16, 24, 32, 40, 48, 52] {
+            let f = SoftFloatField::new(m);
+            let err = (f.mul(f.from_f64(x), f.from_f64(y)) - exact).abs();
+            assert!(err <= last_err, "m={m}");
+            last_err = err;
+        }
+        assert_eq!(last_err, 0.0);
+    }
+}

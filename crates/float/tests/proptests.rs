@@ -1,0 +1,75 @@
+//! Property-based tests for the reduced-precision float layer.
+
+use abc_float::{round_to_mantissa, Complex, F64Field, RealField, SoftFloatField};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL | prop::num::f64::ZERO
+}
+
+proptest! {
+    #[test]
+    fn rounding_is_idempotent(x in finite_f64(), m in 1u32..=52) {
+        let once = round_to_mantissa(x, m);
+        prop_assert_eq!(round_to_mantissa(once, m), once);
+    }
+
+    #[test]
+    fn rounding_error_bounded(x in finite_f64(), m in 1u32..=52) {
+        prop_assume!(x != 0.0 && x.abs() < 1e300 && x.abs() > 1e-300);
+        let r = round_to_mantissa(x, m);
+        let rel = ((r - x) / x).abs();
+        prop_assert!(rel <= 2f64.powi(-(m as i32)), "x={x} m={m} rel={rel}");
+    }
+
+    #[test]
+    fn wider_mantissa_never_less_accurate(x in finite_f64()) {
+        prop_assume!(x.is_normal());
+        let mut last = f64::INFINITY;
+        for m in [8u32, 16, 24, 32, 43, 52] {
+            let err = (round_to_mantissa(x, m) - x).abs();
+            prop_assert!(err <= last * (1.0 + 1e-15), "m={m}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn rounding_monotone_in_value(a in finite_f64(), b in finite_f64(), m in 2u32..=52) {
+        prop_assume!(a <= b);
+        prop_assert!(round_to_mantissa(a, m) <= round_to_mantissa(b, m));
+    }
+
+    #[test]
+    fn sign_symmetry(x in finite_f64(), m in 1u32..=52) {
+        prop_assert_eq!(round_to_mantissa(-x, m), -round_to_mantissa(x, m));
+    }
+
+    #[test]
+    fn field_ops_match_rounded_f64(a in -1e6f64..1e6, b in -1e6f64..1e6, m in 4u32..=52) {
+        let f = SoftFloatField::new(m);
+        prop_assert_eq!(f.add(a, b), round_to_mantissa(a + b, m));
+        prop_assert_eq!(f.sub(a, b), round_to_mantissa(a - b, m));
+        prop_assert_eq!(f.mul(a, b), round_to_mantissa(a * b, m));
+        prop_assert_eq!(f.neg(a), -a);
+    }
+
+    #[test]
+    fn complex_mul_commutes(ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+                            br in -10.0f64..10.0, bi in -10.0f64..10.0) {
+        let f = F64Field;
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        let ab = a.mul_in(&f, b);
+        let ba = b.mul_in(&f, a);
+        prop_assert!(ab.dist(ba) < 1e-12);
+    }
+
+    #[test]
+    fn complex_conj_product_is_norm(re in -10.0f64..10.0, im in -10.0f64..10.0) {
+        let f = F64Field;
+        let z = Complex::new(re, im);
+        let p = z.mul_in(&f, z.conj());
+        prop_assert!((p.re - z.norm_sqr()).abs() < 1e-9);
+        prop_assert!(p.im.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! Chip-level composition (paper Table II).
+
+use crate::component::Component;
+use crate::AreaPower;
+
+/// Structural description of one Reconfigurable Streaming Core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RscConfig {
+    /// Pipelined NTT lanes per core (paper: 4).
+    pub pnl_count: u32,
+    /// Whether the core carries the on-the-fly twiddle generator
+    /// (disabling it models the `ABC-FHE_Base` configuration, which
+    /// fetches twiddles from DRAM instead).
+    pub otf_tf_gen: bool,
+    /// Whether the core carries the on-chip PRNG.
+    pub prng: bool,
+}
+
+impl Default for RscConfig {
+    fn default() -> Self {
+        Self {
+            pnl_count: 4,
+            otf_tf_gen: true,
+            prng: true,
+        }
+    }
+}
+
+/// Structural description of the whole accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipConfig {
+    /// Reconfigurable streaming cores (paper: 2).
+    pub rsc_count: u32,
+    /// Per-core structure.
+    pub rsc: RscConfig,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self {
+            rsc_count: 2,
+            rsc: RscConfig::default(),
+        }
+    }
+}
+
+/// One row of the regenerated Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Component label.
+    pub component: String,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in W.
+    pub power_w: f64,
+}
+
+/// Area/power of one RSC under `cfg`.
+pub fn rsc_area_power(cfg: &RscConfig) -> AreaPower {
+    let mut total = Component::PipelinedNttLane
+        .area_power()
+        .times(cfg.pnl_count as f64);
+    if cfg.otf_tf_gen {
+        total = total
+            .plus(Component::OtfTwiddleGen.area_power())
+            .plus(Component::TwiddleSeedMemory.area_power());
+    }
+    if cfg.prng {
+        total = total.plus(Component::Prng.area_power());
+    }
+    total
+        .plus(Component::ModularStreamingEngine.area_power())
+        .plus(Component::LocalScratchpad.area_power())
+}
+
+/// Area/power of the full chip under `cfg`.
+pub fn chip_area_power(cfg: &ChipConfig) -> AreaPower {
+    rsc_area_power(&cfg.rsc)
+        .times(cfg.rsc_count as f64)
+        .plus(Component::GlobalScratchpad.area_power())
+        .plus(Component::TopControl.area_power())
+}
+
+/// Regenerates Table II for the paper's configuration.
+pub fn table2() -> Vec<Table2Row> {
+    let cfg = ChipConfig::default();
+    let mut rows = Vec::new();
+    let mut push = |name: &str, ap: AreaPower| {
+        rows.push(Table2Row {
+            component: name.to_owned(),
+            area_mm2: ap.area_mm2,
+            power_w: ap.power_w,
+        });
+    };
+    push(
+        "4x PNL",
+        Component::PipelinedNttLane.area_power().times(4.0),
+    );
+    push("Unified OTF TF Gen", Component::OtfTwiddleGen.area_power());
+    push(
+        "Twiddle Factor Seed Memory",
+        Component::TwiddleSeedMemory.area_power(),
+    );
+    push("MSE", Component::ModularStreamingEngine.area_power());
+    push("PRNG", Component::Prng.area_power());
+    push(
+        "Local Scratchpad",
+        Component::LocalScratchpad.area_power(),
+    );
+    push("RSC", rsc_area_power(&cfg.rsc));
+    push("2x RSC", rsc_area_power(&cfg.rsc).times(2.0));
+    push(
+        "Global Scratchpad",
+        Component::GlobalScratchpad.area_power(),
+    );
+    push("Top CTRL, DMA, Etc.", Component::TopControl.area_power());
+    push("Total", chip_area_power(&cfg));
+    rows
+}
+
+/// Fraction of total chip area occupied by the on-chip generators
+/// (OTF TF Gen + seed memory + PRNG) — the paper quotes ≈6 %.
+pub fn generator_area_fraction() -> f64 {
+    let cfg = ChipConfig::default();
+    let gens = Component::OtfTwiddleGen
+        .area_power()
+        .plus(Component::TwiddleSeedMemory.area_power())
+        .plus(Component::Prng.area_power())
+        .times(cfg.rsc_count as f64);
+    gens.area_mm2 / chip_area_power(&cfg).area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsc_matches_table2() {
+        let rsc = rsc_area_power(&RscConfig::default());
+        // Paper: RSC = 12.973 mm², 2.156 W (sum of its rows, ±rounding).
+        assert!((rsc.area_mm2 - 12.973).abs() < 0.005, "{}", rsc.area_mm2);
+        assert!((rsc.power_w - 2.156).abs() < 0.005, "{}", rsc.power_w);
+    }
+
+    #[test]
+    fn chip_total_matches_paper() {
+        let chip = chip_area_power(&ChipConfig::default());
+        // Paper: 28.638 mm², 5.654 W.
+        assert!((chip.area_mm2 - 28.638).abs() < 0.01, "{}", chip.area_mm2);
+        assert!((chip.power_w - 5.654).abs() < 0.01, "{}", chip.power_w);
+    }
+
+    #[test]
+    fn generators_cost_about_six_percent() {
+        let f = generator_area_fraction();
+        assert!((f - 0.06).abs() < 0.012, "fraction = {f}");
+    }
+
+    #[test]
+    fn base_config_drops_generator_area() {
+        let base = ChipConfig {
+            rsc: RscConfig {
+                otf_tf_gen: false,
+                prng: false,
+                ..RscConfig::default()
+            },
+            ..ChipConfig::default()
+        };
+        let full = chip_area_power(&ChipConfig::default());
+        let stripped = chip_area_power(&base);
+        assert!(stripped.area_mm2 < full.area_mm2);
+        let delta = full.area_mm2 - stripped.area_mm2;
+        assert!((delta - 2.0 * (0.697 + 0.046 + 0.069)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_row_count_and_total() {
+        let rows = table2();
+        assert_eq!(rows.len(), 11);
+        let total = rows.last().unwrap();
+        assert_eq!(total.component, "Total");
+        assert!((total.area_mm2 - 28.638).abs() < 0.01);
+    }
+}

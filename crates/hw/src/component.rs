@@ -1,0 +1,112 @@
+//! Leaf hardware components with Table II anchor constants plus a
+//! parametric SRAM macro model.
+
+use crate::AreaPower;
+
+/// The leaf components of the paper's Table II breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// One pipelined NTT lane (the Table II "4× PNL" row divided by 4).
+    PipelinedNttLane,
+    /// The unified on-the-fly twiddle factor generator (per RSC).
+    OtfTwiddleGen,
+    /// Twiddle-factor seed memory (26.4 KB per RSC).
+    TwiddleSeedMemory,
+    /// The modular streaming engine (per RSC).
+    ModularStreamingEngine,
+    /// The ChaCha-class PRNG (per RSC).
+    Prng,
+    /// Local scratchpad (440 KB per RSC).
+    LocalScratchpad,
+    /// Global scratchpad (880 KB, chip level).
+    GlobalScratchpad,
+    /// Top controller, DMA, instruction memory, etc.
+    TopControl,
+}
+
+impl Component {
+    /// Table II anchor values (28 nm, 600 MHz).
+    pub fn area_power(self) -> AreaPower {
+        match self {
+            // Table II lists 4×PNL = 10.717 mm², 1.397 W.
+            Component::PipelinedNttLane => AreaPower::new(10.717 / 4.0, 1.397 / 4.0),
+            Component::OtfTwiddleGen => AreaPower::new(0.697, 0.089),
+            Component::TwiddleSeedMemory => AreaPower::new(0.046, 0.022),
+            Component::ModularStreamingEngine => AreaPower::new(0.787, 0.298),
+            Component::Prng => AreaPower::new(0.069, 0.028),
+            Component::LocalScratchpad => AreaPower::new(0.658, 0.323),
+            Component::GlobalScratchpad => AreaPower::new(2.632, 1.290),
+            Component::TopControl => AreaPower::new(0.060, 0.051),
+        }
+    }
+
+    /// Table II row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::PipelinedNttLane => "PNL",
+            Component::OtfTwiddleGen => "Unified OTF TF Gen",
+            Component::TwiddleSeedMemory => "Twiddle Factor Seed Memory",
+            Component::ModularStreamingEngine => "MSE",
+            Component::Prng => "PRNG",
+            Component::LocalScratchpad => "Local Scratchpad",
+            Component::GlobalScratchpad => "Global Scratchpad",
+            Component::TopControl => "Top CTRL, DMA, Etc.",
+        }
+    }
+}
+
+/// SRAM macro capacities from the paper §V-A (bytes).
+pub mod sram {
+    /// Global scratchpad: double-buffered, single-port, multi-bank,
+    /// 256-bit wide, 880 KB.
+    pub const GLOBAL_SCRATCHPAD_BYTES: usize = 880 * 1024;
+    /// Local scratchpad per RSC: 440 KB.
+    pub const LOCAL_SCRATCHPAD_BYTES: usize = 440 * 1024;
+    /// Twiddle-factor seed memory per RSC: 26.4 KB.
+    pub const TWIDDLE_SEED_BYTES: usize = 26_400;
+    /// Instruction memory: 1 KB.
+    pub const INSTRUCTION_BYTES: usize = 1024;
+    /// SRAM word width in bits.
+    pub const WORD_BITS: usize = 256;
+
+    /// Area of an SRAM macro in mm², linear-in-capacity model calibrated
+    /// on the global scratchpad row of Table II
+    /// (2.632 mm² / 880 KB ≈ 2.99 mm² per MB at 28 nm).
+    pub fn area_mm2(bytes: usize) -> f64 {
+        2.632 * bytes as f64 / GLOBAL_SCRATCHPAD_BYTES as f64
+    }
+
+    /// Leakage+access power of an SRAM macro in W (same calibration).
+    pub fn power_w(bytes: usize) -> f64 {
+        1.290 * bytes as f64 / GLOBAL_SCRATCHPAD_BYTES as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_lanes_match_table2_row() {
+        let four = Component::PipelinedNttLane.area_power().times(4.0);
+        assert!((four.area_mm2 - 10.717).abs() < 1e-9);
+        assert!((four.power_w - 1.397).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_model_reproduces_its_calibration_point() {
+        assert!((sram::area_mm2(sram::GLOBAL_SCRATCHPAD_BYTES) - 2.632).abs() < 1e-12);
+        assert!((sram::power_w(sram::GLOBAL_SCRATCHPAD_BYTES) - 1.290).abs() < 1e-12);
+        // The local scratchpad is single-buffered while the global pad is
+        // double-buffered, so the linear model (calibrated on the global
+        // pad) over-predicts the local row by ~2x. Check within that.
+        let pred = sram::area_mm2(sram::LOCAL_SCRATCHPAD_BYTES);
+        assert!(pred / 0.658 > 1.8 && pred / 0.658 < 2.2, "pred = {pred}");
+    }
+
+    #[test]
+    fn names_are_table2_labels() {
+        assert_eq!(Component::ModularStreamingEngine.name(), "MSE");
+        assert_eq!(Component::TopControl.name(), "Top CTRL, DMA, Etc.");
+    }
+}

@@ -1,0 +1,158 @@
+//! Parametric design-space exploration: area/power of *non-paper*
+//! accelerator configurations.
+//!
+//! The paper picks 2 RSC × 4 PNL × 8 lanes after sweeping lanes against
+//! the LPDDR5 ceiling (Fig. 5b). This module extends the Table II
+//! anchors into a parametric model so that area/power can be estimated
+//! for any `(rsc, pnl, lanes)` point and combined with the simulator
+//! into a latency-area Pareto front (see the `figures -- pareto` report
+//! in `abc-bench`).
+//!
+//! Scaling model, anchored at the paper's (4 PNL, 8 lanes) RSC:
+//!
+//! * PNL datapath (multipliers, butterflies) scales **linearly in
+//!   lanes** — `P/2·log2 N` multiplier columns;
+//! * PNL FIFO/shuffling area is dominated by the first stages' `N/P`
+//!   buffers, which shrink with more lanes per a weak `1/√P` law
+//!   (deeper stages dominate; we keep it conservative: constant);
+//! * MSE throughput must match `pnls × lanes` streaming rate — linear;
+//! * scratchpads and generators are workload-, not width-, sized.
+
+use crate::component::Component;
+use crate::AreaPower;
+
+/// A candidate accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Reconfigurable streaming cores.
+    pub rsc_count: u32,
+    /// PNLs per core.
+    pub pnls_per_rsc: u32,
+    /// Lanes per PNL.
+    pub lanes: u32,
+}
+
+impl DesignPoint {
+    /// The paper's shipped configuration.
+    pub fn paper() -> Self {
+        Self {
+            rsc_count: 2,
+            pnls_per_rsc: 4,
+            lanes: 8,
+        }
+    }
+
+    /// Total coefficient lanes across the chip.
+    pub fn total_lanes(&self) -> u32 {
+        self.rsc_count * self.pnls_per_rsc * self.lanes
+    }
+}
+
+/// Anchor lane count of the Table II PNL row.
+pub const ANCHOR_LANES: u32 = 8;
+
+/// Fraction of the anchored PNL area that is lane-proportional datapath
+/// (multipliers + butterflies); the rest is FIFO/control, held constant.
+/// Derived from the Fig. 6a decomposition: multipliers ≈ 3.3 mm² of the
+/// 10.7 mm² four-lane-group → ≈ 31 % datapath at the RFE level.
+pub const LANE_PROPORTIONAL_FRACTION: f64 = 0.45;
+
+/// Area/power of one PNL at an arbitrary lane count.
+pub fn pnl_area_power(lanes: u32) -> AreaPower {
+    let anchor = Component::PipelinedNttLane.area_power();
+    let ratio = lanes as f64 / ANCHOR_LANES as f64;
+    let scale = LANE_PROPORTIONAL_FRACTION * ratio + (1.0 - LANE_PROPORTIONAL_FRACTION);
+    anchor.times(scale)
+}
+
+/// Area/power of one RSC under a design point.
+pub fn rsc_area_power(point: &DesignPoint) -> AreaPower {
+    let mse_anchor = Component::ModularStreamingEngine.area_power();
+    let mse_ratio =
+        (point.pnls_per_rsc * point.lanes) as f64 / (4 * ANCHOR_LANES) as f64;
+    pnl_area_power(point.lanes)
+        .times(point.pnls_per_rsc as f64)
+        .plus(Component::OtfTwiddleGen.area_power())
+        .plus(Component::TwiddleSeedMemory.area_power())
+        .plus(Component::Prng.area_power())
+        .plus(mse_anchor.times(mse_ratio.max(0.25)))
+        .plus(Component::LocalScratchpad.area_power())
+}
+
+/// Area/power of the full chip under a design point.
+pub fn chip_area_power(point: &DesignPoint) -> AreaPower {
+    rsc_area_power(point)
+        .times(point.rsc_count as f64)
+        .plus(Component::GlobalScratchpad.area_power())
+        .plus(Component::TopControl.area_power())
+}
+
+/// Enumerates a rectangular design space.
+pub fn enumerate(
+    rscs: &[u32],
+    pnls: &[u32],
+    lanes: &[u32],
+) -> Vec<DesignPoint> {
+    let mut out = Vec::new();
+    for &r in rscs {
+        for &p in pnls {
+            for &l in lanes {
+                if r >= 1 && p >= 1 && l.is_power_of_two() {
+                    out.push(DesignPoint {
+                        rsc_count: r,
+                        pnls_per_rsc: p,
+                        lanes: l,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_matches_table2() {
+        let chip = chip_area_power(&DesignPoint::paper());
+        assert!((chip.area_mm2 - 28.638).abs() < 0.02, "{}", chip.area_mm2);
+        assert!((chip.power_w - 5.654).abs() < 0.02, "{}", chip.power_w);
+    }
+
+    #[test]
+    fn area_monotone_in_every_axis() {
+        let base = DesignPoint::paper();
+        let more_lanes = DesignPoint { lanes: 16, ..base };
+        let more_pnls = DesignPoint { pnls_per_rsc: 8, ..base };
+        let more_rscs = DesignPoint { rsc_count: 4, ..base };
+        let a = |p: &DesignPoint| chip_area_power(p).area_mm2;
+        assert!(a(&more_lanes) > a(&base));
+        assert!(a(&more_pnls) > a(&base));
+        assert!(a(&more_rscs) > a(&base));
+    }
+
+    #[test]
+    fn lane_scaling_sublinear() {
+        // Doubling lanes must cost less than double the PNL area (FIFOs
+        // and control do not double).
+        let p8 = pnl_area_power(8).area_mm2;
+        let p16 = pnl_area_power(16).area_mm2;
+        assert!(p16 > p8);
+        assert!(p16 < 2.0 * p8);
+    }
+
+    #[test]
+    fn enumeration_filters_bad_lanes() {
+        let pts = enumerate(&[1, 2], &[2, 4], &[3, 4, 8]);
+        // lanes=3 rejected (not a power of two).
+        assert_eq!(pts.len(), 2 * 2 * 2);
+        assert!(pts.iter().all(|p| p.lanes.is_power_of_two()));
+    }
+
+    #[test]
+    fn total_lanes_accounting() {
+        assert_eq!(DesignPoint::paper().total_lanes(), 64);
+    }
+}

@@ -1,0 +1,83 @@
+//! Analytical hardware model of ABC-FHE (28 nm, 600 MHz).
+//!
+//! The paper evaluates area and power by synthesis (Design Compiler); this
+//! crate substitutes an **anchored analytical model**: per-component
+//! constants are taken from the paper's published synthesis results
+//! (Table I for modular multipliers, Table II for the chip breakdown) and
+//! everything architectural — how multiplier counts, optimization steps
+//! and configurations compose into chip area — is computed structurally.
+//! That preserves exactly the conclusions the paper draws from the
+//! numbers (the Fig. 6a optimization walk, the 6 % generator overhead,
+//! the Table II totals) while being honest that transistor-level values
+//! are inherited, not re-synthesized. See DESIGN.md for the substitution
+//! rationale.
+//!
+//! Modules:
+//!
+//! * [`multiplier`] — Table I: Barrett / Montgomery / NTT-friendly
+//!   Montgomery area at any datapath width.
+//! * [`component`] — Table II leaf components and SRAM macro model.
+//! * [`chip`] — composition to RSC and full-chip level (Table II).
+//! * [`rfe`] — the Fig. 6a RFE area-optimization walk (−31 %).
+//! * [`memory`] — §IV-B client memory accounting (16.5 MB pk, 8.25 MB
+//!   masks/errors, 8.25 MB twiddles vs ~27 KB of seeds).
+//! * [`scaling`] — DeepScaleTool-style 28 nm → 7 nm scaling
+//!   (→ ≈0.9 mm², ≈2.1 W).
+
+pub mod chip;
+pub mod component;
+pub mod dse;
+pub mod memory;
+pub mod multiplier;
+pub mod rfe;
+pub mod scaling;
+
+/// Clock frequency of every synthesized number in this crate (Hz).
+pub const CLOCK_HZ: f64 = 600e6;
+
+/// Technology node of the anchor constants (nm).
+pub const NODE_NM: u32 = 28;
+
+/// An (area, power) pair: mm² and watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaPower {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl AreaPower {
+    /// Creates a new pair.
+    pub const fn new(area_mm2: f64, power_w: f64) -> Self {
+        Self { area_mm2, power_w }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_w: self.power_w + other.power_w,
+        }
+    }
+
+    /// Scales both members (e.g. for instance counts).
+    pub fn times(self, k: f64) -> Self {
+        Self {
+            area_mm2: self.area_mm2 * k,
+            power_w: self.power_w * k,
+        }
+    }
+}
+
+impl core::iter::Sum for AreaPower {
+    fn sum<I: Iterator<Item = AreaPower>>(iter: I) -> Self {
+        iter.fold(AreaPower::default(), AreaPower::plus)
+    }
+}
+
+impl core::fmt::Display for AreaPower {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} mm², {:.3} W", self.area_mm2, self.power_w)
+    }
+}

@@ -1,0 +1,89 @@
+//! Technology scaling (paper §V-A, using the DeepScaleTool methodology
+//! of Sarangi & Baas \[31\]).
+//!
+//! The paper scales its 28 nm synthesis to 7 nm: 28.638 mm² → ≈0.9 mm²
+//! and 5.654 W → ≈2.1 W. We anchor those two endpoints and interpolate
+//! intermediate nodes geometrically per node step.
+
+use crate::AreaPower;
+
+/// Supported technology nodes (nm).
+pub const NODES: [u32; 4] = [28, 16, 10, 7];
+
+/// Area scale factor from 28 nm to `node` (multiply area by this).
+///
+/// Anchored: 28 nm → 1.0, 7 nm → 0.9/28.638 ≈ 0.0314 (paper endpoint);
+/// intermediate nodes interpolate geometrically in log-node space.
+///
+/// # Panics
+///
+/// Panics if `node` is not one of [`NODES`].
+pub fn area_factor(node: u32) -> f64 {
+    factor(node, 0.9 / 28.638)
+}
+
+/// Power scale factor from 28 nm to `node`.
+///
+/// Anchored: 7 nm → 2.1/5.654 ≈ 0.371.
+///
+/// # Panics
+///
+/// Panics if `node` is not one of [`NODES`].
+pub fn power_factor(node: u32) -> f64 {
+    factor(node, 2.1 / 5.654)
+}
+
+fn factor(node: u32, end_factor: f64) -> f64 {
+    assert!(NODES.contains(&node), "unsupported node {node} nm");
+    if node == 28 {
+        return 1.0;
+    }
+    // Geometric interpolation in ln(node): f(n) = end^(ln(28/n)/ln(28/7)).
+    let t = (28.0 / node as f64).ln() / (28.0f64 / 7.0).ln();
+    end_factor.powf(t)
+}
+
+/// Scales an (area, power) pair from 28 nm to `node`.
+///
+/// # Panics
+///
+/// Panics if `node` is not one of [`NODES`].
+pub fn scale(ap: AreaPower, node: u32) -> AreaPower {
+    AreaPower::new(ap.area_mm2 * area_factor(node), ap.power_w * power_factor(node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_28nm() {
+        let ap = AreaPower::new(28.638, 5.654);
+        let s = scale(ap, 28);
+        assert_eq!(s.area_mm2, 28.638);
+        assert_eq!(s.power_w, 5.654);
+    }
+
+    #[test]
+    fn paper_endpoint_at_7nm() {
+        let s = scale(AreaPower::new(28.638, 5.654), 7);
+        assert!((s.area_mm2 - 0.9).abs() < 1e-9, "{}", s.area_mm2);
+        assert!((s.power_w - 2.1).abs() < 1e-9, "{}", s.power_w);
+    }
+
+    #[test]
+    fn intermediate_nodes_monotone() {
+        let ap = AreaPower::new(10.0, 2.0);
+        let a28 = scale(ap, 28).area_mm2;
+        let a16 = scale(ap, 16).area_mm2;
+        let a10 = scale(ap, 10).area_mm2;
+        let a7 = scale(ap, 7).area_mm2;
+        assert!(a28 > a16 && a16 > a10 && a10 > a7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported node")]
+    fn rejects_unknown_node() {
+        area_factor(5);
+    }
+}

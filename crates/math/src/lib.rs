@@ -1,0 +1,100 @@
+//! Modular-arithmetic substrate for the ABC-FHE reproduction.
+//!
+//! ABC-FHE (Yune et al., DAC 2025) performs all client-side CKKS integer
+//! arithmetic in the residue number system over *NTT-friendly* primes
+//! `Q = 2^bw + k·2^(n+1) + 1` where `k = ±2^a ± 2^b ± 2^c` (paper Eq. 8).
+//! This crate provides everything below the transform layer:
+//!
+//! * [`Modulus`] — a single RNS prime with reference (`u128`-based) modular
+//!   operations, primitive roots and inverses.
+//! * [`reduce`] — the three modular-multiplication algorithms compared in the
+//!   paper's Table I ([`reduce::Barrett`], [`reduce::Montgomery`] and
+//!   [`reduce::NttFriendlyMontgomery`]), all implementing the
+//!   [`reduce::ModMul`] strategy trait and producing identical results.
+//! * [`primes`] — deterministic Miller–Rabin primality, generic NTT-prime
+//!   generation, and the structured-`k` search that backs the paper's claim
+//!   of 443 usable 32–36-bit primes for `N = 2^16`.
+//! * [`bigint`] — a minimal unsigned big integer ([`bigint::UBig`]) used by
+//!   CRT reconstruction during decryption.
+//! * [`rns`] — RNS bases, decomposition of scaled integers and Garner CRT
+//!   recombination ([`rns::RnsBasis`]).
+//! * [`poly`] — element-wise polynomial (vector) operations over `Z_q`, the
+//!   workload of the paper's Modular Streaming Engine.
+//!
+//! # Example
+//!
+//! ```
+//! use abc_math::{Modulus, primes::generate_ntt_primes};
+//!
+//! # fn main() -> Result<(), abc_math::MathError> {
+//! // Three 36-bit primes usable for a negacyclic NTT of degree 2^14.
+//! let qs = generate_ntt_primes(36, 3, 1 << 15)?;
+//! let m = Modulus::new(qs[0])?;
+//! assert_eq!(m.mul(m.q() - 1, m.q() - 1), 1); // (-1)·(-1) = 1
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bigint;
+pub mod modulus;
+pub mod poly;
+pub mod primes;
+pub mod reduce;
+pub mod rns;
+
+pub use bigint::UBig;
+pub use modulus::Modulus;
+pub use rns::RnsBasis;
+
+/// Errors produced by the math substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// The modulus was zero, one, even, or too large for the 63-bit datapath.
+    InvalidModulus(u64),
+    /// A multiplicative inverse was requested for a non-invertible element.
+    NotInvertible { value: u64, modulus: u64 },
+    /// Prime generation could not find enough primes under the constraints.
+    PrimeSearchExhausted {
+        /// Requested bit width.
+        bits: u32,
+        /// How many primes were found before the search space ran out.
+        found: usize,
+        /// How many primes were requested.
+        requested: usize,
+    },
+    /// The modulus is not congruent to 1 modulo `2N`, so no 2N-th root of
+    /// unity exists and the negacyclic NTT is undefined.
+    NoRootOfUnity { modulus: u64, order: u64 },
+    /// An RNS basis was constructed from non-coprime or repeated moduli.
+    BasisNotCoprime { a: u64, b: u64 },
+    /// An empty RNS basis or empty polynomial was supplied.
+    Empty,
+}
+
+impl core::fmt::Display for MathError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MathError::InvalidModulus(q) => write!(f, "invalid modulus {q}"),
+            MathError::NotInvertible { value, modulus } => {
+                write!(f, "{value} is not invertible modulo {modulus}")
+            }
+            MathError::PrimeSearchExhausted {
+                bits,
+                found,
+                requested,
+            } => write!(
+                f,
+                "prime search exhausted: found {found} of {requested} {bits}-bit primes"
+            ),
+            MathError::NoRootOfUnity { modulus, order } => {
+                write!(f, "modulus {modulus} admits no primitive {order}-th root of unity")
+            }
+            MathError::BasisNotCoprime { a, b } => {
+                write!(f, "moduli {a} and {b} are not coprime")
+            }
+            MathError::Empty => write!(f, "empty basis or polynomial"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}

@@ -1,0 +1,526 @@
+//! The three modular-multiplication algorithms compared in the paper's
+//! Table I: Barrett, vanilla Montgomery, and the NTT-friendly Montgomery
+//! whose `Q^-1` multiplication collapses to shift-and-add.
+//!
+//! All three implement the [`ModMul`] strategy trait and compute identical
+//! results; they differ in the *hardware cost* they imply, which the
+//! `abc-hw` crate models from the structural metadata exposed here
+//! (multiplier count, [`csd`] weight, pipeline depth).
+
+use crate::modulus::Modulus;
+use crate::MathError;
+
+/// A modular-multiplication strategy over a fixed modulus.
+///
+/// Implementations must satisfy `mul_mod(a, b) = a·b mod q` for all
+/// `a, b ∈ [0, q)`; the property-test suite checks each implementation
+/// against the `u128` golden model.
+pub trait ModMul {
+    /// The modulus this strategy reduces by.
+    fn modulus(&self) -> &Modulus;
+
+    /// Computes `a·b mod q` for `a, b ∈ [0, q)`.
+    fn mul_mod(&self, a: u64, b: u64) -> u64;
+
+    /// Number of hardware integer multipliers the straightforward
+    /// implementation of this algorithm requires (paper §IV-A).
+    fn multiplier_count(&self) -> u32;
+
+    /// Pipeline depth in cycles when synthesized at 600 MHz (Table I).
+    fn pipeline_stages(&self) -> u32;
+}
+
+/// Textbook Barrett reduction (paper refs \[4\]): approximates division by a
+/// multiplication with the precomputed constant `mu = floor(2^(2k) / q)`.
+///
+/// # Example
+///
+/// ```
+/// use abc_math::reduce::{Barrett, ModMul};
+/// use abc_math::Modulus;
+///
+/// # fn main() -> Result<(), abc_math::MathError> {
+/// let m = Modulus::new(0x0000_000F_FFFF_FF01)?; // any odd modulus works
+/// let b = Barrett::new(m);
+/// assert_eq!(b.mul_mod(123456789, 987654321), m.mul(123456789, 987654321));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Barrett {
+    m: Modulus,
+    /// `floor(2^(2k) / q)` where `k = bits(q) + 1`.
+    mu: u128,
+    k: u32,
+}
+
+impl Barrett {
+    /// Precomputes the Barrett constant for `m`.
+    pub fn new(m: Modulus) -> Self {
+        let k = m.bits() + 1;
+        // 2^(2k) fits in u128 because bits(q) <= 63 => 2k <= 128; when
+        // 2k == 128 we compute floor((2^128 - 1) / q) which differs from
+        // floor(2^128 / q) only when q | 2^128, impossible for odd q > 1.
+        let mu = if 2 * k == 128 {
+            u128::MAX / m.q() as u128
+        } else {
+            (1u128 << (2 * k)) / m.q() as u128
+        };
+        Self { m, mu, k }
+    }
+
+    /// Reduces a product `t < q^2` to `[0, q)`.
+    #[inline]
+    pub fn reduce(&self, t: u128) -> u64 {
+        let q = self.m.q() as u128;
+        // Estimate the quotient: qhat = floor( floor(t / 2^(k-1)) * mu / 2^(k+1) ).
+        let thi = t >> (self.k - 1);
+        // thi <= q^2 / 2^(k-1) < 2^(k+1); mu < 2^(k+1); product < 2^(2k+2) <= 2^130.
+        // Split to avoid overflow: mu fits in (k+1) bits <= 65... use 128x128->hi via
+        // decomposition into 64-bit halves.
+        let qhat = mul_hi_shift(thi, self.mu, self.k + 1);
+        let mut r = (t - qhat * q) as i128;
+        // Barrett's estimate is off by at most 2 quotient units.
+        while r >= q as i128 {
+            r -= q as i128;
+        }
+        debug_assert!(r >= 0);
+        r as u64
+    }
+}
+
+/// Computes `floor(a * b / 2^s)` where the 256-bit product is formed from
+/// 128-bit halves. Requires `s >= 64` in Barrett's use (`k + 1 >= 65`?) —
+/// handled generically for any `s < 192`.
+#[inline]
+fn mul_hi_shift(a: u128, b: u128, s: u32) -> u128 {
+    // Split both operands into 64-bit limbs: a = a1*2^64 + a0.
+    let (a1, a0) = ((a >> 64) as u64, a as u64);
+    let (b1, b0) = ((b >> 64) as u64, b as u64);
+    let p00 = a0 as u128 * b0 as u128;
+    let p01 = a0 as u128 * b1 as u128;
+    let p10 = a1 as u128 * b0 as u128;
+    let p11 = a1 as u128 * b1 as u128;
+    // 256-bit product = p11<<128 + (p01 + p10)<<64 + p00, accumulated carefully.
+    let mid = p01.wrapping_add(p10);
+    let mid_carry = (mid < p01) as u128; // carry into bit 192
+    let lo = p00.wrapping_add(mid << 64);
+    let lo_carry = (lo < p00) as u128;
+    let hi = p11 + (mid >> 64) + (mid_carry << 64) + lo_carry;
+    if s < 128 {
+        (lo >> s) | (hi << (128 - s))
+    } else {
+        hi >> (s - 128)
+    }
+}
+
+impl ModMul for Barrett {
+    fn modulus(&self) -> &Modulus {
+        &self.m
+    }
+
+    fn mul_mod(&self, a: u64, b: u64) -> u64 {
+        self.reduce(a as u128 * b as u128)
+    }
+
+    fn multiplier_count(&self) -> u32 {
+        // input product + quotient estimate + quotient * q
+        3
+    }
+
+    fn pipeline_stages(&self) -> u32 {
+        4
+    }
+}
+
+/// Vanilla Montgomery multiplication (paper refs \[25\]) with `R = 2^64`.
+///
+/// Operands are kept in the ordinary domain; each `mul_mod` converts the
+/// REDC output back by a second REDC against `R^2 mod q`, matching how a
+/// hardware pipeline hides domain conversion inside the twiddle constants.
+#[derive(Debug, Clone, Copy)]
+pub struct Montgomery {
+    m: Modulus,
+    /// `-q^{-1} mod 2^64`.
+    qinv_neg: u64,
+    /// `R^2 mod q` for domain entry.
+    r2: u64,
+}
+
+impl Montgomery {
+    /// Precomputes the Montgomery constants for `m`.
+    pub fn new(m: Modulus) -> Self {
+        let qinv = inv_mod_2_64(m.q());
+        let qinv_neg = qinv.wrapping_neg();
+        // R mod q, then square it.
+        let r = ((1u128 << 64) % m.q() as u128) as u64;
+        let r2 = m.mul(r, r);
+        Self { m, qinv_neg, r2 }
+    }
+
+    /// Montgomery reduction: computes `t · R^{-1} mod q` for `t < q·R`.
+    #[inline]
+    pub fn redc(&self, t: u128) -> u64 {
+        let q = self.m.q();
+        let m = (t as u64).wrapping_mul(self.qinv_neg);
+        let t2 = (t + m as u128 * q as u128) >> 64;
+        let t2 = t2 as u64;
+        if t2 >= q {
+            t2 - q
+        } else {
+            t2
+        }
+    }
+
+    /// Maps `a` into the Montgomery domain (`a·R mod q`).
+    #[inline]
+    pub fn to_mont(&self, a: u64) -> u64 {
+        self.redc(a as u128 * self.r2 as u128)
+    }
+
+    /// Maps a Montgomery-domain value back to the ordinary domain.
+    #[inline]
+    pub fn from_mont(&self, a: u64) -> u64 {
+        self.redc(a as u128)
+    }
+
+    /// Multiplies two Montgomery-domain values, staying in the domain.
+    #[inline]
+    pub fn mont_mul(&self, a: u64, b: u64) -> u64 {
+        self.redc(a as u128 * b as u128)
+    }
+}
+
+impl ModMul for Montgomery {
+    fn modulus(&self) -> &Modulus {
+        &self.m
+    }
+
+    fn mul_mod(&self, a: u64, b: u64) -> u64 {
+        // redc(a*b) = a*b*R^-1; multiply by R^2 then redc to restore.
+        let t = self.redc(a as u128 * b as u128);
+        self.redc(t as u128 * self.r2 as u128)
+    }
+
+    fn multiplier_count(&self) -> u32 {
+        // input product + m = t·q' + m·q  (paper §IV-A: "three multipliers")
+        3
+    }
+
+    fn pipeline_stages(&self) -> u32 {
+        3
+    }
+}
+
+/// Newton iteration for the inverse of an odd number modulo `2^64`.
+fn inv_mod_2_64(q: u64) -> u64 {
+    debug_assert!(q % 2 == 1);
+    let mut x = q; // correct mod 2^3
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(x)));
+    }
+    debug_assert_eq!(q.wrapping_mul(x), 1);
+    x
+}
+
+/// A canonical-signed-digit (CSD) decomposition term: `sign * 2^shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsdTerm {
+    /// `+1` or `-1`.
+    pub sign: i8,
+    /// Power-of-two shift amount.
+    pub shift: u32,
+}
+
+/// Canonical signed-digit decomposition of `x`: the minimal-weight
+/// representation `x = Σ sign_i · 2^shift_i` with no two adjacent non-zero
+/// digits. The number of terms is the adder count of a shift-and-add
+/// multiplier by the constant `x`.
+pub fn csd(x: u64) -> Vec<CsdTerm> {
+    let mut terms = Vec::new();
+    let mut v = x as u128;
+    let mut shift = 0u32;
+    while v != 0 {
+        if v & 1 == 1 {
+            // Look at the two low bits to decide between +1 and -1 digit.
+            if v & 3 == 3 {
+                terms.push(CsdTerm { sign: -1, shift });
+                v += 1; // borrow propagates as +1
+            } else {
+                terms.push(CsdTerm { sign: 1, shift });
+                v -= 1;
+            }
+        }
+        v >>= 1;
+        shift += 1;
+    }
+    terms
+}
+
+/// Evaluates a CSD decomposition back to a value modulo `2^64` (wrapping),
+/// used to verify decompositions of constants that live modulo `R`.
+pub fn csd_eval_wrapping(terms: &[CsdTerm]) -> u64 {
+    let mut acc = 0u64;
+    for t in terms {
+        let v = if t.shift >= 64 { 0 } else { 1u64 << t.shift };
+        if t.sign > 0 {
+            acc = acc.wrapping_add(v);
+        } else {
+            acc = acc.wrapping_sub(v);
+        }
+    }
+    acc
+}
+
+/// The paper's NTT-friendly Montgomery multiplier (§IV-A, Eq. 8–11).
+///
+/// Uses the Montgomery radix `R = 2^r` with `r = bits(q) + 2`, the smallest
+/// convenient power of two above the prime. For structured primes
+/// `Q = 2^bw + k·2^(n+1) + 1` with `k = ±2^a ± 2^b ± 2^c` (paper Eq. 8),
+/// both `-Q^{-1} mod R` *and* `Q` have low canonical-signed-digit weight:
+/// writing `Q = 1 + c` with `c = 2^bw + k·2^(n+1)` (trailing zeros ≥ n+1),
+/// the Neumann series `Q^{-1} = 1 - c + c^2 - …` truncates after two or
+/// three sparse terms modulo `2^r`. Both inner REDC products are therefore
+/// evaluated *through shift-and-add networks* — faithfully modelling the
+/// hardware datapath, which keeps a single true multiplier (Table I).
+#[derive(Debug, Clone)]
+pub struct NttFriendlyMontgomery {
+    m: Modulus,
+    /// Radix exponent: `R = 2^r`.
+    r: u32,
+    /// `-q^{-1} mod 2^r`.
+    qinv_neg: u64,
+    /// `R^2 mod q` for restoring the ordinary domain after REDC.
+    r2: u64,
+    /// CSD decomposition of `-q^{-1} mod 2^r`.
+    qinv_csd: Vec<CsdTerm>,
+    /// CSD decomposition of `q` itself (the `m·Q` network).
+    q_csd: Vec<CsdTerm>,
+}
+
+impl NttFriendlyMontgomery {
+    /// Maximum shift-add terms per network before it stops being cheaper
+    /// than a real multiplier. Structured primes land well under this;
+    /// random primes exceed it and are rejected.
+    pub const MAX_CSD_WEIGHT: usize = 9;
+
+    /// Builds the shift-add REDC network for `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidModulus`] if the CSD weight of
+    /// `-q^{-1} mod 2^r` or of `q` exceeds [`Self::MAX_CSD_WEIGHT`] —
+    /// i.e. the prime is not NTT-friendly in the paper's sense and a
+    /// shift-add network would be larger than a real multiplier.
+    pub fn new(m: Modulus) -> Result<Self, MathError> {
+        let r = m.bits() + 2;
+        debug_assert!(r <= 65);
+        let r = r.min(63); // keep (t mod R) in u64 with headroom
+        if (1u64 << r) <= m.q() {
+            return Err(MathError::InvalidModulus(m.q()));
+        }
+        let mask = (1u64 << r) - 1;
+        let qinv = inv_mod_2_64(m.q()) & mask;
+        let qinv_neg = qinv.wrapping_neg() & mask;
+        debug_assert_eq!(m.q().wrapping_mul(qinv) & mask, 1);
+        let r_mod_q = ((1u128 << r) % m.q() as u128) as u64;
+        let r2 = m.mul(r_mod_q, r_mod_q);
+        let qinv_csd = csd(qinv_neg);
+        let q_csd = csd(m.q());
+        if qinv_csd.len() > Self::MAX_CSD_WEIGHT || q_csd.len() > Self::MAX_CSD_WEIGHT {
+            return Err(MathError::InvalidModulus(m.q()));
+        }
+        Ok(Self {
+            m,
+            r,
+            qinv_neg,
+            r2,
+            qinv_csd,
+            q_csd,
+        })
+    }
+
+    /// Number of shift-add terms in the `Q^{-1}` network.
+    pub fn csd_weight(&self) -> usize {
+        self.qinv_csd.len()
+    }
+
+    /// Number of shift-add terms in the `Q` network.
+    pub fn q_csd_weight(&self) -> usize {
+        self.q_csd.len()
+    }
+
+    /// Total adder count of both shift-add networks (area-model input).
+    pub fn total_adders(&self) -> usize {
+        // An n-term CSD network needs n-1 adders.
+        self.qinv_csd.len().saturating_sub(1) + self.q_csd.len().saturating_sub(1)
+    }
+
+    /// The Montgomery radix exponent `r` (so `R = 2^r`).
+    pub fn radix_bits(&self) -> u32 {
+        self.r
+    }
+
+    /// The CSD terms of `-q^{-1} mod 2^r`.
+    pub fn qinv_terms(&self) -> &[CsdTerm] {
+        &self.qinv_csd
+    }
+
+    /// REDC with `R = 2^r`: computes `t · R^{-1} mod q` for `t < q·R`,
+    /// with both inner products evaluated by shift-and-add networks.
+    #[inline]
+    pub fn redc_shift_add(&self, t: u128) -> u64 {
+        let mask = (1u64 << self.r) - 1;
+        let t_lo = (t as u64) & mask;
+        // Network 1: m = t_lo * (-q^{-1}) mod 2^r via shifts and adds.
+        let mut mm = 0u64;
+        for term in &self.qinv_csd {
+            let shifted = t_lo.wrapping_shl(term.shift);
+            if term.sign > 0 {
+                mm = mm.wrapping_add(shifted);
+            } else {
+                mm = mm.wrapping_sub(shifted);
+            }
+        }
+        let mm = mm & mask;
+        debug_assert_eq!(mm, t_lo.wrapping_mul(self.qinv_neg) & mask);
+        // Network 2: m * q via shifts and adds (u128 accumulation).
+        let mut mq = 0i128;
+        for term in &self.q_csd {
+            let shifted = (mm as u128) << term.shift;
+            if term.sign > 0 {
+                mq += shifted as i128;
+            } else {
+                mq -= shifted as i128;
+            }
+        }
+        debug_assert_eq!(mq as u128, mm as u128 * self.m.q() as u128);
+        let t2 = ((t + mq as u128) >> self.r) as u64;
+        if t2 >= self.m.q() {
+            t2 - self.m.q()
+        } else {
+            t2
+        }
+    }
+}
+
+impl ModMul for NttFriendlyMontgomery {
+    fn modulus(&self) -> &Modulus {
+        &self.m
+    }
+
+    fn mul_mod(&self, a: u64, b: u64) -> u64 {
+        let t = self.redc_shift_add(a as u128 * b as u128);
+        self.redc_shift_add(t as u128 * self.r2 as u128)
+    }
+
+    fn multiplier_count(&self) -> u32 {
+        // Only the input product remains a true multiplier; the q' and q
+        // multiplies are shift-add networks.
+        1
+    }
+
+    fn pipeline_stages(&self) -> u32 {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_primes() -> Vec<u64> {
+        // A mix of NTT-friendly primes (structured) and general primes.
+        vec![
+            97,
+            65537,
+            0xFFF0_0001,            // 2^32 - 2^20 + 1 (structured prime)
+            0xF_FFF0_0001,          // 2^36 - 2^20 + 1 (structured prime)
+            0xFFF_FFFF_C001,        // 2^44 - 2^14 + 1 (structured prime)
+            4611686018427387847,    // large odd (primality irrelevant for reduction)
+        ]
+    }
+
+    #[test]
+    fn barrett_matches_reference() {
+        for q in test_primes() {
+            let m = Modulus::new(q).unwrap();
+            let b = Barrett::new(m);
+            for (x, y) in sample_pairs(q) {
+                assert_eq!(b.mul_mod(x, y), m.mul(x, y), "q={q} x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_matches_reference() {
+        for q in test_primes() {
+            let m = Modulus::new(q).unwrap();
+            let mg = Montgomery::new(m);
+            for (x, y) in sample_pairs(q) {
+                assert_eq!(mg.mul_mod(x, y), m.mul(x, y), "q={q} x={x} y={y}");
+                // Domain round-trip.
+                assert_eq!(mg.from_mont(mg.to_mont(x)), x);
+                // In-domain multiply.
+                let xm = mg.to_mont(x);
+                let ym = mg.to_mont(y);
+                assert_eq!(mg.from_mont(mg.mont_mul(xm, ym)), m.mul(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn ntt_friendly_matches_reference() {
+        // Structured primes where the CSD weight is small.
+        for q in [0xFFF0_0001u64, 0xF_FFF0_0001, 0xFFF_FFFF_C001] {
+            let m = Modulus::new(q).unwrap();
+            let nf = NttFriendlyMontgomery::new(m).unwrap();
+            assert!(nf.csd_weight() <= NttFriendlyMontgomery::MAX_CSD_WEIGHT);
+            for (x, y) in sample_pairs(q) {
+                assert_eq!(nf.mul_mod(x, y), m.mul(x, y), "q={q} x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn csd_is_minimal_weight_and_correct() {
+        for x in [0u64, 1, 2, 3, 7, 0xF0F0, 0xDEAD_BEEF, u64::MAX, 0x8000_0000_0000_0001] {
+            let terms = csd(x);
+            assert_eq!(csd_eval_wrapping(&terms), x, "x={x:#x}");
+            // CSD property: no two adjacent nonzero digits.
+            let mut shifts: Vec<u32> = terms.iter().map(|t| t.shift).collect();
+            shifts.sort_unstable();
+            for w in shifts.windows(2) {
+                assert!(w[1] - w[0] >= 2, "adjacent digits in CSD of {x:#x}");
+            }
+        }
+        // Classic example: 15 = 16 - 1 (weight 2, not 4).
+        assert_eq!(csd(15).len(), 2);
+    }
+
+    #[test]
+    fn table1_metadata() {
+        let m = Modulus::new(0xF_FFF0_0001).unwrap();
+        let b = Barrett::new(m);
+        let mg = Montgomery::new(m);
+        let nf = NttFriendlyMontgomery::new(m).unwrap();
+        assert_eq!(b.pipeline_stages(), 4);
+        assert_eq!(mg.pipeline_stages(), 3);
+        assert_eq!(nf.pipeline_stages(), 3);
+        assert_eq!(b.multiplier_count(), 3);
+        assert_eq!(mg.multiplier_count(), 3);
+        assert_eq!(nf.multiplier_count(), 1);
+    }
+
+    fn sample_pairs(q: u64) -> Vec<(u64, u64)> {
+        let mut v = vec![(0, 0), (0, 1), (1, 1), (q - 1, q - 1), (q - 1, 1), (q / 2, 2)];
+        let mut x = 0x1234_5678_9ABC_DEFu64 % q;
+        let mut y = 0xFEDC_BA98_7654_321u64 % q;
+        for _ in 0..32 {
+            v.push((x, y));
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) % q;
+            y = y.wrapping_mul(2862933555777941757).wrapping_add(3037000493) % q;
+        }
+        v
+    }
+}

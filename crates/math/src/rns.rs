@@ -1,0 +1,257 @@
+//! Residue number system bases and Garner CRT recombination.
+//!
+//! The client-side CKKS pipeline expands each encoded coefficient into
+//! residues modulo every prime of the current level ("Expand RNS" in the
+//! paper's Fig. 2a) and, on decryption, recombines residues back into a
+//! centered big integer ("Combine CRT").
+
+use crate::bigint::UBig;
+use crate::modulus::Modulus;
+use crate::MathError;
+
+/// An ordered RNS basis `q_0, …, q_{L}` of pairwise-coprime odd primes.
+///
+/// # Example
+///
+/// ```
+/// use abc_math::{RnsBasis, primes::generate_ntt_primes};
+///
+/// # fn main() -> Result<(), abc_math::MathError> {
+/// let basis = RnsBasis::new(generate_ntt_primes(36, 3, 1 << 14)?)?;
+/// let residues = basis.decompose_i128(-42);
+/// assert_eq!(basis.combine_centered(&residues), -42.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    moduli: Vec<Modulus>,
+    /// Garner constants: `inv[j][i] = q_i^{-1} mod q_j` for `i < j`.
+    garner_inv: Vec<Vec<u64>>,
+}
+
+impl RnsBasis {
+    /// Builds a basis from raw prime values.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::Empty`] for an empty list.
+    /// * [`MathError::InvalidModulus`] if any modulus is invalid.
+    /// * [`MathError::BasisNotCoprime`] if two moduli share a factor
+    ///   (equal moduli included).
+    pub fn new(primes: Vec<u64>) -> Result<Self, MathError> {
+        if primes.is_empty() {
+            return Err(MathError::Empty);
+        }
+        let moduli: Vec<Modulus> = primes
+            .iter()
+            .map(|&q| Modulus::new(q))
+            .collect::<Result<_, _>>()?;
+        for i in 0..primes.len() {
+            for j in (i + 1)..primes.len() {
+                if gcd(primes[i], primes[j]) != 1 {
+                    return Err(MathError::BasisNotCoprime {
+                        a: primes[i],
+                        b: primes[j],
+                    });
+                }
+            }
+        }
+        let mut garner_inv = Vec::with_capacity(moduli.len());
+        for (j, mj) in moduli.iter().enumerate() {
+            let mut row = Vec::with_capacity(j);
+            for mi in &moduli[..j] {
+                let qi_mod_qj = mj.reduce(mi.q());
+                row.push(mj.inv(qi_mod_qj).expect("coprime moduli are invertible"));
+            }
+            garner_inv.push(row);
+        }
+        Ok(Self { moduli, garner_inv })
+    }
+
+    /// The moduli of the basis, in order.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Number of primes in the basis (`L + 1` for level `L`).
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Whether the basis is empty (never true for a constructed basis).
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// A sub-basis containing only the first `count` primes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the basis size.
+    pub fn truncated(&self, count: usize) -> Self {
+        assert!(count >= 1 && count <= self.moduli.len());
+        Self {
+            moduli: self.moduli[..count].to_vec(),
+            garner_inv: self.garner_inv[..count].to_vec(),
+        }
+    }
+
+    /// Product of all moduli as a big integer.
+    pub fn product(&self) -> UBig {
+        let mut p = UBig::one();
+        for m in &self.moduli {
+            p = p.mul_u64(m.q());
+        }
+        p
+    }
+
+    /// Total bits of the modulus product (the "modulus budget").
+    pub fn product_bits(&self) -> u32 {
+        self.product().bits()
+    }
+
+    /// Decomposes a signed 128-bit integer into residues (paper "Expand
+    /// RNS"): `out[i] = x mod q_i`, non-negative.
+    pub fn decompose_i128(&self, x: i128) -> Vec<u64> {
+        self.moduli.iter().map(|m| m.from_i128(x)).collect()
+    }
+
+    /// Garner (mixed-radix) recombination of one residue vector into the
+    /// unique `x ∈ [0, Q)` with `x ≡ r_i (mod q_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the basis size.
+    pub fn combine(&self, residues: &[u64]) -> UBig {
+        assert_eq!(residues.len(), self.moduli.len());
+        // Mixed-radix digits: x = v0 + v1·q0 + v2·q0·q1 + …
+        let mut digits = Vec::with_capacity(residues.len());
+        for j in 0..residues.len() {
+            let mj = &self.moduli[j];
+            let mut v = mj.reduce(residues[j]);
+            // v = (r_j - (v0 + v1 q0 + ...)) * prod_inv mod q_j, evaluated
+            // incrementally (Garner).
+            for i in 0..j {
+                let di = mj.reduce(digits[i]);
+                v = mj.sub(v, di);
+                v = mj.mul(v, self.garner_inv[j][i]);
+                // Fold q_i into the running product implicitly: Garner's
+                // recurrence v := (v - d_i) * q_i^{-1} applied in sequence.
+            }
+            digits.push(v);
+        }
+        // Evaluate the mixed-radix expansion with big integers.
+        let mut acc = UBig::zero();
+        let mut radix = UBig::one();
+        for (j, &d) in digits.iter().enumerate() {
+            acc = acc.add(&radix.mul_u64(d));
+            radix = radix.mul_u64(self.moduli[j].q());
+        }
+        acc
+    }
+
+    /// Recombines residues and centers the result into `(-Q/2, Q/2]`,
+    /// returned as `f64` (decode needs only the float value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the basis size.
+    pub fn combine_centered(&self, residues: &[u64]) -> f64 {
+        let x = self.combine(residues);
+        let q = self.product();
+        // x > Q/2  ⇔  2x > Q (Q is odd, so no tie).
+        if x.mul_u64(2) > q {
+            -(q.sub(&x).to_f64())
+        } else {
+            x.to_f64()
+        }
+    }
+}
+
+/// Greatest common divisor.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+
+    fn basis(n: usize) -> RnsBasis {
+        RnsBasis::new(generate_ntt_primes(36, n, 1 << 14).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_bases() {
+        assert!(matches!(RnsBasis::new(vec![]), Err(MathError::Empty)));
+        assert!(matches!(
+            RnsBasis::new(vec![97, 97]),
+            Err(MathError::BasisNotCoprime { .. })
+        ));
+        assert!(matches!(
+            RnsBasis::new(vec![15, 21]), // share factor 3
+            Err(MathError::BasisNotCoprime { .. })
+        ));
+    }
+
+    #[test]
+    fn decompose_combine_roundtrip_small() {
+        let b = basis(3);
+        for x in [-1000i128, -1, 0, 1, 42, 1 << 40, -(1 << 40)] {
+            let residues = b.decompose_i128(x);
+            assert_eq!(b.combine_centered(&residues), x as f64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn combine_matches_product_structure() {
+        let b = RnsBasis::new(vec![3, 5, 7]).unwrap();
+        // x = 23: residues (2, 3, 2)
+        let x = b.combine(&[2, 3, 2]);
+        assert_eq!(x, UBig::from(23u64));
+        assert_eq!(b.product(), UBig::from(105u64));
+    }
+
+    #[test]
+    fn centered_negative() {
+        let b = RnsBasis::new(vec![3, 5, 7]).unwrap();
+        // -1 mod 105 = 104 -> residues (2, 4, 6)
+        assert_eq!(b.combine_centered(&[2, 4, 6]), -1.0);
+        // +52 = floor(105/2) stays positive
+        let r: Vec<u64> = vec![52 % 3, 52 % 5, 52 % 7];
+        assert_eq!(b.combine_centered(&r), 52.0);
+        // 53 > 105/2 -> -52
+        let r: Vec<u64> = vec![53 % 3, 53 % 5, 53 % 7];
+        assert_eq!(b.combine_centered(&r), -52.0);
+    }
+
+    #[test]
+    fn truncation() {
+        let b = basis(5);
+        let t = b.truncated(2);
+        assert_eq!(t.len(), 2);
+        let residues = t.decompose_i128(123456789);
+        assert_eq!(t.combine_centered(&residues), 123456789.0);
+    }
+
+    #[test]
+    fn product_bits_accumulate() {
+        let b = basis(4);
+        assert!(b.product_bits() >= 4 * 35 && b.product_bits() <= 4 * 36 + 1);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 31), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+}

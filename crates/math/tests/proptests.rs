@@ -1,0 +1,114 @@
+//! Property-based tests for the math substrate: every reducer agrees with
+//! the `u128` golden model, CSD decompositions re-evaluate to their input,
+//! and RNS decompose/combine round-trips.
+
+use abc_math::primes::{generate_ntt_primes, generate_structured_ntt_primes, is_prime};
+use abc_math::reduce::{csd, csd_eval_wrapping, Barrett, ModMul, Montgomery, NttFriendlyMontgomery};
+use abc_math::{Modulus, RnsBasis, UBig};
+use proptest::prelude::*;
+
+/// A strategy producing odd moduli across the full supported range.
+fn arb_modulus() -> impl Strategy<Value = Modulus> {
+    (2u64..(1 << 62))
+        .prop_map(|x| x | 1)
+        .prop_filter("q >= 3", |&q| q >= 3)
+        .prop_map(|q| Modulus::new(q).expect("odd q in range"))
+}
+
+proptest! {
+    #[test]
+    fn barrett_agrees_with_reference(m in arb_modulus(), a in any::<u64>(), b in any::<u64>()) {
+        let a = a % m.q();
+        let b = b % m.q();
+        let barrett = Barrett::new(m);
+        prop_assert_eq!(barrett.mul_mod(a, b), m.mul(a, b));
+    }
+
+    #[test]
+    fn montgomery_agrees_with_reference(m in arb_modulus(), a in any::<u64>(), b in any::<u64>()) {
+        let a = a % m.q();
+        let b = b % m.q();
+        let mont = Montgomery::new(m);
+        prop_assert_eq!(mont.mul_mod(a, b), m.mul(a, b));
+        prop_assert_eq!(mont.from_mont(mont.to_mont(a)), a);
+    }
+
+    #[test]
+    fn csd_reevaluates(x in any::<u64>()) {
+        let terms = csd(x);
+        prop_assert_eq!(csd_eval_wrapping(&terms), x);
+        // Non-adjacency (the "canonical" in CSD).
+        let mut shifts: Vec<u32> = terms.iter().map(|t| t.shift).collect();
+        shifts.sort_unstable();
+        for w in shifts.windows(2) {
+            prop_assert!(w[1] - w[0] >= 2);
+        }
+    }
+
+    #[test]
+    fn modular_ring_axioms(m in arb_modulus(), a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (a % m.q(), b % m.q(), c % m.q());
+        // Commutativity and associativity of add.
+        prop_assert_eq!(m.add(a, b), m.add(b, a));
+        prop_assert_eq!(m.add(m.add(a, b), c), m.add(a, m.add(b, c)));
+        // Distributivity.
+        prop_assert_eq!(m.mul(a, m.add(b, c)), m.add(m.mul(a, b), m.mul(a, c)));
+        // Subtraction inverts addition.
+        prop_assert_eq!(m.sub(m.add(a, b), b), a);
+    }
+
+    #[test]
+    fn ubig_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let ua = UBig::from(a);
+        let ub = UBig::from(b);
+        let s = ua.add(&ub);
+        prop_assert_eq!(s.sub(&ub), ua.clone());
+        prop_assert_eq!(s.sub(&ua), ub);
+    }
+
+    #[test]
+    fn ubig_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = UBig::from(a).mul_u64(b);
+        prop_assert_eq!(p, UBig::from(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn ubig_rem_matches_u128(a in any::<u128>(), m in 1u64..) {
+        prop_assert_eq!(UBig::from(a).rem_u64(m), (a % m as u128) as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ntt_friendly_montgomery_agrees(seed in any::<u64>()) {
+        // Structured primes only — build a few and hammer them.
+        let qs = generate_structured_ntt_primes(36, 4, 1 << 13).expect("structured primes exist");
+        for q in qs {
+            let m = Modulus::new(q).expect("prime is valid modulus");
+            let nf = NttFriendlyMontgomery::new(m).expect("structured prime is NTT-friendly");
+            let a = seed % q;
+            let b = seed.wrapping_mul(0x9E3779B97F4A7C15) % q;
+            prop_assert_eq!(nf.mul_mod(a, b), m.mul(a, b));
+        }
+    }
+
+    #[test]
+    fn rns_roundtrip_random_values(x in any::<i64>()) {
+        let basis = RnsBasis::new(generate_ntt_primes(36, 4, 1 << 14).expect("primes"))
+            .expect("basis");
+        let residues = basis.decompose_i128(x as i128);
+        prop_assert_eq!(basis.combine_centered(&residues), x as f64);
+    }
+
+    #[test]
+    fn generated_primes_are_prime(bits in 30u32..45) {
+        let qs = generate_ntt_primes(bits, 2, 1 << 14).expect("primes exist at this width");
+        for q in qs {
+            prop_assert!(is_prime(q));
+            prop_assert_eq!(64 - q.leading_zeros(), bits);
+            prop_assert_eq!((q - 1) % (1 << 14), 0);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! A from-scratch ChaCha20 stream cipher (RFC 8439 block function) used as
+//! the deterministic on-chip PRNG.
+//!
+//! The 128-bit [`Seed`](crate::Seed) is expanded into the 256-bit ChaCha
+//! key by repetition (a common construction when the security target is
+//! 128 bits, as in the paper); the stream number selects independent
+//! keystreams for domain separation.
+
+use crate::Seed;
+
+/// ChaCha20 keystream generator.
+///
+/// # Example
+///
+/// ```
+/// use abc_prng::{chacha::ChaCha20, Seed};
+///
+/// let mut rng = ChaCha20::from_seed(Seed::from_u128(7));
+/// let x = rng.next_u64();
+/// let y = rng.next_u64();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+    /// Unconsumed words of the current block (drained back-to-front).
+    buffer: [u32; 16],
+    /// Next word index into `buffer`; 16 means exhausted.
+    cursor: usize,
+}
+
+impl ChaCha20 {
+    /// Creates a generator from a 128-bit seed on stream 0.
+    pub fn from_seed(seed: Seed) -> Self {
+        Self::from_seed_and_stream(seed, 0)
+    }
+
+    /// Creates a generator on an independent stream (the stream number is
+    /// folded into the nonce, giving domain separation).
+    pub fn from_seed_and_stream(seed: Seed, stream: u64) -> Self {
+        let mut key = [0u32; 8];
+        for i in 0..4 {
+            let w = u32::from_le_bytes(seed.0[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+            key[i] = w;
+            key[i + 4] = w; // 128-bit seed repeated to fill the 256-bit key
+        }
+        let nonce = [stream as u32, (stream >> 32) as u32, 0];
+        Self {
+            key,
+            nonce,
+            counter: 0,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    /// Creates a generator from raw RFC 8439 parameters (tests and
+    /// vector-checking only).
+    pub fn from_raw_parts(key: [u32; 8], nonce: [u32; 3], counter: u32) -> Self {
+        Self {
+            key,
+            nonce,
+            counter,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        self.buffer = chacha20_block(&self.key, self.counter, &self.nonce);
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    /// Next 32 bits of keystream.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    /// Next 64 bits of keystream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    /// Next `bits`-bit value (`bits <= 64`), drawn from the low bits of the
+    /// keystream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64.
+    #[inline]
+    pub fn next_bits(&mut self, bits: u32) -> u64 {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+        if bits == 64 {
+            self.next_u64()
+        } else if bits <= 32 {
+            (self.next_u32() as u64) & ((1u64 << bits) - 1)
+        } else {
+            self.next_u64() & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fills a byte slice with keystream.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut chunks = out.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// The ChaCha20 block function (RFC 8439 §2.3): 20 rounds over the
+/// 16-word state, then a feed-forward addition of the input state.
+pub fn chacha20_block(key: &[u32; 8], counter: u32, nonce: &[u32; 3]) -> [u32; 16] {
+    const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter;
+    state[13..16].copy_from_slice(nonce);
+    let mut w = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut w, 0, 4, 8, 12);
+        quarter_round(&mut w, 1, 5, 9, 13);
+        quarter_round(&mut w, 2, 6, 10, 14);
+        quarter_round(&mut w, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut w, 0, 5, 10, 15);
+        quarter_round(&mut w, 1, 6, 11, 12);
+        quarter_round(&mut w, 2, 7, 8, 13);
+        quarter_round(&mut w, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        w[i] = w[i].wrapping_add(state[i]);
+    }
+    w
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector for the block function.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u32; 8] = [
+            0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c, 0x13121110, 0x17161514, 0x1b1a1918,
+            0x1f1e1d1c,
+        ];
+        let nonce: [u32; 3] = [0x09000000, 0x4a000000, 0x00000000];
+        let out = chacha20_block(&key, 1, &nonce);
+        let expected: [u32; 16] = [
+            0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3, 0xc7f4d1c7, 0x0368c033, 0x9aaa2204,
+            0x4e6cd4c3, 0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9, 0xd19c12b5, 0xb94e16de,
+            0xe883d0cb, 0x4e3c50a2,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn determinism_and_stream_separation() {
+        let seed = Seed::from_u128(0xDEAD_BEEF_CAFE_F00D);
+        let mut a = ChaCha20::from_seed(seed);
+        let mut b = ChaCha20::from_seed(seed);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha20::from_seed_and_stream(seed, 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_bits_in_range() {
+        let mut rng = ChaCha20::from_seed(Seed::from_u128(1));
+        for bits in 1..=64u32 {
+            for _ in 0..8 {
+                let v = rng.next_bits(bits);
+                if bits < 64 {
+                    assert!(v < (1u64 << bits), "bits={bits} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn next_bits_rejects_zero() {
+        ChaCha20::from_seed(Seed::default()).next_bits(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = ChaCha20::from_seed(Seed::from_u128(2));
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        // Mean of 1000 uniforms should be near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let seed = Seed::from_u128(3);
+        let mut a = ChaCha20::from_seed(seed);
+        let mut b = ChaCha20::from_seed(seed);
+        let mut buf = [0u8; 11];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..11], &w2[..3]);
+    }
+
+    #[test]
+    fn derived_seeds_differ() {
+        let s = Seed::from_u128(9);
+        assert_ne!(s.derive(0), s.derive(1));
+        assert_eq!(s.derive(5), s.derive(5));
+    }
+}

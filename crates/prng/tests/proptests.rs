@@ -1,0 +1,76 @@
+//! Property-based tests for the PRNG layer.
+
+use abc_math::Modulus;
+use abc_prng::chacha::ChaCha20;
+use abc_prng::sampler::{GaussianSampler, TernarySampler, UniformSampler};
+use abc_prng::Seed;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn keystream_deterministic_per_seed(seed in any::<u128>(), stream in any::<u64>()) {
+        let mut a = ChaCha20::from_seed_and_stream(Seed::from_u128(seed), stream);
+        let mut b = ChaCha20::from_seed_and_stream(Seed::from_u128(seed), stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge(seed in any::<u128>()) {
+        let mut a = ChaCha20::from_seed(Seed::from_u128(seed));
+        let mut b = ChaCha20::from_seed(Seed::from_u128(seed ^ 1));
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn next_bits_respects_width(seed in any::<u128>(), bits in 1u32..=64) {
+        let mut rng = ChaCha20::from_seed(Seed::from_u128(seed));
+        for _ in 0..16 {
+            let v = rng.next_bits(bits);
+            if bits < 64 {
+                prop_assert!(v < (1u64 << bits));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_in_range(seed in any::<u128>(), q_raw in 3u64..(1 << 50)) {
+        let q = q_raw | 1;
+        let m = Modulus::new(q).expect("odd q >= 3");
+        let mut s = UniformSampler::new(Seed::from_u128(seed), 0);
+        for _ in 0..64 {
+            prop_assert!(s.sample(&m) < q);
+        }
+    }
+
+    #[test]
+    fn ternary_sparse_weight_exact(seed in any::<u128>(), log_n in 4u32..10, frac in 1usize..4) {
+        let n = 1usize << log_n;
+        let h = n / (frac * 2);
+        let mut s = TernarySampler::new(Seed::from_u128(seed), 0);
+        let poly = s.sample_poly(n, Some(h));
+        prop_assert_eq!(poly.iter().filter(|&&x| x != 0).count(), h);
+        prop_assert!(poly.iter().all(|&x| (-1..=1).contains(&x)));
+    }
+
+    #[test]
+    fn gaussian_within_tail(seed in any::<u128>(), sigma_tenths in 10u32..80) {
+        let sigma = sigma_tenths as f64 / 10.0;
+        let mut s = GaussianSampler::new(Seed::from_u128(seed), 0, sigma);
+        let tail = (6.0 * sigma).ceil() as i64;
+        for _ in 0..128 {
+            let x = s.sample();
+            prop_assert!(x.abs() <= tail, "sample {x} beyond 6 sigma = {tail}");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct(seed in any::<u128>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let s = Seed::from_u128(seed);
+        prop_assert_ne!(s.derive(a), s.derive(b));
+    }
+}

@@ -1,0 +1,162 @@
+//! Simulator configuration.
+
+use crate::dram::DramConfig;
+
+/// Where twiddles, keys, masks and errors come from (paper Fig. 6b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryConfig {
+    /// Everything fetched from DRAM (prior-work pattern; the paper's
+    /// `ABC-FHE_Base`).
+    Base,
+    /// Twiddles generated on-chip by the OTF TF Gen; keys/masks/errors
+    /// still fetched (`ABC-FHE_TF_Gen`).
+    TfGen,
+    /// Twiddles *and* keys/masks/errors generated on-chip
+    /// (`ABC-FHE_All`, the shipping configuration).
+    All,
+}
+
+impl MemoryConfig {
+    /// All three configurations in Fig. 6b order.
+    pub const ALL: [MemoryConfig; 3] = [MemoryConfig::Base, MemoryConfig::TfGen, MemoryConfig::All];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryConfig::Base => "ABC-FHE_Base",
+            MemoryConfig::TfGen => "ABC-FHE_TF_Gen",
+            MemoryConfig::All => "ABC-FHE_All",
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Coefficient lanes per PNL (paper: P = 8).
+    pub lanes: u32,
+    /// PNLs per reconfigurable streaming core (paper: 4).
+    pub pnls_per_rsc: u32,
+    /// Streaming cores (paper: 2).
+    pub rsc_count: u32,
+    /// Clock frequency in Hz (paper: 600 MHz).
+    pub clock_hz: f64,
+    /// Integer coefficient storage width in bits (paper datapath: 44).
+    pub coeff_bits: u32,
+    /// Floating-point slot storage width in bits (FP55 → complex 110,
+    /// but host messages arrive as FP64 pairs: 128).
+    pub message_bits_per_slot: u32,
+    /// Modular-multiplier pipeline depth in cycles (Table I: 3).
+    pub mult_stages: u32,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// Data-source configuration.
+    pub memory: MemoryConfig,
+    /// Seed-compressed symmetric upload: the ciphertext's mask component
+    /// is replaced by its 128-bit seed, halving encode-side write-back
+    /// traffic (extension beyond the paper; see
+    /// `abc_ckks::symmetric`).
+    pub compressed_upload: bool,
+}
+
+impl SimConfig {
+    /// The paper's evaluation configuration: 2 RSC × 4 PNL × 8 lanes,
+    /// 600 MHz, LPDDR5 68.4 GB/s, on-chip generation enabled.
+    pub fn paper_default() -> Self {
+        Self {
+            lanes: 8,
+            pnls_per_rsc: 4,
+            rsc_count: 2,
+            clock_hz: 600e6,
+            coeff_bits: 44,
+            message_bits_per_slot: 128,
+            mult_stages: 3,
+            dram: DramConfig::lpddr5(),
+            memory: MemoryConfig::All,
+            compressed_upload: false,
+        }
+    }
+
+    /// Enables seed-compressed symmetric upload (see the field docs).
+    pub fn with_compressed_upload(mut self, on: bool) -> Self {
+        self.compressed_upload = on;
+        self
+    }
+
+    /// Same chip with a different lane count (Fig. 5b sweep).
+    pub fn with_lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Same chip with a different memory configuration (Fig. 6b sweep).
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Bytes per stored integer coefficient.
+    pub fn coeff_bytes(&self) -> f64 {
+        self.coeff_bits as f64 / 8.0
+    }
+
+    /// DRAM bytes deliverable per clock cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram.bandwidth_bytes_per_s / self.clock_hz
+    }
+
+    /// Converts cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / self.clock_hz * 1e3
+    }
+
+    /// Validates structural sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero counts or non-power-of-two lanes.
+    pub fn validate(&self) {
+        assert!(self.lanes.is_power_of_two(), "lanes must be a power of two");
+        assert!(self.pnls_per_rsc >= 1 && self.rsc_count >= 1);
+        assert!(self.clock_hz > 0.0 && self.dram.bandwidth_bytes_per_s > 0.0);
+        assert!(self.coeff_bits >= 8 && self.coeff_bits <= 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let c = SimConfig::paper_default();
+        c.validate();
+        assert_eq!(c.lanes, 8);
+        assert_eq!(c.rsc_count * c.pnls_per_rsc, 8);
+        // 68.4 GB/s at 600 MHz = 114 B/cycle.
+        assert!((c.dram_bytes_per_cycle() - 114.0).abs() < 0.1);
+        assert_eq!(c.coeff_bytes(), 5.5);
+        assert!((c.cycles_to_ms(600_000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = SimConfig::paper_default()
+            .with_lanes(16)
+            .with_memory(MemoryConfig::Base);
+        assert_eq!(c.lanes, 16);
+        assert_eq!(c.memory, MemoryConfig::Base);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_lane_count() {
+        SimConfig::paper_default().with_lanes(3).validate();
+    }
+
+    #[test]
+    fn config_names() {
+        assert_eq!(MemoryConfig::Base.name(), "ABC-FHE_Base");
+        assert_eq!(MemoryConfig::ALL.len(), 3);
+    }
+}

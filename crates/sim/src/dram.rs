@@ -1,0 +1,109 @@
+//! External-memory (LPDDR5) model.
+//!
+//! Client devices do not have HBM; the paper assumes LPDDR5 at
+//! 68.4 GB/s. The global scratchpad is double-buffered, so transfers
+//! overlap compute; the simulator therefore tracks total bytes moved and
+//! converts them to cycles at the configured bandwidth, with a fixed
+//! per-burst latency for the non-overlapped prologue.
+
+/// DRAM interface parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// First-access latency in nanoseconds (prologue of each burst
+    /// sequence; not per beat).
+    pub first_access_ns: f64,
+}
+
+impl DramConfig {
+    /// LPDDR5 as assumed by the paper (§V-A): 68.4 GB/s.
+    pub fn lpddr5() -> Self {
+        Self {
+            bandwidth_bytes_per_s: 68.4e9,
+            first_access_ns: 60.0,
+        }
+    }
+
+    /// A hypothetical higher-bandwidth part (for sensitivity studies).
+    pub fn with_bandwidth_gb_s(mut self, gb_s: f64) -> Self {
+        self.bandwidth_bytes_per_s = gb_s * 1e9;
+        self
+    }
+
+    /// Cycles to move `bytes` at `clock_hz`, excluding the prologue.
+    pub fn transfer_cycles(&self, bytes: f64, clock_hz: f64) -> f64 {
+        bytes / self.bandwidth_bytes_per_s * clock_hz
+    }
+
+    /// Prologue cycles at `clock_hz`.
+    pub fn prologue_cycles(&self, clock_hz: f64) -> f64 {
+        self.first_access_ns * 1e-9 * clock_hz
+    }
+}
+
+/// Accumulates DRAM traffic by direction and purpose.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Traffic {
+    /// Host → chip payload bytes (messages, ciphertexts in).
+    pub payload_in: f64,
+    /// Chip → host payload bytes (ciphertexts, messages out).
+    pub payload_out: f64,
+    /// Parameter fetch bytes (twiddles, keys, masks, errors) — the
+    /// traffic on-chip generation eliminates.
+    pub parameters: f64,
+}
+
+impl Traffic {
+    /// Total bytes in both directions.
+    pub fn total(&self) -> f64 {
+        self.payload_in + self.payload_out + self.parameters
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: Traffic) -> Traffic {
+        Traffic {
+            payload_in: self.payload_in + other.payload_in,
+            payload_out: self.payload_out + other.payload_out,
+            parameters: self.parameters + other.parameters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr5_bandwidth() {
+        let d = DramConfig::lpddr5();
+        // 114 bytes per cycle at 600 MHz.
+        let cycles = d.transfer_cycles(68.4e9, 600e6);
+        assert!((cycles - 600e6).abs() < 1.0);
+        assert!((d.transfer_cycles(114.0, 600e6) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prologue_is_small() {
+        let d = DramConfig::lpddr5();
+        let p = d.prologue_cycles(600e6);
+        assert!(p > 0.0 && p < 100.0);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let a = Traffic {
+            payload_in: 10.0,
+            payload_out: 20.0,
+            parameters: 30.0,
+        };
+        let b = a.plus(a);
+        assert_eq!(b.total(), 120.0);
+    }
+
+    #[test]
+    fn bandwidth_override() {
+        let d = DramConfig::lpddr5().with_bandwidth_gb_s(100.0);
+        assert_eq!(d.bandwidth_bytes_per_s, 100e9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Cycle-level simulator of the ABC-FHE streaming accelerator.
+//!
+//! The paper evaluates latency with a cycle-level simulator at 600 MHz;
+//! this crate is that simulator, rebuilt from the architecture the paper
+//! describes:
+//!
+//! * **Streaming MDC pipelines** ([`pipeline`]) — each Pipelined NTT Lane
+//!   (PNL) is a P-parallel multi-path delay commutator that accepts P
+//!   coefficients per cycle; a transform of `N` points streams in `N/P`
+//!   cycles after a fill latency set by the butterfly pipeline depth and
+//!   the commutator FIFOs.
+//! * **LPDDR5 DRAM model** ([`dram`]) — 68.4 GB/s shared by fetch and
+//!   write-back; the global scratchpad is double-buffered so compute and
+//!   transfer overlap, making total latency `max(compute, dram) + fill`.
+//! * **Memory configurations** ([`config::MemoryConfig`]) — `Base`
+//!   fetches twiddles, keys, masks and errors from DRAM (the prior-work
+//!   pattern the paper criticizes); `TfGen` generates twiddles on-chip;
+//!   `All` also generates keys/masks/errors from the PRNG seed (paper
+//!   Fig. 6b).
+//! * **Workload scheduler** ([`workload`]) — the client-side flows of
+//!   Fig. 2a mapped onto 2 RSCs × 4 PNLs: the four per-prime transforms
+//!   of encryption (`m`, `v`, `e0`, `e1`) run on the four PNLs in
+//!   parallel while primes stream through the cores.
+//!
+//! [`sweep`] reproduces the evaluation sweeps: lane count (Fig. 5b) and
+//! memory configuration across polynomial degrees (Fig. 6b).
+//!
+//! # Example
+//!
+//! ```
+//! use abc_sim::config::SimConfig;
+//! use abc_sim::workload::Workload;
+//! use abc_sim::simulate;
+//!
+//! let cfg = SimConfig::paper_default();
+//! let enc = simulate(&Workload::encode_encrypt(16, 24), &cfg);
+//! let dec = simulate(&Workload::decode_decrypt(16, 2), &cfg);
+//! // The paper's headline asymmetry: encryption-side work is much larger.
+//! assert!(enc.total_cycles > 4.0 * dec.total_cycles);
+//! ```
+
+pub mod config;
+pub mod dram;
+pub mod pipeline;
+pub mod report;
+pub mod schedule;
+pub mod stream;
+pub mod sweep;
+pub mod workload;
+
+pub use config::SimConfig;
+pub use report::{BoundBy, SimReport};
+pub use workload::Workload;
+
+/// Runs a workload under a configuration and returns the cycle report.
+pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
+    workload.run(cfg)
+}

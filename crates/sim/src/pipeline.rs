@@ -1,0 +1,130 @@
+//! Streaming-pipeline timing models for the Fourier engines.
+//!
+//! A P-parallel MDC pipeline accepts P coefficients per cycle. One
+//! `N`-point transform therefore *streams* in `N/P` cycles; before the
+//! first output emerges the data must traverse `log2(N)` butterfly
+//! stages (each `mult_stages + 1` cycles of arithmetic) and the
+//! commutator FIFOs, whose depths sum to `≈ N/P` across stages (the `2n
+//! FIFO` halves at every stage). Back-to-back transforms overlap: the
+//! pipe sustains one transform per `N/P` cycles.
+
+/// Cycles for the butterfly-arithmetic portion of the fill latency.
+fn arithmetic_fill(log2_n: u32, mult_stages: u32) -> f64 {
+    // Each stage: one modular multiply (pipelined) + add/sub + register.
+    (log2_n * (mult_stages + 2)) as f64
+}
+
+/// Fill (pipeline) latency of one `n`-point NTT on a `p`-lane MDC.
+///
+/// # Panics
+///
+/// Panics unless `n` and `p` are powers of two with `p < n`.
+pub fn ntt_fill_cycles(n: u64, p: u32, mult_stages: u32) -> f64 {
+    assert!(n.is_power_of_two() && p.is_power_of_two() && (p as u64) < n);
+    // Commutator FIFO depths: the shuffling span halves per stage; the
+    // total residency is ~n/p cycles (dominant for large n).
+    let fifo = (n / p as u64) as f64;
+    fifo + arithmetic_fill(n.trailing_zeros(), mult_stages)
+}
+
+/// Streaming cycles (issue rate) of one `n`-point NTT on a `p`-lane MDC.
+///
+/// # Panics
+///
+/// Panics unless `n` and `p` are powers of two with `p < n`.
+pub fn ntt_stream_cycles(n: u64, p: u32) -> f64 {
+    assert!(n.is_power_of_two() && p.is_power_of_two() && (p as u64) < n);
+    (n / p as u64) as f64
+}
+
+/// Streaming cycles of one `slots`-point special FFT when the RFE gangs
+/// `pnls` lanes of `p` modular multipliers into complex multipliers
+/// (4 modular multipliers = 1 complex multiplier, paper Eq. 12).
+///
+/// Complex butterflies per cycle = `pnls·p/4`, each consuming 2 points,
+/// so points per cycle = `pnls·p/2`.
+///
+/// # Panics
+///
+/// Panics unless `slots` and the resulting rate are powers of two.
+pub fn fft_stream_cycles(slots: u64, p: u32, pnls: u32) -> f64 {
+    assert!(slots.is_power_of_two());
+    let points_per_cycle = (pnls * p / 2).max(1) as u64;
+    (slots as f64 / points_per_cycle as f64).max(1.0)
+}
+
+/// Fill latency of the special FFT (same structure as the NTT fill, at
+/// the complex rate).
+pub fn fft_fill_cycles(slots: u64, p: u32, pnls: u32, mult_stages: u32) -> f64 {
+    let points_per_cycle = (pnls * p / 2).max(1) as u64;
+    let fifo = (slots as f64 / points_per_cycle as f64).max(1.0);
+    fifo + arithmetic_fill(slots.max(2).trailing_zeros(), mult_stages + 1)
+}
+
+/// Twiddle words consumed by one `n`-point transform if twiddles stream
+/// from DRAM (the `Base` configuration): each of the `log2 n` stages
+/// pulls its twiddle per butterfly per cycle, and only a small stage
+/// buffer (capacity `buffer_words`) can hold the short early-stage
+/// sequences, so large stages re-stream every transform.
+pub fn streamed_twiddle_words(n: u64, buffer_words: u64) -> f64 {
+    let log2_n = n.trailing_zeros();
+    let mut words = 0u64;
+    for s in 0..log2_n {
+        let stage_twiddles = 1u64 << s; // stage with m = 2^s groups
+        if stage_twiddles > buffer_words {
+            // Re-streamed: one word per butterfly-cycle across the stage.
+            words += n / 2;
+        } else {
+            // Cached after first use: fetched once.
+            words += stage_twiddles;
+        }
+    }
+    words as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_rate_is_n_over_p() {
+        assert_eq!(ntt_stream_cycles(1 << 16, 8), 8192.0);
+        assert_eq!(ntt_stream_cycles(1 << 13, 8), 1024.0);
+        assert_eq!(ntt_stream_cycles(1 << 16, 64), 1024.0);
+    }
+
+    #[test]
+    fn fill_exceeds_stream_slightly() {
+        let fill = ntt_fill_cycles(1 << 16, 8, 3);
+        let stream = ntt_stream_cycles(1 << 16, 8);
+        assert!(fill > stream);
+        assert!(fill < 1.2 * stream);
+    }
+
+    #[test]
+    fn fft_rate_uses_ganged_lanes() {
+        // 4 PNLs × 8 lanes = 32 modular muls = 8 complex muls
+        // = 16 points/cycle; 32768 slots → 2048 cycles.
+        assert_eq!(fft_stream_cycles(1 << 15, 8, 4), 2048.0);
+        // Ganging fewer lanes is slower.
+        assert!(fft_stream_cycles(1 << 15, 8, 1) > fft_stream_cycles(1 << 15, 8, 4));
+    }
+
+    #[test]
+    fn twiddle_streaming_dominated_by_large_stages() {
+        let n = 1u64 << 16;
+        let words = streamed_twiddle_words(n, 1 << 10);
+        // Stages with m = 2^11..2^15 re-stream n/2 words each (5 stages);
+        // earlier stages are cached: words = 5·32768 + (2^11 - 1).
+        let expected = 5.0 * 32768.0 + ((1u64 << 11) - 1) as f64;
+        assert_eq!(words, expected);
+        // With an infinite buffer only the table itself is fetched.
+        assert_eq!(streamed_twiddle_words(n, u64::MAX), (n - 1) as f64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_not_less_than_n() {
+        ntt_stream_cycles(8, 8);
+    }
+}

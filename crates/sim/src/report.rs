@@ -1,0 +1,77 @@
+//! Simulation output.
+
+use crate::dram::Traffic;
+
+/// Which resource set the latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundBy {
+    /// Arithmetic pipelines were the bottleneck.
+    Compute,
+    /// External-memory bandwidth was the bottleneck.
+    Memory,
+}
+
+/// Per-phase cycle accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCycles {
+    /// Phase label (e.g. `"IFFT"`, `"NTT x4 per prime"`).
+    pub label: String,
+    /// Compute cycles of the phase.
+    pub compute: f64,
+}
+
+/// Result of simulating one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Workload label.
+    pub workload: String,
+    /// Total latency in cycles (including fill and DRAM prologue).
+    pub total_cycles: f64,
+    /// Total latency in milliseconds at the configured clock.
+    pub time_ms: f64,
+    /// Sum of compute cycles (pre-overlap).
+    pub compute_cycles: f64,
+    /// DRAM transfer cycles (pre-overlap).
+    pub dram_cycles: f64,
+    /// Pipeline-fill and prologue cycles (non-overlapped).
+    pub fill_cycles: f64,
+    /// Byte traffic.
+    pub traffic: Traffic,
+    /// Bottleneck resource.
+    pub bound_by: BoundBy,
+    /// Per-phase compute breakdown.
+    pub phases: Vec<PhaseCycles>,
+    /// Steady-state throughput in operations (ciphertexts or messages)
+    /// per second when requests are pipelined back-to-back.
+    pub throughput_per_s: f64,
+}
+
+impl SimReport {
+    /// Ratio of this report's latency to another's.
+    pub fn slowdown_vs(&self, other: &SimReport) -> f64 {
+        self.total_cycles / other.total_cycles
+    }
+}
+
+impl core::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.0} cycles ({:.4} ms), bound by {:?}",
+            self.workload, self.total_cycles, self.time_ms, self.bound_by
+        )?;
+        writeln!(
+            f,
+            "  compute {:.0} cy | dram {:.0} cy ({:.2} MB) | fill {:.0} cy | {:.0} op/s",
+            self.compute_cycles,
+            self.dram_cycles,
+            self.traffic.total() / 1e6,
+            self.fill_cycles,
+            self.throughput_per_s
+        )?;
+        for p in &self.phases {
+            writeln!(f, "    {:<28} {:>12.0} cy", p.label, p.compute)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,158 @@
+//! RSC operational modes and batch scheduling (paper §III).
+//!
+//! "The reconfigurable nature of RSC allows for three operational modes:
+//! doubling the throughput for encrypt, doubling the throughput for
+//! decrypt, or simultaneously performing encrypt and decrypt."
+//!
+//! Given a batch of client jobs, this module computes the makespan under
+//! each mode, showing when the concurrent mode (one core encrypting, one
+//! decrypting) wins — the irregular, latency-sensitive traffic pattern
+//! of a real client.
+
+use crate::config::SimConfig;
+use crate::workload::{Workload, WorkloadKind};
+
+/// How the two RSCs divide work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RscMode {
+    /// Both cores gang on each encryption (then on each decryption).
+    DualEncrypt,
+    /// Both cores gang on each decryption (then on each encryption).
+    DualDecrypt,
+    /// One core encrypts while the other decrypts.
+    Concurrent,
+}
+
+impl RscMode {
+    /// All modes.
+    pub const ALL: [RscMode; 3] = [RscMode::DualEncrypt, RscMode::DualDecrypt, RscMode::Concurrent];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RscMode::DualEncrypt => "dual-encrypt",
+            RscMode::DualDecrypt => "dual-decrypt",
+            RscMode::Concurrent => "concurrent",
+        }
+    }
+}
+
+/// A batch of client jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// `log2(N)` shared by all jobs.
+    pub log_n: u32,
+    /// Number of encode+encrypt jobs (at `enc_primes`).
+    pub encryptions: usize,
+    /// Number of decode+decrypt jobs (at `dec_primes`).
+    pub decryptions: usize,
+    /// RNS primes for encryption.
+    pub enc_primes: usize,
+    /// RNS primes for decryption.
+    pub dec_primes: usize,
+}
+
+/// Makespan (ms) of a batch under an RSC mode.
+pub fn batch_makespan_ms(batch: &Batch, mode: RscMode, cfg: &SimConfig) -> f64 {
+    // Per-job steady-state cost on a single core and on both cores.
+    let single = |kind: WorkloadKind, ganged: bool| -> f64 {
+        let mut c = cfg.clone();
+        c.rsc_count = if ganged { cfg.rsc_count } else { 1 };
+        let w = match kind {
+            WorkloadKind::EncodeEncrypt => Workload::encode_encrypt(batch.log_n, batch.enc_primes),
+            WorkloadKind::DecodeDecrypt => Workload::decode_decrypt(batch.log_n, batch.dec_primes),
+        };
+        let r = w.run(&c);
+        // Steady-state issue rate (fills amortize across the batch).
+        cfg.cycles_to_ms(r.compute_cycles.max(r.dram_cycles))
+    };
+    match mode {
+        RscMode::DualEncrypt | RscMode::DualDecrypt => {
+            // Both cores gang on every job, jobs run back to back. The
+            // ganged configuration halves NTT-phase time (primes split
+            // across cores) for the favoured job class; the other class
+            // also runs ganged here (same hardware, same schedule).
+            batch.encryptions as f64 * single(WorkloadKind::EncodeEncrypt, true)
+                + batch.decryptions as f64 * single(WorkloadKind::DecodeDecrypt, true)
+        }
+        RscMode::Concurrent => {
+            // Core 0 takes encryptions, core 1 takes decryptions; the
+            // makespan is the longer lane (each core runs solo).
+            let enc_lane = batch.encryptions as f64 * single(WorkloadKind::EncodeEncrypt, false);
+            let dec_lane = batch.decryptions as f64 * single(WorkloadKind::DecodeDecrypt, false);
+            enc_lane.max(dec_lane)
+        }
+    }
+}
+
+/// Picks the best mode for a batch.
+pub fn best_mode(batch: &Batch, cfg: &SimConfig) -> (RscMode, f64) {
+    RscMode::ALL
+        .iter()
+        .map(|&m| (m, batch_makespan_ms(batch, m, cfg)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite makespans"))
+        .expect("non-empty mode list")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_default()
+    }
+
+    fn batch(enc: usize, dec: usize) -> Batch {
+        Batch {
+            log_n: 14,
+            encryptions: enc,
+            decryptions: dec,
+            enc_primes: 24,
+            dec_primes: 2,
+        }
+    }
+
+    #[test]
+    fn pure_encrypt_batch_prefers_ganging() {
+        let b = batch(16, 0);
+        let (best, _) = best_mode(&b, &cfg());
+        // With no decryptions, concurrent mode idles one core.
+        assert_ne!(best, RscMode::Concurrent);
+    }
+
+    #[test]
+    fn balanced_batch_prefers_concurrent_when_lanes_balance() {
+        // Decryptions are ~6-8x cheaper; a batch with ~7x more
+        // decryptions than encryptions balances the two lanes, making
+        // concurrent mode competitive.
+        let b = batch(4, 28);
+        let conc = batch_makespan_ms(&b, RscMode::Concurrent, &cfg());
+        let gang = batch_makespan_ms(&b, RscMode::DualEncrypt, &cfg());
+        // Concurrent should be at least roughly as good.
+        assert!(conc < 1.3 * gang, "concurrent {conc} vs ganged {gang}");
+    }
+
+    #[test]
+    fn makespans_scale_linearly_in_jobs() {
+        let m1 = batch_makespan_ms(&batch(2, 2), RscMode::DualEncrypt, &cfg());
+        let m2 = batch_makespan_ms(&batch(4, 4), RscMode::DualEncrypt, &cfg());
+        assert!((m2 / m1 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn all_modes_positive_and_named() {
+        let b = batch(3, 5);
+        for m in RscMode::ALL {
+            assert!(batch_makespan_ms(&b, m, &cfg()) > 0.0);
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_batch_costs_nothing() {
+        let b = batch(0, 0);
+        for m in RscMode::ALL {
+            assert_eq!(batch_makespan_ms(&b, m, &cfg()), 0.0);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Cycle-by-cycle streaming-engine model.
+//!
+//! The analytic model in [`crate::workload`] computes latency in closed
+//! form; this module cross-validates it by actually *stepping* the
+//! machine: a chain of pipeline stages with finite FIFOs, a DRAM port
+//! with per-cycle byte budget feeding the input stage and draining the
+//! output stage, and backpressure propagating upstream when any FIFO
+//! fills. Tests assert the stepped latency matches the closed form
+//! within the pipeline-fill tolerance.
+
+/// One pipeline stage: consumes up to `rate` items per cycle from its
+/// input FIFO after an initial `latency` delay.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage label for traces.
+    pub label: String,
+    /// Items consumed (and produced) per cycle when unblocked.
+    pub rate: f64,
+    /// Cycles before the first item emerges.
+    pub latency: u64,
+    /// Capacity of the FIFO *in front of* this stage (items).
+    pub fifo_capacity: f64,
+}
+
+/// A linear streaming pipeline with a DRAM source and sink.
+#[derive(Debug, Clone)]
+pub struct StreamingEngine {
+    stages: Vec<Stage>,
+    /// Items the source must inject.
+    pub input_items: f64,
+    /// Bytes per input item (DRAM fetch cost).
+    pub bytes_per_input: f64,
+    /// Bytes per output item (DRAM write cost).
+    pub bytes_per_output: f64,
+    /// DRAM bytes available per cycle (shared by fetch and write-back).
+    pub dram_bytes_per_cycle: f64,
+}
+
+/// Result of stepping the engine to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamTrace {
+    /// Total cycles until the last output item is written back.
+    pub cycles: u64,
+    /// Cycles during which the input stage starved on DRAM.
+    pub input_starved: u64,
+    /// Cycles during which the output stage blocked on DRAM.
+    pub output_blocked: u64,
+    /// Peak occupancy seen in each FIFO.
+    pub peak_occupancy: Vec<f64>,
+}
+
+impl StreamingEngine {
+    /// Builds an engine from stages (input side first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no stages or any rate/capacity is
+    /// non-positive.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "engine needs at least one stage");
+        for s in &stages {
+            assert!(s.rate > 0.0 && s.fifo_capacity > 0.0, "bad stage {s:?}");
+        }
+        Self {
+            stages,
+            input_items: 0.0,
+            bytes_per_input: 0.0,
+            bytes_per_output: 0.0,
+            dram_bytes_per_cycle: f64::INFINITY,
+        }
+    }
+
+    /// Sets the workload: `items` through the pipe, with DRAM costs.
+    pub fn with_workload(
+        mut self,
+        items: f64,
+        bytes_per_input: f64,
+        bytes_per_output: f64,
+        dram_bytes_per_cycle: f64,
+    ) -> Self {
+        self.input_items = items;
+        self.bytes_per_input = bytes_per_input;
+        self.bytes_per_output = bytes_per_output;
+        self.dram_bytes_per_cycle = dram_bytes_per_cycle;
+        self
+    }
+
+    /// Steps the machine cycle by cycle until every item has drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was not set ([`Self::with_workload`]).
+    pub fn run(&self) -> StreamTrace {
+        assert!(self.input_items > 0.0, "workload not set");
+        let n = self.stages.len();
+        // fifo[i] feeds stage i; fifo[n] is the output staging buffer.
+        let mut fifo = vec![0.0f64; n + 1];
+        let mut injected = 0.0f64;
+        let mut drained = 0.0f64;
+        let mut started_at = vec![None::<u64>; n];
+        let mut trace = StreamTrace {
+            cycles: 0,
+            input_starved: 0,
+            output_blocked: 0,
+            peak_occupancy: vec![0.0; n + 1],
+        };
+        let mut cycle = 0u64;
+        // Hard stop far beyond any plausible latency, as a model-bug trap.
+        let limit = (self.input_items as u64 + 10_000) * 64;
+        while drained < self.input_items {
+            assert!(cycle < limit, "streaming engine failed to drain (model bug)");
+            let mut dram_budget = self.dram_bytes_per_cycle;
+
+            // 1. Source: inject into fifo[0] within DRAM budget and space.
+            if injected < self.input_items {
+                let want = (self.stages[0].rate)
+                    .min(self.input_items - injected)
+                    .min(self.stages[0].fifo_capacity - fifo[0]);
+                let affordable = if self.bytes_per_input > 0.0 {
+                    dram_budget / self.bytes_per_input
+                } else {
+                    f64::INFINITY
+                };
+                let moved = want.min(affordable).max(0.0);
+                if moved < want {
+                    trace.input_starved += 1;
+                }
+                fifo[0] += moved;
+                injected += moved;
+                dram_budget -= moved * self.bytes_per_input;
+            }
+
+            // 2. Stages, downstream first so same-cycle forwarding does
+            //    not teleport items through the whole pipe.
+            for i in (0..n).rev() {
+                let s = &self.stages[i];
+                if fifo[i] <= 0.0 {
+                    continue;
+                }
+                let start = *started_at[i].get_or_insert(cycle);
+                if cycle < start + s.latency {
+                    continue; // still filling this stage's pipeline
+                }
+                let space = if i + 1 < n {
+                    self.stages[i + 1].fifo_capacity - fifo[i + 1]
+                } else {
+                    f64::INFINITY // output staging buffer is drained below
+                };
+                let moved = s.rate.min(fifo[i]).min(space).max(0.0);
+                fifo[i] -= moved;
+                fifo[i + 1] += moved;
+            }
+
+            // 3. Sink: write back from fifo[n] within the leftover budget.
+            if fifo[n] > 0.0 {
+                let affordable = if self.bytes_per_output > 0.0 {
+                    dram_budget / self.bytes_per_output
+                } else {
+                    f64::INFINITY
+                };
+                let moved = fifo[n].min(affordable).max(0.0);
+                if moved < fifo[n] && affordable < fifo[n] {
+                    trace.output_blocked += 1;
+                }
+                fifo[n] -= moved;
+                drained += moved;
+            }
+
+            for (i, &f) in fifo.iter().enumerate() {
+                trace.peak_occupancy[i] = trace.peak_occupancy[i].max(f);
+            }
+            cycle += 1;
+        }
+        trace.cycles = cycle;
+        trace
+    }
+}
+
+/// Builds the stage chain of one `n`-point NTT on a `p`-lane MDC
+/// (log2(n) butterfly stages at `p` items/cycle with halving commutator
+/// FIFOs), for cross-validation against the analytic model.
+pub fn ntt_engine(n: u64, p: u32, mult_stages: u32) -> StreamingEngine {
+    let log2n = n.trailing_zeros();
+    let stages = (0..log2n)
+        .map(|s| Stage {
+            label: format!("stage{s}"),
+            rate: p as f64,
+            latency: (mult_stages + 2) as u64,
+            // Commutator span halves per stage; FIFO at least 2p deep.
+            fifo_capacity: ((n >> (s + 1)).max(2 * p as u64)) as f64,
+        })
+        .collect();
+    StreamingEngine::new(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline;
+
+    #[test]
+    fn unconstrained_latency_matches_analytic_model() {
+        for (n, p) in [(1u64 << 10, 8u32), (1 << 12, 8), (1 << 12, 16)] {
+            let engine = ntt_engine(n, p, 3).with_workload(n as f64, 0.0, 0.0, f64::INFINITY);
+            let trace = engine.run();
+            let analytic = pipeline::ntt_stream_cycles(n, p)
+                + pipeline::ntt_fill_cycles(n, p, 3);
+            let stepped = trace.cycles as f64;
+            // Within 30% of the closed form (the closed form bounds FIFO
+            // residency by n/p; the stepped machine realizes less).
+            assert!(
+                stepped > 0.7 * pipeline::ntt_stream_cycles(n, p) && stepped < 1.3 * analytic,
+                "n={n} p={p}: stepped {stepped}, analytic {analytic}"
+            );
+            assert_eq!(trace.input_starved, 0);
+            assert_eq!(trace.output_blocked, 0);
+        }
+    }
+
+    #[test]
+    fn dram_ceiling_creates_backpressure() {
+        let n = 1u64 << 10;
+        // 8 items/cycle wanted; DRAM only affords 2 items/cycle out.
+        let engine = ntt_engine(n, 8, 3).with_workload(n as f64, 0.0, 5.5, 11.0);
+        let trace = engine.run();
+        let unconstrained = ntt_engine(n, 8, 3)
+            .with_workload(n as f64, 0.0, 0.0, f64::INFINITY)
+            .run();
+        assert!(trace.cycles > 3 * unconstrained.cycles);
+        assert!(trace.output_blocked > 0);
+        // Roughly n/2 cycles needed at 2 items/cycle.
+        assert!((trace.cycles as f64) > n as f64 / 2.0);
+    }
+
+    #[test]
+    fn input_bandwidth_starves_the_pipe() {
+        let n = 1u64 << 10;
+        // Fetch costs 5.5 B/item but only 5.5 B/cycle available: 1 item/cycle.
+        let engine = ntt_engine(n, 8, 3).with_workload(n as f64, 5.5, 0.0, 5.5);
+        let trace = engine.run();
+        assert!(trace.input_starved > 0);
+        assert!(trace.cycles as f64 >= n as f64);
+    }
+
+    #[test]
+    fn fifo_occupancy_bounded_by_capacity() {
+        let n = 1u64 << 12;
+        let engine = ntt_engine(n, 8, 3).with_workload(n as f64, 0.0, 0.0, f64::INFINITY);
+        let trace = engine.run();
+        for (i, &peak) in trace.peak_occupancy.iter().enumerate().take(12) {
+            let cap = engine_stage_capacity(&engine, i);
+            assert!(peak <= cap + 1e-9, "fifo {i}: peak {peak} > cap {cap}");
+        }
+    }
+
+    fn engine_stage_capacity(e: &StreamingEngine, i: usize) -> f64 {
+        e.stages.get(i).map(|s| s.fifo_capacity).unwrap_or(f64::INFINITY)
+    }
+
+    #[test]
+    #[should_panic(expected = "workload not set")]
+    fn run_without_workload_panics() {
+        ntt_engine(1 << 8, 8, 3).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_engine_rejected() {
+        StreamingEngine::new(vec![]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the cycle-level simulator: the latency model
+//! must respect basic monotonicity and conservation laws for *any*
+//! configuration, not just the paper's point.
+
+use abc_sim::config::MemoryConfig;
+use abc_sim::{simulate, SimConfig, Workload};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (1u32..6, 1u32..5, 1u32..3, prop::bool::ANY).prop_map(|(lanes_exp, pnls, rscs, compressed)| {
+        let mut c = SimConfig::paper_default();
+        c.lanes = 1 << lanes_exp;
+        c.pnls_per_rsc = pnls;
+        c.rsc_count = rscs;
+        c.compressed_upload = compressed;
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn latency_monotone_in_ring_degree(cfg in arb_config(), primes in 1usize..25) {
+        let mut last = 0.0f64;
+        for log_n in [10u32, 12, 14, 16] {
+            let r = simulate(&Workload::encode_encrypt(log_n, primes), &cfg);
+            prop_assert!(r.total_cycles > last, "log_n={log_n}: {} <= {last}", r.total_cycles);
+            last = r.total_cycles;
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_primes(cfg in arb_config(), log_n in 10u32..17) {
+        let t = |primes: usize| simulate(&Workload::encode_encrypt(log_n, primes), &cfg).total_cycles;
+        prop_assert!(t(1) < t(8));
+        prop_assert!(t(8) < t(24));
+    }
+
+    #[test]
+    fn memory_config_ordering(cfg in arb_config(), log_n in 11u32..17, primes in 2usize..25) {
+        // Total latency never improves with more DRAM-fetched data (a
+        // compute-bound config can mask the difference, so not strict)…
+        let r = |m: MemoryConfig| {
+            simulate(&Workload::encode_encrypt(log_n, primes), &cfg.clone().with_memory(m))
+        };
+        prop_assert!(r(MemoryConfig::Base).total_cycles >= r(MemoryConfig::TfGen).total_cycles);
+        prop_assert!(r(MemoryConfig::TfGen).total_cycles >= r(MemoryConfig::All).total_cycles);
+        // …but the DRAM traffic itself is strictly ordered.
+        prop_assert!(r(MemoryConfig::Base).traffic.total() > r(MemoryConfig::TfGen).traffic.total());
+        prop_assert!(r(MemoryConfig::TfGen).traffic.total() > r(MemoryConfig::All).traffic.total());
+    }
+
+    #[test]
+    fn more_lanes_never_hurt_steady_state(log_n in 11u32..17, primes in 1usize..25) {
+        let base = SimConfig::paper_default();
+        let steady = |lanes: u32| {
+            let r = simulate(&Workload::encode_encrypt(log_n, primes), &base.clone().with_lanes(lanes));
+            r.compute_cycles.max(r.dram_cycles)
+        };
+        prop_assert!(steady(16) <= steady(8));
+        prop_assert!(steady(8) <= steady(4));
+        prop_assert!(steady(4) <= steady(2));
+    }
+
+    #[test]
+    fn traffic_is_conserved_and_nonnegative(cfg in arb_config(), log_n in 10u32..17, primes in 1usize..25) {
+        for w in [Workload::encode_encrypt(log_n, primes), Workload::decode_decrypt(log_n, primes)] {
+            let r = simulate(&w, &cfg);
+            prop_assert!(r.traffic.payload_in > 0.0);
+            prop_assert!(r.traffic.payload_out > 0.0);
+            prop_assert!(r.traffic.parameters >= 0.0);
+            let recomputed = r.traffic.payload_in + r.traffic.payload_out + r.traffic.parameters;
+            prop_assert!((recomputed - r.traffic.total()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn total_at_least_steady_state(cfg in arb_config(), log_n in 10u32..17) {
+        let r = simulate(&Workload::encode_encrypt(log_n, 24), &cfg);
+        prop_assert!(r.total_cycles >= r.compute_cycles.max(r.dram_cycles));
+        prop_assert!(r.time_ms > 0.0);
+        prop_assert!(r.throughput_per_s > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_scaling_helps_memory_bound_points(log_n in 13u32..17) {
+        let slow = SimConfig::paper_default();
+        let mut fast = SimConfig::paper_default();
+        fast.dram = fast.dram.with_bandwidth_gb_s(200.0);
+        let ts = simulate(&Workload::encode_encrypt(log_n, 24), &slow);
+        let tf = simulate(&Workload::encode_encrypt(log_n, 24), &fast);
+        prop_assert!(tf.total_cycles <= ts.total_cycles);
+    }
+}

@@ -1,0 +1,69 @@
+//! Bit-reversal helpers shared by the NTT and FFT kernels.
+
+/// Reverses the low `bits` bits of `x`.
+///
+/// # Example
+///
+/// ```
+/// use abc_transform::bitrev::bit_reverse;
+///
+/// assert_eq!(bit_reverse(0b001, 3), 0b100);
+/// assert_eq!(bit_reverse(0b110, 3), 0b011);
+/// assert_eq!(bit_reverse(5, 0), 0);
+/// ```
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Permutes a slice in place by bit-reversed index (length must be a power
+/// of two).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involution() {
+        for bits in 1..12u32 {
+            for x in 0..(1usize << bits).min(256) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn permute_known_order() {
+        let mut v = vec![0, 1, 2, 3, 4, 5, 6, 7];
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        // Involution.
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn permute_rejects_non_power_of_two() {
+        let mut v = vec![1, 2, 3];
+        bit_reverse_permute(&mut v);
+    }
+}

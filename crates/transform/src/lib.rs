@@ -1,0 +1,48 @@
+//! Fourier-like transforms for the ABC-FHE reproduction.
+//!
+//! The client-side CKKS pipeline (paper Fig. 2a) needs **both** transform
+//! families the Reconfigurable Fourier Engine supports:
+//!
+//! * integer **NTT/INTT** over each RNS prime — [`ntt::NttPlan`], a
+//!   negacyclic transform with the nega-cyclic pre/post-processing merged
+//!   into the stage twiddles (paper Eq. 2/3, refs \[27\]/\[30\]), fed by
+//!   either a precomputed [`twiddle::TwiddleTable`] or the on-the-fly
+//!   [`twiddle::OtfTwiddleGen`] that regenerates twiddles from a compact
+//!   per-stage seed (the paper's unified OTF TF Gen, §IV-B);
+//! * complex **FFT/IFFT** on the canonical-embedding slots —
+//!   [`fft::SpecialFft`], generic over the [`abc_float::RealField`]
+//!   datapath so the same kernel runs at FP64 or the paper's FP55.
+//!
+//! [`radix`] analyses pipelined MDC design configurations (radix-2,
+//! radix-2^2, radix-2^3, radix-2^n and mixed) and counts the hardware
+//! multipliers each needs (paper Fig. 4), while [`bitrev`] holds the
+//! shared bit-reversal helpers.
+//!
+//! # Example: negacyclic polynomial product via NTT
+//!
+//! ```
+//! use abc_math::{Modulus, poly::negacyclic_mul_schoolbook};
+//! use abc_transform::ntt::NttPlan;
+//!
+//! # fn main() -> Result<(), abc_math::MathError> {
+//! let m = Modulus::new(0xFFF0_0001)?; // 2^32 - 2^20 + 1, supports N ≤ 2^19
+//! let plan = NttPlan::new(m, 8)?;
+//! let a = vec![1, 2, 3, 4, 5, 6, 7, 8];
+//! let b = vec![8, 7, 6, 5, 4, 3, 2, 1];
+//! let fast = plan.negacyclic_mul(&a, &b);
+//! assert_eq!(fast, negacyclic_mul_schoolbook(&m, &a, &b));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bitrev;
+pub mod fft;
+pub mod ntt;
+pub mod radix;
+pub mod stream;
+pub mod stream_fft;
+pub mod twiddle;
+
+pub use fft::SpecialFft;
+pub use ntt::NttPlan;
+pub use twiddle::{OtfTwiddleGen, TwiddleSource, TwiddleTable};

@@ -1,0 +1,296 @@
+//! Negacyclic NTT/INTT with merged twiddles (paper Eq. 2/3).
+//!
+//! The nega-cyclic property of `Z_q[X]/(X^N + 1)` normally requires a
+//! pre-multiplication by `ψ^i` before a cyclic NTT and a post-
+//! multiplication by `ψ^{-k}` after the INTT. Following refs \[27\]/\[30\],
+//! both are *merged* into the stage twiddles: the forward transform runs
+//! Cooley–Tukey butterflies on `ψ^{brv(m+i)}` (odd powers of the 2N-th
+//! root), the inverse runs Gentleman–Sande on the inverse powers and a
+//! final `N^{-1}` scale. No extra multiplier columns remain — this is the
+//! algorithmic fact behind the paper's twiddle-factor-scheduling area
+//! saving (Fig. 6a).
+
+use crate::twiddle::{TwiddleSource, TwiddleTable};
+use abc_math::{MathError, Modulus};
+
+/// A ready-to-run negacyclic NTT over one RNS prime.
+///
+/// Construction precomputes a [`TwiddleTable`]; [`NttPlan::forward_with`]
+/// and [`NttPlan::inverse_with`] accept any other [`TwiddleSource`]
+/// (e.g. the on-the-fly generator) for the same `(q, N, ψ)`.
+///
+/// # Example
+///
+/// ```
+/// use abc_math::Modulus;
+/// use abc_transform::ntt::NttPlan;
+///
+/// # fn main() -> Result<(), abc_math::MathError> {
+/// let plan = NttPlan::new(Modulus::new(0xFFF0_0001)?, 16)?;
+/// let mut poly: Vec<u64> = (0..16).collect();
+/// let original = poly.clone();
+/// plan.forward(&mut poly);
+/// plan.inverse(&mut poly);
+/// assert_eq!(poly, original);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttPlan {
+    m: Modulus,
+    n: usize,
+    table: TwiddleTable,
+}
+
+impl NttPlan {
+    /// Builds a plan for transform size `n` (power of two ≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NoRootOfUnity`] if `q ≢ 1 (mod 2n)` and
+    /// [`MathError::InvalidModulus`] for non-power-of-two sizes.
+    pub fn new(m: Modulus, n: usize) -> Result<Self, MathError> {
+        let table = TwiddleTable::new(m, n)?;
+        Ok(Self { m, n, table })
+    }
+
+    /// The modulus of this plan.
+    pub fn modulus(&self) -> &Modulus {
+        &self.m
+    }
+
+    /// Transform size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The precomputed twiddle table (share its `ψ` with an OTF
+    /// generator via [`TwiddleTable::psi`]).
+    pub fn table(&self) -> &TwiddleTable {
+        &self.table
+    }
+
+    /// In-place forward negacyclic NTT (coefficients → evaluations, in
+    /// bit-reversed order internally — `forward` then `inverse` is the
+    /// identity, and dyadic products between forward outputs are valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward(&self, a: &mut [u64]) {
+        self.forward_with(&self.table, a);
+    }
+
+    /// In-place inverse negacyclic INTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        self.inverse_with(&self.table, a);
+    }
+
+    /// Forward transform drawing twiddles from an arbitrary source
+    /// (table or on-the-fly generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N` or the source's size/modulus disagree.
+    pub fn forward_with<T: TwiddleSource>(&self, tw: &T, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal N");
+        assert_eq!(tw.n(), self.n, "twiddle source size mismatch");
+        assert_eq!(tw.modulus().q(), self.m.q(), "twiddle modulus mismatch");
+        let q = &self.m;
+        let n = self.n;
+        // Cooley–Tukey decimation-in-time with merged ψ twiddles
+        // (Longa–Naehrig Algorithm 1).
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let s = tw.forward(m, i);
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = q.mul(a[j + t], s);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// Inverse transform drawing twiddles from an arbitrary source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N` or the source's size/modulus disagree.
+    pub fn inverse_with<T: TwiddleSource>(&self, tw: &T, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal N");
+        assert_eq!(tw.n(), self.n, "twiddle source size mismatch");
+        assert_eq!(tw.modulus().q(), self.m.q(), "twiddle modulus mismatch");
+        let q = &self.m;
+        let n = self.n;
+        // Gentleman–Sande decimation-in-frequency with merged ψ^{-1}
+        // twiddles (Longa–Naehrig Algorithm 2).
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let s = tw.inverse(h, i);
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.mul(q.sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        let n_inv = tw.n_inv();
+        for x in a.iter_mut() {
+            *x = q.mul(*x, n_inv);
+        }
+    }
+
+    /// Negacyclic polynomial product via forward transforms, dyadic
+    /// multiply, and one inverse transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input lengths differ from `N`.
+    pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        abc_math::poly::mul_assign(&self.m, &mut fa, &fb);
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twiddle::OtfTwiddleGen;
+    use abc_math::poly::negacyclic_mul_schoolbook;
+
+    fn modulus() -> Modulus {
+        Modulus::new(0xFFF0_0001).unwrap()
+    }
+
+    fn pseudo_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_many_sizes() {
+        let m = modulus();
+        for n in [2usize, 4, 8, 64, 1024, 4096] {
+            let plan = NttPlan::new(m, n).unwrap();
+            let original = pseudo_poly(n, m.q(), n as u64);
+            let mut a = original.clone();
+            plan.forward(&mut a);
+            assert_ne!(a, original, "transform must not be identity (n={n})");
+            plan.inverse(&mut a);
+            assert_eq!(a, original, "roundtrip failed at n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_schoolbook_negacyclic() {
+        let m = modulus();
+        for n in [4usize, 8, 32, 128] {
+            let plan = NttPlan::new(m, n).unwrap();
+            let a = pseudo_poly(n, m.q(), 1);
+            let b = pseudo_poly(n, m.q(), 2);
+            assert_eq!(
+                plan.negacyclic_mul(&a, &b),
+                negacyclic_mul_schoolbook(&m, &a, &b),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let m = modulus();
+        let n = 64;
+        let plan = NttPlan::new(m, n).unwrap();
+        let a = pseudo_poly(n, m.q(), 3);
+        let b = pseudo_poly(n, m.q(), 4);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        // NTT(a) + NTT(b) == NTT(a + b)
+        let mut sum = a.clone();
+        abc_math::poly::add_assign(&m, &mut sum, &b);
+        plan.forward(&mut sum);
+        let mut fsum = fa.clone();
+        abc_math::poly::add_assign(&m, &mut fsum, &fb);
+        assert_eq!(sum, fsum);
+    }
+
+    #[test]
+    fn x_times_x_is_minus_one_at_degree_two_wrap() {
+        let m = modulus();
+        let n = 4;
+        let plan = NttPlan::new(m, n).unwrap();
+        // X^2 * X^2 = X^4 = -1 in Z[X]/(X^4+1).
+        let x2 = vec![0, 0, 1, 0];
+        let prod = plan.negacyclic_mul(&x2, &x2);
+        assert_eq!(prod, vec![m.q() - 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn otf_source_gives_identical_transforms() {
+        let m = modulus();
+        let n = 256;
+        let plan = NttPlan::new(m, n).unwrap();
+        let otf = OtfTwiddleGen::with_psi(m, n, plan.table().psi()).unwrap();
+        let a0 = pseudo_poly(n, m.q(), 5);
+        let mut with_table = a0.clone();
+        let mut with_otf = a0.clone();
+        plan.forward(&mut with_table);
+        plan.forward_with(&otf, &mut with_otf);
+        assert_eq!(with_table, with_otf);
+        plan.inverse(&mut with_table);
+        plan.inverse_with(&otf, &mut with_otf);
+        assert_eq!(with_table, with_otf);
+        assert_eq!(with_table, a0);
+    }
+
+    #[test]
+    fn parseval_like_energy_check() {
+        // The all-ones polynomial transforms to values whose dyadic square
+        // inverse-transforms to the negacyclic square of the input.
+        let m = modulus();
+        let n = 16;
+        let plan = NttPlan::new(m, n).unwrap();
+        let ones = vec![1u64; n];
+        let sq = plan.negacyclic_mul(&ones, &ones);
+        assert_eq!(sq, negacyclic_mul_schoolbook(&m, &ones, &ones));
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn length_mismatch_panics() {
+        let plan = NttPlan::new(modulus(), 8).unwrap();
+        let mut short = vec![0u64; 4];
+        plan.forward(&mut short);
+    }
+}

@@ -1,0 +1,379 @@
+//! Streaming dataflow for the CKKS special FFT — the RFE's complex mode.
+//!
+//! The reconfigurable engine runs the FFT through the *same* pipeline
+//! skeleton as the NTT (paper §IV-A): butterfly columns with halving/
+//! doubling delay buffers, with four modular multipliers ganged into one
+//! complex multiplier. This module mirrors [`crate::stream`] for the
+//! canonical-embedding transform: per-stage streaming operators whose
+//! outputs are asserted identical to [`crate::fft::SpecialFft`].
+//!
+//! The bit-reversal permutation (front of the forward transform, back of
+//! the inverse) is realized by a full reorder buffer — the hardware's
+//! input/output shuffling network, with `slots` words of storage.
+
+use crate::bitrev::bit_reverse_permute;
+use crate::fft::SpecialFft;
+use abc_float::{Complex, RealField};
+
+/// One complex butterfly column as a streaming operator.
+///
+/// Unlike the NTT stage (one twiddle per *block*), the special FFT uses
+/// one twiddle per *position inside the half-block*, shared by every
+/// block of the stage.
+#[derive(Debug, Clone)]
+struct FftStreamStage {
+    /// Half-block span `t`.
+    t: usize,
+    /// Twiddles indexed by position within the half-block (length `t`).
+    twiddles: Vec<Complex>,
+    delay: std::collections::VecDeque<Complex>,
+    reorder: std::collections::VecDeque<Complex>,
+    ready: std::collections::VecDeque<Complex>,
+    pos: usize,
+}
+
+impl FftStreamStage {
+    fn new(t: usize, twiddles: Vec<Complex>) -> Self {
+        debug_assert_eq!(twiddles.len(), t);
+        Self {
+            t,
+            twiddles,
+            delay: Default::default(),
+            reorder: Default::default(),
+            ready: Default::default(),
+            pos: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.delay.clear();
+        self.reorder.clear();
+        self.ready.clear();
+        self.pos = 0;
+    }
+
+    fn tick<F: RealField>(&mut self, f: &F, x: Option<Complex>) -> Option<Complex> {
+        if let Some(x) = x {
+            if self.pos < self.t {
+                self.delay.push_back(x);
+            } else {
+                let u = self.delay.pop_front().expect("first half buffered");
+                let w = self.twiddles[self.pos - self.t];
+                let v = x.mul_in(f, w);
+                self.ready.push_back(u.add_in(f, v));
+                self.reorder.push_back(u.sub_in(f, v));
+            }
+            self.pos += 1;
+            if self.pos == 2 * self.t {
+                self.pos = 0;
+                self.ready.append(&mut std::mem::take(&mut self.reorder));
+            }
+        }
+        self.ready.pop_front()
+    }
+}
+
+/// A streaming special FFT (forward = decode direction).
+///
+/// # Example
+///
+/// ```
+/// use abc_float::{Complex, F64Field};
+/// use abc_transform::fft::SpecialFft;
+/// use abc_transform::stream_fft::StreamingSpecialFft;
+///
+/// let plan = SpecialFft::new(16);
+/// let mut streamer = StreamingSpecialFft::new(&plan);
+/// let vals: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+/// let f = F64Field;
+/// let streamed = streamer.forward(&f, &vals);
+/// let mut reference = vals.clone();
+/// plan.forward(&f, &mut reference);
+/// for (a, b) in streamed.iter().zip(&reference) {
+///     assert!(a.dist(*b) < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingSpecialFft {
+    slots: usize,
+    n: usize,
+    rot_group: Vec<usize>,
+}
+
+impl StreamingSpecialFft {
+    /// Builds the streamer for the same geometry as `plan`.
+    pub fn new(plan: &SpecialFft) -> Self {
+        // Recompute the rotation group (5^j mod 2N) — cheap, and keeps
+        // the plan's internals private.
+        let slots = plan.slots();
+        let n = plan.n();
+        let two_n = 2 * n;
+        let mut rot_group = Vec::with_capacity(slots);
+        let mut five = 1usize;
+        for _ in 0..slots {
+            rot_group.push(five);
+            five = (five * 5) % two_n;
+        }
+        Self { slots, n, rot_group }
+    }
+
+    /// Slot count.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Reorder-buffer words of the input/output shuffling network.
+    pub fn shuffle_buffer_words(&self) -> usize {
+        self.slots
+    }
+
+    fn stage_twiddles<F: RealField>(&self, f: &F, len: usize) -> Vec<Complex> {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let two_n = 2 * self.n;
+        (0..lenh)
+            .map(|j| {
+                let idx = (self.rot_group[j] % lenq) * (two_n / lenq);
+                let theta = 2.0 * core::f64::consts::PI * idx as f64 / two_n as f64;
+                Complex::from_polar_in(f, theta)
+            })
+            .collect()
+    }
+
+    fn stage_twiddles_inv<F: RealField>(&self, f: &F, len: usize) -> Vec<Complex> {
+        let lenh = len >> 1;
+        let lenq = len << 2;
+        let two_n = 2 * self.n;
+        (0..lenh)
+            .map(|j| {
+                let idx = (lenq - (self.rot_group[j] % lenq)) * (two_n / lenq);
+                let theta = 2.0 * core::f64::consts::PI * idx as f64 / two_n as f64;
+                Complex::from_polar_in(f, theta)
+            })
+            .collect()
+    }
+
+    fn run_stages<F: RealField>(
+        &self,
+        f: &F,
+        stages: &mut [FftStreamStage],
+        input: &[Complex],
+    ) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(input.len());
+        let feed = |x: Option<Complex>, stages: &mut [FftStreamStage]| {
+            let mut carry = x;
+            for s in stages.iter_mut() {
+                carry = s.tick(f, carry);
+            }
+            carry
+        };
+        for &x in input {
+            if let Some(y) = feed(Some(x), stages) {
+                out.push(y);
+            }
+        }
+        while out.len() < input.len() {
+            if let Some(y) = feed(None, stages) {
+                out.push(y);
+            }
+        }
+        out
+    }
+
+    /// Streaming forward transform (decode direction): shuffle network →
+    /// ascending-span butterfly columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != slots`.
+    pub fn forward<F: RealField>(&mut self, f: &F, vals: &[Complex]) -> Vec<Complex> {
+        assert_eq!(vals.len(), self.slots, "length must equal slot count");
+        let mut permuted = vals.to_vec();
+        bit_reverse_permute(&mut permuted);
+        let mut stages: Vec<FftStreamStage> = {
+            let mut v = Vec::new();
+            let mut len = 2usize;
+            while len <= self.slots {
+                v.push(FftStreamStage::new(len >> 1, self.stage_twiddles(f, len)));
+                len <<= 1;
+            }
+            v
+        };
+        for s in &mut stages {
+            s.reset();
+        }
+        self.run_stages(f, &mut stages, &permuted)
+    }
+
+    /// Streaming inverse transform (encode direction): descending-span
+    /// butterfly columns → shuffle network → `1/slots` scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != slots`.
+    pub fn inverse<F: RealField>(&mut self, f: &F, vals: &[Complex]) -> Vec<Complex> {
+        assert_eq!(vals.len(), self.slots, "length must equal slot count");
+        let mut stages: Vec<FftStreamStage> = {
+            let mut v = Vec::new();
+            let mut len = self.slots;
+            while len >= 2 {
+                v.push(FftStreamStage::new(
+                    len >> 1,
+                    self.stage_twiddles_inv(f, len),
+                ));
+                len >>= 1;
+            }
+            v
+        };
+        // Inverse stages apply the twiddle to the *difference* path:
+        // (u, v) -> (u + v, (u - v)·w). The shared stage computes
+        // u + v·w / u - v·w, so feed through a dedicated runner instead.
+        let mut out = self.run_stages_inverse(f, &mut stages, vals);
+        bit_reverse_permute(&mut out);
+        let scale = f.from_f64(1.0 / self.slots as f64);
+        for v in out.iter_mut() {
+            *v = v.scale_in(f, scale);
+        }
+        out
+    }
+
+    fn run_stages_inverse<F: RealField>(
+        &self,
+        f: &F,
+        stages: &mut [FftStreamStage],
+        input: &[Complex],
+    ) -> Vec<Complex> {
+        // Same streaming skeleton but with the GS butterfly:
+        // first half buffered; on the second half produce u + v (now)
+        // and (u - v)·w (queued).
+        fn tick_gs<F: RealField>(
+            s: &mut FftStreamStage,
+            f: &F,
+            x: Option<Complex>,
+        ) -> Option<Complex> {
+            if let Some(x) = x {
+                if s.pos < s.t {
+                    s.delay.push_back(x);
+                } else {
+                    let u = s.delay.pop_front().expect("first half buffered");
+                    let w = s.twiddles[s.pos - s.t];
+                    s.ready.push_back(u.add_in(f, x));
+                    s.reorder.push_back(u.sub_in(f, x).mul_in(f, w));
+                }
+                s.pos += 1;
+                if s.pos == 2 * s.t {
+                    s.pos = 0;
+                    s.ready.append(&mut std::mem::take(&mut s.reorder));
+                }
+            }
+            s.ready.pop_front()
+        }
+        let mut out = Vec::with_capacity(input.len());
+        let feed = |x: Option<Complex>, stages: &mut [FftStreamStage]| {
+            let mut carry = x;
+            for s in stages.iter_mut() {
+                carry = tick_gs(s, f, carry);
+            }
+            carry
+        };
+        for &x in input {
+            if let Some(y) = feed(Some(x), stages) {
+                out.push(y);
+            }
+        }
+        while out.len() < input.len() {
+            if let Some(y) = feed(None, stages) {
+                out.push(y);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abc_float::{F64Field, SoftFloatField};
+
+    fn sample(slots: usize) -> Vec<Complex> {
+        (0..slots)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.19).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn streamed_forward_matches_plan() {
+        let f = F64Field;
+        for slots in [2usize, 8, 64, 256] {
+            let plan = SpecialFft::new(slots);
+            let mut streamer = StreamingSpecialFft::new(&plan);
+            let vals = sample(slots);
+            let streamed = streamer.forward(&f, &vals);
+            let mut reference = vals.clone();
+            plan.forward(&f, &mut reference);
+            for (a, b) in streamed.iter().zip(&reference) {
+                assert!(a.dist(*b) < 1e-10, "slots={slots}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_inverse_matches_plan() {
+        let f = F64Field;
+        for slots in [2usize, 8, 64, 256] {
+            let plan = SpecialFft::new(slots);
+            let mut streamer = StreamingSpecialFft::new(&plan);
+            let vals = sample(slots);
+            let streamed = streamer.inverse(&f, &vals);
+            let mut reference = vals.clone();
+            plan.inverse(&f, &mut reference);
+            for (a, b) in streamed.iter().zip(&reference) {
+                assert!(a.dist(*b) < 1e-10, "slots={slots}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_roundtrip() {
+        let f = F64Field;
+        let plan = SpecialFft::new(128);
+        let mut streamer = StreamingSpecialFft::new(&plan);
+        let vals = sample(128);
+        let back = streamer.forward(&f, &streamer.clone().inverse(&f, &vals));
+        for (a, b) in back.iter().zip(&vals) {
+            assert!(a.dist(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduced_precision_dataflow_matches_reduced_plan() {
+        // The streaming pipeline must round in the same places as the
+        // in-place kernel when both run on FP55.
+        let f = SoftFloatField::fp55();
+        let plan = SpecialFft::new(64);
+        let mut streamer = StreamingSpecialFft::new(&plan);
+        let vals = sample(64);
+        let streamed = streamer.forward(&f, &vals);
+        let mut reference = vals.clone();
+        plan.forward(&f, &mut reference);
+        for (a, b) in streamed.iter().zip(&reference) {
+            assert!(a.dist(*b) < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shuffle_buffer_accounting() {
+        let plan = SpecialFft::new(512);
+        let streamer = StreamingSpecialFft::new(&plan);
+        assert_eq!(streamer.shuffle_buffer_words(), 512);
+        assert_eq!(streamer.slots(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn wrong_length_panics() {
+        let plan = SpecialFft::new(8);
+        let mut s = StreamingSpecialFft::new(&plan);
+        s.forward(&F64Field, &sample(4));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the transform layer.
+
+use abc_float::{Complex, F64Field};
+use abc_math::poly::negacyclic_mul_schoolbook;
+use abc_math::primes::generate_ntt_primes;
+use abc_math::Modulus;
+use abc_transform::radix::{MdcDesign, TransformKind};
+use abc_transform::{NttPlan, OtfTwiddleGen, SpecialFft};
+use proptest::prelude::*;
+
+fn arb_prime_modulus() -> impl Strategy<Value = Modulus> {
+    // A pool of NTT primes at varied widths, all ≡ 1 mod 2^13.
+    let mut pool = Vec::new();
+    for bits in [30u32, 36, 44] {
+        pool.extend(generate_ntt_primes(bits, 4, 1 << 13).expect("primes exist"));
+    }
+    prop::sample::select(pool).prop_map(|q| Modulus::new(q).expect("generated primes are valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ntt_roundtrip_random_polys(m in arb_prime_modulus(), seed in any::<u64>(), log_n in 2u32..10) {
+        let n = 1usize << log_n;
+        let plan = NttPlan::new(m, n).expect("2^13-friendly prime covers n <= 2^12");
+        let poly: Vec<u64> = (0..n as u64)
+            .map(|i| (seed.wrapping_mul(i * 2 + 1)) % m.q())
+            .collect();
+        let mut a = poly.clone();
+        plan.forward(&mut a);
+        plan.inverse(&mut a);
+        prop_assert_eq!(a, poly);
+    }
+
+    #[test]
+    fn convolution_theorem(m in arb_prime_modulus(), seed in any::<u64>()) {
+        let n = 32usize;
+        let plan = NttPlan::new(m, n).expect("plan");
+        let a: Vec<u64> = (0..n as u64).map(|i| seed.wrapping_mul(i + 1) % m.q()).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| seed.wrapping_add(i * i) % m.q()).collect();
+        prop_assert_eq!(
+            plan.negacyclic_mul(&a, &b),
+            negacyclic_mul_schoolbook(&m, &a, &b)
+        );
+    }
+
+    #[test]
+    fn ntt_is_linear(m in arb_prime_modulus(), seed in any::<u64>(), c in any::<u64>()) {
+        let n = 64usize;
+        let plan = NttPlan::new(m, n).expect("plan");
+        let c = c % m.q();
+        let a: Vec<u64> = (0..n as u64).map(|i| seed.wrapping_mul(i | 1) % m.q()).collect();
+        // NTT(c·a) = c·NTT(a)
+        let mut scaled = a.clone();
+        abc_math::poly::scalar_mul_assign(&m, &mut scaled, c);
+        plan.forward(&mut scaled);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        abc_math::poly::scalar_mul_assign(&m, &mut fa, c);
+        prop_assert_eq!(scaled, fa);
+    }
+
+    #[test]
+    fn otf_equals_table_on_random_queries(m in arb_prime_modulus(), idx in any::<u64>()) {
+        use abc_transform::twiddle::{TwiddleSource, TwiddleTable};
+        let n = 512usize;
+        let table = TwiddleTable::new(m, n).expect("table");
+        let otf = OtfTwiddleGen::with_psi(m, n, table.psi()).expect("otf");
+        let mut mm = 1usize;
+        while mm < n {
+            let i = (idx as usize) % mm;
+            prop_assert_eq!(table.forward(mm, i), otf.forward(mm, i));
+            prop_assert_eq!(table.inverse(mm, i), otf.inverse(mm, i));
+            mm <<= 1;
+        }
+    }
+
+    #[test]
+    fn special_fft_roundtrip(seed in any::<u64>(), log_slots in 1u32..9) {
+        let slots = 1usize << log_slots;
+        let plan = SpecialFft::new(slots);
+        let f = F64Field;
+        let z: Vec<Complex> = (0..slots)
+            .map(|i| {
+                let x = (seed.wrapping_mul(i as u64 + 1) % 1000) as f64 / 500.0 - 1.0;
+                let y = (seed.wrapping_add(i as u64 * 7) % 1000) as f64 / 500.0 - 1.0;
+                Complex::new(x, y)
+            })
+            .collect();
+        let mut v = z.clone();
+        plan.inverse(&f, &mut v);
+        plan.forward(&f, &mut v);
+        for (a, b) in v.iter().zip(&z) {
+            prop_assert!(a.dist(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merged_design_never_beaten(s in 4u32..20, p_exp in 1u32..6) {
+        let p = 1u32 << p_exp;
+        let merged = MdcDesign::radix_2n(s).multiplier_count(p, TransformKind::Ntt);
+        for k in 1..=4u32.min(s) {
+            let d = MdcDesign::radix_2k(s, k);
+            prop_assert!(d.multiplier_count(p, TransformKind::Ntt) > merged);
+            prop_assert!(d.multiplier_count(p, TransformKind::Fft) > merged);
+        }
+        // Merged hits exactly the theoretical minimum.
+        prop_assert_eq!(merged, (p / 2 * s) as f64);
+    }
+}

@@ -1,0 +1,92 @@
+//! Architecture design-space exploration with the hardware model and
+//! cycle simulator: sweep lane counts and memory configurations, compose
+//! chip variants, and scale across technology nodes.
+//!
+//! ```text
+//! cargo run --release --example accelerator_explorer
+//! ```
+
+use abc_fhe::hw::chip::{chip_area_power, ChipConfig, RscConfig};
+use abc_fhe::hw::{rfe, scaling};
+use abc_fhe::sim::config::MemoryConfig;
+use abc_fhe::sim::sweep;
+use abc_fhe::sim::{simulate, SimConfig, Workload};
+
+fn main() {
+    // 1. How many lanes should a client accelerator have under LPDDR5?
+    println!("--- lane sweep (encode+encrypt, N = 2^16, 24 primes) ---");
+    let base = SimConfig::paper_default();
+    for pt in sweep::lane_sweep(&base, 16, 24, &[1, 2, 4, 8, 16, 32]) {
+        println!(
+            "P = {:>2}: {:>7.4} ms, {:>5.0} ct/s, {}",
+            pt.lanes,
+            pt.time_ms,
+            pt.throughput_per_s,
+            if pt.memory_bound { "memory-bound" } else { "compute-bound" }
+        );
+    }
+
+    // 2. What does on-chip generation buy, and what does it cost?
+    println!("\n--- memory configurations at N = 2^16 ---");
+    for m in MemoryConfig::ALL {
+        let r = simulate(&Workload::encode_encrypt(16, 24), &base.clone().with_memory(m));
+        println!(
+            "{:<14} {:>7.4} ms  ({:.1} MB DRAM traffic)",
+            m.name(),
+            r.time_ms,
+            r.traffic.total() / 1e6
+        );
+    }
+    let stripped = ChipConfig {
+        rsc: RscConfig {
+            otf_tf_gen: false,
+            prng: false,
+            ..RscConfig::default()
+        },
+        ..ChipConfig::default()
+    };
+    let full = chip_area_power(&ChipConfig::default());
+    let without = chip_area_power(&stripped);
+    println!(
+        "generator silicon cost: {:.3} mm^2 ({:.1}% of chip) for the speed-up above",
+        full.area_mm2 - without.area_mm2,
+        100.0 * (full.area_mm2 - without.area_mm2) / full.area_mm2
+    );
+
+    // 3. The RFE optimization walk (Fig. 6a) and what each step saves.
+    println!("\n--- RFE area optimization walk ---");
+    for step in rfe::optimization_walk() {
+        println!(
+            "{:<42} {:>7.3} mm^2  ({:>5.1}% of baseline)",
+            step.label,
+            step.area_mm2,
+            100.0 * step.relative
+        );
+    }
+
+    // 4. Full chip across technology nodes.
+    println!("\n--- technology scaling of the full chip ---");
+    for node in scaling::NODES {
+        let s = scaling::scale(full, node);
+        println!("{node:>2} nm: {:>7.3} mm^2, {:>6.3} W", s.area_mm2, s.power_w);
+    }
+
+    // 5. A hypothetical double-bandwidth client platform: where does the
+    //    lane saturation move?
+    println!("\n--- sensitivity: 2x DRAM bandwidth ---");
+    let mut fat = SimConfig::paper_default();
+    fat.dram = fat.dram.with_bandwidth_gb_s(136.8);
+    let pts = sweep::lane_sweep(&fat, 16, 24, &[4, 8, 16, 32, 64]);
+    for pt in &pts {
+        println!(
+            "P = {:>2}: {:>7.4} ms ({})",
+            pt.lanes,
+            pt.time_ms,
+            if pt.memory_bound { "memory-bound" } else { "compute-bound" }
+        );
+    }
+    println!(
+        "saturation moves from 8 to {:?} lanes",
+        sweep::saturation_lanes(&pts)
+    );
+}

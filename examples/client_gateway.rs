@@ -1,0 +1,70 @@
+//! A client-side FHE gateway: mixed encrypt/decrypt traffic scheduled
+//! across the two Reconfigurable Streaming Cores (paper §III's three
+//! operational modes), with seed-compressed upload as an option.
+//!
+//! Models a realistic edge device mediating between local apps and an
+//! FHE cloud: bursts of outgoing feature encryptions and incoming
+//! result decryptions arrive together; the gateway picks the RSC mode
+//! per batch.
+//!
+//! ```text
+//! cargo run --release --example client_gateway
+//! ```
+
+use abc_fhe::sim::schedule::{batch_makespan_ms, best_mode, Batch, RscMode};
+use abc_fhe::sim::{simulate, SimConfig, Workload};
+
+fn main() {
+    let cfg = SimConfig::paper_default();
+
+    println!("--- traffic mixes through the 2-core gateway (N = 2^14) ---");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}   best",
+        "batch (enc/dec)", "dual-enc", "dual-dec", "concurrent"
+    );
+    for (enc, dec) in [(32, 0), (16, 16), (8, 48), (2, 64), (0, 96)] {
+        let batch = Batch {
+            log_n: 14,
+            encryptions: enc,
+            decryptions: dec,
+            enc_primes: 24,
+            dec_primes: 2,
+        };
+        let times: Vec<f64> = RscMode::ALL
+            .iter()
+            .map(|&m| batch_makespan_ms(&batch, m, &cfg))
+            .collect();
+        let (best, _) = best_mode(&batch, &cfg);
+        println!(
+            "{:<26} {:>9.3} ms {:>9.3} ms {:>9.3} ms   {}",
+            format!("{enc} enc / {dec} dec"),
+            times[0],
+            times[1],
+            times[2],
+            best.name()
+        );
+    }
+
+    println!("\n--- upload compression for the encrypt-heavy burst ---");
+    for log_n in [13u32, 16] {
+        let full = simulate(&Workload::encode_encrypt(log_n, 24), &cfg);
+        let seeded = simulate(
+            &Workload::encode_encrypt(log_n, 24),
+            &cfg.clone().with_compressed_upload(true),
+        );
+        println!(
+            "N = 2^{log_n}: {:.4} ms -> {:.4} ms per ciphertext ({:.0}% upload bytes saved)",
+            full.time_ms,
+            seeded.time_ms,
+            100.0 * (1.0 - seeded.traffic.payload_out / full.traffic.payload_out)
+        );
+    }
+
+    println!("\n--- sustained service rates at the paper configuration ---");
+    let enc = simulate(&Workload::encode_encrypt(16, 24), &cfg);
+    let dec = simulate(&Workload::decode_decrypt(16, 2), &cfg);
+    println!(
+        "encode+encrypt: {:>6.0} ct/s    decode+decrypt: {:>6.0} msg/s",
+        enc.throughput_per_s, dec.throughput_per_s
+    );
+}

@@ -1,0 +1,81 @@
+//! Workbench for the paper's NTT-friendly primes (§IV-A): search the
+//! structured space `Q = 2^bw + k·2^(n+1) + 1`, inspect the
+//! shift-and-add Montgomery networks they admit, and validate the
+//! transforms they support.
+//!
+//! ```text
+//! cargo run --release --example prime_workbench
+//! ```
+
+use abc_fhe::math::primes::search_structured_primes;
+use abc_fhe::math::reduce::{ModMul, NttFriendlyMontgomery};
+use abc_fhe::math::Modulus;
+use abc_fhe::transform::{NttPlan, OtfTwiddleGen};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Structured 34-36-bit primes supporting N = 2^14 negacyclic NTTs.
+    let n = 1u64 << 14;
+    let primes = search_structured_primes(34..=36, n);
+    println!("structured NTT-friendly primes (34-36 bit, N = 2^14): {}", primes.len());
+
+    // Inspect the cheapest few: how small are their shift-add networks?
+    let mut rows: Vec<_> = primes
+        .iter()
+        .filter_map(|p| {
+            let m = Modulus::new(p.q).ok()?;
+            let nf = NttFriendlyMontgomery::new(m).ok()?;
+            Some((p, nf))
+        })
+        .collect();
+    rows.sort_by_key(|(_, nf)| nf.total_adders());
+    println!("\n q (hex)          terms  q^-1 CSD  q CSD  adders  (shift-add REDC networks)");
+    for (p, nf) in rows.iter().take(8) {
+        println!(
+            " {:#014x}  {:>5}  {:>8}  {:>5}  {:>6}",
+            p.q,
+            p.num_terms,
+            nf.csd_weight(),
+            nf.q_csd_weight(),
+            nf.total_adders()
+        );
+    }
+
+    // Take the cheapest one and prove it works end to end: the shift-add
+    // reducer agrees with the reference, and the NTT it enables
+    // multiplies polynomials correctly with on-the-fly twiddles.
+    let (best, nf) = &rows[0];
+    let m = Modulus::new(best.q)?;
+    println!("\nselected q = {} ({} adders total)", best.q, nf.total_adders());
+    let mut agree = true;
+    for i in 0..1000u64 {
+        let a = (i * 0x9E37_79B9) % m.q();
+        let b = (i * 0x85EB_CA6B + 1) % m.q();
+        agree &= nf.mul_mod(a, b) == m.mul(a, b);
+    }
+    println!("shift-add REDC agrees with u128 reference on 1000 samples: {agree}");
+    assert!(agree);
+
+    let plan = NttPlan::new(m, 1 << 10)?;
+    let otf = OtfTwiddleGen::with_psi(m, 1 << 10, plan.table().psi())?;
+    let a: Vec<u64> = (0..1u64 << 10).map(|i| i % m.q()).collect();
+    let mut fwd_table = a.clone();
+    let mut fwd_otf = a.clone();
+    plan.forward(&mut fwd_table);
+    plan.forward_with(&otf, &mut fwd_otf);
+    println!(
+        "table-based and on-the-fly twiddles produce identical NTTs: {}",
+        fwd_table == fwd_otf
+    );
+    assert_eq!(fwd_table, fwd_otf);
+
+    // Memory story: table vs seeds for this modulus at N = 2^14.
+    let full_plan = NttPlan::new(m, n as usize)?;
+    let full_otf = OtfTwiddleGen::with_psi(m, n as usize, full_plan.table().psi())?;
+    println!(
+        "twiddle storage at N = 2^14: table {} KiB vs seeds {} B ({}x reduction)",
+        full_plan.table().table_bytes() / 1024,
+        full_otf.seed_bytes(),
+        full_plan.table().table_bytes() / full_otf.seed_bytes()
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the full client-side CKKS round trip in a dozen lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use abc_fhe::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A laptop-friendly parameter set. For the paper's full
+    // bootstrappable setting use `CkksParams::bootstrappable(16)`
+    // (N = 2^16, 24 x 36-bit primes).
+    let params = CkksParams::builder().log_n(12).num_primes(6).build()?;
+    let ctx = CkksContext::new(params)?;
+    println!(
+        "context: N = {}, {} slots, {} RNS primes ({} modulus bits)",
+        ctx.params().n(),
+        ctx.params().slots(),
+        ctx.params().num_primes(),
+        ctx.params().modulus_bits()
+    );
+
+    // Keys are derived from a 128-bit seed — exactly the on-chip model.
+    let (sk, pk) = ctx.keygen(Seed::from_u128(0xC0FFEE));
+
+    // Encode + encrypt a vector of complex numbers.
+    let message: Vec<Complex> = (0..8)
+        .map(|i| Complex::new(i as f64 * 0.125, -(i as f64) * 0.0625))
+        .collect();
+    let pt = ctx.encode(&message)?;
+    let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(42));
+    println!(
+        "ciphertext: level {}, {:.2} MiB",
+        ct.level(),
+        ct.byte_size() as f64 / (1024.0 * 1024.0)
+    );
+
+    // Decrypt + decode and check the round trip.
+    let decoded = ctx.decode(&ctx.decrypt(&ct, &sk)?)?;
+    let mut worst = 0.0f64;
+    for (got, want) in decoded.iter().zip(&message) {
+        worst = worst.max(got.dist(*want));
+    }
+    println!("worst slot error after round trip: {worst:.3e}");
+    assert!(worst < 1e-4, "round trip degraded unexpectedly");
+
+    // The same message through the accelerator's cycle simulator.
+    let cfg = SimConfig::paper_default();
+    let enc = simulate(
+        &Workload::encode_encrypt(ctx.params().log_n(), ctx.params().num_primes()),
+        &cfg,
+    );
+    println!(
+        "simulated ABC-FHE latency for this encode+encrypt: {:.4} ms ({:?}-bound)",
+        enc.time_ms, enc.bound_by
+    );
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Cross-crate consistency checks: the functional layer, hardware model
+//! and simulator must tell one coherent story.
+
+use abc_fhe::math::reduce::{Barrett, ModMul, Montgomery, NttFriendlyMontgomery};
+use abc_fhe::math::{primes, Modulus};
+use abc_fhe::transform::{NttPlan, OtfTwiddleGen, TwiddleTable};
+
+#[test]
+fn all_reducers_agree_on_structured_primes() {
+    // Every reduction algorithm must agree on every structured prime we
+    // can build a shift-add network for.
+    let found = primes::search_structured_primes(32..=36, 1 << 13);
+    let mut tested = 0usize;
+    for p in found.iter().take(40) {
+        let m = Modulus::new(p.q).expect("modulus");
+        let barrett = Barrett::new(m);
+        let mont = Montgomery::new(m);
+        let Ok(nf) = NttFriendlyMontgomery::new(m) else {
+            continue;
+        };
+        tested += 1;
+        let mut x = 0x1234_5678u64;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = x % m.q();
+            let b = (x >> 7) % m.q();
+            let want = m.mul(a, b);
+            assert_eq!(barrett.mul_mod(a, b), want);
+            assert_eq!(mont.mul_mod(a, b), want);
+            assert_eq!(nf.mul_mod(a, b), want);
+        }
+    }
+    assert!(tested >= 20, "too few structured primes admitted networks: {tested}");
+}
+
+#[test]
+fn transform_layer_consistent_across_twiddle_sources_and_sizes() {
+    let q = primes::generate_ntt_primes(36, 1, 1 << 13).expect("prime")[0];
+    let m = Modulus::new(q).expect("modulus");
+    for log_n in [3u32, 6, 9, 12] {
+        let n = 1usize << log_n;
+        let plan = NttPlan::new(m, n).expect("plan");
+        let table = TwiddleTable::with_psi(m, n, plan.table().psi()).expect("table");
+        let otf = OtfTwiddleGen::with_psi(m, n, plan.table().psi()).expect("otf");
+        let poly: Vec<u64> = (0..n as u64).map(|i| (i * i + 7) % q).collect();
+        let mut a = poly.clone();
+        let mut b = poly.clone();
+        plan.forward_with(&table, &mut a);
+        plan.forward_with(&otf, &mut b);
+        assert_eq!(a, b, "n = {n}");
+        plan.inverse_with(&otf, &mut a);
+        assert_eq!(a, poly, "n = {n}");
+    }
+}
+
+#[test]
+fn hw_multiplier_metadata_matches_math_layer() {
+    use abc_fhe::hw::multiplier::MulAlgorithm;
+    let q = 0xFFF_FFFF_C001u64; // 2^44 - 2^14 + 1
+    let m = Modulus::new(q).expect("modulus");
+    let nf = NttFriendlyMontgomery::new(m).expect("structured");
+    // The hardware model's "one true multiplier" claim is backed by the
+    // functional layer actually running on shift-add networks.
+    assert_eq!(nf.multiplier_count(), MulAlgorithm::NttFriendlyMontgomery.multiplier_count());
+    assert!(nf.total_adders() <= 2 * (NttFriendlyMontgomery::MAX_CSD_WEIGHT - 1));
+    assert_eq!(
+        Barrett::new(m).pipeline_stages(),
+        MulAlgorithm::Barrett.pipeline_stages()
+    );
+    assert_eq!(
+        Montgomery::new(m).multiplier_count(),
+        MulAlgorithm::Montgomery.multiplier_count()
+    );
+}
+
+#[test]
+fn simulator_workload_matches_opcount_shape() {
+    // The simulator's compute-cycle ratio between the two flows should
+    // track the op-count imbalance (both derive from the same dataflow).
+    use abc_fhe::ckks::opcount;
+    use abc_fhe::sim::{simulate, SimConfig, Workload};
+    let cfg = SimConfig::paper_default();
+    let enc = simulate(&Workload::encode_encrypt(16, 24), &cfg);
+    let dec = simulate(&Workload::decode_decrypt(16, 2), &cfg);
+    let cycle_ratio = enc.compute_cycles / dec.compute_cycles;
+    let ops = opcount::count_client_ops(1 << 16, 24, 2);
+    let op_ratio = ops.imbalance();
+    // Same order of magnitude: the accelerator parallelizes both flows
+    // with the same resources.
+    assert!(cycle_ratio > op_ratio / 5.0 && cycle_ratio < op_ratio * 5.0,
+        "cycles {cycle_ratio} vs ops {op_ratio}");
+}
+
+#[test]
+fn seed_memory_model_matches_otf_generator() {
+    // The hw crate's seed accounting and the transform crate's actual
+    // generator must agree on the order of magnitude.
+    use abc_fhe::hw::memory;
+    let q = primes::generate_ntt_primes(36, 1, 1 << 14).expect("prime")[0];
+    let m = Modulus::new(q).expect("modulus");
+    let otf = OtfTwiddleGen::new(m, 1 << 13).expect("otf");
+    let per_prime_actual = otf.seed_bytes();
+    let model = memory::seed_footprint(1 << 13, 36, 24, 1);
+    let per_prime_model = model.twiddle_seed_bytes / 24;
+    assert!(
+        per_prime_model / 4 <= per_prime_actual && per_prime_actual <= per_prime_model * 4,
+        "actual {per_prime_actual} vs model {per_prime_model}"
+    );
+}
+
+#[test]
+fn ciphertext_byte_size_matches_sim_traffic() {
+    // The ciphertext the CKKS layer produces must weigh what the
+    // simulator's DRAM model charges for writing it out.
+    use abc_fhe::ckks::{params::CkksParams, CkksContext};
+    use abc_fhe::float::Complex;
+    use abc_fhe::prng::Seed;
+    use abc_fhe::sim::{simulate, SimConfig, Workload};
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_n(10)
+            .num_primes(4)
+            .build()
+            .expect("params"),
+    )
+    .expect("ctx");
+    let (_, pk) = ctx.keygen(Seed::from_u128(1));
+    let msg = vec![Complex::new(0.1, 0.2); 16];
+    let ct = ctx.encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(2));
+    let mut cfg = SimConfig::paper_default();
+    cfg.coeff_bits = 64; // our software residues are u64 words
+    let r = simulate(&Workload::encode_encrypt(10, 4), &cfg);
+    assert_eq!(ct.byte_size() as f64, r.traffic.payload_out);
+}

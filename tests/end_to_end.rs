@@ -1,0 +1,138 @@
+//! Integration tests spanning the whole stack: CKKS pipeline over the
+//! transform/math/prng substrates, at bootstrappable parameters.
+
+use abc_fhe::ckks::{params::CkksParams, CkksContext};
+use abc_fhe::float::{Complex, SoftFloatField};
+use abc_fhe::prng::Seed;
+
+fn max_dist(a: &[Complex], b: &[Complex]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x.dist(*y)).fold(0.0, f64::max)
+}
+
+fn message(slots: usize) -> Vec<Complex> {
+    (0..slots)
+        .map(|i| Complex::new((i as f64 * 0.37).sin() * 0.8, (i as f64 * 0.13).cos() * 0.5))
+        .collect()
+}
+
+#[test]
+fn bootstrappable_roundtrip_n13() {
+    // The smallest bootstrappable preset, full 24-prime modulus.
+    let ctx = CkksContext::new(CkksParams::bootstrappable(13).expect("preset")).expect("ctx");
+    let (sk, pk) = ctx.keygen(Seed::from_u128(1));
+    let msg = message(ctx.params().slots());
+    let ct = ctx.encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(2));
+    assert_eq!(ct.level(), 23);
+    let out = ctx.decode(&ctx.decrypt(&ct, &sk).expect("decrypt")).expect("decode");
+    let err = max_dist(&out, &msg);
+    assert!(err < 1e-4, "error {err} too large for bootstrappable params");
+}
+
+#[test]
+fn fp55_datapath_roundtrip_matches_paper_threshold() {
+    // Running both embeddings on the FP55 datapath must stay above the
+    // paper's 19.29-bit precision threshold.
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_n(11)
+            .num_primes(8)
+            .build()
+            .expect("params"),
+    )
+    .expect("ctx");
+    let fp55 = SoftFloatField::fp55();
+    let (sk, pk) = ctx.keygen(Seed::from_u128(3));
+    let msg = message(ctx.params().slots());
+    let pt = ctx.encode_with(&fp55, &msg).expect("encode");
+    let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(4));
+    let out = ctx
+        .decode_with(&fp55, &ctx.decrypt(&ct, &sk).expect("decrypt"))
+        .expect("decode");
+    let err = max_dist(&out, &msg);
+    let precision_bits = -err.log2();
+    assert!(
+        precision_bits > 19.29,
+        "FP55 round-trip precision {precision_bits} below the paper threshold"
+    );
+}
+
+#[test]
+fn decryption_at_every_level() {
+    // Ciphertexts truncated to any prime count must still decrypt.
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_n(10)
+            .num_primes(6)
+            .build()
+            .expect("params"),
+    )
+    .expect("ctx");
+    let (sk, pk) = ctx.keygen(Seed::from_u128(5));
+    let msg = message(ctx.params().slots());
+    let ct = ctx.encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(6));
+    for primes in 1..=6usize {
+        let out = ctx
+            .decode(&ctx.decrypt(&ct.truncated(primes), &sk).expect("decrypt"))
+            .expect("decode");
+        let err = max_dist(&out, &msg);
+        assert!(err < 1e-4, "level {} error {err}", primes - 1);
+    }
+}
+
+#[test]
+fn homomorphic_addition_in_ntt_domain() {
+    // enc(a) + enc(b) (dyadic component-wise addition) decrypts to a+b:
+    // the property the MSE's element-wise adders serve.
+    use abc_fhe::ckks::Ciphertext;
+    use abc_fhe::math::poly;
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_n(10)
+            .num_primes(4)
+            .build()
+            .expect("params"),
+    )
+    .expect("ctx");
+    let (sk, pk) = ctx.keygen(Seed::from_u128(7));
+    let a = message(ctx.params().slots());
+    let b: Vec<Complex> = a.iter().map(|z| Complex::new(z.im, -z.re)).collect();
+    let ca = ctx.encrypt(&ctx.encode(&a).expect("encode"), &pk, Seed::from_u128(8));
+    let cb = ctx.encrypt(&ctx.encode(&b).expect("encode"), &pk, Seed::from_u128(9));
+    let (a0, a1) = ca.components();
+    let (b0, b1) = cb.components();
+    let mut s0 = a0.to_vec();
+    let mut s1 = a1.to_vec();
+    for (i, m) in ctx.basis().moduli().iter().enumerate() {
+        poly::add_assign(m, &mut s0[i], &b0[i]);
+        poly::add_assign(m, &mut s1[i], &b1[i]);
+    }
+    let sum_ct = Ciphertext::from_components(s0, s1, ca.scale()).expect("rebuild");
+    let out = ctx
+        .decode(&ctx.decrypt(&sum_ct, &sk).expect("decrypt"))
+        .expect("decode");
+    let expected: Vec<Complex> = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| Complex::new(x.re + y.re, x.im + y.im))
+        .collect();
+    assert!(max_dist(&out, &expected) < 1e-4);
+}
+
+#[test]
+fn seeded_pipeline_is_fully_reproducible() {
+    // Identical seeds must produce bit-identical ciphertexts across
+    // independently constructed contexts — the property that lets the
+    // accelerator regenerate everything from 128-bit seeds.
+    let params = CkksParams::builder()
+        .log_n(9)
+        .num_primes(3)
+        .build()
+        .expect("params");
+    let msg = message(1 << 8);
+    let make = || {
+        let ctx = CkksContext::new(params.clone()).expect("ctx");
+        let (_, pk) = ctx.keygen(Seed::from_u128(10));
+        ctx.encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(11))
+    };
+    assert_eq!(make(), make());
+}
