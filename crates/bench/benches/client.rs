@@ -31,18 +31,26 @@ fn bench_client(c: &mut Criterion) {
         let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(2));
         let low = ct.truncated(2);
 
-        g.bench_with_input(BenchmarkId::new("encode_encrypt_24p", 1u64 << log_n), &log_n, |b, _| {
-            b.iter(|| {
-                let pt = ctx.encode(black_box(&msg)).expect("encode");
-                ctx.encrypt(&pt, &pk, Seed::from_u128(3))
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("decrypt_decode_2p", 1u64 << log_n), &log_n, |b, _| {
-            b.iter(|| {
-                let pt = ctx.decrypt(black_box(&low), &sk).expect("decrypt");
-                ctx.decode(&pt).expect("decode")
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("encode_encrypt_24p", 1u64 << log_n),
+            &log_n,
+            |b, _| {
+                b.iter(|| {
+                    let pt = ctx.encode(black_box(&msg)).expect("encode");
+                    ctx.encrypt(&pt, &pk, Seed::from_u128(3))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("decrypt_decode_2p", 1u64 << log_n),
+            &log_n,
+            |b, _| {
+                b.iter(|| {
+                    let pt = ctx.decrypt(black_box(&low), &sk).expect("decrypt");
+                    ctx.decode(&pt).expect("decode")
+                })
+            },
+        );
     }
     g.finish();
 }

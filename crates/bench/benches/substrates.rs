@@ -56,8 +56,8 @@ fn bench_prng(c: &mut Criterion) {
 fn bench_crt(c: &mut Criterion) {
     let mut g = c.benchmark_group("garner_crt");
     for primes in [2usize, 8, 24] {
-        let basis =
-            RnsBasis::new(generate_ntt_primes(36, primes, 1 << 14).expect("primes")).expect("basis");
+        let basis = RnsBasis::new(generate_ntt_primes(36, primes, 1 << 14).expect("primes"))
+            .expect("basis");
         let residues: Vec<u64> = basis
             .moduli()
             .iter()

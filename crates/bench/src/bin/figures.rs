@@ -90,7 +90,12 @@ fn fig1_report() {
     print!(
         "{}",
         render_table(
-            &["configuration", "client (ms)", "server (ms)", "client share"],
+            &[
+                "configuration",
+                "client (ms)",
+                "server (ms)",
+                "client share"
+            ],
             &rows
         )
     );
@@ -138,12 +143,15 @@ fn fig3c_report(log_n: u32, trials: usize) {
     // bootstrap circuit amplifying FFT error) has its drop-off at
     // narrower mantissas, so the low end must be included to show it.
     let widths = [12u32, 15, 18, 21, 24, 27, 30, 34, 38, 43, 47, 52];
-    let pts = precision_sweep(&ctx, &widths, trials, Seed::from_u128(3))
-        .expect("sweep");
+    let pts = precision_sweep(&ctx, &widths, trials, Seed::from_u128(3)).expect("sweep");
     let rows: Vec<Vec<String>> = pts
         .iter()
         .map(|p| {
-            let marker = if p.precision_bits >= 19.29 { "above" } else { "below" };
+            let marker = if p.precision_bits >= 19.29 {
+                "above"
+            } else {
+                "below"
+            };
             vec![
                 format!("{}", p.mantissa_bits),
                 format!("{:.2}", p.precision_bits),
@@ -153,7 +161,10 @@ fn fig3c_report(log_n: u32, trials: usize) {
         .collect();
     print!(
         "{}",
-        render_table(&["mantissa bits", "precision (bits)", "vs 19.29 threshold"], &rows)
+        render_table(
+            &["mantissa bits", "precision (bits)", "vs 19.29 threshold"],
+            &rows
+        )
     );
     if let Some(d) = drop_off_point(&pts, 2.0) {
         println!("drop-off point: {d} mantissa bits (paper: 43 bits -> 23.39-bit precision)");
@@ -229,14 +240,16 @@ fn table1_report() {
     );
     println!(
         "NTT-friendly reduction: {:.1}% vs Barrett, {:.1}% vs Montgomery (paper: 67.7% / 41.2%)",
-        100.0 * multiplier::area_reduction(
-            multiplier::MulAlgorithm::Barrett,
-            multiplier::MulAlgorithm::NttFriendlyMontgomery
-        ),
-        100.0 * multiplier::area_reduction(
-            multiplier::MulAlgorithm::Montgomery,
-            multiplier::MulAlgorithm::NttFriendlyMontgomery
-        )
+        100.0
+            * multiplier::area_reduction(
+                multiplier::MulAlgorithm::Barrett,
+                multiplier::MulAlgorithm::NttFriendlyMontgomery
+            ),
+        100.0
+            * multiplier::area_reduction(
+                multiplier::MulAlgorithm::Montgomery,
+                multiplier::MulAlgorithm::NttFriendlyMontgomery
+            )
     );
 }
 
@@ -260,10 +273,7 @@ fn table2_report() {
         "generators (OTF TF Gen + seeds + PRNG): {:.1}% of chip area (paper: ~6%)",
         100.0 * chip::generator_area_fraction()
     );
-    let scaled = scaling::scale(
-        chip::chip_area_power(&chip::ChipConfig::default()),
-        7,
-    );
+    let scaled = scaling::scale(chip::chip_area_power(&chip::ChipConfig::default()), 7);
     println!(
         "scaled to 7 nm: {:.2} mm^2, {:.2} W (paper: ~0.9 mm^2, ~2.1 W)",
         scaled.area_mm2, scaled.power_w
@@ -319,7 +329,11 @@ fn fig5b_report() {
                 format!("{}", p.lanes),
                 fmt_ms(p.time_ms),
                 format!("{:.0}", p.throughput_per_s),
-                if p.memory_bound { "memory".into() } else { "compute".into() },
+                if p.memory_bound {
+                    "memory".into()
+                } else {
+                    "compute".into()
+                },
             ]
         })
         .collect();
@@ -426,11 +440,23 @@ fn memory_report() {
     let s = memory::seed_footprint(1 << 16, 44, 24, 2);
     let mib = |b: usize| b as f64 / (1024.0 * 1024.0);
     let rows = vec![
-        vec!["public key".to_owned(), format!("{:.2} MiB", mib(f.public_key_bytes))],
-        vec!["masks + errors".to_owned(), format!("{:.2} MiB", mib(f.mask_error_bytes))],
-        vec!["twiddle factors".to_owned(), format!("{:.2} MiB", mib(f.twiddle_bytes))],
+        vec![
+            "public key".to_owned(),
+            format!("{:.2} MiB", mib(f.public_key_bytes)),
+        ],
+        vec![
+            "masks + errors".to_owned(),
+            format!("{:.2} MiB", mib(f.mask_error_bytes)),
+        ],
+        vec![
+            "twiddle factors".to_owned(),
+            format!("{:.2} MiB", mib(f.twiddle_bytes)),
+        ],
         vec!["PRNG seed".to_owned(), format!("{} B", s.prng_seed_bytes)],
-        vec!["twiddle seeds".to_owned(), format!("{:.1} KiB", s.twiddle_seed_bytes as f64 / 1024.0)],
+        vec![
+            "twiddle seeds".to_owned(),
+            format!("{:.1} KiB", s.twiddle_seed_bytes as f64 / 1024.0),
+        ],
     ];
     print!("{}", render_table(&["item", "size"], &rows));
     println!(
@@ -444,9 +470,36 @@ fn modes_report() {
     use abc_sim::schedule::{batch_makespan_ms, best_mode, Batch, RscMode};
     let cfg = SimConfig::paper_default();
     let mixes = [
-        ("encrypt-heavy (16 enc, 2 dec)", Batch { log_n: 14, encryptions: 16, decryptions: 2, enc_primes: 24, dec_primes: 2 }),
-        ("balanced lanes (4 enc, 28 dec)", Batch { log_n: 14, encryptions: 4, decryptions: 28, enc_primes: 24, dec_primes: 2 }),
-        ("decrypt-heavy (1 enc, 64 dec)", Batch { log_n: 14, encryptions: 1, decryptions: 64, enc_primes: 24, dec_primes: 2 }),
+        (
+            "encrypt-heavy (16 enc, 2 dec)",
+            Batch {
+                log_n: 14,
+                encryptions: 16,
+                decryptions: 2,
+                enc_primes: 24,
+                dec_primes: 2,
+            },
+        ),
+        (
+            "balanced lanes (4 enc, 28 dec)",
+            Batch {
+                log_n: 14,
+                encryptions: 4,
+                decryptions: 28,
+                enc_primes: 24,
+                dec_primes: 2,
+            },
+        ),
+        (
+            "decrypt-heavy (1 enc, 64 dec)",
+            Batch {
+                log_n: 14,
+                encryptions: 1,
+                decryptions: 64,
+                enc_primes: 24,
+                dec_primes: 2,
+            },
+        ),
     ];
     let rows: Vec<Vec<String>> = mixes
         .iter()
@@ -462,7 +515,13 @@ fn modes_report() {
     print!(
         "{}",
         render_table(
-            &["batch", "dual-enc (ms)", "dual-dec (ms)", "concurrent (ms)", "best"],
+            &[
+                "batch",
+                "dual-enc (ms)",
+                "dual-dec (ms)",
+                "concurrent (ms)",
+                "best"
+            ],
             &rows
         )
     );
@@ -494,17 +553,29 @@ fn pareto_report() {
         let is_paper = *d == DesignPoint::paper();
         if on_front || is_paper {
             rows.push(vec![
-                format!("{}x{}x{}{}", d.rsc_count, d.pnls_per_rsc, d.lanes,
-                        if is_paper { " (paper)" } else { "" }),
+                format!(
+                    "{}x{}x{}{}",
+                    d.rsc_count,
+                    d.pnls_per_rsc,
+                    d.lanes,
+                    if is_paper { " (paper)" } else { "" }
+                ),
                 format!("{area:.2}"),
                 fmt_ms(*lat),
-                if on_front { "front".into() } else { "dominated".to_owned() },
+                if on_front {
+                    "front".into()
+                } else {
+                    "dominated".to_owned()
+                },
             ]);
         }
     }
     print!(
         "{}",
-        render_table(&["rsc x pnl x lanes", "area (mm^2)", "latency (ms)", "pareto"], &rows)
+        render_table(
+            &["rsc x pnl x lanes", "area (mm^2)", "latency (ms)", "pareto"],
+            &rows
+        )
     );
     println!("(the LPDDR5 wall flattens the front: silicon beyond the paper's point buys little)");
 }
@@ -534,12 +605,18 @@ fn energy_report() {
             "CPU encode+encrypt (paper ratio)".to_owned(),
             format!("{cpu_power_w:.1}"),
             format!("{:.1}", enc.time_ms * abc_bench::speedups::ENC_VS_CPU),
-            format!("{:.0}", cpu_power_w * enc.time_ms * abc_bench::speedups::ENC_VS_CPU * 1e3),
+            format!(
+                "{:.0}",
+                cpu_power_w * enc.time_ms * abc_bench::speedups::ENC_VS_CPU * 1e3
+            ),
         ],
     ];
     print!(
         "{}",
-        render_table(&["operation", "power (W)", "latency (ms)", "energy (uJ)"], &rows)
+        render_table(
+            &["operation", "power (W)", "latency (ms)", "energy (uJ)"],
+            &rows
+        )
     );
     let eff = (cpu_power_w * abc_bench::speedups::ENC_VS_CPU) / chip.power_w;
     println!("energy-efficiency gain over CPU for encryption: ~{eff:.0}x");
@@ -561,14 +638,24 @@ fn compression_report() {
                 fmt_ms(full.time_ms),
                 fmt_ms(comp.time_ms),
                 format!("{:.2}x", full.time_ms / comp.time_ms),
-                format!("{:.1} -> {:.1} MB", full.traffic.payload_out / 1e6, comp.traffic.payload_out / 1e6),
+                format!(
+                    "{:.1} -> {:.1} MB",
+                    full.traffic.payload_out / 1e6,
+                    comp.traffic.payload_out / 1e6
+                ),
             ]
         })
         .collect();
     print!(
         "{}",
         render_table(
-            &["N", "full ct (ms)", "seeded ct (ms)", "speedup", "upload traffic"],
+            &[
+                "N",
+                "full ct (ms)",
+                "seeded ct (ms)",
+                "speedup",
+                "upload traffic"
+            ],
             &rows
         )
     );

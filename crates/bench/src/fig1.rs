@@ -48,7 +48,8 @@ pub fn fig1_bars(cfg: &SimConfig) -> Vec<Fig1Bar> {
     let abc_enc = simulate(&Workload::encode_encrypt(16, 24), cfg).time_ms;
     let abc_dec = simulate(&Workload::decode_decrypt(16, 2), cfg).time_ms;
     let abc_client = abc_enc + abc_dec;
-    let sota_client = abc_enc * crate::speedups::ENC_VS_SOTA + abc_dec * crate::speedups::DEC_VS_SOTA;
+    let sota_client =
+        abc_enc * crate::speedups::ENC_VS_SOTA + abc_dec * crate::speedups::DEC_VS_SOTA;
     let cpu_client = abc_enc * crate::speedups::ENC_VS_CPU + abc_dec * crate::speedups::DEC_VS_CPU;
     let server = sota_client * (1.0 - SOTA_CLIENT_SHARE) / SOTA_CLIENT_SHARE;
     vec![

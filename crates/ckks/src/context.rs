@@ -36,11 +36,20 @@ impl CkksContext {
     /// fails for the requested parameters.
     pub fn new(params: CkksParams) -> Result<Self, CkksError> {
         let n = params.n();
-        let primes = abc_math::primes::generate_ntt_primes(
-            params.prime_bits(),
-            params.num_primes(),
-            2 * n as u64,
-        )?;
+        // The level-0 prime carries headroom above the scale: a coefficient
+        // of a maximal-amplitude message reaches Δ·√2, so decryption at
+        // level 1 needs q_0 > 2Δ·√2. Uniform prime widths (the paper's
+        // Table setting) would make q_0 ≈ Δ and wrap such coefficients;
+        // like SEAL's "special prime" convention we widen only q_0.
+        let head_bits = (params.prime_bits() + 3).min(61);
+        let mut primes = abc_math::primes::generate_ntt_primes(head_bits, 1, 2 * n as u64)?;
+        if params.num_primes() > 1 {
+            primes.extend(abc_math::primes::generate_ntt_primes(
+                params.prime_bits(),
+                params.num_primes() - 1,
+                2 * n as u64,
+            )?);
+        }
         let basis = RnsBasis::new(primes)?;
         let plans = basis
             .moduli()
@@ -145,7 +154,10 @@ impl CkksContext {
         self.fft.inverse(field, &mut vals);
         let coeffs = self.fft.slots_to_coeffs(&vals);
         // Scale by Δ, round to integers, expand into RNS, NTT per prime.
-        let ints: Vec<i128> = coeffs.iter().map(|&c| (c * scale).round() as i128).collect();
+        let ints: Vec<i128> = coeffs
+            .iter()
+            .map(|&c| (c * scale).round() as i128)
+            .collect();
         let rns = self.expand_and_ntt(&ints);
         Ok(Plaintext {
             rns,
@@ -395,7 +407,11 @@ mod tests {
         assert_eq!(pt.num_primes(), 4);
         let back = ctx.decode(&pt).unwrap();
         // Only Δ-quantization error: ~2^-36 · N-ish.
-        assert!(max_dist(&back, &msg) < 1e-7, "err = {}", max_dist(&back, &msg));
+        assert!(
+            max_dist(&back, &msg) < 1e-7,
+            "err = {}",
+            max_dist(&back, &msg)
+        );
     }
 
     #[test]
@@ -501,9 +517,6 @@ mod tests {
         )
         .unwrap();
         let pt = other.encode(&test_message(4)).unwrap();
-        assert!(matches!(
-            ctx.decode(&pt),
-            Err(CkksError::ContextMismatch)
-        ));
+        assert!(matches!(ctx.decode(&pt), Err(CkksError::ContextMismatch)));
     }
 }

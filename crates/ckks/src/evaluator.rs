@@ -125,6 +125,7 @@ pub fn plaintext_mul(
 /// Returns [`CkksError::InvalidParams`] for single-prime ciphertexts
 /// (nothing left to drop) and [`CkksError::ContextMismatch`] for foreign
 /// ciphertexts.
+#[allow(clippy::needless_range_loop)] // parallel indexing of basis/plans/components
 pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
         return Err(CkksError::ContextMismatch);
@@ -182,7 +183,12 @@ mod tests {
 
     fn msg(slots: usize, phase: f64) -> Vec<Complex> {
         (0..slots)
-            .map(|i| Complex::new((i as f64 * 0.21 + phase).sin() * 0.5, (i as f64 * 0.11).cos() * 0.3))
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 0.21 + phase).sin() * 0.5,
+                    (i as f64 * 0.11).cos() * 0.3,
+                )
+            })
             .collect()
     }
 
@@ -199,7 +205,9 @@ mod tests {
         let ca = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(2));
         let cb = ctx.encrypt(&ctx.encode(&b).expect("e"), &pk, Seed::from_u128(3));
         let sum = add(&ctx, &ca, &cb).expect("add");
-        let out = ctx.decode(&ctx.decrypt(&sum, &sk).expect("d")).expect("decode");
+        let out = ctx
+            .decode(&ctx.decrypt(&sum, &sk).expect("d"))
+            .expect("decode");
         let expected: Vec<Complex> = a
             .iter()
             .zip(&b)
@@ -228,9 +236,7 @@ mod tests {
         let expected: Vec<Complex> = a
             .iter()
             .zip(&w)
-            .map(|(x, y)| {
-                Complex::new(x.re * y.re - x.im * y.im, x.re * y.im + x.im * y.re)
-            })
+            .map(|(x, y)| Complex::new(x.re * y.re - x.im * y.im, x.re * y.im + x.im * y.re))
             .collect();
         let err = max_err(&out, &expected);
         assert!(err < 1e-3, "slot error {err}");
@@ -252,7 +258,9 @@ mod tests {
             ct = rescale(&ctx, &prod).expect("rescale");
         }
         assert_eq!(ct.level(), 1);
-        let out = ctx.decode(&ctx.decrypt(&ct, &sk).expect("d")).expect("decode");
+        let out = ctx
+            .decode(&ctx.decrypt(&ct, &sk).expect("d"))
+            .expect("decode");
         assert!(max_err(&out, &a) < 1e-2, "err {}", max_err(&out, &a));
     }
 
@@ -260,7 +268,11 @@ mod tests {
     fn add_rejects_mismatches() {
         let ctx = ctx();
         let (_, pk) = ctx.keygen(Seed::from_u128(8));
-        let a = ctx.encrypt(&ctx.encode(&msg(8, 0.0)).expect("e"), &pk, Seed::from_u128(9));
+        let a = ctx.encrypt(
+            &ctx.encode(&msg(8, 0.0)).expect("e"),
+            &pk,
+            Seed::from_u128(9),
+        );
         let b = a.truncated(3);
         assert!(matches!(
             add(&ctx, &a, &b),
@@ -273,7 +285,11 @@ mod tests {
         let ctx = ctx();
         let (_, pk) = ctx.keygen(Seed::from_u128(10));
         let ct = ctx
-            .encrypt(&ctx.encode(&msg(8, 0.0)).expect("e"), &pk, Seed::from_u128(11))
+            .encrypt(
+                &ctx.encode(&msg(8, 0.0)).expect("e"),
+                &pk,
+                Seed::from_u128(11),
+            )
             .truncated(1);
         assert!(matches!(
             rescale(&ctx, &ct),

@@ -143,9 +143,7 @@ mod tests {
             measure_noise(c, &ct, &sk, &pt).expect("measure").std_dev
         };
         // Prediction agrees in direction with measurement.
-        assert!(
-            predicted_fresh_std(1024, 3.2, Some(16)) < predicted_fresh_std(1024, 3.2, None)
-        );
+        assert!(predicted_fresh_std(1024, 3.2, Some(16)) < predicted_fresh_std(1024, 3.2, None));
         // Measurement is noisy; require only a non-inverted ordering
         // with slack.
         assert!(run(&sparse) < 2.0 * run(&dense));

@@ -126,8 +126,14 @@ fn ntt_ops(n: u64) -> Ops {
 ///
 /// Panics if `n` is not a power of two ≥ 4 or a prime count is zero.
 pub fn count_client_ops(n: u64, enc_primes: u64, dec_primes: u64) -> ClientOpCounts {
-    assert!(n.is_power_of_two() && n >= 4, "n must be a power of two >= 4");
-    assert!(enc_primes >= 1 && dec_primes >= 1, "prime counts must be positive");
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "n must be a power of two >= 4"
+    );
+    assert!(
+        enc_primes >= 1 && dec_primes >= 1,
+        "prime counts must be positive"
+    );
     let slots = n / 2;
 
     // --- Encoding: IFFT + Δ scale/round + RNS expand + message NTT ---
@@ -182,8 +188,14 @@ pub fn count_client_ops(n: u64, enc_primes: u64, dec_primes: u64) -> ClientOpCou
 /// parameters — `N = 2^16`, 12-level (13-prime) encryption, 2-level
 /// (3-prime) decryption — this reproduces the published 27.0 / 2.9 MOPs.
 pub fn count_client_ops_butterfly(n: u64, enc_primes: u64, dec_primes: u64) -> ClientOpCounts {
-    assert!(n.is_power_of_two() && n >= 4, "n must be a power of two >= 4");
-    assert!(enc_primes >= 1 && dec_primes >= 1, "prime counts must be positive");
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "n must be a power of two >= 4"
+    );
+    assert!(
+        enc_primes >= 1 && dec_primes >= 1,
+        "prime counts must be positive"
+    );
     let slots = n / 2;
     let fft_butterflies = Ops {
         muls: slots / 2 * slots.ilog2() as u64,

@@ -140,8 +140,7 @@ mod tests {
     #[test]
     fn precision_monotone_until_plateau() {
         let ctx = ctx();
-        let pts =
-            precision_sweep(&ctx, &[16, 24, 32, 45, 52], 1, Seed::from_u128(2)).unwrap();
+        let pts = precision_sweep(&ctx, &[16, 24, 32, 45, 52], 1, Seed::from_u128(2)).unwrap();
         assert_eq!(pts.len(), 5);
         // Narrow mantissa strictly worse than plateau.
         assert!(pts[0].precision_bits + 2.0 < pts[4].precision_bits);
@@ -152,11 +151,26 @@ mod tests {
     #[test]
     fn drop_off_detection() {
         let pts = vec![
-            PrecisionPoint { mantissa_bits: 20, precision_bits: 5.0 },
-            PrecisionPoint { mantissa_bits: 30, precision_bits: 15.0 },
-            PrecisionPoint { mantissa_bits: 40, precision_bits: 24.0 },
-            PrecisionPoint { mantissa_bits: 45, precision_bits: 24.5 },
-            PrecisionPoint { mantissa_bits: 52, precision_bits: 24.6 },
+            PrecisionPoint {
+                mantissa_bits: 20,
+                precision_bits: 5.0,
+            },
+            PrecisionPoint {
+                mantissa_bits: 30,
+                precision_bits: 15.0,
+            },
+            PrecisionPoint {
+                mantissa_bits: 40,
+                precision_bits: 24.0,
+            },
+            PrecisionPoint {
+                mantissa_bits: 45,
+                precision_bits: 24.5,
+            },
+            PrecisionPoint {
+                mantissa_bits: 52,
+                precision_bits: 24.6,
+            },
         ];
         assert_eq!(drop_off_point(&pts, 1.0), Some(40));
         assert_eq!(drop_off_point(&pts, 0.05), Some(52));

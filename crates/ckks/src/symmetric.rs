@@ -83,6 +83,7 @@ fn sample_mask(ctx: &CkksContext, seed: Seed, primes: usize) -> Vec<Vec<u64>> {
 ///
 /// Panics if the plaintext belongs to a different context (encode from
 /// the same context always matches).
+#[allow(clippy::needless_range_loop)] // parallel indexing of basis/plans/mask rows
 pub fn encrypt_symmetric_compressed(
     ctx: &CkksContext,
     pt: &Plaintext,
@@ -150,7 +151,9 @@ mod tests {
         let pt = ctx.encode(&m).expect("encode");
         let cct = encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(2));
         let ct = cct.expand(&ctx).expect("expand");
-        let out = ctx.decode(&ctx.decrypt(&ct, &sk).expect("decrypt")).expect("decode");
+        let out = ctx
+            .decode(&ctx.decrypt(&ct, &sk).expect("decrypt"))
+            .expect("decode");
         let err = out
             .iter()
             .zip(&m)

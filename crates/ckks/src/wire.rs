@@ -85,7 +85,7 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
         return Err(err("payload length mismatch"));
     }
     let mut cursor = 18usize;
-    let mut read_component = |cursor: &mut usize| -> Vec<Vec<u64>> {
+    let read_component = |cursor: &mut usize| -> Vec<Vec<u64>> {
         (0..primes)
             .map(|_| {
                 (0..n)
@@ -163,7 +163,9 @@ mod tests {
         let msg = vec![Complex::new(0.25, -0.5); 16];
         let ct = ctx.encrypt(&ctx.encode(&msg).expect("e"), &pk, Seed::from_u128(4));
         let back = deserialize_ciphertext(&serialize_ciphertext(&ct)).expect("wire");
-        let out = ctx.decode(&ctx.decrypt(&back, &sk).expect("d")).expect("decode");
+        let out = ctx
+            .decode(&ctx.decrypt(&back, &sk).expect("d"))
+            .expect("decode");
         assert!(out[0].dist(msg[0]) < 1e-4);
     }
 

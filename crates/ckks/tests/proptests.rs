@@ -1,6 +1,6 @@
 //! Property-based tests for the CKKS client pipeline.
 
-use abc_ckks::{params::CkksParams, CkksContext};
+use abc_ckks::{noise, params::CkksParams, wire, CkksContext};
 use abc_float::Complex;
 use abc_prng::Seed;
 use proptest::prelude::*;
@@ -98,6 +98,71 @@ proptest! {
         // c1 identical (c1 carries only the mask).
         prop_assert_ne!(ca.components().0, cb.components().0);
         prop_assert_eq!(ca.components().1, cb.components().1);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_noise_model(
+        key_seed in any::<u128>(),
+        enc_seed in any::<u128>(),
+        msg_seed in any::<u64>(),
+        log_n in 7u32..10,
+        used_slots_frac in 1usize..5,
+    ) {
+        // Full encode→encrypt→decrypt→decode with *random* key and
+        // encryption seeds and a random number of occupied slots; the
+        // slot error must stay under the analytic bound derived from the
+        // fresh-noise model: each slot is a sum of ≤ N coefficient
+        // errors (12σ̂ tail + Δ-quantization of ½ per coefficient).
+        let ctx = small_ctx(log_n, 3);
+        let p = ctx.params();
+        let used = p.slots() / used_slots_frac;
+        prop_assume!(used > 0);
+        let msg = message_from_seed(used, msg_seed);
+        let (sk, pk) = ctx.keygen(Seed::from_u128(key_seed));
+        let ct = ctx.encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(enc_seed));
+        let out = ctx.decode(&ctx.decrypt(&ct, &sk).expect("decrypt")).expect("decode");
+        let noise_std = noise::predicted_fresh_std(
+            p.n(), p.error_sigma(), p.secret_hamming_weight(),
+        );
+        let bound = p.n() as f64 * (12.0 * noise_std + 0.5) / p.scale();
+        for (i, (a, b)) in out.iter().take(used).zip(&msg).enumerate() {
+            prop_assert!(
+                a.dist(*b) < bound,
+                "slot {i}: {} vs {} (err {:e} > bound {:e})", a, b, a.dist(*b), bound
+            );
+        }
+        // Unused slots decode to ~zero under the same bound.
+        for (i, a) in out.iter().enumerate().skip(used) {
+            prop_assert!(a.dist(Complex::zero()) < bound, "pad slot {i} = {}", a);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_is_bit_exact(
+        seed in any::<u64>(),
+        log_n in 4u32..9,
+        primes in 1usize..5,
+        truncate_to in 1usize..5,
+    ) {
+        // serialize → deserialize is the identity on any fresh or
+        // truncated ciphertext, and the byte length matches the header
+        // + 2·primes·N·8 accounting the traffic model charges.
+        let truncate_to = truncate_to.min(primes);
+        let ctx = small_ctx(log_n, primes);
+        let (sk, pk) = ctx.keygen(Seed::from_u128(seed as u128 + 17));
+        let msg = message_from_seed(ctx.params().slots(), seed);
+        let ct = ctx
+            .encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(seed as u128 + 18))
+            .truncated(truncate_to);
+        let bytes = wire::serialize_ciphertext(&ct);
+        prop_assert_eq!(bytes.len(), 18 + 2 * truncate_to * ctx.params().n() * 8);
+        let back = wire::deserialize_ciphertext(&bytes).expect("deserialize");
+        prop_assert_eq!(&back, &ct);
+        // And the deserialized ciphertext still decrypts to the message.
+        let out = ctx.decode(&ctx.decrypt(&back, &sk).expect("decrypt")).expect("decode");
+        for (a, b) in out.iter().zip(&msg) {
+            prop_assert!(a.dist(*b) < 1e-4, "{} vs {}", a, b);
+        }
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build container for this repository has no access to crates.io, so
+//! the workspace vendors the subset of the criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Measurement model: each benchmark warms up briefly, then runs batches
+//! of iterations until `measurement_time` elapses (default 1 s), and
+//! reports the mean wall-clock time per iteration. When the binary is run
+//! with `--test` (as `cargo test --benches` does) every benchmark executes
+//! exactly one iteration so the target doubles as a smoke test.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    measurement: Duration,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    result_secs: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            self.result_secs = 0.0;
+            self.iters_done = 1;
+            return;
+        }
+        // Warm-up: one timed call sizes the batches.
+        let t0 = Instant::now();
+        black_box(routine());
+        let per_iter = t0.elapsed().max(Duration::from_nanos(1));
+        let mut iters: u64 = 1;
+        let mut elapsed = per_iter;
+        let batch = (self.measurement.as_nanos() / (8 * per_iter.as_nanos()).max(1))
+            .clamp(1, 1_000_000) as u64;
+        while elapsed < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        self.result_secs = elapsed.as_secs_f64() / iters as f64;
+        self.iters_done = iters;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure from the process arguments, as the upstream binary
+    /// harness does. Recognises `--test` (one iteration per bench) and a
+    /// positional substring filter; other flags are accepted and
+    /// ignored, together with their value when they take one (so a
+    /// flag's value is never mistaken for a filter).
+    pub fn from_args() -> Self {
+        // Upstream flags that are boolean — anything else starting with
+        // `--` is assumed to consume the following argument.
+        const BOOLEAN_FLAGS: [&str; 6] = [
+            "--test",
+            "--bench",
+            "--list",
+            "--quick",
+            "--verbose",
+            "--nocapture",
+        ];
+        let mut c = Criterion::default();
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with("--") => {
+                    skip_value = !BOOLEAN_FLAGS.contains(&s) && !s.contains('=');
+                }
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            measurement: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, f);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, full_id: &str, f: impl FnMut(&mut Bencher)) {
+        let measurement = self.measurement;
+        self.run_one_with(full_id, f, measurement);
+    }
+
+    fn run_one_with(
+        &mut self,
+        full_id: &str,
+        mut f: impl FnMut(&mut Bencher),
+        measurement: Duration,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measurement,
+            result_secs: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {full_id} ... ok");
+        } else {
+            println!(
+                "{full_id:<48} {:>12}/iter  ({} iterations)",
+                fmt_time(b.result_secs),
+                b.iters_done
+            );
+        }
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`. A `measurement_time` set here
+/// applies to this group only, as upstream scopes it.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let measurement = self.measurement.unwrap_or(self.criterion.measurement);
+        self.criterion.run_one_with(&full, f, measurement);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let measurement = self.measurement.unwrap_or(self.criterion.measurement);
+        self.criterion
+            .run_one_with(&full, |b| f(b, input), measurement);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::criterion_group!`: defines a function running
+/// each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: a `main` that runs the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}

@@ -11,6 +11,7 @@ use crate::softfloat::round_to_mantissa;
 /// operation, which is what the paper's Fig. 3c sweep measures.
 pub trait RealField {
     /// Rounds a constant into the datapath format.
+    #[allow(clippy::wrong_self_convention)] // `self` carries the datapath width
     fn from_f64(&self, x: f64) -> f64;
 
     /// Addition in the datapath.

@@ -103,10 +103,7 @@ pub fn table2() -> Vec<Table2Row> {
     );
     push("MSE", Component::ModularStreamingEngine.area_power());
     push("PRNG", Component::Prng.area_power());
-    push(
-        "Local Scratchpad",
-        Component::LocalScratchpad.area_power(),
-    );
+    push("Local Scratchpad", Component::LocalScratchpad.area_power());
     push("RSC", rsc_area_power(&cfg.rsc));
     push("2x RSC", rsc_area_power(&cfg.rsc).times(2.0));
     push(

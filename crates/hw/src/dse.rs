@@ -68,8 +68,7 @@ pub fn pnl_area_power(lanes: u32) -> AreaPower {
 /// Area/power of one RSC under a design point.
 pub fn rsc_area_power(point: &DesignPoint) -> AreaPower {
     let mse_anchor = Component::ModularStreamingEngine.area_power();
-    let mse_ratio =
-        (point.pnls_per_rsc * point.lanes) as f64 / (4 * ANCHOR_LANES) as f64;
+    let mse_ratio = (point.pnls_per_rsc * point.lanes) as f64 / (4 * ANCHOR_LANES) as f64;
     pnl_area_power(point.lanes)
         .times(point.pnls_per_rsc as f64)
         .plus(Component::OtfTwiddleGen.area_power())
@@ -88,11 +87,7 @@ pub fn chip_area_power(point: &DesignPoint) -> AreaPower {
 }
 
 /// Enumerates a rectangular design space.
-pub fn enumerate(
-    rscs: &[u32],
-    pnls: &[u32],
-    lanes: &[u32],
-) -> Vec<DesignPoint> {
+pub fn enumerate(rscs: &[u32], pnls: &[u32], lanes: &[u32]) -> Vec<DesignPoint> {
     let mut out = Vec::new();
     for &r in rscs {
         for &p in pnls {
@@ -125,8 +120,14 @@ mod tests {
     fn area_monotone_in_every_axis() {
         let base = DesignPoint::paper();
         let more_lanes = DesignPoint { lanes: 16, ..base };
-        let more_pnls = DesignPoint { pnls_per_rsc: 8, ..base };
-        let more_rscs = DesignPoint { rsc_count: 4, ..base };
+        let more_pnls = DesignPoint {
+            pnls_per_rsc: 8,
+            ..base
+        };
+        let more_rscs = DesignPoint {
+            rsc_count: 4,
+            ..base
+        };
         let a = |p: &DesignPoint| chip_area_power(p).area_mm2;
         assert!(a(&more_lanes) > a(&base));
         assert!(a(&more_pnls) > a(&base));

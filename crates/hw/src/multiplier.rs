@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn paper_reduction_percentages() {
         // Paper §IV-A: 67.7 % vs Barrett, 41.2 % vs vanilla Montgomery.
-        let vs_barrett = area_reduction(
-            MulAlgorithm::Barrett,
-            MulAlgorithm::NttFriendlyMontgomery,
-        );
+        let vs_barrett = area_reduction(MulAlgorithm::Barrett, MulAlgorithm::NttFriendlyMontgomery);
         let vs_mont = area_reduction(
             MulAlgorithm::Montgomery,
             MulAlgorithm::NttFriendlyMontgomery,

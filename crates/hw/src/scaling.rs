@@ -49,7 +49,10 @@ fn factor(node: u32, end_factor: f64) -> f64 {
 ///
 /// Panics if `node` is not one of [`NODES`].
 pub fn scale(ap: AreaPower, node: u32) -> AreaPower {
-    AreaPower::new(ap.area_mm2 * area_factor(node), ap.power_w * power_factor(node))
+    AreaPower::new(
+        ap.area_mm2 * area_factor(node),
+        ap.power_w * power_factor(node),
+    )
 }
 
 #[cfg(test)]

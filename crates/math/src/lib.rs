@@ -87,7 +87,10 @@ impl core::fmt::Display for MathError {
                 "prime search exhausted: found {found} of {requested} {bits}-bit primes"
             ),
             MathError::NoRootOfUnity { modulus, order } => {
-                write!(f, "modulus {modulus} admits no primitive {order}-th root of unity")
+                write!(
+                    f,
+                    "modulus {modulus} admits no primitive {order}-th root of unity"
+                )
             }
             MathError::BasisNotCoprime { a, b } => {
                 write!(f, "moduli {a} and {b} are not coprime")

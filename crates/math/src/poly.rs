@@ -78,6 +78,7 @@ pub fn scalar_mul_assign(m: &Modulus, a: &mut [u64], s: u64) {
 /// # Panics
 ///
 /// Panics if `a.len() != b.len()`.
+#[allow(clippy::needless_range_loop)] // positional schoolbook indices (k = i + j wrap)
 pub fn negacyclic_mul_schoolbook(m: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
     assert_eq!(a.len(), b.len());
     let n = a.len();

@@ -434,10 +434,10 @@ mod tests {
         vec![
             97,
             65537,
-            0xFFF0_0001,            // 2^32 - 2^20 + 1 (structured prime)
-            0xF_FFF0_0001,          // 2^36 - 2^20 + 1 (structured prime)
-            0xFFF_FFFF_C001,        // 2^44 - 2^14 + 1 (structured prime)
-            4611686018427387847,    // large odd (primality irrelevant for reduction)
+            0xFFF0_0001,         // 2^32 - 2^20 + 1 (structured prime)
+            0xF_FFF0_0001,       // 2^36 - 2^20 + 1 (structured prime)
+            0xFFF_FFFF_C001,     // 2^44 - 2^14 + 1 (structured prime)
+            4611686018427387847, // large odd (primality irrelevant for reduction)
         ]
     }
 
@@ -484,7 +484,17 @@ mod tests {
 
     #[test]
     fn csd_is_minimal_weight_and_correct() {
-        for x in [0u64, 1, 2, 3, 7, 0xF0F0, 0xDEAD_BEEF, u64::MAX, 0x8000_0000_0000_0001] {
+        for x in [
+            0u64,
+            1,
+            2,
+            3,
+            7,
+            0xF0F0,
+            0xDEAD_BEEF,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+        ] {
             let terms = csd(x);
             assert_eq!(csd_eval_wrapping(&terms), x, "x={x:#x}");
             // CSD property: no two adjacent nonzero digits.
@@ -513,12 +523,22 @@ mod tests {
     }
 
     fn sample_pairs(q: u64) -> Vec<(u64, u64)> {
-        let mut v = vec![(0, 0), (0, 1), (1, 1), (q - 1, q - 1), (q - 1, 1), (q / 2, 2)];
-        let mut x = 0x1234_5678_9ABC_DEFu64 % q;
-        let mut y = 0xFEDC_BA98_7654_321u64 % q;
+        let mut v = vec![
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (q - 1, q - 1),
+            (q - 1, 1),
+            (q / 2, 2),
+        ];
+        let mut x = 0x0123_4567_89AB_CDEFu64 % q;
+        let mut y = 0x0FED_CBA9_8765_4321u64 % q;
         for _ in 0..32 {
             v.push((x, y));
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) % q;
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
+                % q;
             y = y.wrapping_mul(2862933555777941757).wrapping_add(3037000493) % q;
         }
         v

@@ -123,6 +123,7 @@ impl RnsBasis {
     /// # Panics
     ///
     /// Panics if `residues.len()` differs from the basis size.
+    #[allow(clippy::needless_range_loop)] // Garner recurrence is positional (i < j)
     pub fn combine(&self, residues: &[u64]) -> UBig {
         assert_eq!(residues.len(), self.moduli.len());
         // Mixed-radix digits: x = v0 + v1·q0 + v2·q0·q1 + …

@@ -1,0 +1,152 @@
+//! Golden-value regression tests for the math hot paths.
+//!
+//! Every constant in this file was computed *outside* the crate (Python
+//! big-integer arithmetic; derivations quoted inline), so these tests pin
+//! the reducers and the prime search against an independent reference
+//! rather than against the crate's own arithmetic.
+
+use abc_math::primes::{generate_ntt_primes, is_prime, search_structured_primes};
+use abc_math::reduce::{csd, Barrett, ModMul, Montgomery, NttFriendlyMontgomery};
+use abc_math::Modulus;
+
+/// The paper's structured primes used throughout: 2^44−2^14+1,
+/// 2^36−2^20+1, 2^32−2^20+1.
+const Q44: u64 = 0xFFF_FFFF_C001;
+const Q36: u64 = 0xF_FFF0_0001;
+const Q32: u64 = 0xFFF0_0001;
+
+/// Pinned products `a·b mod q` for `a = 0x1234_5678_9ABC mod q`,
+/// `b = 0xFEDC_BA98_7654 mod q` (Python: `a * b % q`).
+const MUL_GOLDEN: [(u64, u64); 3] = [
+    (Q44, 0xD2_EDBB_2E11),
+    (Q36, 0x2_E5FD_1BB0),
+    (Q32, 0x5A8B_3083),
+];
+
+#[test]
+fn reducers_match_independent_products() {
+    for (q, expected) in MUL_GOLDEN {
+        let m = Modulus::new(q).expect("modulus");
+        let a = 0x1234_5678_9ABCu64 % q;
+        let b = 0xFEDC_BA98_7654u64 % q;
+        assert_eq!(m.mul(a, b), expected, "reference u128 path, q={q:#x}");
+        assert_eq!(Barrett::new(m).mul_mod(a, b), expected, "Barrett, q={q:#x}");
+        assert_eq!(
+            Montgomery::new(m).mul_mod(a, b),
+            expected,
+            "Montgomery, q={q:#x}"
+        );
+        assert_eq!(
+            NttFriendlyMontgomery::new(m)
+                .expect("structured")
+                .mul_mod(a, b),
+            expected,
+            "NTT-friendly Montgomery, q={q:#x}"
+        );
+    }
+}
+
+#[test]
+fn reducers_match_on_boundary_values() {
+    // (q−1)² ≡ 1 (mod q) for every q — and 0/1 edge cases.
+    for q in [Q44, Q36, Q32] {
+        let m = Modulus::new(q).expect("modulus");
+        let mont = Montgomery::new(m);
+        let barrett = Barrett::new(m);
+        let nf = NttFriendlyMontgomery::new(m).expect("structured");
+        for r in [&barrett as &dyn ModMul, &mont, &nf] {
+            assert_eq!(r.mul_mod(q - 1, q - 1), 1, "(q-1)^2 mod q, q={q:#x}");
+            assert_eq!(r.mul_mod(0, q - 1), 0);
+            assert_eq!(r.mul_mod(1, q - 1), q - 1);
+        }
+    }
+}
+
+#[test]
+fn montgomery_domain_constants() {
+    // Round-trip through the Montgomery domain is exact for pinned
+    // values; `to_mont(1) = R mod q`, computed independently.
+    let m = Modulus::new(Q44).expect("modulus");
+    let mont = Montgomery::new(m);
+    // Python: (2**64) % (2**44 - 2**14 + 1) = 17178820608
+    assert_eq!(mont.to_mont(1), 17_178_820_608);
+    for x in [0u64, 1, 12345, Q44 - 1] {
+        assert_eq!(mont.from_mont(mont.to_mont(x)), x);
+    }
+}
+
+#[test]
+fn shift_add_network_shapes_are_pinned() {
+    // The paper's area argument rests on these CSD weights (Python:
+    // CSD of -q^{-1} mod 2^r and of q, r = bits(q)+2).
+    let cases = [
+        // (q, radix_bits, qinv_csd_weight, q_csd_weight, total_adders)
+        (Q44, 46, 5, 3, 6),
+        (Q36, 38, 3, 3, 4),
+        (Q32, 34, 3, 3, 4),
+    ];
+    for (q, r, w_qinv, w_q, adders) in cases {
+        let nf = NttFriendlyMontgomery::new(Modulus::new(q).expect("modulus"))
+            .expect("structured prime");
+        assert_eq!(nf.radix_bits(), r, "radix, q={q:#x}");
+        assert_eq!(nf.csd_weight(), w_qinv, "Q^-1 network, q={q:#x}");
+        assert_eq!(nf.q_csd_weight(), w_q, "Q network, q={q:#x}");
+        assert_eq!(nf.total_adders(), adders, "adders, q={q:#x}");
+    }
+}
+
+#[test]
+fn csd_of_structured_primes_is_three_terms() {
+    // q = 2^bw − 2^t + 1 decomposes as exactly {+2^bw, −2^t, +2^0}.
+    for (q, bw, t) in [(Q44, 44, 14), (Q36, 36, 20), (Q32, 32, 20)] {
+        let terms = csd(q);
+        assert_eq!(terms.len(), 3, "q={q:#x}");
+        let mut pairs: Vec<(i8, u32)> = terms.iter().map(|c| (c.sign, c.shift)).collect();
+        pairs.sort_by_key(|&(_, s)| s);
+        assert_eq!(pairs, vec![(1, 0), (-1, t), (1, bw)], "q={q:#x}");
+    }
+}
+
+#[test]
+fn ntt_prime_generation_is_pinned() {
+    // Descending 36-bit primes ≡ 1 (mod 2^14), verified with sympy:
+    // [0xffffc4001, 0xffff00001, 0xfffeec001, 0xfffe58001]
+    assert_eq!(
+        generate_ntt_primes(36, 4, 1 << 14).expect("primes"),
+        vec![0xF_FFFC_4001, 0xF_FFF0_0001, 0xF_FFEE_C001, 0xF_FFE5_8001]
+    );
+    // Descending 44-bit primes ≡ 1 (mod 2^15):
+    // [0xfffffdf8001, 0xfffffd78001]
+    assert_eq!(
+        generate_ntt_primes(44, 2, 1 << 15).expect("primes"),
+        vec![0xFFF_FFDF_8001, 0xFFF_FFD7_8001]
+    );
+}
+
+#[test]
+fn primality_spot_checks_against_reference() {
+    // Verified with sympy.isprime.
+    for q in [Q44, Q36, Q32, 0xF_FFFC_4001, 0xFFF_FFDF_8001] {
+        assert!(is_prime(q), "{q:#x} is prime");
+    }
+    // Composite neighbours of the structured primes (q ± 2) and
+    // well-known strong-pseudoprime traps.
+    for c in [Q44 + 2, Q36 - 2, Q32 + 2, 3_215_031_751, 2_152_302_898_747] {
+        assert!(!is_prime(c), "{c:#x} is composite");
+    }
+}
+
+#[test]
+fn structured_search_contains_the_papers_anchor_primes() {
+    // The Table-I / §IV-A anchor primes must come out of the Eq. 8
+    // search for their respective (bits, N) settings.
+    let p36 = search_structured_primes(36..=36, 1 << 16);
+    assert!(p36.iter().any(|p| p.q == Q36));
+    let p32 = search_structured_primes(32..=32, 1 << 10);
+    assert!(p32.iter().any(|p| p.q == Q32));
+    // Every reported prime re-verifies under the independent checks.
+    for p in p36.iter().chain(&p32) {
+        assert!(is_prime(p.q));
+        assert_eq!(p.q % (1 << 11), 1);
+    }
+}

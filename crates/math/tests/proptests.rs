@@ -3,7 +3,9 @@
 //! and RNS decompose/combine round-trips.
 
 use abc_math::primes::{generate_ntt_primes, generate_structured_ntt_primes, is_prime};
-use abc_math::reduce::{csd, csd_eval_wrapping, Barrett, ModMul, Montgomery, NttFriendlyMontgomery};
+use abc_math::reduce::{
+    csd, csd_eval_wrapping, Barrett, ModMul, Montgomery, NttFriendlyMontgomery,
+};
 use abc_math::{Modulus, RnsBasis, UBig};
 use proptest::prelude::*;
 

@@ -29,8 +29,7 @@ pub mod sampler;
 
 /// A 128-bit PRNG seed — the only random state the accelerator keeps
 /// on-chip (matching the paper's 128-bit security target).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Seed(pub [u8; 16]);
 
 impl Seed {
@@ -48,4 +47,3 @@ impl Seed {
         Self::from_u128(lo | (hi << 64))
     }
 }
-

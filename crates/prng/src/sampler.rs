@@ -291,8 +291,11 @@ mod tests {
         let samples = s.sample_poly(n);
         assert!(samples.iter().all(|&x| x.abs() <= eta as i64));
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.05, "mean = {mean}");
         assert!((var - eta as f64 / 2.0).abs() < 0.2, "var = {var}");
     }
@@ -309,7 +312,11 @@ mod tests {
         let n = 50_000;
         let samples = s.sample_poly(n);
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.1, "mean = {mean}");
         assert!((var.sqrt() - 3.2).abs() < 0.15, "std = {}", var.sqrt());
         // Tail cut: nothing beyond 6σ.

@@ -25,7 +25,11 @@ pub enum RscMode {
 
 impl RscMode {
     /// All modes.
-    pub const ALL: [RscMode; 3] = [RscMode::DualEncrypt, RscMode::DualDecrypt, RscMode::Concurrent];
+    pub const ALL: [RscMode; 3] = [
+        RscMode::DualEncrypt,
+        RscMode::DualDecrypt,
+        RscMode::Concurrent,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {

@@ -108,7 +108,10 @@ impl StreamingEngine {
         // Hard stop far beyond any plausible latency, as a model-bug trap.
         let limit = (self.input_items as u64 + 10_000) * 64;
         while drained < self.input_items {
-            assert!(cycle < limit, "streaming engine failed to drain (model bug)");
+            assert!(
+                cycle < limit,
+                "streaming engine failed to drain (model bug)"
+            );
             let mut dram_budget = self.dram_bytes_per_cycle;
 
             // 1. Source: inject into fifo[0] within DRAM budget and space.
@@ -203,8 +206,7 @@ mod tests {
         for (n, p) in [(1u64 << 10, 8u32), (1 << 12, 8), (1 << 12, 16)] {
             let engine = ntt_engine(n, p, 3).with_workload(n as f64, 0.0, 0.0, f64::INFINITY);
             let trace = engine.run();
-            let analytic = pipeline::ntt_stream_cycles(n, p)
-                + pipeline::ntt_fill_cycles(n, p, 3);
+            let analytic = pipeline::ntt_stream_cycles(n, p) + pipeline::ntt_fill_cycles(n, p, 3);
             let stepped = trace.cycles as f64;
             // Within 30% of the closed form (the closed form bounds FIFO
             // residency by n/p; the stepped machine realizes less).
@@ -254,7 +256,10 @@ mod tests {
     }
 
     fn engine_stage_capacity(e: &StreamingEngine, i: usize) -> f64 {
-        e.stages.get(i).map(|s| s.fifo_capacity).unwrap_or(f64::INFINITY)
+        e.stages
+            .get(i)
+            .map(|s| s.fifo_capacity)
+            .unwrap_or(f64::INFINITY)
     }
 
     #[test]

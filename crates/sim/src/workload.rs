@@ -117,9 +117,8 @@ impl Workload {
             MemoryConfig::Base => {
                 // Twiddles stream per transform; public key, mask and
                 // errors are fetched materialized.
-                traffic.parameters += transforms
-                    * pipeline::streamed_twiddle_words(n, TWIDDLE_BUFFER_WORDS)
-                    * cb;
+                traffic.parameters +=
+                    transforms * pipeline::streamed_twiddle_words(n, TWIDDLE_BUFFER_WORDS) * cb;
                 // IFFT twiddles (complex words).
                 traffic.parameters +=
                     pipeline::streamed_twiddle_words(self.slots(), TWIDDLE_BUFFER_WORDS) * 2.0 * cb;
@@ -133,10 +132,22 @@ impl Workload {
             MemoryConfig::All => {}
         }
 
-        self.finish(cfg, "encode+encrypt", compute, traffic, vec![
-            PhaseCycles { label: "IFFT (canonical embedding)".into(), compute: ifft },
-            PhaseCycles { label: "NTT x4/prime + MSE".into(), compute: ntt_phase },
-        ])
+        self.finish(
+            cfg,
+            "encode+encrypt",
+            compute,
+            traffic,
+            vec![
+                PhaseCycles {
+                    label: "IFFT (canonical embedding)".into(),
+                    compute: ifft,
+                },
+                PhaseCycles {
+                    label: "NTT x4/prime + MSE".into(),
+                    compute: ntt_phase,
+                },
+            ],
+        )
     }
 
     fn run_decode_decrypt(&self, cfg: &SimConfig) -> SimReport {
@@ -173,10 +184,22 @@ impl Workload {
             MemoryConfig::All => {}
         }
 
-        self.finish(cfg, "decode+decrypt", compute, traffic, vec![
-            PhaseCycles { label: "INTT per prime + MSE/CRT".into(), compute: intt },
-            PhaseCycles { label: "FFT (canonical embedding)".into(), compute: fft },
-        ])
+        self.finish(
+            cfg,
+            "decode+decrypt",
+            compute,
+            traffic,
+            vec![
+                PhaseCycles {
+                    label: "INTT per prime + MSE/CRT".into(),
+                    compute: intt,
+                },
+                PhaseCycles {
+                    label: "FFT (canonical embedding)".into(),
+                    compute: fft,
+                },
+            ],
+        )
     }
 
     fn finish(
@@ -187,9 +210,7 @@ impl Workload {
         traffic: Traffic,
         phases: Vec<PhaseCycles>,
     ) -> SimReport {
-        let dram = cfg
-            .dram
-            .transfer_cycles(traffic.total(), cfg.clock_hz);
+        let dram = cfg.dram.transfer_cycles(traffic.total(), cfg.clock_hz);
         // Double-buffered scratchpads overlap compute and transfer; fills
         // and the first DRAM access do not overlap.
         let fill = pipeline::ntt_fill_cycles(self.n(), cfg.lanes, cfg.mult_stages)
@@ -266,10 +287,10 @@ mod tests {
         use crate::config::MemoryConfig;
         for log_n in [13u32, 14, 15, 16] {
             let all = Workload::encode_encrypt(log_n, 24).run(&cfg());
-            let base = Workload::encode_encrypt(log_n, 24)
-                .run(&cfg().with_memory(MemoryConfig::Base));
-            let tf = Workload::encode_encrypt(log_n, 24)
-                .run(&cfg().with_memory(MemoryConfig::TfGen));
+            let base =
+                Workload::encode_encrypt(log_n, 24).run(&cfg().with_memory(MemoryConfig::Base));
+            let tf =
+                Workload::encode_encrypt(log_n, 24).run(&cfg().with_memory(MemoryConfig::TfGen));
             let r = base.slowdown_vs(&all);
             // Paper Fig. 6b: 8.2–9.3x; our traffic model lands in the
             // same several-fold band and rises with N.
@@ -300,8 +321,7 @@ mod tests {
     #[test]
     fn compressed_upload_relieves_the_memory_wall() {
         let full = Workload::encode_encrypt(16, 24).run(&cfg());
-        let compressed =
-            Workload::encode_encrypt(16, 24).run(&cfg().with_compressed_upload(true));
+        let compressed = Workload::encode_encrypt(16, 24).run(&cfg().with_compressed_upload(true));
         // Half the write-back traffic: the memory-bound point moves and
         // latency improves substantially.
         assert!(compressed.traffic.payload_out < 0.51 * full.traffic.payload_out);

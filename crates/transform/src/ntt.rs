@@ -190,7 +190,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 x % q
             })
             .collect()

@@ -235,7 +235,10 @@ mod tests {
         assert_eq!(r[3].ntt_multipliers, 64.0);
         // Reduction vs radix-2 lands in the paper's ballpark (tens of %).
         let reduction = 1.0 - r[3].ntt_multipliers / r[0].ntt_multipliers;
-        assert!(reduction > 0.15 && reduction < 0.35, "reduction={reduction}");
+        assert!(
+            reduction > 0.15 && reduction < 0.35,
+            "reduction={reduction}"
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ impl StreamingSpecialFft {
             rot_group.push(five);
             five = (five * 5) % two_n;
         }
-        Self { slots, n, rot_group }
+        Self {
+            slots,
+            n,
+            rot_group,
+        }
     }
 
     /// Slot count.

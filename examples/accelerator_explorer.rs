@@ -22,14 +22,21 @@ fn main() {
             pt.lanes,
             pt.time_ms,
             pt.throughput_per_s,
-            if pt.memory_bound { "memory-bound" } else { "compute-bound" }
+            if pt.memory_bound {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            }
         );
     }
 
     // 2. What does on-chip generation buy, and what does it cost?
     println!("\n--- memory configurations at N = 2^16 ---");
     for m in MemoryConfig::ALL {
-        let r = simulate(&Workload::encode_encrypt(16, 24), &base.clone().with_memory(m));
+        let r = simulate(
+            &Workload::encode_encrypt(16, 24),
+            &base.clone().with_memory(m),
+        );
         println!(
             "{:<14} {:>7.4} ms  ({:.1} MB DRAM traffic)",
             m.name(),
@@ -68,7 +75,10 @@ fn main() {
     println!("\n--- technology scaling of the full chip ---");
     for node in scaling::NODES {
         let s = scaling::scale(full, node);
-        println!("{node:>2} nm: {:>7.3} mm^2, {:>6.3} W", s.area_mm2, s.power_w);
+        println!(
+            "{node:>2} nm: {:>7.3} mm^2, {:>6.3} W",
+            s.area_mm2, s.power_w
+        );
     }
 
     // 5. A hypothetical double-bandwidth client platform: where does the
@@ -82,7 +92,11 @@ fn main() {
             "P = {:>2}: {:>7.4} ms ({})",
             pt.lanes,
             pt.time_ms,
-            if pt.memory_bound { "memory-bound" } else { "compute-bound" }
+            if pt.memory_bound {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            }
         );
     }
     println!(

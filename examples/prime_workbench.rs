@@ -14,9 +14,17 @@ use abc_fhe::transform::{NttPlan, OtfTwiddleGen};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Structured 34-36-bit primes supporting N = 2^14 negacyclic NTTs.
-    let n = 1u64 << 14;
+    // `ABC_FHE_LOG_N` overrides the ring-degree exponent (CI smoke).
+    let log_n: u32 = std::env::var("ABC_FHE_LOG_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14);
+    let n = 1u64 << log_n;
     let primes = search_structured_primes(34..=36, n);
-    println!("structured NTT-friendly primes (34-36 bit, N = 2^14): {}", primes.len());
+    println!(
+        "structured NTT-friendly primes (34-36 bit, N = 2^{log_n}): {}",
+        primes.len()
+    );
 
     // Inspect the cheapest few: how small are their shift-add networks?
     let mut rows: Vec<_> = primes
@@ -45,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // multiplies polynomials correctly with on-the-fly twiddles.
     let (best, nf) = &rows[0];
     let m = Modulus::new(best.q)?;
-    println!("\nselected q = {} ({} adders total)", best.q, nf.total_adders());
+    println!(
+        "\nselected q = {} ({} adders total)",
+        best.q,
+        nf.total_adders()
+    );
     let mut agree = true;
     for i in 0..1000u64 {
         let a = (i * 0x9E37_79B9) % m.q();
@@ -68,11 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(fwd_table, fwd_otf);
 
-    // Memory story: table vs seeds for this modulus at N = 2^14.
+    // Memory story: table vs seeds for this modulus at the full ring.
     let full_plan = NttPlan::new(m, n as usize)?;
     let full_otf = OtfTwiddleGen::with_psi(m, n as usize, full_plan.table().psi())?;
     println!(
-        "twiddle storage at N = 2^14: table {} KiB vs seeds {} B ({}x reduction)",
+        "twiddle storage at N = 2^{log_n}: table {} KiB vs seeds {} B ({}x reduction)",
         full_plan.table().table_bytes() / 1024,
         full_otf.seed_bytes(),
         full_plan.table().table_bytes() / full_otf.seed_bytes()

@@ -36,7 +36,16 @@ fn server_linear_layer(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bootstrappable parameters at the small end (N = 2^13) so the
     // example runs in about a second; the paper's headline is 2^16.
-    let params = CkksParams::bootstrappable(13)?;
+    // `ABC_FHE_LOG_N` overrides the ring degree (CI smoke-tests at
+    // log_n = 10, below the bootstrappable floor, via the builder).
+    let params = match std::env::var("ABC_FHE_LOG_N")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(log_n) if log_n < 13 => CkksParams::builder().log_n(log_n).num_primes(24).build()?,
+        Some(log_n) => CkksParams::bootstrappable(log_n)?,
+        None => CkksParams::bootstrappable(13)?,
+    };
     let ctx = CkksContext::new(params)?;
     let (sk, pk) = ctx.keygen(Seed::from_u128(0x5EC2E7));
 
@@ -73,10 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scores = ctx.decode(&ctx.decrypt(&returned, &sk)?)?;
     let mut worst = 0.0f64;
     for i in 0..64 {
-        let expected = Complex::new(
-            features[i].re * weights[i].re + bias[i].re,
-            0.0,
-        );
+        let expected = Complex::new(features[i].re * weights[i].re + bias[i].re, 0.0);
         worst = worst.max(scores[i].dist(expected));
     }
     println!("worst slot error vs cleartext linear layer: {worst:.3e}");

@@ -30,7 +30,10 @@ fn all_reducers_agree_on_structured_primes() {
             assert_eq!(nf.mul_mod(a, b), want);
         }
     }
-    assert!(tested >= 20, "too few structured primes admitted networks: {tested}");
+    assert!(
+        tested >= 20,
+        "too few structured primes admitted networks: {tested}"
+    );
 }
 
 #[test]
@@ -61,7 +64,10 @@ fn hw_multiplier_metadata_matches_math_layer() {
     let nf = NttFriendlyMontgomery::new(m).expect("structured");
     // The hardware model's "one true multiplier" claim is backed by the
     // functional layer actually running on shift-add networks.
-    assert_eq!(nf.multiplier_count(), MulAlgorithm::NttFriendlyMontgomery.multiplier_count());
+    assert_eq!(
+        nf.multiplier_count(),
+        MulAlgorithm::NttFriendlyMontgomery.multiplier_count()
+    );
     assert!(nf.total_adders() <= 2 * (NttFriendlyMontgomery::MAX_CSD_WEIGHT - 1));
     assert_eq!(
         Barrett::new(m).pipeline_stages(),
@@ -87,8 +93,10 @@ fn simulator_workload_matches_opcount_shape() {
     let op_ratio = ops.imbalance();
     // Same order of magnitude: the accelerator parallelizes both flows
     // with the same resources.
-    assert!(cycle_ratio > op_ratio / 5.0 && cycle_ratio < op_ratio * 5.0,
-        "cycles {cycle_ratio} vs ops {op_ratio}");
+    assert!(
+        cycle_ratio > op_ratio / 5.0 && cycle_ratio < op_ratio * 5.0,
+        "cycles {cycle_ratio} vs ops {op_ratio}"
+    );
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! Smoke tests for the `examples/` binaries: each one must run to
+//! completion at small parameters (`ABC_FHE_LOG_N = 10`) so example rot
+//! is caught by tier-1 CI, not by the first user to copy-paste one.
+//!
+//! `cargo test` compiles every example before the test binaries run, so
+//! the executables are guaranteed to exist next to this test's own
+//! binary (`target/<profile>/examples/`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "private_inference_client",
+    "accelerator_explorer",
+    "prime_workbench",
+    "client_gateway",
+];
+
+fn examples_dir() -> PathBuf {
+    // This test binary lives in target/<profile>/deps/; the examples are
+    // built into target/<profile>/examples/.
+    let exe = std::env::current_exe().expect("current_exe");
+    exe.parent()
+        .and_then(|deps| deps.parent())
+        .expect("target profile dir")
+        .join("examples")
+}
+
+fn run_example(name: &str) {
+    let path = examples_dir().join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        path.exists(),
+        "example binary {path:?} not found — was it removed from Cargo.toml?"
+    );
+    let output = Command::new(&path)
+        .env("ABC_FHE_LOG_N", "10")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} produced no output"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn private_inference_client_runs() {
+    run_example("private_inference_client");
+}
+
+#[test]
+fn accelerator_explorer_runs() {
+    run_example("accelerator_explorer");
+}
+
+#[test]
+fn prime_workbench_runs() {
+    run_example("prime_workbench");
+}
+
+#[test]
+fn client_gateway_runs() {
+    run_example("client_gateway");
+}
+
+#[test]
+fn all_examples_are_covered() {
+    // Keep this list in sync with [[example]] entries in Cargo.toml.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples dir")
+        .filter_map(|e| {
+            let name = e
+                .expect("dir entry")
+                .file_name()
+                .into_string()
+                .expect("utf8");
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    let mut covered: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    covered.sort();
+    assert_eq!(on_disk, covered, "examples on disk vs smoke-tested set");
+}

@@ -41,12 +41,16 @@ fn single_bit_corruption_destroys_the_slot_plane() {
     let (sk, pk) = ctx.keygen(Seed::from_u128(1));
     let m = msg(ctx.params().slots());
     let ct = ctx.encrypt(&ctx.encode(&m).expect("encode"), &pk, Seed::from_u128(2));
-    let clean = ctx.decode(&ctx.decrypt(&ct, &sk).expect("d")).expect("decode");
+    let clean = ctx
+        .decode(&ctx.decrypt(&ct, &sk).expect("d"))
+        .expect("decode");
     assert!(max_err(&clean, &m) < 1e-4);
     // One flipped bit in one residue: CRT spreads it across the whole
     // integer range, the FFT across every slot.
     let bad = corrupt(&ct, 1, 7);
-    let garbled = ctx.decode(&ctx.decrypt(&bad, &sk).expect("d")).expect("decode");
+    let garbled = ctx
+        .decode(&ctx.decrypt(&bad, &sk).expect("d"))
+        .expect("decode");
     assert!(
         max_err(&garbled, &m) > 1.0,
         "corruption must not decode quietly: err = {}",
@@ -78,24 +82,23 @@ fn mismatched_seed_fails_symmetric_expansion() {
     let cct = symmetric::encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(6));
     // Correct expansion decrypts fine.
     let good = cct.expand(&ctx).expect("expand");
-    let out = ctx.decode(&ctx.decrypt(&good, &sk).expect("d")).expect("decode");
+    let out = ctx
+        .decode(&ctx.decrypt(&good, &sk).expect("d"))
+        .expect("decode");
     assert!(max_err(&out, &m) < 1e-4);
     // An attacker (or a bug) substituting a different mask seed yields
     // garbage — the c0/c1 pair no longer cancels under the key.
     let (c0, _) = good.components();
     let wrong_mask = {
-        let other = symmetric::encrypt_symmetric_compressed(
-            &ctx,
-            &pt,
-            &sk,
-            Seed::from_u128(999),
-        );
+        let other = symmetric::encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(999));
         other.expand(&ctx).expect("expand")
     };
     let (_, wrong_c1) = wrong_mask.components();
     let franken =
         Ciphertext::from_components(c0.to_vec(), wrong_c1.to_vec(), good.scale()).expect("shape");
-    let garbled = ctx.decode(&ctx.decrypt(&franken, &sk).expect("d")).expect("decode");
+    let garbled = ctx
+        .decode(&ctx.decrypt(&franken, &sk).expect("d"))
+        .expect("decode");
     assert!(max_err(&garbled, &m) > 1.0);
 }
 
