@@ -1,40 +1,92 @@
-//! Criterion benchmarks for the Fourier layer: negacyclic NTT (table vs
-//! on-the-fly twiddles) and the CKKS special FFT at FP64 and FP55.
+//! Criterion benchmarks for the Fourier layer: negacyclic NTT — Harvey
+//! fast path vs the golden scalar kernel vs on-the-fly twiddles —
+//! batched RNS transforms at 1 and many threads, and the CKKS special
+//! FFT at FP64 and FP55.
 
 use abc_float::{F64Field, SoftFloatField};
-use abc_transform::{NttPlan, OtfTwiddleGen, SpecialFft};
+use abc_math::{primes::generate_ntt_primes, Modulus};
+use abc_transform::{NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ntt(c: &mut Criterion) {
     let m = abc_math::Modulus::new(0xF_FFF0_0001).expect("prime");
     let mut g = c.benchmark_group("ntt");
-    for log_n in [12u32, 13, 14] {
+    for log_n in [12u32, 13, 14, 15, 16] {
         let n = 1usize << log_n;
         let plan = NttPlan::new(m, n).expect("plan");
-        let otf = OtfTwiddleGen::with_psi(m, n, plan.table().psi()).expect("otf");
         let poly: Vec<u64> = (0..n as u64).map(|i| i % m.q()).collect();
+        // A preallocated buffer refreshed by memcpy per iteration keeps
+        // the allocator (fresh mmap + page faults at these sizes) out
+        // of the measurement for every variant below.
+        let mut buf = vec![0u64; n];
+        // Fast path: Shoup twiddles + lazy reduction (AVX-512IFMA when
+        // the CPU has it, scalar Harvey otherwise — `kernel_name()`
+        // says which; this box reports "ifma").
         g.bench_with_input(BenchmarkId::new("forward_table", n), &n, |b, _| {
             b.iter(|| {
-                let mut a = poly.clone();
-                plan.forward(black_box(&mut a));
-                a
+                buf.copy_from_slice(&poly);
+                plan.forward(black_box(&mut buf));
             })
         });
-        g.bench_with_input(BenchmarkId::new("forward_otf", n), &n, |b, _| {
+        // The pre-Harvey scalar kernel (u128 widening multiply + divide
+        // per twiddle), still reachable through the TwiddleSource path.
+        g.bench_with_input(BenchmarkId::new("forward_golden", n), &n, |b, _| {
             b.iter(|| {
-                let mut a = poly.clone();
-                plan.forward_with(&otf, black_box(&mut a));
-                a
+                buf.copy_from_slice(&poly);
+                plan.forward_with(plan.table(), black_box(&mut buf));
             })
         });
         g.bench_with_input(BenchmarkId::new("roundtrip_table", n), &n, |b, _| {
             b.iter(|| {
-                let mut a = poly.clone();
-                plan.forward(&mut a);
-                plan.inverse(black_box(&mut a));
-                a
+                buf.copy_from_slice(&poly);
+                plan.forward(&mut buf);
+                plan.inverse(black_box(&mut buf));
             })
         });
+        // OTF twiddle regeneration is O(log N) multiplies per twiddle —
+        // too slow to sweep at every size.
+        if log_n <= 14 {
+            let otf = OtfTwiddleGen::with_psi(m, n, plan.table().psi()).expect("otf");
+            g.bench_with_input(BenchmarkId::new("forward_otf", n), &n, |b, _| {
+                b.iter(|| {
+                    buf.copy_from_slice(&poly);
+                    plan.forward_with(&otf, black_box(&mut buf));
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_rns_engine(c: &mut Criterion) {
+    // The client-pipeline shape: one polynomial, many RNS limbs.
+    const LIMBS: usize = 8;
+    let mut g = c.benchmark_group("rns_ntt");
+    for log_n in [12u32, 13, 14, 15, 16] {
+        let n = 1usize << log_n;
+        let moduli: Vec<Modulus> = generate_ntt_primes(36, LIMBS, 1u64 << (log_n + 1))
+            .expect("primes")
+            .into_iter()
+            .map(|q| Modulus::new(q).expect("valid"))
+            .collect();
+        let limbs: Vec<Vec<u64>> = moduli
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (0..n as u64).map(|j| (j * 31 + i as u64) % m.q()).collect())
+            .collect();
+        let mut bufs = limbs.clone();
+        for threads in [1usize, 4] {
+            let engine = RnsNttEngine::with_threads(&moduli, n, threads).expect("engine");
+            let id = BenchmarkId::new(format!("forward_8limbs_t{threads}"), n);
+            g.bench_with_input(id, &n, |b, _| {
+                b.iter(|| {
+                    for (dst, src) in bufs.iter_mut().zip(&limbs) {
+                        dst.copy_from_slice(src);
+                    }
+                    engine.forward_all(black_box(&mut bufs));
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -67,5 +119,5 @@ fn bench_fft(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ntt, bench_fft);
+criterion_group!(benches, bench_ntt, bench_rns_engine, bench_fft);
 criterion_main!(benches);

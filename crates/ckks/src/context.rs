@@ -8,10 +8,11 @@ use abc_float::{Complex, F64Field, RealField};
 use abc_math::{poly, RnsBasis};
 use abc_prng::sampler::{GaussianSampler, TernarySampler, UniformSampler};
 use abc_prng::Seed;
-use abc_transform::{NttPlan, SpecialFft};
+use abc_transform::{NttPlan, RnsNttEngine, SpecialFft};
 
-/// A ready-to-use CKKS client: owns the RNS basis, one NTT plan per
-/// prime, and the canonical-embedding FFT plan.
+/// A ready-to-use CKKS client: owns the RNS basis, a batched
+/// [`RnsNttEngine`] (one Harvey-butterfly NTT plan per prime, limb
+/// fan-out across threads), and the canonical-embedding FFT plan.
 ///
 /// The four public operations mirror the paper's Fig. 2a:
 /// [`encode`](Self::encode) (IFFT → expand RNS → NTT),
@@ -22,7 +23,7 @@ use abc_transform::{NttPlan, SpecialFft};
 pub struct CkksContext {
     params: CkksParams,
     basis: RnsBasis,
-    plans: Vec<NttPlan>,
+    engine: RnsNttEngine,
     fft: SpecialFft,
 }
 
@@ -51,16 +52,12 @@ impl CkksContext {
             )?);
         }
         let basis = RnsBasis::new(primes)?;
-        let plans = basis
-            .moduli()
-            .iter()
-            .map(|&m| NttPlan::new(m, n))
-            .collect::<Result<Vec<_>, _>>()?;
+        let engine = RnsNttEngine::new(basis.moduli(), n)?;
         let fft = SpecialFft::new(params.slots());
         Ok(Self {
             params,
             basis,
-            plans,
+            engine,
             fft,
         })
     }
@@ -75,9 +72,14 @@ impl CkksContext {
         &self.basis
     }
 
-    /// The per-prime NTT plans.
+    /// The per-prime NTT plans (in basis order).
     pub fn ntt_plans(&self) -> &[NttPlan] {
-        &self.plans
+        self.engine.plans()
+    }
+
+    /// The batched RNS NTT engine (thread fan-out + scratch pool).
+    pub fn ntt_engine(&self) -> &RnsNttEngine {
+        &self.engine
     }
 
     /// The canonical-embedding FFT plan.
@@ -192,11 +194,10 @@ impl CkksContext {
         }
         let n = self.params.n();
         let lvl = pt.num_primes();
-        // INTT each residue polynomial (paper: INTT stage of decoding).
+        // INTT each residue polynomial (paper: INTT stage of decoding),
+        // all limbs batched through the engine's thread fan-out.
         let mut res: Vec<Vec<u64>> = pt.rns.clone();
-        for (i, poly_i) in res.iter_mut().enumerate() {
-            self.plans[i].inverse(poly_i);
-        }
+        self.engine.inverse_all(&mut res);
         // CRT-combine per coefficient, center, and undo the scale.
         let sub_basis = if lvl == self.basis.len() {
             self.basis.clone()
@@ -350,18 +351,10 @@ impl CkksContext {
     // ------------------------------------------------------------------
 
     /// Expands signed integers into RNS residues and transforms each
-    /// residue polynomial into NTT domain.
+    /// residue polynomial into NTT domain — batched across limbs and
+    /// threads by the engine.
     fn expand_and_ntt(&self, ints: &[i128]) -> Vec<Vec<u64>> {
-        self.basis
-            .moduli()
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                let mut r: Vec<u64> = ints.iter().map(|&x| m.from_i128(x)).collect();
-                self.plans[i].forward(&mut r);
-                r
-            })
-            .collect()
+        self.engine.expand_and_ntt(ints)
     }
 
     fn signed_to_ntt(&self, coeffs: &[i8]) -> Vec<Vec<u64>> {

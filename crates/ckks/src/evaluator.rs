@@ -138,24 +138,36 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksErr
     }
     let last = lvl - 1;
     let q_last = ctx.basis().moduli()[last];
+    let engine = ctx.ntt_engine();
+    // `q_last^{-1} mod q_i` depends only on the basis — compute it once,
+    // not once per component per limb.
+    let q_last_inv: Vec<u64> = ctx.basis().moduli()[..last]
+        .iter()
+        .map(|m| m.inv(m.reduce(q_last.q())).expect("coprime basis"))
+        .collect();
     let (c0, c1) = ct.components();
     let mut out0 = Vec::with_capacity(last);
     let mut out1 = Vec::with_capacity(last);
+    let mut centered = vec![0i64; ct.n()];
     for (component, out) in [(c0, &mut out0), (c1, &mut out1)] {
-        // Last residue back to coefficient domain, centered.
-        let mut tail = component[last].clone();
-        ctx.ntt_plans()[last].inverse(&mut tail);
-        let centered: Vec<i64> = tail.iter().map(|&x| q_last.to_centered(x)).collect();
+        // Last residue back to coefficient domain, centered. The tail
+        // buffer comes from the engine's pool instead of a fresh clone.
+        let mut tail = engine.take_buf();
+        tail.copy_from_slice(&component[last]);
+        engine.plan(last).inverse(&mut tail);
+        for (dst, &x) in centered.iter_mut().zip(tail.iter()) {
+            *dst = q_last.to_centered(x);
+        }
+        engine.recycle(tail);
+        // NTT of the centered tail under every remaining prime, batched
+        // across limbs and threads; buffers recycle when `tails` drops.
+        let tails = engine.expand_and_ntt_i64(&centered, last);
         for i in 0..last {
             let m = &ctx.basis().moduli()[i];
-            // NTT of the centered tail under q_i.
-            let mut tail_i: Vec<u64> = centered.iter().map(|&x| m.from_i64(x)).collect();
-            ctx.ntt_plans()[i].forward(&mut tail_i);
             // c'_i = (c_i - tail) * q_last^{-1} mod q_i.
             let mut r = component[i].clone();
-            poly::sub_assign(m, &mut r, &tail_i);
-            let q_last_inv = m.inv(m.reduce(q_last.q())).expect("coprime basis");
-            poly::scalar_mul_assign(m, &mut r, q_last_inv);
+            poly::sub_assign(m, &mut r, &tails[i]);
+            poly::scalar_mul_assign(m, &mut r, q_last_inv[i]);
             out.push(r);
         }
     }

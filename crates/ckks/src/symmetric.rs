@@ -97,6 +97,9 @@ pub fn encrypt_symmetric_compressed(
     let a = sample_mask(ctx, mask_seed, lvl);
     let mut gauss = GaussianSampler::new(seed.derive(1), 0, ctx.params().error_sigma());
     let e = gauss.sample_poly(n);
+    // Error polynomial into NTT domain under every prime in one batched,
+    // thread-fanned pass (buffers recycle into the engine's pool).
+    let e_ntt = ctx.ntt_engine().expand_and_ntt_i64(&e, lvl);
     let mut c0 = Vec::with_capacity(lvl);
     for i in 0..lvl {
         let m = &ctx.basis().moduli()[i];
@@ -104,10 +107,7 @@ pub fn encrypt_symmetric_compressed(
         let mut x = a[i].clone();
         poly::mul_assign(m, &mut x, &sk.ntt[i]);
         poly::neg_assign(m, &mut x);
-        let e_res: Vec<u64> = e.iter().map(|&v| m.from_i64(v)).collect();
-        let mut e_ntt = e_res;
-        ctx.ntt_plans()[i].forward(&mut e_ntt);
-        poly::add_assign(m, &mut x, &e_ntt);
+        poly::add_assign(m, &mut x, &e_ntt[i]);
         poly::add_assign(m, &mut x, pt.residues()[i].as_slice());
         c0.push(x);
     }

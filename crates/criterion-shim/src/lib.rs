@@ -8,7 +8,9 @@
 //!
 //! Measurement model: each benchmark warms up briefly, then runs batches
 //! of iterations until `measurement_time` elapses (default 1 s), and
-//! reports the mean wall-clock time per iteration. When the binary is run
+//! reports the **mean, median and p95** wall-clock time per iteration
+//! (median/p95 are nearest-rank percentiles over the per-batch means, so
+//! speedups are quotable straight from CI logs). When the binary is run
 //! with `--test` (as `cargo test --benches` does) every benchmark executes
 //! exactly one iteration so the target doubles as a smoke test.
 //!
@@ -57,6 +59,10 @@ pub struct Bencher {
     measurement: Duration,
     /// Mean seconds per iteration, filled in by [`Bencher::iter`].
     result_secs: f64,
+    /// Median of the per-batch means (nearest rank).
+    median_secs: f64,
+    /// 95th percentile of the per-batch means (nearest rank).
+    p95_secs: f64,
     iters_done: u64,
 }
 
@@ -65,10 +71,12 @@ impl Bencher {
         if self.test_mode {
             black_box(routine());
             self.result_secs = 0.0;
+            self.median_secs = 0.0;
+            self.p95_secs = 0.0;
             self.iters_done = 1;
             return;
         }
-        // Warm-up: one timed call sizes the batches.
+        // Warm-up: one timed call sizes the batches (not sampled).
         let t0 = Instant::now();
         black_box(routine());
         let per_iter = t0.elapsed().max(Duration::from_nanos(1));
@@ -76,17 +84,37 @@ impl Bencher {
         let mut elapsed = per_iter;
         let batch = (self.measurement.as_nanos() / (8 * per_iter.as_nanos()).max(1))
             .clamp(1, 1_000_000) as u64;
+        // Per-batch mean seconds/iteration — the sample set for the
+        // percentile statistics.
+        let mut samples: Vec<f64> = Vec::new();
         while elapsed < self.measurement {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
-            elapsed += t.elapsed();
+            let dt = t.elapsed();
+            samples.push(dt.as_secs_f64() / batch as f64);
+            elapsed += dt;
             iters += batch;
         }
         self.result_secs = elapsed.as_secs_f64() / iters as f64;
+        (self.median_secs, self.p95_secs) = percentiles(&mut samples, self.result_secs);
         self.iters_done = iters;
     }
+}
+
+/// Nearest-rank median and p95 over the samples; falls back to
+/// `default` when no full batch ran (degenerate sub-millisecond budget).
+fn percentiles(samples: &mut [f64], default: f64) -> (f64, f64) {
+    if samples.is_empty() {
+        return (default, default);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let rank = |p: f64| {
+        let idx = (p * samples.len() as f64).ceil() as usize;
+        samples[idx.clamp(1, samples.len()) - 1]
+    };
+    (rank(0.50), rank(0.95))
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -200,6 +228,8 @@ impl Criterion {
             test_mode: self.test_mode,
             measurement,
             result_secs: 0.0,
+            median_secs: 0.0,
+            p95_secs: 0.0,
             iters_done: 0,
         };
         f(&mut b);
@@ -207,8 +237,10 @@ impl Criterion {
             println!("test {full_id} ... ok");
         } else {
             println!(
-                "{full_id:<48} {:>12}/iter  ({} iterations)",
+                "{full_id:<48} {:>12}/iter  [median {}, p95 {}]  ({} iterations)",
                 fmt_time(b.result_secs),
+                fmt_time(b.median_secs),
+                fmt_time(b.p95_secs),
                 b.iters_done
             );
         }

@@ -20,6 +20,9 @@
 //!   recombination ([`rns::RnsBasis`]).
 //! * [`poly`] — element-wise polynomial (vector) operations over `Z_q`, the
 //!   workload of the paper's Modular Streaming Engine.
+//! * [`shoup`] — Shoup-precomputed constant multiplication and the lazy
+//!   `[0, 2q)`/`[0, 4q)` reduction helpers behind the Harvey NTT
+//!   butterflies in `abc-transform`.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod poly;
 pub mod primes;
 pub mod reduce;
 pub mod rns;
+pub mod shoup;
 
 pub use bigint::UBig;
 pub use modulus::Modulus;

@@ -64,10 +64,22 @@ pub fn neg_assign(m: &Modulus, a: &mut [u64]) {
     }
 }
 
-/// `a[i] = (a[i] * s) mod q` for a scalar `s`.
+/// `a[i] = (a[i] * s) mod q` for a scalar `s ∈ [0, q)`.
+///
+/// The scalar is a loop constant, so its Shoup quotient is precomputed
+/// once and each element costs two high-multiplies instead of a `u128`
+/// division (moduli ≥ 2^62 fall back to the golden multiply).
 pub fn scalar_mul_assign(m: &Modulus, a: &mut [u64], s: u64) {
-    for x in a.iter_mut() {
-        *x = m.mul(*x, s);
+    if m.q() < crate::shoup::MAX_SHOUP_MODULUS {
+        let q = m.q();
+        let ss = crate::shoup::shoup_precompute(s, q);
+        for x in a.iter_mut() {
+            *x = crate::shoup::mul_shoup(*x, s, ss, q);
+        }
+    } else {
+        for x in a.iter_mut() {
+            *x = m.mul(*x, s);
+        }
     }
 }
 

@@ -49,7 +49,7 @@ pub trait ModMul {
 #[derive(Debug, Clone, Copy)]
 pub struct Barrett {
     m: Modulus,
-    /// `floor(2^(2k) / q)` where `k = bits(q) + 1`.
+    /// `floor(2^(2k) / q)` where `k = bits(q)`, so `2^(k-1) <= q < 2^k`.
     mu: u128,
     k: u32,
 }
@@ -57,15 +57,13 @@ pub struct Barrett {
 impl Barrett {
     /// Precomputes the Barrett constant for `m`.
     pub fn new(m: Modulus) -> Self {
-        let k = m.bits() + 1;
-        // 2^(2k) fits in u128 because bits(q) <= 63 => 2k <= 128; when
-        // 2k == 128 we compute floor((2^128 - 1) / q) which differs from
-        // floor(2^128 / q) only when q | 2^128, impossible for odd q > 1.
-        let mu = if 2 * k == 128 {
-            u128::MAX / m.q() as u128
-        } else {
-            (1u128 << (2 * k)) / m.q() as u128
-        };
+        // The classical parameterization: k = bits(q), i.e.
+        // 2^(k-1) <= q < 2^k. (With any looser k — e.g. bits(q) + 1 —
+        // the t >> (k-1) truncation alone can cost two quotient units
+        // and the undershoot bound below becomes 3, not 2.)
+        let k = m.bits();
+        // 2^(2k) fits in u128: bits(q) <= 63 => 2k <= 126.
+        let mu = (1u128 << (2 * k)) / m.q() as u128;
         Self { m, mu, k }
     }
 
@@ -75,16 +73,23 @@ impl Barrett {
         let q = self.m.q() as u128;
         // Estimate the quotient: qhat = floor( floor(t / 2^(k-1)) * mu / 2^(k+1) ).
         let thi = t >> (self.k - 1);
-        // thi <= q^2 / 2^(k-1) < 2^(k+1); mu < 2^(k+1); product < 2^(2k+2) <= 2^130.
-        // Split to avoid overflow: mu fits in (k+1) bits <= 65... use 128x128->hi via
-        // decomposition into 64-bit halves.
+        // thi <= q^2 / 2^(k-1) < 2^(k+1); mu <= 2^(k+1); product < 2^(2k+2) <= 2^128.
+        // Split to avoid overflow: use 128x128->hi via decomposition
+        // into 64-bit halves.
         let qhat = mul_hi_shift(thi, self.mu, self.k + 1);
-        let mut r = (t - qhat * q) as i128;
-        // Barrett's estimate is off by at most 2 quotient units.
-        while r >= q as i128 {
-            r -= q as i128;
+        // With 2^(k-1) <= q < 2^k the estimate undershoots floor(t/q)
+        // by at most 2 (HAC Alg. 14.42), so the remainder lands in
+        // [0, 3q): exactly two conditional subtractions normalize it —
+        // no data-dependent loop.
+        let mut r = t - qhat * q;
+        debug_assert!(r < 3 * q, "Barrett remainder {r} outside [0, 3q) for q={q}");
+        if r >= q {
+            r -= q;
         }
-        debug_assert!(r >= 0);
+        if r >= q {
+            r -= q;
+        }
+        debug_assert!(r < q);
         r as u64
     }
 }
@@ -448,6 +453,24 @@ mod tests {
             let b = Barrett::new(m);
             for (x, y) in sample_pairs(q) {
                 assert_eq!(b.mul_mod(x, y), m.mul(x, y), "q={q} x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_exhaustive_small_moduli() {
+        // q = 1031, a = 1030, b = 1022 is a witness that the looser
+        // k = bits(q)+1 parameterization undershoots the quotient by 3,
+        // escaping two conditional subtractions. Exhaust every product
+        // for several odd moduli (including that witness) to pin the
+        // [0, 3q) remainder bound.
+        for q in [3u64, 5, 7, 31, 97, 127, 1031] {
+            let m = Modulus::new(q).unwrap();
+            let b = Barrett::new(m);
+            for x in 0..q {
+                for y in 0..q {
+                    assert_eq!(b.mul_mod(x, y), m.mul(x, y), "q={q} x={x} y={y}");
+                }
             }
         }
     }

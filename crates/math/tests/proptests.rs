@@ -6,7 +6,7 @@ use abc_math::primes::{generate_ntt_primes, generate_structured_ntt_primes, is_p
 use abc_math::reduce::{
     csd, csd_eval_wrapping, Barrett, ModMul, Montgomery, NttFriendlyMontgomery,
 };
-use abc_math::{Modulus, RnsBasis, UBig};
+use abc_math::{shoup, Modulus, RnsBasis, UBig};
 use proptest::prelude::*;
 
 /// A strategy producing odd moduli across the full supported range.
@@ -15,6 +15,16 @@ fn arb_modulus() -> impl Strategy<Value = Modulus> {
         .prop_map(|x| x | 1)
         .prop_filter("q >= 3", |&q| q >= 3)
         .prop_map(|q| Modulus::new(q).expect("odd q in range"))
+}
+
+/// A strategy of real NTT primes spanning the whole Shoup-supported
+/// width range (36–62 bits, all ≡ 1 mod 2^13).
+fn arb_ntt_prime() -> impl Strategy<Value = Modulus> {
+    let mut pool = Vec::new();
+    for bits in [36u32, 40, 44, 50, 56, 62] {
+        pool.extend(generate_ntt_primes(bits, 2, 1 << 13).expect("primes exist at this width"));
+    }
+    prop::sample::select(pool).prop_map(|q| Modulus::new(q).expect("generated primes are valid"))
 }
 
 proptest! {
@@ -33,6 +43,35 @@ proptest! {
         let mont = Montgomery::new(m);
         prop_assert_eq!(mont.mul_mod(a, b), m.mul(a, b));
         prop_assert_eq!(mont.from_mont(mont.to_mont(a)), a);
+    }
+
+    #[test]
+    fn mul_shoup_agrees_with_reference(m in arb_ntt_prime(), a in any::<u64>(), w in any::<u64>()) {
+        // The Shoup path must equal the u128 golden model for every
+        // NTT prime width the transform layer supports (36–62 bits).
+        let q = m.q();
+        let w = w % q;
+        let ws = shoup::shoup_precompute(w, q);
+        prop_assert_eq!(shoup::mul_shoup(a % q, w, ws, q), m.mul(a % q, w));
+        // The lazy variant accepts *unreduced* operands: still congruent
+        // and still inside [0, 2q).
+        let lazy = shoup::mul_shoup_lazy(a, w, ws, q);
+        prop_assert!(lazy < 2 * q);
+        prop_assert_eq!(lazy % q, ((a as u128 * w as u128) % q as u128) as u64);
+    }
+
+    #[test]
+    fn shoup_lazy_helpers_are_congruent(m in arb_ntt_prime(), a in any::<u64>(), b in any::<u64>()) {
+        let q = m.q();
+        let two_q = 2 * q;
+        let (a, b) = (a % two_q, b % two_q);
+        let s = shoup::add_lazy(a, b, two_q);
+        prop_assert!(s < two_q);
+        prop_assert_eq!(s % q, ((a as u128 + b as u128) % q as u128) as u64);
+        let d = shoup::sub_lazy(a, b, two_q);
+        prop_assert!(d < 4 * q);
+        prop_assert_eq!(d % q, m.sub(a % q, b % q));
+        prop_assert_eq!(shoup::normalize_4q(d, q), m.sub(a % q, b % q));
     }
 
     #[test]

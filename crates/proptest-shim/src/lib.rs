@@ -491,6 +491,18 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
 }
 
 #[macro_export]

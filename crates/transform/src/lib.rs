@@ -13,6 +13,10 @@
 //!   [`fft::SpecialFft`], generic over the [`abc_float::RealField`]
 //!   datapath so the same kernel runs at FP64 or the paper's FP55.
 //!
+//! [`rns_ntt::RnsNttEngine`] batches the NTT across all RNS limbs of a
+//! polynomial — one plan per prime, limb fan-out over scoped threads
+//! (`ABC_FHE_THREADS` override) and pooled scratch buffers.
+//!
 //! [`radix`] analyses pipelined MDC design configurations (radix-2,
 //! radix-2^2, radix-2^3, radix-2^n and mixed) and counts the hardware
 //! multipliers each needs (paper Fig. 4), while [`bitrev`] holds the
@@ -38,11 +42,29 @@
 pub mod bitrev;
 pub mod fft;
 pub mod ntt;
+#[cfg(target_arch = "x86_64")]
+pub mod ntt_ifma;
 pub mod radix;
+pub mod rns_ntt;
 pub mod stream;
 pub mod stream_fft;
 pub mod twiddle;
 
 pub use fft::SpecialFft;
-pub use ntt::NttPlan;
+pub use ntt::{KernelPreference, NttPlan};
+pub use rns_ntt::RnsNttEngine;
 pub use twiddle::{OtfTwiddleGen, TwiddleSource, TwiddleTable};
+
+/// Whether this build + CPU can run the AVX-512IFMA kernels (always
+/// `false` off x86-64). Gates both kernel selection and the radix-2^52
+/// twiddle-column precomputation.
+pub(crate) fn ifma_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        ntt_ifma::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}

@@ -11,13 +11,58 @@
 //! saving (Fig. 6a).
 
 use crate::twiddle::{TwiddleSource, TwiddleTable};
+use abc_math::shoup::{self, MAX_SHOUP_MODULUS};
 use abc_math::{MathError, Modulus};
+
+/// Which butterfly implementation a plan dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    /// Reference scalar kernel (`u128` multiply + divide per twiddle);
+    /// the only option for `q ≥ 2^62`.
+    Golden,
+    /// Scalar Harvey: Shoup twiddles + lazy reduction (`q < 2^62`).
+    Harvey,
+    /// AVX-512IFMA Harvey: eight 52-bit lanes per instruction
+    /// (`q < 2^50`, `N ≥ 16`, x86-64 with IFMA).
+    Ifma,
+}
+
+/// Caller preference for the butterfly kernel of a plan.
+///
+/// Kernel selection is otherwise host-dependent (the fastest applicable
+/// kernel wins), which means a given machine only ever executes one of
+/// the fast paths. Forcing a preference lets tests assert the
+/// bit-identity of **every** kernel on whatever machine they run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPreference {
+    /// Fastest applicable kernel (the [`NttPlan::new`] behaviour).
+    #[default]
+    Auto,
+    /// Reference scalar kernel, always applicable.
+    Golden,
+    /// Scalar Harvey; falls back to golden when `q ≥ 2^62`.
+    Harvey,
+    /// AVX-512IFMA; falls back to scalar Harvey (then golden) when the
+    /// CPU, modulus width or transform size rule it out.
+    Ifma,
+}
 
 /// A ready-to-run negacyclic NTT over one RNS prime.
 ///
 /// Construction precomputes a [`TwiddleTable`]; [`NttPlan::forward_with`]
 /// and [`NttPlan::inverse_with`] accept any other [`TwiddleSource`]
 /// (e.g. the on-the-fly generator) for the same `(q, N, ψ)`.
+///
+/// [`NttPlan::forward`] and [`NttPlan::inverse`] run **Harvey
+/// butterflies**: every twiddle multiply becomes high-products against
+/// the table's precomputed Shoup quotients (eight 52-bit lanes at a
+/// time on AVX-512IFMA machines, two 64-bit `mulhi`s scalar otherwise)
+/// and reduction is deferred — values travel in `[0, 4q)` (forward) /
+/// `[0, 2q)` (inverse) across stages and are normalized once at the
+/// end. This needs `q < 2^62`; wider moduli transparently fall back to
+/// the golden scalar kernel. The `*_with` paths always run the golden
+/// kernel, so OTF-vs-table bit-identity tests keep modelling the
+/// hardware datapath.
 ///
 /// # Example
 ///
@@ -40,6 +85,7 @@ pub struct NttPlan {
     m: Modulus,
     n: usize,
     table: TwiddleTable,
+    kernel: Kernel,
 }
 
 impl NttPlan {
@@ -50,8 +96,47 @@ impl NttPlan {
     /// Returns [`MathError::NoRootOfUnity`] if `q ≢ 1 (mod 2n)` and
     /// [`MathError::InvalidModulus`] for non-power-of-two sizes.
     pub fn new(m: Modulus, n: usize) -> Result<Self, MathError> {
+        Self::with_kernel(m, n, KernelPreference::Auto)
+    }
+
+    /// Builds a plan with an explicit kernel preference (capability
+    /// rules still apply — an unavailable preference degrades to the
+    /// next applicable kernel; check [`NttPlan::kernel_name`]). Used by
+    /// the test suites to exercise every kernel regardless of which one
+    /// [`NttPlan::new`] would pick on this machine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NttPlan::new`].
+    pub fn with_kernel(m: Modulus, n: usize, pref: KernelPreference) -> Result<Self, MathError> {
+        let ifma_ok =
+            m.q() < abc_math::shoup::MAX_SHOUP52_MODULUS && n >= 16 && crate::ifma_supported();
+        let harvey_ok = m.q() < MAX_SHOUP_MODULUS;
+        let kernel = match pref {
+            KernelPreference::Golden => Kernel::Golden,
+            KernelPreference::Harvey if harvey_ok => Kernel::Harvey,
+            KernelPreference::Auto | KernelPreference::Ifma if ifma_ok => Kernel::Ifma,
+            _ if harvey_ok => Kernel::Harvey,
+            _ => Kernel::Golden,
+        };
         let table = TwiddleTable::new(m, n)?;
-        Ok(Self { m, n, table })
+        Ok(Self {
+            m,
+            n,
+            table,
+            kernel,
+        })
+    }
+
+    /// Name of the butterfly kernel this plan dispatches to
+    /// (`"golden"`, `"harvey"` or `"ifma"`), for diagnostics and bench
+    /// labelling.
+    pub fn kernel_name(&self) -> &'static str {
+        match self.kernel {
+            Kernel::Golden => "golden",
+            Kernel::Harvey => "harvey",
+            Kernel::Ifma => "ifma",
+        }
     }
 
     /// The modulus of this plan.
@@ -74,20 +159,123 @@ impl NttPlan {
     /// bit-reversed order internally — `forward` then `inverse` is the
     /// identity, and dyadic products between forward outputs are valid).
     ///
+    /// Runs the Harvey lazy-reduction kernel when `q < 2^62` (output is
+    /// bit-identical to the golden kernel: both end canonical in
+    /// `[0, q)`).
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != N`.
     pub fn forward(&self, a: &mut [u64]) {
-        self.forward_with(&self.table, a);
+        match self.kernel {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                assert_eq!(a.len(), self.n, "polynomial length must equal N");
+                let (tw, _) = self.table.forward_pairs();
+                let tw52 = self.table.forward_shoup52().expect("ifma implies q < 2^50");
+                crate::ntt_ifma::forward(a, self.m.q(), tw, tw52);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Ifma => unreachable!("ifma kernel is never selected off x86-64"),
+            Kernel::Harvey => self.forward_harvey(a),
+            Kernel::Golden => self.forward_with(&self.table, a),
+        }
     }
 
-    /// In-place inverse negacyclic INTT.
+    /// In-place inverse negacyclic INTT (Harvey fast path when
+    /// `q < 2^62`, golden kernel otherwise).
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != N`.
     pub fn inverse(&self, a: &mut [u64]) {
-        self.inverse_with(&self.table, a);
+        match self.kernel {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                assert_eq!(a.len(), self.n, "polynomial length must equal N");
+                let (tw, _) = self.table.inverse_pairs();
+                let tw52 = self.table.inverse_shoup52().expect("ifma implies q < 2^50");
+                let (n_inv, n_inv_shoup52) = self.table.n_inv_pair52();
+                crate::ntt_ifma::inverse(a, self.m.q(), tw, tw52, n_inv, n_inv_shoup52);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Ifma => unreachable!("ifma kernel is never selected off x86-64"),
+            Kernel::Harvey => self.inverse_harvey(a),
+            Kernel::Golden => self.inverse_with(&self.table, a),
+        }
+    }
+
+    /// Cooley–Tukey forward transform with Harvey butterflies: the
+    /// twiddle multiply is `mul_shoup_lazy` (two `mulhi`s, no division)
+    /// and stage outputs stay in `[0, 4q)`; a single normalization pass
+    /// at the end restores canonical `[0, q)` values.
+    fn forward_harvey(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal N");
+        let q = self.m.q();
+        let two_q = 2 * q;
+        let (tw, tw_shoup) = self.table.forward_pairs();
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            // Stage with `m` groups of 2t lanes: group `i` is the chunk
+            // a[2it .. 2(i+1)t] and multiplies by tw[m + i]. Iterator
+            // chunking keeps the hot loop free of bounds checks.
+            let stage_w = tw[m..2 * m].iter().zip(&tw_shoup[m..2 * m]);
+            for (chunk, (&w, &ws)) in a.chunks_exact_mut(2 * t).zip(stage_w) {
+                let (lo, hi) = chunk.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Invariant: inputs < 4q. One conditional subtract
+                    // brings the upper leg into [0, 2q); the twiddle leg
+                    // is fine at any u64 (mul_shoup_lazy reduces it).
+                    let u = shoup::reduce_once(*x, two_q);
+                    let v = shoup::mul_shoup_lazy(*y, w, ws, q);
+                    *x = u + v;
+                    *y = u + two_q - v;
+                }
+            }
+            m <<= 1;
+        }
+        for x in a.iter_mut() {
+            *x = shoup::normalize_4q(*x, q);
+        }
+    }
+
+    /// Gentleman–Sande inverse transform with Harvey butterflies: sums
+    /// are reduced lazily into `[0, 2q)`, differences go through
+    /// `mul_shoup_lazy`, and the final `N^{-1}` scale doubles as the
+    /// normalization to `[0, q)`.
+    fn inverse_harvey(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal N");
+        let q = self.m.q();
+        let two_q = 2 * q;
+        let (tw, tw_shoup) = self.table.inverse_pairs();
+        let n = self.n;
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            // Stage with `h` groups of 2t lanes: group `i` is the chunk
+            // a[2it .. 2(i+1)t] and multiplies by tw[h + i].
+            let stage_w = tw[h..2 * h].iter().zip(&tw_shoup[h..2 * h]);
+            for (chunk, (&w, &ws)) in a.chunks_exact_mut(2 * t).zip(stage_w) {
+                let (lo, hi) = chunk.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Invariant: inputs < 2q.
+                    let u = *x;
+                    let v = *y;
+                    *x = shoup::add_lazy(u, v, two_q);
+                    *y = shoup::mul_shoup_lazy(u + two_q - v, w, ws, q);
+                }
+            }
+            t <<= 1;
+            m = h;
+        }
+        let (n_inv, n_inv_shoup) = self.table.n_inv_pair();
+        for x in a.iter_mut() {
+            *x = shoup::mul_shoup(*x, n_inv, n_inv_shoup, q);
+        }
     }
 
     /// Forward transform drawing twiddles from an arbitrary source
@@ -162,17 +350,38 @@ impl NttPlan {
     /// Negacyclic polynomial product via forward transforms, dyadic
     /// multiply, and one inverse transform.
     ///
+    /// Allocates two fresh buffers per call; hot paths should prefer
+    /// [`NttPlan::negacyclic_mul_into`] with caller-owned scratch.
+    ///
     /// # Panics
     ///
     /// Panics if input lengths differ from `N`.
     pub fn negacyclic_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let mut fa = a.to_vec();
-        let mut fb = b.to_vec();
-        self.forward(&mut fa);
-        self.forward(&mut fb);
-        abc_math::poly::mul_assign(&self.m, &mut fa, &fb);
-        self.inverse(&mut fa);
-        fa
+        let mut out = vec![0u64; self.n];
+        let mut scratch = vec![0u64; self.n];
+        self.negacyclic_mul_into(a, b, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free negacyclic product: `out = a · b` in
+    /// `Z_q[X]/(X^N + 1)`, using `out` and `scratch` as the two
+    /// transform buffers. Neither input is modified; `scratch` contents
+    /// are clobbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `N`.
+    pub fn negacyclic_mul_into(&self, a: &[u64], b: &[u64], out: &mut [u64], scratch: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length must equal N");
+        assert_eq!(b.len(), self.n, "polynomial length must equal N");
+        assert_eq!(out.len(), self.n, "output length must equal N");
+        assert_eq!(scratch.len(), self.n, "scratch length must equal N");
+        out.copy_from_slice(a);
+        scratch.copy_from_slice(b);
+        self.forward(out);
+        self.forward(scratch);
+        abc_math::poly::mul_assign(&self.m, out, scratch);
+        self.inverse(out);
     }
 }
 
@@ -294,5 +503,92 @@ mod tests {
         let plan = NttPlan::new(modulus(), 8).unwrap();
         let mut short = vec![0u64; 4];
         plan.forward(&mut short);
+    }
+
+    #[test]
+    fn fast_kernels_bit_identical_to_golden() {
+        // Every fast path must be indistinguishable from the golden
+        // TwiddleSource kernel, not merely congruent mod q. Forcing
+        // each preference exercises the scalar Harvey kernel even on
+        // machines whose Auto choice is IFMA, and vice versa (an
+        // unavailable preference degrades, so this stays green off
+        // x86-64 too — the degraded plan simply re-checks golden).
+        for q in [0xFFF0_0001u64, 0xF_FFF0_0001, 0xFFF_FFFF_C001] {
+            let m = Modulus::new(q).unwrap();
+            for n in [4usize, 64, 1024] {
+                for pref in [
+                    KernelPreference::Auto,
+                    KernelPreference::Harvey,
+                    KernelPreference::Ifma,
+                ] {
+                    let plan = NttPlan::with_kernel(m, n, pref).unwrap();
+                    assert_ne!(plan.kernel, Kernel::Golden);
+                    let a0 = pseudo_poly(n, q, q ^ n as u64);
+                    let mut fast = a0.clone();
+                    let mut golden = a0.clone();
+                    plan.forward(&mut fast);
+                    plan.forward_with(plan.table(), &mut golden);
+                    assert_eq!(fast, golden, "forward q={q} n={n} {pref:?}");
+                    plan.inverse(&mut fast);
+                    plan.inverse_with(plan.table(), &mut golden);
+                    assert_eq!(fast, golden, "inverse q={q} n={n} {pref:?}");
+                    assert_eq!(fast, a0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_preferences_degrade_by_capability() {
+        let m = modulus();
+        // Golden is always honoured; Harvey is honoured below 2^62;
+        // n < 16 rules IFMA out regardless of the host CPU.
+        let golden = NttPlan::with_kernel(m, 64, KernelPreference::Golden).unwrap();
+        assert_eq!(golden.kernel_name(), "golden");
+        let harvey = NttPlan::with_kernel(m, 64, KernelPreference::Harvey).unwrap();
+        assert_eq!(harvey.kernel_name(), "harvey");
+        let small = NttPlan::with_kernel(m, 8, KernelPreference::Ifma).unwrap();
+        assert_eq!(small.kernel_name(), "harvey");
+    }
+
+    #[test]
+    fn wide_modulus_falls_back_to_golden() {
+        // 4099·2^50 + 1 is a 63-bit prime: beyond the q < 2^62 Shoup
+        // bound, so the plan must route through the golden kernel and
+        // still round-trip.
+        let q = 4615063718147915777u64;
+        let m = Modulus::new(q).unwrap();
+        let plan = NttPlan::new(m, 64).unwrap();
+        assert_eq!(plan.kernel, Kernel::Golden);
+        assert_eq!(plan.kernel_name(), "golden");
+        let a0 = pseudo_poly(64, q, 77);
+        let mut a = a0.clone();
+        plan.forward(&mut a);
+        plan.inverse(&mut a);
+        assert_eq!(a, a0);
+    }
+
+    #[test]
+    fn mul_into_matches_allocating_path() {
+        let m = modulus();
+        let n = 64usize;
+        let plan = NttPlan::new(m, n).unwrap();
+        let a = pseudo_poly(n, m.q(), 9);
+        let b = pseudo_poly(n, m.q(), 10);
+        let mut out = vec![0u64; n];
+        let mut scratch = vec![u64::MAX; n]; // dirty scratch must not matter
+        plan.negacyclic_mul_into(&a, &b, &mut out, &mut scratch);
+        assert_eq!(out, plan.negacyclic_mul(&a, &b));
+        assert_eq!(out, negacyclic_mul_schoolbook(&m, &a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch")]
+    fn mul_into_rejects_bad_scratch() {
+        let plan = NttPlan::new(modulus(), 8).unwrap();
+        let a = vec![1u64; 8];
+        let mut out = vec![0u64; 8];
+        let mut scratch = vec![0u64; 4];
+        plan.negacyclic_mul_into(&a, &a, &mut out, &mut scratch);
     }
 }

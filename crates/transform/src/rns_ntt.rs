@@ -1,0 +1,459 @@
+//! Batched NTT over all RNS limbs of a polynomial, with thread fan-out
+//! and reusable scratch buffers.
+//!
+//! The paper's client pipeline (Fig. 2a) transforms every RNS residue
+//! polynomial of a message — up to 24 limbs at `N = 2^16` — and each
+//! limb's transform is independent of the others. [`RnsNttEngine`] owns
+//! one [`NttPlan`] per prime and fans the limbs out across OS threads
+//! with [`std::thread::scope`] (the build environment is offline, so no
+//! rayon; `std` is all we need). The thread count defaults to the
+//! machine's parallelism and can be pinned with the `ABC_FHE_THREADS`
+//! environment variable.
+//!
+//! Every temporary the engine needs is drawn from an internal buffer
+//! pool and recycled, so steady-state operation performs no per-op
+//! allocation ([`PooledLimbs`] returns its buffers on drop).
+//!
+//! Transforms are **bit-identical** to running each limb through its
+//! [`NttPlan`] serially — threading only changes scheduling, never
+//! values — which the property suite asserts for thread counts 1/2/4.
+
+use crate::ntt::NttPlan;
+use abc_math::{MathError, Modulus};
+use std::sync::Mutex;
+
+/// Environment variable overriding the engine's thread count.
+pub const THREADS_ENV: &str = "ABC_FHE_THREADS";
+
+/// Cap on pooled scratch buffers, bounding steady-state memory.
+const MAX_POOLED_BUFS: usize = 64;
+
+/// Below this much total work (`limbs × N`), thread spawn overhead
+/// outweighs the fan-out and the engine runs serially.
+const PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// A recycling pool of `Vec<u64>` scratch buffers.
+#[derive(Debug, Default)]
+struct BufferPool {
+    bufs: Mutex<Vec<Vec<u64>>>,
+}
+
+impl BufferPool {
+    /// Takes a buffer of length `n` with **unspecified contents** —
+    /// recycled buffers keep their stale words rather than paying a
+    /// memset that every caller immediately overwrites.
+    fn take(&self, n: usize) -> Vec<u64> {
+        let mut guard = self.bufs.lock().expect("buffer pool poisoned");
+        match guard.pop() {
+            Some(mut b) => {
+                b.resize(n, 0);
+                b
+            }
+            None => vec![0u64; n],
+        }
+    }
+
+    fn put(&self, b: Vec<u64>) {
+        let mut guard = self.bufs.lock().expect("buffer pool poisoned");
+        if guard.len() < MAX_POOLED_BUFS {
+            guard.push(b);
+        }
+    }
+}
+
+/// Residue limbs checked out of an [`RnsNttEngine`]'s buffer pool;
+/// dereferences to `[Vec<u64>]` and returns every buffer to the pool on
+/// drop.
+#[derive(Debug)]
+pub struct PooledLimbs<'a> {
+    engine: &'a RnsNttEngine,
+    bufs: Vec<Vec<u64>>,
+}
+
+impl std::ops::Deref for PooledLimbs<'_> {
+    type Target = [Vec<u64>];
+    fn deref(&self) -> &[Vec<u64>] {
+        &self.bufs
+    }
+}
+
+impl std::ops::DerefMut for PooledLimbs<'_> {
+    fn deref_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.bufs
+    }
+}
+
+impl Drop for PooledLimbs<'_> {
+    fn drop(&mut self) {
+        for b in self.bufs.drain(..) {
+            self.engine.pool.put(b);
+        }
+    }
+}
+
+/// Batched forward/inverse negacyclic NTT across the RNS limbs of a
+/// polynomial: one [`NttPlan`] per prime, limb fan-out over scoped
+/// threads, and pooled scratch.
+///
+/// # Example
+///
+/// ```
+/// use abc_math::{primes::generate_ntt_primes, Modulus};
+/// use abc_transform::RnsNttEngine;
+///
+/// # fn main() -> Result<(), abc_math::MathError> {
+/// let primes = generate_ntt_primes(36, 3, 32)?;
+/// let moduli: Vec<Modulus> = primes
+///     .into_iter()
+///     .map(Modulus::new)
+///     .collect::<Result<_, _>>()?;
+/// let engine = RnsNttEngine::with_threads(&moduli, 16, 2)?;
+/// let mut limbs: Vec<Vec<u64>> = (0..3).map(|i| vec![i as u64; 16]).collect();
+/// let original = limbs.clone();
+/// engine.forward_all(&mut limbs);
+/// engine.inverse_all(&mut limbs);
+/// assert_eq!(limbs, original);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RnsNttEngine {
+    plans: Vec<NttPlan>,
+    n: usize,
+    threads: usize,
+    pool: BufferPool,
+}
+
+impl RnsNttEngine {
+    /// Builds an engine for transform size `n` over `moduli`, reading
+    /// the thread count from [`THREADS_ENV`] (default: the machine's
+    /// available parallelism, capped at 8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NttPlan::new`] errors (no 2N-th root, bad size).
+    pub fn new(moduli: &[Modulus], n: usize) -> Result<Self, MathError> {
+        Self::with_threads(moduli, n, threads_from_env())
+    }
+
+    /// Builds an engine with an explicit thread count (≥ 1); used by
+    /// tests to prove thread-count invariance without touching the
+    /// process environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NttPlan::new`] errors (no 2N-th root, bad size).
+    pub fn with_threads(moduli: &[Modulus], n: usize, threads: usize) -> Result<Self, MathError> {
+        let plans = moduli
+            .iter()
+            .map(|&m| NttPlan::new(m, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            plans,
+            n,
+            threads: threads.max(1),
+            pool: BufferPool::default(),
+        })
+    }
+
+    /// Transform size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configured thread fan-out.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The per-prime plans, in basis order.
+    pub fn plans(&self) -> &[NttPlan] {
+        &self.plans
+    }
+
+    /// The plan for limb `i`.
+    pub fn plan(&self, i: usize) -> &NttPlan {
+        &self.plans[i]
+    }
+
+    /// Checks a scratch buffer of length `N` out of the pool; its
+    /// contents are **unspecified** (recycled buffers are not cleared),
+    /// so overwrite before reading. Hand it back with
+    /// [`Self::recycle`] (or wrap batches in [`PooledLimbs`] via
+    /// [`Self::take_limbs`]).
+    pub fn take_buf(&self) -> Vec<u64> {
+        self.pool.take(self.n)
+    }
+
+    /// Returns a scratch buffer to the pool.
+    pub fn recycle(&self, buf: Vec<u64>) {
+        self.pool.put(buf);
+    }
+
+    /// Checks out `k` limb buffers (contents unspecified, as in
+    /// [`Self::take_buf`]) that recycle on drop.
+    pub fn take_limbs(&self, k: usize) -> PooledLimbs<'_> {
+        PooledLimbs {
+            engine: self,
+            bufs: (0..k).map(|_| self.pool.take(self.n)).collect(),
+        }
+    }
+
+    /// In-place forward NTT of `limbs[i]` under prime `i`, fanned out
+    /// across threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more limbs than plans or any limb's length
+    /// differs from `N`.
+    pub fn forward_all(&self, limbs: &mut [Vec<u64>]) {
+        self.for_each_limb(limbs, |_, plan, limb| plan.forward(limb));
+    }
+
+    /// In-place inverse NTT of `limbs[i]` under prime `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more limbs than plans or any limb's length
+    /// differs from `N`.
+    pub fn inverse_all(&self, limbs: &mut [Vec<u64>]) {
+        self.for_each_limb(limbs, |_, plan, limb| plan.inverse(limb));
+    }
+
+    /// Expands signed integers into RNS residues and forward-transforms
+    /// every limb — the encode-side `expand ∘ NTT` fused into one
+    /// parallel pass. Returns one freshly allocated limb per prime (the
+    /// buffers escape into plaintexts/ciphertexts, so pooling them
+    /// would never recycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ints.len() != N`.
+    pub fn expand_and_ntt(&self, ints: &[i128]) -> Vec<Vec<u64>> {
+        assert_eq!(ints.len(), self.n, "coefficient count must equal N");
+        let mut out: Vec<Vec<u64>> = self.plans.iter().map(|_| vec![0u64; self.n]).collect();
+        self.for_each_limb(&mut out, |_, plan, limb| {
+            let m = plan.modulus();
+            for (dst, &x) in limb.iter_mut().zip(ints) {
+                *dst = m.from_i128(x);
+            }
+            plan.forward(limb);
+        });
+        out
+    }
+
+    /// Expands centered `i64` coefficients under the first `k` primes
+    /// and forward-transforms each limb, drawing the limb buffers from
+    /// the pool (they recycle when the returned [`PooledLimbs`] drops).
+    /// This is the rescale hot path: the INTT'd tail limb re-enters NTT
+    /// domain under every remaining prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N` or `k` exceeds the basis size.
+    pub fn expand_and_ntt_i64(&self, coeffs: &[i64], k: usize) -> PooledLimbs<'_> {
+        assert_eq!(coeffs.len(), self.n, "coefficient count must equal N");
+        assert!(k <= self.plans.len(), "more limbs than plans");
+        let mut out = self.take_limbs(k);
+        self.for_each_limb(&mut out, |_, plan, limb| {
+            let m = plan.modulus();
+            for (dst, &x) in limb.iter_mut().zip(coeffs) {
+                *dst = m.from_i64(x);
+            }
+            plan.forward(limb);
+        });
+        out
+    }
+
+    /// Applies `f(i, plan_i, limb_i)` to every limb, splitting the limbs
+    /// into contiguous chunks across scoped threads. Small batches
+    /// (`limbs × N` below [`PARALLEL_THRESHOLD`]) run serially: thread
+    /// spawn costs more than it saves there.
+    fn for_each_limb<F>(&self, limbs: &mut [Vec<u64>], f: F)
+    where
+        F: Fn(usize, &NttPlan, &mut Vec<u64>) + Sync,
+    {
+        let k = limbs.len();
+        assert!(k <= self.plans.len(), "more limbs than plans");
+        let plans = &self.plans[..k];
+        let threads = self.threads.min(k);
+        if threads <= 1 || k * self.n < PARALLEL_THRESHOLD {
+            for (i, (plan, limb)) in plans.iter().zip(limbs.iter_mut()).enumerate() {
+                f(i, plan, limb);
+            }
+            return;
+        }
+        let chunk = k.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|s| {
+            for (t, (pc, lc)) in plans.chunks(chunk).zip(limbs.chunks_mut(chunk)).enumerate() {
+                s.spawn(move || {
+                    for (j, (plan, limb)) in pc.iter().zip(lc.iter_mut()).enumerate() {
+                        f(t * chunk + j, plan, limb);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Resolves the engine thread count: a valid `ABC_FHE_THREADS` value
+/// wins (clamped to `1..=64`); otherwise the machine's available
+/// parallelism, capped at 8.
+pub fn threads_from_env() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            return t.clamp(1, 64);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abc_math::primes::generate_ntt_primes;
+
+    fn moduli(count: usize, two_n: u64) -> Vec<Modulus> {
+        generate_ntt_primes(36, count, two_n)
+            .unwrap()
+            .into_iter()
+            .map(|q| Modulus::new(q).unwrap())
+            .collect()
+    }
+
+    fn pseudo_limbs(ms: &[Modulus], n: usize, seed: u64) -> Vec<Vec<u64>> {
+        ms.iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut x = seed.wrapping_add(i as u64) | 1;
+                (0..n)
+                    .map(|_| {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        x % m.q()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_per_limb_plans_across_thread_counts() {
+        // n·k = 2^13·6 clears PARALLEL_THRESHOLD, so threads really spawn.
+        let n = 1usize << 13;
+        let ms = moduli(6, 2 * n as u64);
+        let limbs0 = pseudo_limbs(&ms, n, 42);
+        let mut reference = limbs0.clone();
+        for (m, limb) in ms.iter().zip(reference.iter_mut()) {
+            NttPlan::new(*m, n).unwrap().forward(limb);
+        }
+        for threads in [1usize, 2, 4] {
+            let engine = RnsNttEngine::with_threads(&ms, n, threads).unwrap();
+            let mut limbs = limbs0.clone();
+            engine.forward_all(&mut limbs);
+            assert_eq!(limbs, reference, "threads={threads}");
+            engine.inverse_all(&mut limbs);
+            assert_eq!(limbs, limbs0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn partial_batches_use_leading_plans() {
+        let n = 64usize;
+        let ms = moduli(4, 2 * n as u64);
+        let engine = RnsNttEngine::with_threads(&ms, n, 2).unwrap();
+        // A truncated ciphertext: fewer limbs than plans, aligned from 0.
+        let mut limbs = pseudo_limbs(&ms[..2], n, 7);
+        let expected = {
+            let mut e = limbs.clone();
+            for (m, limb) in ms[..2].iter().zip(e.iter_mut()) {
+                NttPlan::new(*m, n).unwrap().forward(limb);
+            }
+            e
+        };
+        engine.forward_all(&mut limbs);
+        assert_eq!(limbs, expected);
+    }
+
+    #[test]
+    fn expand_and_ntt_matches_manual_expansion() {
+        let n = 32usize;
+        let ms = moduli(3, 2 * n as u64);
+        let engine = RnsNttEngine::with_threads(&ms, n, 4).unwrap();
+        let ints: Vec<i128> = (0..n as i128).map(|i| i * 12345 - 98765).collect();
+        let got = engine.expand_and_ntt(&ints);
+        for (i, m) in ms.iter().enumerate() {
+            let mut manual: Vec<u64> = ints.iter().map(|&x| m.from_i128(x)).collect();
+            engine.plan(i).forward(&mut manual);
+            assert_eq!(got[i], manual, "limb {i}");
+        }
+        // i64 variant against the same manual path.
+        let small: Vec<i64> = (0..n as i64).map(|i| i - 16).collect();
+        let pooled = engine.expand_and_ntt_i64(&small, 2);
+        for (i, m) in ms[..2].iter().enumerate() {
+            let mut manual: Vec<u64> = small.iter().map(|&x| m.from_i64(x)).collect();
+            engine.plan(i).forward(&mut manual);
+            assert_eq!(pooled[i], manual, "limb {i}");
+        }
+    }
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let n = 16usize;
+        let ms = moduli(2, 2 * n as u64);
+        let engine = RnsNttEngine::with_threads(&ms, n, 1).unwrap();
+        let mut buf = engine.take_buf();
+        buf[0] = 0xDEAD;
+        let ptr = buf.as_ptr();
+        engine.recycle(buf);
+        // The same allocation comes back (contents unspecified — no
+        // memset on the hot path).
+        let again = engine.take_buf();
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again.len(), n);
+        drop(again);
+        // PooledLimbs returns its buffers on drop: the next checkout
+        // reuses the allocations instead of growing the pool.
+        let (p0, p1) = {
+            let mut limbs = engine.take_limbs(2);
+            limbs[0][0] = 1;
+            (limbs[0].as_ptr(), limbs[1].as_ptr())
+        };
+        let back = engine.take_limbs(2);
+        let ptrs = [back[0].as_ptr(), back[1].as_ptr()];
+        assert!(ptrs.contains(&p0) && ptrs.contains(&p1));
+    }
+
+    #[test]
+    #[should_panic(expected = "more limbs than plans")]
+    fn too_many_limbs_panics() {
+        let n = 16usize;
+        let ms = moduli(2, 2 * n as u64);
+        let engine = RnsNttEngine::with_threads(&ms, n, 1).unwrap();
+        let mut limbs = vec![vec![0u64; n]; 3];
+        engine.forward_all(&mut limbs);
+    }
+
+    #[test]
+    fn env_override_is_honoured() {
+        // Serialise against other env-reading tests by using a unique
+        // sentinel value and restoring afterwards.
+        let prev = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "3");
+        let n = 16usize;
+        let ms = moduli(1, 2 * n as u64);
+        let engine = RnsNttEngine::new(&ms, n).unwrap();
+        match prev {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        assert_eq!(engine.threads(), 3);
+        // Invalid values fall back to the default.
+        assert!(threads_from_env() >= 1);
+    }
+}

@@ -10,7 +10,7 @@
 //! the hardware/simulator layers charge them different SRAM/DRAM costs.
 
 use crate::bitrev::bit_reverse;
-use abc_math::{MathError, Modulus};
+use abc_math::{shoup, MathError, Modulus};
 
 /// Supplies the merged twiddles `ψ^{brv(m+i)}` consumed by the
 /// Cooley–Tukey negacyclic NTT and their inverses for the Gentleman–Sande
@@ -48,6 +48,13 @@ fn stage_exponent(n: usize, m: usize, i: usize) -> u64 {
 /// Precomputed twiddle table: `ψ^{brv(k)}` for all `k < N` plus the
 /// inverse table — the conventional design ABC-FHE's `ABC-FHE_Base`
 /// configuration fetches from DRAM.
+///
+/// Alongside each twiddle the table stores its **Shoup quotient**
+/// `floor(w · 2^64 / q)` so the Harvey butterfly kernels in
+/// [`crate::ntt::NttPlan`] can multiply by twiddles with two 64-bit
+/// high-products instead of a `u128` division. The Shoup columns are a
+/// host-software acceleration only: [`Self::table_bytes`] still charges
+/// the hardware model the plain two-column layout.
 #[derive(Debug, Clone)]
 pub struct TwiddleTable {
     m: Modulus,
@@ -56,7 +63,17 @@ pub struct TwiddleTable {
     fwd: Vec<u64>,
     /// `inv[k] = ψ^{-brv(k)}`.
     inv: Vec<u64>,
+    /// `fwd_shoup[k] = floor(fwd[k] · 2^64 / q)`.
+    fwd_shoup: Vec<u64>,
+    /// `inv_shoup[k] = floor(inv[k] · 2^64 / q)`.
+    inv_shoup: Vec<u64>,
+    /// Radix-2^52 quotients for the AVX-512IFMA kernel; empty when
+    /// `q ≥ 2^50`.
+    fwd_shoup52: Vec<u64>,
+    inv_shoup52: Vec<u64>,
     n_inv: u64,
+    n_inv_shoup: u64,
+    n_inv_shoup52: u64,
 }
 
 impl TwiddleTable {
@@ -109,12 +126,39 @@ impl TwiddleTable {
             inv[k] = inv_nat[r];
         }
         let n_inv = m.inv(n as u64).expect("n < q");
+        let q = m.q();
+        let fwd_shoup = fwd.iter().map(|&w| shoup::shoup_precompute(w, q)).collect();
+        let inv_shoup = inv.iter().map(|&w| shoup::shoup_precompute(w, q)).collect();
+        let n_inv_shoup = shoup::shoup_precompute(n_inv, q);
+        // The 52-bit columns only feed the IFMA kernel: skip the
+        // construction-time divisions and the dead memory (2·N·8 bytes
+        // per prime) on machines that can never read them.
+        let (fwd_shoup52, inv_shoup52, n_inv_shoup52) =
+            if q < shoup::MAX_SHOUP52_MODULUS && crate::ifma_supported() {
+                (
+                    fwd.iter()
+                        .map(|&w| shoup::shoup_precompute52(w, q))
+                        .collect(),
+                    inv.iter()
+                        .map(|&w| shoup::shoup_precompute52(w, q))
+                        .collect(),
+                    shoup::shoup_precompute52(n_inv, q),
+                )
+            } else {
+                (Vec::new(), Vec::new(), 0)
+            };
         Ok(Self {
             m,
             n,
             fwd,
             inv,
+            fwd_shoup,
+            inv_shoup,
+            fwd_shoup52,
+            inv_shoup52,
             n_inv,
+            n_inv_shoup,
+            n_inv_shoup52,
         })
     }
 
@@ -126,9 +170,49 @@ impl TwiddleTable {
     }
 
     /// On-chip bytes this table occupies (both directions, 8 B words) —
-    /// what the `ABC-FHE_Base` memory model charges.
+    /// what the `ABC-FHE_Base` memory model charges. The Shoup columns
+    /// are deliberately *not* counted: they exist only to accelerate the
+    /// host software kernel, not the modelled datapath.
     pub fn table_bytes(&self) -> usize {
         2 * self.n * 8
+    }
+
+    /// Forward twiddles and their Shoup quotients as parallel slices
+    /// (`ψ^{brv(k)}` layout; stage `m`, index `i` lives at `k = m + i`).
+    #[inline]
+    pub fn forward_pairs(&self) -> (&[u64], &[u64]) {
+        (&self.fwd, &self.fwd_shoup)
+    }
+
+    /// Inverse twiddles and their Shoup quotients as parallel slices.
+    #[inline]
+    pub fn inverse_pairs(&self) -> (&[u64], &[u64]) {
+        (&self.inv, &self.inv_shoup)
+    }
+
+    /// `N^{-1} mod q` together with its Shoup quotient.
+    #[inline]
+    pub fn n_inv_pair(&self) -> (u64, u64) {
+        (self.n_inv, self.n_inv_shoup)
+    }
+
+    /// Radix-2^52 forward quotients for the AVX-512IFMA kernel, or
+    /// `None` when `q ≥ 2^50`.
+    #[inline]
+    pub fn forward_shoup52(&self) -> Option<&[u64]> {
+        (!self.fwd_shoup52.is_empty()).then_some(&self.fwd_shoup52[..])
+    }
+
+    /// Radix-2^52 inverse quotients, or `None` when `q ≥ 2^50`.
+    #[inline]
+    pub fn inverse_shoup52(&self) -> Option<&[u64]> {
+        (!self.inv_shoup52.is_empty()).then_some(&self.inv_shoup52[..])
+    }
+
+    /// `N^{-1}` with its radix-2^52 quotient (0 when `q ≥ 2^50`).
+    #[inline]
+    pub fn n_inv_pair52(&self) -> (u64, u64) {
+        (self.n_inv, self.n_inv_shoup52)
     }
 }
 

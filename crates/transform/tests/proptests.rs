@@ -5,7 +5,7 @@ use abc_math::poly::negacyclic_mul_schoolbook;
 use abc_math::primes::generate_ntt_primes;
 use abc_math::Modulus;
 use abc_transform::radix::{MdcDesign, TransformKind};
-use abc_transform::{NttPlan, OtfTwiddleGen, SpecialFft};
+use abc_transform::{NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft};
 use proptest::prelude::*;
 
 fn arb_prime_modulus() -> impl Strategy<Value = Modulus> {
@@ -73,6 +73,64 @@ proptest! {
             prop_assert_eq!(table.forward(mm, i), otf.forward(mm, i));
             prop_assert_eq!(table.inverse(mm, i), otf.inverse(mm, i));
             mm <<= 1;
+        }
+    }
+
+    #[test]
+    fn fast_kernels_are_bit_identical_to_golden(m in arb_prime_modulus(), seed in any::<u64>(), log_n in 2u32..10) {
+        // `forward`/`inverse` take a fast kernel (scalar Harvey forced,
+        // plus whatever Auto picks — IFMA on capable machines);
+        // `forward_with`/`inverse_with` on the same table run the golden
+        // scalar kernel. Outputs must match bit for bit.
+        use abc_transform::KernelPreference;
+        let n = 1usize << log_n;
+        let poly: Vec<u64> = (0..n as u64)
+            .map(|i| (seed.wrapping_mul(i * 2 + 1)) % m.q())
+            .collect();
+        for pref in [KernelPreference::Auto, KernelPreference::Harvey] {
+            let plan = NttPlan::with_kernel(m, n, pref).expect("plan");
+            let mut fast = poly.clone();
+            let mut golden = poly.clone();
+            plan.forward(&mut fast);
+            plan.forward_with(plan.table(), &mut golden);
+            prop_assert_eq!(&fast, &golden, "forward {:?}", pref);
+            plan.inverse(&mut fast);
+            plan.inverse_with(plan.table(), &mut golden);
+            prop_assert_eq!(&fast, &golden, "inverse {:?}", pref);
+            prop_assert_eq!(fast, poly, "roundtrip {:?}", pref);
+        }
+    }
+
+    #[test]
+    fn rns_engine_invariant_under_thread_count(seed in any::<u64>(), log_n in 4u32..9, limbs in 1usize..6) {
+        // Batched + threaded transforms must equal the serial per-limb
+        // plans for every thread fan-out.
+        let n = 1usize << log_n;
+        let pool = generate_ntt_primes(36, limbs, 1 << 13).expect("primes");
+        let moduli: Vec<abc_math::Modulus> = pool
+            .into_iter()
+            .map(|q| abc_math::Modulus::new(q).expect("valid"))
+            .collect();
+        let original: Vec<Vec<u64>> = moduli
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                (0..n as u64)
+                    .map(|j| seed.wrapping_mul(i as u64 + 1).wrapping_add(j * 17) % m.q())
+                    .collect()
+            })
+            .collect();
+        let mut reference = original.clone();
+        for (m, limb) in moduli.iter().zip(reference.iter_mut()) {
+            NttPlan::new(*m, n).expect("plan").forward(limb);
+        }
+        for threads in [1usize, 2, 4] {
+            let engine = RnsNttEngine::with_threads(&moduli, n, threads).expect("engine");
+            let mut limbs_t = original.clone();
+            engine.forward_all(&mut limbs_t);
+            prop_assert_eq!(&limbs_t, &reference, "threads = {}", threads);
+            engine.inverse_all(&mut limbs_t);
+            prop_assert_eq!(&limbs_t, &original, "threads = {}", threads);
         }
     }
 

@@ -59,5 +59,5 @@ pub mod prelude {
     pub use abc_math::{Modulus, RnsBasis};
     pub use abc_prng::Seed;
     pub use abc_sim::{simulate, SimConfig, Workload};
-    pub use abc_transform::{NttPlan, SpecialFft};
+    pub use abc_transform::{NttPlan, RnsNttEngine, SpecialFft};
 }
