@@ -1,0 +1,154 @@
+//! Fast machine-readable perf + precision snapshot for CI artifacts.
+//!
+//! ```text
+//! cargo run --release -p abc-bench --bin perf_snapshot -- [OUT.json]
+//! ```
+//!
+//! Runs a small, representative subset of the bench suite (NTT fast
+//! path, batched RNS engine, full client encode+encrypt /
+//! decrypt+decode) with short measurement windows, measures the
+//! round-trip precision of both scale modes at the smallest
+//! bootstrappable ring, and writes everything to one JSON file
+//! (default `BENCH_snapshot.json`):
+//!
+//! ```json
+//! {
+//!   "benches":   [{"id": ..., "mean_ns": ..., "median_ns": ..., "p95_ns": ..., "iters": ...}],
+//!   "precision": [{"id": ..., "log_n": ..., "scale_mode": ..., "precision_bits": ..., "paper_floor": 19.29}]
+//! }
+//! ```
+//!
+//! The whole run stays under ~30 s so it can ride along on every CI
+//! push — this is the repo's perf trajectory, archived as an artifact.
+
+use abc_ckks::params::{CkksParams, ScaleMode};
+use abc_ckks::precision::measure_precision;
+use abc_ckks::CkksContext;
+use abc_float::{Complex, F64Field};
+use abc_prng::Seed;
+use abc_transform::{NttPlan, RnsNttEngine};
+use criterion::BenchRecord;
+use std::time::Instant;
+
+/// Times `f` repeatedly for ~`budget_ms`, returning a [`BenchRecord`]
+/// with nearest-rank median/p95 over the per-call times.
+fn measure(id: &str, budget_ms: u64, mut f: impl FnMut()) -> BenchRecord {
+    // One warm-up call (not sampled).
+    f();
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut samples = Vec::new();
+    while start.elapsed() < budget || samples.len() < 5 {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    let rank = |p: f64| samples[((p * samples.len() as f64).ceil() as usize).max(1) - 1];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    BenchRecord {
+        id: id.to_owned(),
+        mean_secs: mean,
+        median_secs: rank(0.50),
+        p95_secs: rank(0.95),
+        iters: samples.len() as u64,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_snapshot.json".to_owned());
+    let mut benches = Vec::new();
+
+    // --- NTT fast path, the paper's dominant kernel ---
+    for log_n in [13u32, 14] {
+        let n = 1usize << log_n;
+        let q = abc_math::primes::generate_ntt_primes(36, 1, 2 * n as u64).expect("prime")[0];
+        let m = abc_math::Modulus::new(q).expect("modulus");
+        let plan = NttPlan::new(m, n).expect("plan");
+        let mut data: Vec<u64> = (0..n as u64).map(|i| i % q).collect();
+        benches.push(measure(&format!("ntt/forward/2^{log_n}"), 300, || {
+            plan.forward(&mut data);
+        }));
+    }
+
+    // --- Batched RNS limb fan-out (24 limbs = the paper's chain) ---
+    {
+        let n = 1usize << 13;
+        let primes = abc_math::primes::generate_ntt_primes(36, 24, 2 * n as u64).expect("primes");
+        let moduli: Vec<abc_math::Modulus> = primes
+            .iter()
+            .map(|&q| abc_math::Modulus::new(q).expect("modulus"))
+            .collect();
+        let engine = RnsNttEngine::new(&moduli, n).expect("engine");
+        let mut limbs: Vec<Vec<u64>> = moduli
+            .iter()
+            .map(|m| (0..n as u64).map(|i| i % m.q()).collect())
+            .collect();
+        benches.push(measure("rns_ntt/forward_24limbs/2^13", 300, || {
+            engine.forward_all(&mut limbs);
+        }));
+    }
+
+    // --- Full client pipeline at the smallest bootstrappable preset ---
+    {
+        let ctx = CkksContext::new(CkksParams::bootstrappable(13).expect("preset")).expect("ctx");
+        let (sk, pk) = ctx.keygen(Seed::from_u128(2026));
+        let msg: Vec<Complex> = (0..ctx.params().slots())
+            .map(|i| Complex::new((i as f64 * 0.11).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        let mut held = None;
+        benches.push(measure("client/encode_encrypt/2^13", 1500, || {
+            let pt = ctx.encode(&msg).expect("encode");
+            held = Some(ctx.encrypt(&pt, &pk, Seed::from_u128(7)));
+        }));
+        let low = held.expect("populated by the bench").truncated(2);
+        benches.push(measure("client/decrypt_decode_2prime/2^13", 1500, || {
+            let pt = ctx.decrypt(&low, &sk).expect("decrypt");
+            std::hint::black_box(ctx.decode(&pt).expect("decode"));
+        }));
+    }
+
+    // --- Measured precision: the §V-B claim, both scale modes ---
+    let mut precision_rows = Vec::new();
+    for (label, mode) in [
+        ("single_scale", ScaleMode::Single),
+        ("double_scale", ScaleMode::DoublePair),
+    ] {
+        let params = CkksParams::builder()
+            .log_n(13)
+            .num_primes(24)
+            .scale_mode(mode)
+            .build()
+            .expect("params");
+        let ctx = CkksContext::new(params).expect("ctx");
+        let bits = measure_precision(&ctx, &F64Field, 1, Seed::from_u128(13)).expect("measure");
+        println!("precision/{label}/2^13            {bits:.2} bits");
+        precision_rows.push(format!(
+            "  {{\"id\": \"precision/{label}/2^13\", \"log_n\": 13, \"scale_mode\": \"{label}\", \
+             \"precision_bits\": {bits:.3}, \"paper_floor\": 19.29}}"
+        ));
+    }
+
+    let bench_json = criterion::records_to_json(&benches);
+    let json = format!(
+        "{{\n\"benches\": {},\n\"precision\": [\n{}\n]\n}}\n",
+        bench_json.trim_end(),
+        precision_rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    for r in &benches {
+        println!(
+            "{:<40} median {:>10.1} ns  p95 {:>10.1} ns  ({} iters)",
+            r.id,
+            r.median_secs * 1e9,
+            r.p95_secs * 1e9,
+            r.iters
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -1,5 +1,7 @@
 //! Plaintext and ciphertext containers (RNS + NTT domain).
 
+use crate::scale::ExactScale;
+
 /// An encoded message: one residue polynomial per RNS prime, stored in
 /// the NTT (evaluation) domain, plus the scale it was encoded at.
 ///
@@ -9,8 +11,8 @@ pub struct Plaintext {
     /// `rns[i][j]` = coefficient `j` of the residue polynomial mod `q_i`,
     /// in NTT domain.
     pub(crate) rns: Vec<Vec<u64>>,
-    /// Encoding scale Δ.
-    pub(crate) scale: f64,
+    /// Exact encoding scale (Δ_eff for double-scale parameters).
+    pub(crate) scale: ExactScale,
     /// Ring degree (for cheap validation).
     pub(crate) n: usize,
 }
@@ -21,9 +23,15 @@ impl Plaintext {
         self.rns.len()
     }
 
-    /// The encoding scale Δ.
+    /// The encoding scale as `f64` (lossless for fresh power-of-two
+    /// scales; see [`Self::exact_scale`] for the true rational).
     pub fn scale(&self) -> f64 {
-        self.scale
+        self.scale.to_f64()
+    }
+
+    /// The exact rational scale.
+    pub fn exact_scale(&self) -> &ExactScale {
+        &self.scale
     }
 
     /// Ring degree `N`.
@@ -41,12 +49,12 @@ impl Plaintext {
 ///
 /// Decryption computes `c0 + c1·s`. The *level* of the ciphertext is
 /// `num_primes() - 1`; the paper's client encrypts at 24 primes and
-/// decrypts server outputs carrying 2 primes.
+/// decrypts server outputs carrying 2 primes (one double-scale pair).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ciphertext {
     pub(crate) c0: Vec<Vec<u64>>,
     pub(crate) c1: Vec<Vec<u64>>,
-    pub(crate) scale: f64,
+    pub(crate) scale: ExactScale,
     pub(crate) n: usize,
 }
 
@@ -55,14 +63,37 @@ impl Ciphertext {
     /// *evaluator* code (server-side homomorphic operations) that
     /// produces new ciphertexts from existing ones.
     ///
+    /// The `f64` scale is converted to an exact dyadic rational; code
+    /// that already tracks an [`ExactScale`] (every evaluator in this
+    /// crate) should use [`Self::from_components_exact`] so rescale
+    /// history survives.
+    ///
     /// # Errors
     ///
     /// Returns [`crate::CkksError::InvalidParams`] if the component
-    /// shapes are empty, ragged, or disagree with each other.
+    /// shapes are empty, ragged, or disagree with each other, or the
+    /// scale is not positive and finite.
     pub fn from_components(
         c0: Vec<Vec<u64>>,
         c1: Vec<Vec<u64>>,
         scale: f64,
+    ) -> Result<Self, crate::CkksError> {
+        let scale = ExactScale::from_f64(scale).ok_or_else(|| {
+            crate::CkksError::InvalidParams("scale must be positive and finite".to_owned())
+        })?;
+        Self::from_components_exact(c0, c1, scale)
+    }
+
+    /// [`Self::from_components`] with an exact rational scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CkksError::InvalidParams`] for empty, ragged, or
+    /// mismatched component shapes.
+    pub fn from_components_exact(
+        c0: Vec<Vec<u64>>,
+        c1: Vec<Vec<u64>>,
+        scale: ExactScale,
     ) -> Result<Self, crate::CkksError> {
         if c0.is_empty() || c0.len() != c1.len() {
             return Err(crate::CkksError::InvalidParams(
@@ -79,11 +110,6 @@ impl Ciphertext {
                 "residue polynomials must all share one power-of-two length".to_owned(),
             ));
         }
-        if !(scale > 0.0 && scale.is_finite()) {
-            return Err(crate::CkksError::InvalidParams(
-                "scale must be positive and finite".to_owned(),
-            ));
-        }
         Ok(Self { c0, c1, scale, n })
     }
 
@@ -97,9 +123,15 @@ impl Ciphertext {
         self.c0.len().saturating_sub(1)
     }
 
-    /// The scale carried by this ciphertext.
+    /// The scale carried by this ciphertext, as `f64`.
     pub fn scale(&self) -> f64 {
-        self.scale
+        self.scale.to_f64()
+    }
+
+    /// The exact rational scale (numerator, binary exponent, and the
+    /// primes rescaling has divided out).
+    pub fn exact_scale(&self) -> &ExactScale {
+        &self.scale
     }
 
     /// Ring degree `N`.
@@ -128,7 +160,7 @@ impl Ciphertext {
         Self {
             c0: self.c0[..count].to_vec(),
             c1: self.c1[..count].to_vec(),
-            scale: self.scale,
+            scale: self.scale.clone(),
             n: self.n,
         }
     }
@@ -149,7 +181,7 @@ mod tests {
         Ciphertext {
             c0: vec![vec![0u64; n]; primes],
             c1: vec![vec![0u64; n]; primes],
-            scale: 2f64.powi(36),
+            scale: ExactScale::from_log2(36),
             n,
         }
     }
@@ -170,6 +202,18 @@ mod tests {
         let ct = dummy_ct(24, 1 << 16);
         // 2 components × 24 primes × 65536 coeffs × 8 B = 25.2 MB
         assert_eq!(ct.byte_size(), 2 * 24 * 65536 * 8);
+    }
+
+    #[test]
+    fn f64_scale_constructor_is_exact_for_dyadics() {
+        let ct =
+            Ciphertext::from_components(vec![vec![0u64; 8]], vec![vec![0u64; 8]], 2f64.powi(72))
+                .expect("components");
+        assert_eq!(ct.exact_scale().as_pow2(), Some(72));
+        assert!(
+            Ciphertext::from_components(vec![vec![0u64; 8]], vec![vec![0u64; 8]], f64::NAN)
+                .is_err()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::key::{PublicKey, SecretKey};
 use crate::params::CkksParams;
+use crate::scale::ExactScale;
 use crate::CkksError;
 use abc_float::{Complex, F64Field, RealField};
 use abc_math::{poly, RnsBasis};
@@ -113,11 +114,14 @@ impl CkksContext {
         field: &F,
         message: &[Complex],
     ) -> Result<Plaintext, CkksError> {
-        self.encode_at_scale_with(field, message, self.params.scale())
+        let scale = ExactScale::from_log2(self.params.effective_scale_bits());
+        self.encode_with_exact_scale(field, message, &scale)
     }
 
     /// Encodes at an explicit scale — needed when matching the scale of
     /// an evaluated ciphertext (e.g. adding a bias after a rescale).
+    /// Prefer [`Self::encode_with_exact_scale`] with the ciphertext's
+    /// [`Ciphertext::exact_scale`] when it is available.
     ///
     /// # Errors
     ///
@@ -138,6 +142,35 @@ impl CkksContext {
         message: &[Complex],
         scale: f64,
     ) -> Result<Plaintext, CkksError> {
+        let scale = ExactScale::from_f64(scale).ok_or_else(|| {
+            CkksError::InvalidParams("encoding scale must be positive and finite".to_owned())
+        })?;
+        self.encode_with_exact_scale(field, message, &scale)
+    }
+
+    /// Encodes at an exact rational scale — the core path. All scales
+    /// funnel through here; the Δ-rounding is *exact* for any scale:
+    ///
+    /// * power-of-two scales (fresh Δ_eff = 2^72 included) multiply the
+    ///   `f64` coefficient by an exact power of two — no mantissa is
+    ///   lost, even though the product exceeds 2^53 — and round through
+    ///   `i128`;
+    /// * rational scales (post-rescale, `Δ²/∏qᵢ`) round through the
+    ///   big-integer lift `round(mantissa · num · 2^e / ∏den)`, since a
+    ///   single `f64` product would corrupt up to 20 low bits at
+    ///   double-scale magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] for oversize messages and
+    /// [`CkksError::InvalidParams`] if a scaled coefficient is too large
+    /// to encode (non-finite or beyond 2^120).
+    pub fn encode_with_exact_scale<F: RealField>(
+        &self,
+        field: &F,
+        message: &[Complex],
+        scale: &ExactScale,
+    ) -> Result<Plaintext, CkksError> {
         let slots = self.params.slots();
         if message.len() > slots {
             return Err(CkksError::TooManySlots {
@@ -145,25 +178,48 @@ impl CkksContext {
                 max: slots,
             });
         }
-        if !(scale > 0.0 && scale.is_finite()) {
-            return Err(CkksError::InvalidParams(
-                "encoding scale must be positive and finite".to_owned(),
-            ));
-        }
         // Slot vector, zero-padded, through the inverse embedding.
         let mut vals = vec![Complex::zero(); slots];
         vals[..message.len()].copy_from_slice(message);
         self.fft.inverse(field, &mut vals);
         let coeffs = self.fft.slots_to_coeffs(&vals);
-        // Scale by Δ, round to integers, expand into RNS, NTT per prime.
-        let ints: Vec<i128> = coeffs
-            .iter()
-            .map(|&c| (c * scale).round() as i128)
-            .collect();
-        let rns = self.expand_and_ntt(&ints);
+        let scale_f = scale.to_f64();
+        for &c in &coeffs {
+            let v = c * scale_f;
+            if !v.is_finite() || v.abs() >= 2f64.powi(120) {
+                return Err(CkksError::InvalidParams(format!(
+                    "scaled coefficient {v:e} too large to encode"
+                )));
+            }
+        }
+        let rns = if scale.as_pow2().is_some() {
+            // Exact: a power-of-two multiply only shifts the exponent,
+            // and `.round()` on a value ≥ 2^53 is the identity.
+            let ints: Vec<i128> = coeffs
+                .iter()
+                .map(|&c| (c * scale_f).round() as i128)
+                .collect();
+            self.expand_and_ntt(&ints)
+        } else {
+            // Rational scale: exact big-integer rounding, residues per
+            // prime, then the batched forward NTT.
+            let n = self.params.n();
+            let moduli = self.basis.moduli();
+            let rounder = scale.rounder();
+            let mut rows: Vec<Vec<u64>> = vec![vec![0u64; n]; moduli.len()];
+            for (j, &c) in coeffs.iter().enumerate() {
+                let (negative, mag) = rounder.round(c);
+                for (i, m) in moduli.iter().enumerate() {
+                    let r = mag.rem_u64(m.q());
+                    rows[i][j] = if negative { m.neg(r) } else { r };
+                }
+            }
+            self.engine.forward_all(&mut rows);
+            rows
+        };
         Ok(Plaintext {
             rns,
-            scale,
+            scale: scale.clone(),
             n: self.params.n(),
         })
     }
@@ -198,19 +254,27 @@ impl CkksContext {
         // all limbs batched through the engine's thread fan-out.
         let mut res: Vec<Vec<u64>> = pt.rns.clone();
         self.engine.inverse_all(&mut res);
-        // CRT-combine per coefficient, center, and undo the scale.
+        // CRT-combine per coefficient to the *exact* centered integer,
+        // then divide by the exact rational scale in double-double
+        // precision — one rounding, at the end. (A lossy `f64` lift
+        // would discard the bottom ~20 bits of every coefficient at
+        // Δ_eff = 2^72.)
         let sub_basis = if lvl == self.basis.len() {
             self.basis.clone()
         } else {
             self.basis.truncated(lvl)
         };
+        let modulus_product = sub_basis.product();
+        let divisor = pt.scale.divisor();
         let mut coeffs = vec![0.0f64; n];
         let mut residues = vec![0u64; lvl];
         for j in 0..n {
             for i in 0..lvl {
                 residues[i] = res[i][j];
             }
-            coeffs[j] = sub_basis.combine_centered(&residues) / pt.scale;
+            let (negative, mag) =
+                sub_basis.combine_centered_big_with_product(&residues, &modulus_product);
+            coeffs[j] = divisor.apply(negative, &mag);
         }
         // Coefficients → slots through the forward embedding.
         let mut vals = self.fft.coeffs_to_slots(&coeffs);
@@ -314,7 +378,7 @@ impl CkksContext {
         Ciphertext {
             c0,
             c1,
-            scale: pt.scale,
+            scale: pt.scale.clone(),
             n,
         }
     }
@@ -341,7 +405,7 @@ impl CkksContext {
         }
         Ok(Plaintext {
             rns,
-            scale: ct.scale,
+            scale: ct.scale.clone(),
             n: ct.n,
         })
     }

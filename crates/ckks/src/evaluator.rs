@@ -15,9 +15,19 @@
 //! last residue polynomial in *coefficient* form, so each rescale costs
 //! one INTT plus `L` NTTs — the reason server-side accelerators care
 //! about transform throughput just as the client does.
+//!
+//! Under the paper's **double-scale** parameters
+//! ([`ScaleMode::DoublePair`]) one multiplicative level is a prime
+//! *pair*: [`rescale`] drops the last two primes in one fused step
+//! (`c'_i = (c_i − [c]_{q_{L-1}·q_L}) · (q_{L-1}·q_L)^{-1} mod q_i`,
+//! with the tail CRT-lifted across both primes), dividing the scale by
+//! ≈Δ_eff = 2^72. Scales are tracked *exactly* as rationals
+//! ([`crate::scale::ExactScale`]): no `f64` drift over the 24-prime
+//! chain.
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
+use crate::params::ScaleMode;
 use crate::CkksError;
 use abc_math::poly;
 
@@ -51,7 +61,7 @@ pub fn add(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Cipherte
         poly::add_assign(m, &mut c0[i], &b0[i]);
         poly::add_assign(m, &mut c1[i], &b1[i]);
     }
-    Ciphertext::from_components(c0, c1, a.scale())
+    Ciphertext::from_components_exact(c0, c1, a.exact_scale().clone())
 }
 
 /// Plaintext-ciphertext addition at matching scale:
@@ -84,7 +94,7 @@ pub fn add_plaintext(
     for (i, m) in ctx.basis().moduli()[..ct.num_primes()].iter().enumerate() {
         poly::add_assign(m, &mut n0[i], &pt.residues()[i]);
     }
-    Ciphertext::from_components(n0, c1.to_vec(), ct.scale())
+    Ciphertext::from_components_exact(n0, c1.to_vec(), ct.exact_scale().clone())
 }
 
 /// Plaintext-ciphertext multiplication: `enc(a) · pt(b) = enc(a ⊙ b)` at
@@ -115,10 +125,26 @@ pub fn plaintext_mul(
         poly::mul_assign(m, &mut n0[i], &pt.residues()[i]);
         poly::mul_assign(m, &mut n1[i], &pt.residues()[i]);
     }
-    Ciphertext::from_components(n0, n1, ct.scale() * pt.scale())
+    Ciphertext::from_components_exact(n0, n1, ct.exact_scale().mul(pt.exact_scale()))
 }
 
-/// RNS rescaling: drops the last prime and divides the scale by it.
+/// RNS rescaling by one multiplicative *level*: drops one prime in
+/// [`ScaleMode::Single`], a fused prime *pair* in
+/// [`ScaleMode::DoublePair`] (the paper's double-scale levels).
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if too few primes remain to drop
+/// a level and [`CkksError::ContextMismatch`] for foreign ciphertexts.
+pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+    match ctx.params().scale_mode() {
+        ScaleMode::Single => rescale_prime(ctx, ct),
+        ScaleMode::DoublePair => rescale_pair(ctx, ct),
+    }
+}
+
+/// Single-prime RNS rescaling: drops the last prime and divides the
+/// scale by it, exactly.
 ///
 /// # Errors
 ///
@@ -126,7 +152,7 @@ pub fn plaintext_mul(
 /// (nothing left to drop) and [`CkksError::ContextMismatch`] for foreign
 /// ciphertexts.
 #[allow(clippy::needless_range_loop)] // parallel indexing of basis/plans/components
-pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+pub fn rescale_prime(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
         return Err(CkksError::ContextMismatch);
     }
@@ -171,7 +197,84 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksErr
             out.push(r);
         }
     }
-    Ciphertext::from_components(out0, out1, ct.scale() / q_last.q() as f64)
+    Ciphertext::from_components_exact(out0, out1, ct.exact_scale().div_prime(q_last.q()))
+}
+
+/// Fused pair rescaling — one double-scale level. Drops the last *two*
+/// primes at once: the tail is CRT-lifted to the centered residue modulo
+/// `q_{L-1}·q_L` (≤ ~75 bits, inside `i128`) and
+/// `c'_i = (c_i − [c]_{q_{L-1}·q_L}) · (q_{L-1}·q_L)^{-1} mod q_i`
+/// divides the underlying integer — and the exact scale — by the pair
+/// product in a single step. Equivalent to two successive
+/// [`rescale_prime`] calls up to one unit of per-prime rounding (the
+/// fused form rounds once, the sequential form twice).
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if fewer than three primes
+/// remain (a pair must drop and at least one prime must survive) and
+/// [`CkksError::ContextMismatch`] for foreign ciphertexts.
+#[allow(clippy::needless_range_loop)] // parallel indexing of basis/plans/components
+pub fn rescale_pair(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+    if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
+        return Err(CkksError::ContextMismatch);
+    }
+    let lvl = ct.num_primes();
+    if lvl < 3 {
+        return Err(CkksError::InvalidParams(format!(
+            "pair rescale needs at least 3 primes, ciphertext has {lvl}"
+        )));
+    }
+    let keep = lvl - 2;
+    let qa = ctx.basis().moduli()[keep]; // second-to-last
+    let qb = ctx.basis().moduli()[lvl - 1]; // last
+    let pair_product = qa.q() as u128 * qb.q() as u128;
+    let engine = ctx.ntt_engine();
+    // (qa·qb)^{-1} mod q_i and the CRT stitch qa^{-1} mod qb, basis-only.
+    let pair_inv: Vec<u64> = ctx.basis().moduli()[..keep]
+        .iter()
+        .map(|m| m.inv(m.reduce_u128(pair_product)).expect("coprime basis"))
+        .collect();
+    let qa_inv_mod_qb = qb.inv(qb.reduce(qa.q())).expect("coprime basis");
+    let (c0, c1) = ct.components();
+    let mut out0 = Vec::with_capacity(keep);
+    let mut out1 = Vec::with_capacity(keep);
+    let mut centered = vec![0i128; ct.n()];
+    for (component, out) in [(c0, &mut out0), (c1, &mut out1)] {
+        // Both tail residues back to coefficient domain.
+        let mut tail_a = engine.take_buf();
+        let mut tail_b = engine.take_buf();
+        tail_a.copy_from_slice(&component[keep]);
+        tail_b.copy_from_slice(&component[lvl - 1]);
+        engine.plan(keep).inverse(&mut tail_a);
+        engine.plan(lvl - 1).inverse(&mut tail_b);
+        // CRT lift per coefficient: x = ra + qa·((rb − ra)·qa^{-1} mod qb),
+        // centered into (−qa·qb/2, qa·qb/2].
+        for (j, dst) in centered.iter_mut().enumerate() {
+            let ra = tail_a[j];
+            let rb = tail_b[j];
+            let t = qb.mul(qb.sub(qb.reduce(rb), qb.reduce(ra)), qa_inv_mod_qb);
+            let x = ra as u128 + qa.q() as u128 * t as u128;
+            *dst = if x > pair_product / 2 {
+                x as i128 - pair_product as i128
+            } else {
+                x as i128
+            };
+        }
+        engine.recycle(tail_a);
+        engine.recycle(tail_b);
+        // The centered pair-tail under every remaining prime, batched.
+        let tails = engine.expand_and_ntt_i128(&centered, keep);
+        for i in 0..keep {
+            let m = &ctx.basis().moduli()[i];
+            let mut r = component[i].clone();
+            poly::sub_assign(m, &mut r, &tails[i]);
+            poly::scalar_mul_assign(m, &mut r, pair_inv[i]);
+            out.push(r);
+        }
+    }
+    let scale = ct.exact_scale().div_prime(qa.q()).div_prime(qb.q());
+    Ciphertext::from_components_exact(out0, out1, scale)
 }
 
 #[cfg(test)]
@@ -238,10 +341,18 @@ mod tests {
         let product = plaintext_mul(&ctx, &ct, &ctx.encode(&w).expect("e")).expect("mul");
         assert_eq!(product.scale(), ct.scale() * ctx.params().scale());
         let rescaled = rescale(&ctx, &product).expect("rescale");
-        // One prime dropped; scale back near Δ (q_i ≈ Δ with double-scale).
+        // One prime dropped; the resulting scale is exactly Δ²/q_last —
+        // not "within 2×" but equal as an exact rational.
         assert_eq!(rescaled.num_primes(), ct.num_primes() - 1);
-        let ratio = rescaled.scale() / ctx.params().scale();
-        assert!(ratio > 0.5 && ratio < 2.0, "scale ratio {ratio}");
+        let q_last = ctx.basis().moduli()[ct.num_primes() - 1].q();
+        let expected_scale = ct
+            .exact_scale()
+            .mul(&crate::scale::ExactScale::from_log2(
+                ctx.params().effective_scale_bits(),
+            ))
+            .div_prime(q_last);
+        assert_eq!(rescaled.exact_scale(), &expected_scale);
+        assert_eq!(rescaled.exact_scale().dropped_primes(), &[q_last]);
         let out = ctx
             .decode(&ctx.decrypt(&rescaled, &sk).expect("d"))
             .expect("decode");
@@ -274,6 +385,123 @@ mod tests {
             .decode(&ctx.decrypt(&ct, &sk).expect("d"))
             .expect("decode");
         assert!(max_err(&out, &a) < 1e-2, "err {}", max_err(&out, &a));
+    }
+
+    #[test]
+    fn rescale_chain_scale_is_bigint_exact() {
+        // The divide-as-you-go f64 scale drifts over a rescale chain;
+        // the exact tracker must match the independently computed
+        // big-rational Δ^(k+1)/∏(dropped qᵢ) — representation *and*
+        // value — after a full chain to the bottom level.
+        use abc_math::UBig;
+        let ctx = ctx();
+        let (_, pk) = ctx.keygen(Seed::from_u128(12));
+        let slots = ctx.params().slots();
+        let ones_pt = ctx.encode(&vec![Complex::new(1.0, 0.0); slots]).expect("e");
+        let mut ct = ctx.encrypt(
+            &ctx.encode(&msg(slots, 1.0)).expect("e"),
+            &pk,
+            Seed::from_u128(13),
+        );
+        let mut dropped = Vec::new();
+        let mut muls = 0u32;
+        while ct.num_primes() > 2 {
+            let prod = plaintext_mul(&ctx, &ct, &ones_pt).expect("mul");
+            dropped.push(ctx.basis().moduli()[prod.num_primes() - 1].q());
+            ct = rescale(&ctx, &prod).expect("rescale");
+            muls += 1;
+        }
+        assert!(muls >= 3, "chain long enough to expose f64 drift");
+        // Independent big-rational evaluation of the final scale.
+        let sb = ctx.params().effective_scale_bits();
+        let num = UBig::one().shl(sb * (muls + 1));
+        let den = dropped.iter().fold(UBig::one(), |acc, &q| acc.mul_u64(q));
+        let expected_f64 = num.to_f64() / den.to_f64();
+        let got = ct.scale();
+        assert!(
+            ((got - expected_f64) / expected_f64).abs() < 1e-12,
+            "scale {got} vs bigint-exact {expected_f64}"
+        );
+        // And the representation itself carries the true prime history.
+        let mut sorted = dropped.clone();
+        sorted.sort_unstable();
+        assert_eq!(ct.exact_scale().dropped_primes(), sorted.as_slice());
+        let (num_repr, exp, _) = ct.exact_scale().raw_parts();
+        assert_eq!(num_repr, &UBig::one());
+        assert_eq!(exp, (sb * (muls + 1)) as i32);
+    }
+
+    #[test]
+    fn pair_rescale_drops_two_primes_with_exact_scale() {
+        // A double-scale context: `rescale` consumes one *pair* per
+        // level and the scale divides by the exact pair product.
+        use crate::params::ScaleMode;
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .num_primes(6)
+                .scale_mode(ScaleMode::DoublePair)
+                .secret_hamming_weight(Some(64))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        assert_eq!(ctx.params().scale(), 2f64.powi(72));
+        let (sk, pk) = ctx.keygen(Seed::from_u128(20));
+        let a = msg(ctx.params().slots(), 0.3);
+        let w = msg(ctx.params().slots(), 1.3);
+        let ct = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(21));
+        let product = plaintext_mul(&ctx, &ct, &ctx.encode(&w).expect("e")).expect("mul");
+        let rescaled = rescale(&ctx, &product).expect("pair rescale");
+        assert_eq!(rescaled.num_primes(), ct.num_primes() - 2);
+        let qa = ctx.basis().moduli()[4].q();
+        let qb = ctx.basis().moduli()[5].q();
+        let mut expect_dropped = [qa, qb];
+        expect_dropped.sort_unstable();
+        assert_eq!(
+            rescaled.exact_scale().dropped_primes(),
+            expect_dropped.as_slice()
+        );
+        // Scale is back within a couple bits of Δ_eff: 2^144/(qa·qb).
+        let ratio = rescaled.scale() / ctx.params().scale();
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+        let out = ctx
+            .decode(&ctx.decrypt(&rescaled, &sk).expect("d"))
+            .expect("decode");
+        let expected: Vec<Complex> = a
+            .iter()
+            .zip(&w)
+            .map(|(x, y)| Complex::new(x.re * y.re - x.im * y.im, x.re * y.im + x.im * y.re))
+            .collect();
+        let err = max_err(&out, &expected);
+        assert!(err < 1e-6, "slot error {err}");
+    }
+
+    #[test]
+    fn pair_rescale_rejects_short_ciphertexts() {
+        use crate::params::ScaleMode;
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(9)
+                .num_primes(4)
+                .scale_mode(ScaleMode::DoublePair)
+                .secret_hamming_weight(Some(32))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (_, pk) = ctx.keygen(Seed::from_u128(22));
+        let ct = ctx
+            .encrypt(
+                &ctx.encode(&msg(8, 0.0)).expect("e"),
+                &pk,
+                Seed::from_u128(23),
+            )
+            .truncated(2);
+        assert!(matches!(
+            rescale(&ctx, &ct),
+            Err(CkksError::InvalidParams(_))
+        ));
     }
 
     #[test]

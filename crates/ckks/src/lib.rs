@@ -51,6 +51,7 @@ pub mod noise;
 pub mod opcount;
 pub mod params;
 pub mod precision;
+pub mod scale;
 pub mod security;
 pub mod symmetric;
 pub mod wire;
@@ -58,6 +59,7 @@ pub mod wire;
 pub use cipher::{Ciphertext, Plaintext};
 pub use context::CkksContext;
 pub use key::{PublicKey, SecretKey};
+pub use scale::ExactScale;
 
 /// Errors produced by the CKKS layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -251,6 +251,22 @@ pub struct Fig2Row {
     pub mops: f64,
 }
 
+/// [`fig2_rows`] with the level accounting derived from a parameter
+/// set's [`ScaleMode`](crate::params::ScaleMode) — the paper's
+/// convention, where Fig. 2's caption counts *levels*, not primes.
+///
+/// Under the double scale one level is a prime **pair**: the paper's
+/// headline setting (`N = 2^16`, 24 primes) is 12 multiplicative
+/// levels, and counting one transform unit per level reproduces the
+/// published ≈27.0 MOPs encode+encrypt figure; `dec_levels = 2` (the
+/// returned 2-level ciphertext) reproduces ≈2.9 MOPs. The physical
+/// per-prime operation count (2× the level figure under pairing) is
+/// what [`count_client_ops`] reports.
+pub fn fig2_rows_for_params(params: &crate::params::CkksParams, dec_levels: u64) -> Vec<Fig2Row> {
+    let enc_units = params.multiplicative_levels() as u64;
+    fig2_rows(params.n() as u64, enc_units, dec_levels + 1)
+}
+
 /// Produces both Fig. 2b rows in the paper's butterfly-granular
 /// convention.
 pub fn fig2_rows(n: u64, enc_primes: u64, dec_primes: u64) -> Vec<Fig2Row> {
@@ -334,6 +350,27 @@ mod tests {
         assert!((dec - 2.9).abs() < 0.7, "dec = {dec}");
         let ratio = enc / dec;
         assert!(ratio > 7.0 && ratio < 13.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn params_level_accounting_reproduces_paper_figures() {
+        // The bootstrappable preset *is* the Fig. 2 caption setting:
+        // 12 double-scale levels (24 primes) at N = 2^16, decrypting
+        // 2-level returns. Deriving the units from the parameter set's
+        // scale mode must land on the published 27.0 / 2.9 MOPs.
+        let p = crate::params::CkksParams::bootstrappable(16).expect("preset");
+        let rows = fig2_rows_for_params(&p, 2);
+        assert!((rows[0].mops - 27.0).abs() < 4.0, "enc = {}", rows[0].mops);
+        assert!((rows[1].mops - 2.9).abs() < 0.7, "dec = {}", rows[1].mops);
+        // Single-scale at the same prime count counts one unit per
+        // prime: twice the transform work per level figure.
+        let s = crate::params::CkksParams::builder()
+            .log_n(16)
+            .num_primes(24)
+            .build()
+            .expect("params");
+        let srows = fig2_rows_for_params(&s, 2);
+        assert!(srows[0].mops > 1.8 * rows[0].mops);
     }
 
     #[test]

@@ -2,6 +2,38 @@
 
 use crate::CkksError;
 
+/// How RNS primes map to the encoding scale.
+///
+/// CKKS wants every rescale to divide the scale by ≈Δ, which normally
+/// forces the primes to be ≈Δ-sized. NTT-friendliness caps the usable
+/// prime width at 36 bits for `N = 2^16`, yet a 36-bit Δ cannot hold the
+/// paper's 19.29-bit precision floor at that ring size (fresh noise
+/// ∝ √N eats into it). The paper's **double-scale technique** (§II-B,
+/// ref \[1\]) squares the scale instead of the primes: encode at
+/// Δ_eff = Δ² = 2^72 and consume the primes in adjacent *pairs* — each
+/// multiplicative level drops two ≈2^36 primes, dividing the scale by
+/// ≈2^72 while every individual prime stays NTT-friendly at 36 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleMode {
+    /// One prime per level; the encoding scale is `2^scale_bits`.
+    #[default]
+    Single,
+    /// Adjacent prime *pairs* per level; the effective encoding scale is
+    /// `2^(2·scale_bits)` (Δ_eff = 2^72 at the paper's parameters) and
+    /// rescaling drops two primes at a time.
+    DoublePair,
+}
+
+impl ScaleMode {
+    /// RNS primes consumed per multiplicative level (1 or 2).
+    pub fn primes_per_level(&self) -> usize {
+        match self {
+            ScaleMode::Single => 1,
+            ScaleMode::DoublePair => 2,
+        }
+    }
+}
+
 /// Validated CKKS client-side parameters.
 ///
 /// The paper's evaluation setting (§V-B): `N = 2^16`, 36-bit primes under
@@ -27,6 +59,7 @@ pub struct CkksParams {
     num_primes: usize,
     prime_bits: u32,
     scale_bits: u32,
+    scale_mode: ScaleMode,
     error_sigma: f64,
     secret_hamming_weight: Option<usize>,
 }
@@ -37,9 +70,11 @@ impl CkksParams {
         CkksParamsBuilder::default()
     }
 
-    /// The paper's bootstrappable preset for `log_n ∈ 13..=16`: 36-bit
-    /// double-scale primes, 24 RNS primes, Δ = 2^36, σ = 3.2, sparse
-    /// ternary secret (h = 192).
+    /// The paper's bootstrappable preset for `log_n ∈ 13..=16`: 24
+    /// 36-bit primes consumed in pairs ([`ScaleMode::DoublePair`], so
+    /// Δ_eff = 2^72 over 12 multiplicative levels), σ = 3.2, sparse
+    /// ternary secret (h = 192). The double scale is what holds the
+    /// paper's 19.29-bit precision floor at `N = 2^16`.
     ///
     /// # Errors
     ///
@@ -56,6 +91,7 @@ impl CkksParams {
             .num_primes(24)
             .prime_bits(36)
             .scale_bits(36)
+            .scale_mode(ScaleMode::DoublePair)
             .build()
     }
 
@@ -84,14 +120,34 @@ impl CkksParams {
         self.prime_bits
     }
 
-    /// The encoding scale Δ = 2^scale_bits.
+    /// The *effective* encoding scale: `2^scale_bits` in
+    /// [`ScaleMode::Single`], `2^(2·scale_bits)` in
+    /// [`ScaleMode::DoublePair`].
     pub fn scale(&self) -> f64 {
-        2f64.powi(self.scale_bits as i32)
+        2f64.powi(self.effective_scale_bits() as i32)
     }
 
-    /// `log2(Δ)`.
+    /// `log2` of the per-prime scale (36 at the paper's parameters).
     pub fn scale_bits(&self) -> u32 {
         self.scale_bits
+    }
+
+    /// `log2` of the effective encoding scale
+    /// (`scale_bits · primes_per_level`; 72 under the double scale).
+    pub fn effective_scale_bits(&self) -> u32 {
+        self.scale_bits * self.scale_mode.primes_per_level() as u32
+    }
+
+    /// How primes map to levels ([`ScaleMode`]).
+    pub fn scale_mode(&self) -> ScaleMode {
+        self.scale_mode
+    }
+
+    /// Multiplicative levels the modulus supports: `num_primes` divided
+    /// by the primes each level consumes (the paper's 24 primes are 12
+    /// double-scale levels).
+    pub fn multiplicative_levels(&self) -> usize {
+        self.num_primes / self.scale_mode.primes_per_level()
     }
 
     /// Error distribution width σ.
@@ -118,6 +174,7 @@ pub struct CkksParamsBuilder {
     num_primes: usize,
     prime_bits: u32,
     scale_bits: u32,
+    scale_mode: ScaleMode,
     error_sigma: f64,
     secret_hamming_weight: Option<usize>,
 }
@@ -129,6 +186,7 @@ impl Default for CkksParamsBuilder {
             num_primes: 24,
             prime_bits: 36,
             scale_bits: 36,
+            scale_mode: ScaleMode::Single,
             error_sigma: 3.2,
             secret_hamming_weight: Some(192),
         }
@@ -154,9 +212,15 @@ impl CkksParamsBuilder {
         self
     }
 
-    /// Sets `log2(Δ)`.
+    /// Sets `log2` of the per-prime scale.
     pub fn scale_bits(mut self, scale_bits: u32) -> Self {
         self.scale_bits = scale_bits;
+        self
+    }
+
+    /// Sets the prime-to-level mapping ([`ScaleMode`]).
+    pub fn scale_mode(mut self, mode: ScaleMode) -> Self {
+        self.scale_mode = mode;
         self
     }
 
@@ -224,11 +288,18 @@ impl CkksParamsBuilder {
                 )));
             }
         }
+        if self.scale_mode == ScaleMode::DoublePair && !self.num_primes.is_multiple_of(2) {
+            return Err(CkksError::InvalidParams(format!(
+                "double-scale pairing requires an even prime count, got {}",
+                self.num_primes
+            )));
+        }
         Ok(CkksParams {
             log_n: self.log_n,
             num_primes: self.num_primes,
             prime_bits: self.prime_bits,
             scale_bits: self.scale_bits,
+            scale_mode: self.scale_mode,
             error_sigma: self.error_sigma,
             secret_hamming_weight: self.secret_hamming_weight,
         })
@@ -247,10 +318,35 @@ mod tests {
             assert_eq!(p.slots(), 1usize << (log_n - 1));
             assert_eq!(p.num_primes(), 24);
             assert_eq!(p.modulus_bits(), 24 * 36);
-            assert_eq!(p.scale(), 2f64.powi(36));
+            // Double-scale: 24 primes = 12 levels at Δ_eff = 2^72.
+            assert_eq!(p.scale_mode(), ScaleMode::DoublePair);
+            assert_eq!(p.effective_scale_bits(), 72);
+            assert_eq!(p.scale(), 2f64.powi(72));
+            assert_eq!(p.multiplicative_levels(), 12);
         }
         assert!(CkksParams::bootstrappable(12).is_err());
         assert!(CkksParams::bootstrappable(17).is_err());
+    }
+
+    #[test]
+    fn scale_mode_accounting() {
+        let p = CkksParams::builder().num_primes(6).build().unwrap();
+        assert_eq!(p.scale_mode(), ScaleMode::Single);
+        assert_eq!(p.effective_scale_bits(), 36);
+        assert_eq!(p.multiplicative_levels(), 6);
+        let d = CkksParams::builder()
+            .num_primes(6)
+            .scale_mode(ScaleMode::DoublePair)
+            .build()
+            .unwrap();
+        assert_eq!(d.scale(), 2f64.powi(72));
+        assert_eq!(d.multiplicative_levels(), 3);
+        // Pairing requires an even prime count.
+        assert!(CkksParams::builder()
+            .num_primes(5)
+            .scale_mode(ScaleMode::DoublePair)
+            .build()
+            .is_err());
     }
 
     #[test]

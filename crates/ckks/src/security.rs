@@ -55,6 +55,21 @@ pub fn max_primes_at_128(log_n: u32, prime_bits: u32) -> Option<u32> {
     max_modulus_bits_128(log_n).map(|q| q / prime_bits)
 }
 
+/// How many *multiplicative levels* fit at 128-bit security, with the
+/// level accounting derived from the scale mode: a
+/// [`ScaleMode::DoublePair`](crate::params::ScaleMode) level consumes
+/// two primes, so the same modulus budget buys half as many (but
+/// Δ_eff-sized) levels. At the paper's setting
+/// (`log_n = 16`, 36-bit primes) the budget is 49 single-scale or 24
+/// double-scale levels — comfortably above the 12 the preset uses.
+pub fn max_levels_at_128(
+    log_n: u32,
+    prime_bits: u32,
+    mode: crate::params::ScaleMode,
+) -> Option<u32> {
+    max_primes_at_128(log_n, prime_bits).map(|p| p / mode.primes_per_level() as u32)
+}
+
 impl crate::params::CkksParams {
     /// Classifies this parameter set against the 128-bit HE standard.
     ///
@@ -76,6 +91,13 @@ impl crate::params::CkksParams {
     /// ```
     pub fn security_level(&self) -> SecurityLevel {
         classify(self.log_n(), self.modulus_bits())
+    }
+
+    /// The multiplicative-level budget at 128-bit security for this
+    /// ring/prime-width/scale-mode combination (`None` outside the
+    /// standard's table). Pair accounting under the double scale.
+    pub fn max_levels_at_128(&self) -> Option<u32> {
+        max_levels_at_128(self.log_n(), self.prime_bits(), self.scale_mode())
     }
 }
 
@@ -109,6 +131,21 @@ mod tests {
         assert!(max_primes_at_128(16, 36).expect("in table") >= 40);
         assert!(max_primes_at_128(15, 36).expect("in table") >= 20);
         assert!(max_primes_at_128(13, 36).expect("in table") < 20);
+    }
+
+    #[test]
+    fn pair_level_budget_halves_under_double_scale() {
+        use crate::params::ScaleMode;
+        assert_eq!(max_levels_at_128(16, 36, ScaleMode::Single), Some(49));
+        assert_eq!(max_levels_at_128(16, 36, ScaleMode::DoublePair), Some(24));
+        assert_eq!(max_levels_at_128(20, 36, ScaleMode::DoublePair), None);
+        // The paper's preset fits its 12 double-scale levels at N=2^16.
+        let p = CkksParams::bootstrappable(16).expect("preset");
+        let budget = p.max_levels_at_128().expect("in table");
+        assert!(
+            p.multiplicative_levels() as u32 <= budget,
+            "budget {budget}"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
 use crate::key::SecretKey;
+use crate::scale::ExactScale;
 use crate::CkksError;
 use abc_math::poly;
 use abc_prng::sampler::{GaussianSampler, UniformSampler};
@@ -23,7 +24,7 @@ use abc_prng::Seed;
 pub struct CompressedCiphertext {
     c0: Vec<Vec<u64>>,
     mask_seed: Seed,
-    scale: f64,
+    scale: ExactScale,
     n: usize,
 }
 
@@ -56,7 +57,7 @@ impl CompressedCiphertext {
             return Err(CkksError::ContextMismatch);
         }
         let c1 = sample_mask(ctx, self.mask_seed, self.num_primes());
-        Ciphertext::from_components(self.c0.clone(), c1, self.scale)
+        Ciphertext::from_components_exact(self.c0.clone(), c1, self.scale.clone())
     }
 }
 
@@ -114,7 +115,7 @@ pub fn encrypt_symmetric_compressed(
     CompressedCiphertext {
         c0,
         mask_seed,
-        scale: pt.scale(),
+        scale: pt.exact_scale().clone(),
         n,
     }
 }

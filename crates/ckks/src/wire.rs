@@ -4,40 +4,77 @@
 //! A simple versioned little-endian layout (no external dependencies):
 //!
 //! ```text
-//! magic  "ABCF"            4 B
-//! version u16              2 B
-//! kind    u8 (1=full ct)   1 B
-//! log_n   u8               1 B
-//! primes  u16              2 B
-//! scale   f64              8 B
-//! c0 residues              primes · N · 8 B
-//! c1 residues              primes · N · 8 B
+//! magic    "ABCF"            4 B
+//! version  u16 (= 2)         2 B
+//! kind     u8 (1=full ct)    1 B
+//! log_n    u8                1 B
+//! primes   u16               2 B
+//! scale_exp i32              4 B   ─┐
+//! num_len  u16               2 B    │ exact rational scale:
+//! den_len  u16               2 B    │ num·2^exp / ∏den
+//! num      num_len B         var    │ (num little-endian bigint,
+//! den      den_len · 8 B     var   ─┘  den the dropped primes)
+//! c0 residues                primes · N · 8 B
+//! c1 residues                primes · N · 8 B
 //! ```
 //!
-//! The format stores residues as full `u64` words; a production codec
-//! would bit-pack to the prime width (44 bits → ×0.69), which is exactly
-//! the `coeff_bits` the simulator charges. Compressed (seeded)
+//! Version 2 transports the scale as the **exact rational** the
+//! evaluator tracks ([`crate::scale::ExactScale`]) instead of a lossy
+//! `f64`: a server that rescaled through a 24-prime chain returns the
+//! true ∏qᵢ history, so the client decodes at the true scale. The
+//! format stores residues as full `u64` words; a production codec
+//! would bit-pack to the prime width (44 bits → ×0.69), which is
+//! exactly the `coeff_bits` the simulator charges. Compressed (seeded)
 //! ciphertexts serialize via kind 2 with the 16-byte seed in place of
 //! `c1`.
 
 use crate::cipher::Ciphertext;
+use crate::scale::ExactScale;
 use crate::CkksError;
+use abc_math::UBig;
 
 const MAGIC: &[u8; 4] = b"ABCF";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 const KIND_FULL: u8 = 1;
+/// Bytes before the variable-length scale payload.
+const FIXED_HEADER: usize = 18;
+
+/// Exact serialized size of a ciphertext in this format.
+pub fn serialized_len(ct: &Ciphertext) -> usize {
+    let (num, _, den) = ct.exact_scale().raw_parts();
+    FIXED_HEADER + num.to_le_bytes().len() + den.len() * 8 + 2 * ct.num_primes() * ct.n() * 8
+}
 
 /// Serializes a ciphertext to the wire format.
+///
+/// # Panics
+///
+/// Panics if the exact-scale encoding exceeds the format's `u16`
+/// length fields (a numerator beyond 64 KiB or more than 65535 dropped
+/// primes — thousands of unreduced multiplications past any modulus
+/// budget); truncating silently would emit a blob the decoder rejects.
 pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     let n = ct.n();
     let primes = ct.num_primes();
-    let mut out = Vec::with_capacity(18 + 2 * primes * n * 8);
+    let (num, exp, den) = ct.exact_scale().raw_parts();
+    let num_bytes = num.to_le_bytes();
+    let num_len =
+        u16::try_from(num_bytes.len()).expect("scale numerator exceeds the wire format's 64 KiB");
+    let den_len =
+        u16::try_from(den.len()).expect("scale denominator exceeds the wire format's u16 count");
+    let mut out = Vec::with_capacity(serialized_len(ct));
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.push(KIND_FULL);
     out.push(n.trailing_zeros() as u8);
     out.extend_from_slice(&(primes as u16).to_le_bytes());
-    out.extend_from_slice(&ct.scale().to_le_bytes());
+    out.extend_from_slice(&exp.to_le_bytes());
+    out.extend_from_slice(&num_len.to_le_bytes());
+    out.extend_from_slice(&den_len.to_le_bytes());
+    out.extend_from_slice(&num_bytes);
+    for &q in den {
+        out.extend_from_slice(&q.to_le_bytes());
+    }
     let (c0, c1) = ct.components();
     for component in [c0, c1] {
         for poly in component {
@@ -54,10 +91,11 @@ pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`CkksError::InvalidParams`] for malformed input: bad magic,
-/// unsupported version/kind, truncated payload, or inconsistent sizes.
+/// unsupported version/kind, truncated payload, inconsistent sizes, or
+/// an invalid scale encoding.
 pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
     let err = |msg: &str| CkksError::InvalidParams(format!("wire: {msg}"));
-    if bytes.len() < 18 {
+    if bytes.len() < FIXED_HEADER {
         return Err(err("truncated header"));
     }
     if &bytes[0..4] != MAGIC {
@@ -79,12 +117,24 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
     if primes == 0 || primes > 64 {
         return Err(err("implausible prime count"));
     }
-    let scale = f64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes"));
-    let expected = 18 + 2 * primes * n * 8;
+    let exp = i32::from_le_bytes(bytes[10..14].try_into().expect("4 bytes"));
+    let num_len = u16::from_le_bytes(bytes[14..16].try_into().expect("2 bytes")) as usize;
+    let den_len = u16::from_le_bytes(bytes[16..18].try_into().expect("2 bytes")) as usize;
+    let scale_end = FIXED_HEADER + num_len + den_len * 8;
+    let expected = scale_end + 2 * primes * n * 8;
     if bytes.len() != expected {
         return Err(err("payload length mismatch"));
     }
-    let mut cursor = 18usize;
+    let num = UBig::from_le_bytes(&bytes[FIXED_HEADER..FIXED_HEADER + num_len]);
+    let den: Vec<u64> = (0..den_len)
+        .map(|i| {
+            let at = FIXED_HEADER + num_len + i * 8;
+            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+        })
+        .collect();
+    let scale =
+        ExactScale::from_raw_parts(num, exp, den).ok_or_else(|| err("invalid scale encoding"))?;
+    let mut cursor = scale_end;
     let read_component = |cursor: &mut usize| -> Vec<Vec<u64>> {
         (0..primes)
             .map(|_| {
@@ -102,13 +152,14 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
     };
     let c0 = read_component(&mut cursor);
     let c1 = read_component(&mut cursor);
-    Ciphertext::from_components(c0, c1, scale)
+    Ciphertext::from_components_exact(c0, c1, scale)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::context::CkksContext;
+    use crate::evaluator;
     use crate::params::CkksParams;
     use abc_float::Complex;
     use abc_prng::Seed;
@@ -133,19 +184,34 @@ mod tests {
     fn roundtrip_bit_exact() {
         let (_, ct) = sample_ct();
         let bytes = serialize_ciphertext(&ct);
+        assert_eq!(bytes.len(), serialized_len(&ct));
         let back = deserialize_ciphertext(&bytes).expect("roundtrip");
         assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn rescaled_exact_scale_survives_the_wire() {
+        // The whole point of v2: a server-side rescale history (exact
+        // rational scale, dropped primes included) round-trips.
+        let (ctx, ct) = sample_ct();
+        let prod =
+            evaluator::plaintext_mul(&ctx, &ct, &ctx.encode(&[Complex::new(0.5, 0.0)]).unwrap())
+                .expect("mul");
+        let rescaled = evaluator::rescale(&ctx, &prod).expect("rescale");
+        assert!(!rescaled.exact_scale().dropped_primes().is_empty());
+        let back = deserialize_ciphertext(&serialize_ciphertext(&rescaled)).expect("wire");
+        assert_eq!(back.exact_scale(), rescaled.exact_scale());
+        assert_eq!(back, rescaled);
     }
 
     #[test]
     fn wire_size_matches_accounting() {
         let (_, ct) = sample_ct();
         let bytes = serialize_ciphertext(&ct);
-        // Header + residues at 8 B words (byte_size() charges coefficient
-        // words too; both are 2·primes·N·8).
-        assert_eq!(bytes.len(), 18 + 2 * 3 * 256 * 8);
+        // Fresh power-of-two scale: num = 1 (one byte), empty den.
+        assert_eq!(bytes.len(), FIXED_HEADER + 1 + 2 * 3 * 256 * 8);
         let words = 2 * ct.num_primes() * ct.n() * 8;
-        assert_eq!(bytes.len() - 18, words);
+        assert_eq!(bytes.len() - FIXED_HEADER - 1, words);
     }
 
     #[test]
@@ -189,9 +255,13 @@ mod tests {
         bad[6] = 7;
         assert!(deserialize_ciphertext(&bad).is_err());
         // Implausible prime count.
-        let mut bad = good;
+        let mut bad = good.clone();
         bad[8] = 0;
         bad[9] = 0;
+        assert!(deserialize_ciphertext(&bad).is_err());
+        // Scale numerator of zero is invalid.
+        let mut bad = good;
+        bad[FIXED_HEADER] = 0; // num = 0 (single byte)
         assert!(deserialize_ciphertext(&bad).is_err());
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for the CKKS client pipeline.
 
-use abc_ckks::{noise, params::CkksParams, wire, CkksContext};
-use abc_float::Complex;
+use abc_ckks::params::{CkksParams, ScaleMode};
+use abc_ckks::{evaluator, noise, wire, CkksContext};
+use abc_float::{Complex, F64Field};
 use abc_prng::Seed;
 use proptest::prelude::*;
 
@@ -146,7 +147,8 @@ proptest! {
     ) {
         // serialize → deserialize is the identity on any fresh or
         // truncated ciphertext, and the byte length matches the header
-        // + 2·primes·N·8 accounting the traffic model charges.
+        // (fresh pow-2 scale: one numerator byte) + 2·primes·N·8
+        // accounting the traffic model charges.
         let truncate_to = truncate_to.min(primes);
         let ctx = small_ctx(log_n, primes);
         let (sk, pk) = ctx.keygen(Seed::from_u128(seed as u128 + 17));
@@ -155,13 +157,122 @@ proptest! {
             .encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(seed as u128 + 18))
             .truncated(truncate_to);
         let bytes = wire::serialize_ciphertext(&ct);
-        prop_assert_eq!(bytes.len(), 18 + 2 * truncate_to * ctx.params().n() * 8);
+        prop_assert_eq!(bytes.len(), wire::serialized_len(&ct));
+        prop_assert_eq!(bytes.len(), 18 + 1 + 2 * truncate_to * ctx.params().n() * 8);
         let back = wire::deserialize_ciphertext(&bytes).expect("deserialize");
         prop_assert_eq!(&back, &ct);
         // And the deserialized ciphertext still decrypts to the message.
         let out = ctx.decode(&ctx.decrypt(&back, &sk).expect("decrypt")).expect("decode");
         for (a, b) in out.iter().zip(&msg) {
             prop_assert!(a.dist(*b) < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn double_pair_encode_decode_bit_exact_vs_bigint_model(
+        seed in any::<u64>(),
+        log_n in 7u32..9,
+    ) {
+        // The double-scale pipeline (Δ_eff = 2^72 > 2^53) against an
+        // independent golden model that works entirely in exact
+        // integers: the same inverse embedding, then an i128
+        // scale-and-round (exact: a power-of-two multiply only shifts
+        // the f64 exponent), residues by explicit i128 remainders, and
+        // slots recovered from the correctly rounded integer cast.
+        // Residues AND decoded slots must match *bit for bit*.
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(log_n)
+                .num_primes(4)
+                .prime_bits(40)
+                .scale_bits(36)
+                .scale_mode(ScaleMode::DoublePair)
+                .secret_hamming_weight(None)
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        prop_assert_eq!(ctx.params().scale(), 2f64.powi(72));
+        let slots = ctx.params().slots();
+        let msg = message_from_seed(slots, seed);
+        let pt = ctx.encode(&msg).expect("encode");
+
+        // Golden integer coefficients.
+        let mut vals = msg.clone();
+        ctx.fft().inverse(&F64Field, &mut vals);
+        let coeffs = ctx.fft().slots_to_coeffs(&vals);
+        let scale = 2f64.powi(72);
+        let ints: Vec<i128> = coeffs.iter().map(|&c| (c * scale).round() as i128).collect();
+
+        // Golden residues: explicit i128 remainder + the same NTT.
+        for (i, m) in ctx.basis().moduli().iter().enumerate() {
+            let q = m.q() as i128;
+            let mut golden: Vec<u64> = ints.iter().map(|&x| (((x % q) + q) % q) as u64).collect();
+            ctx.ntt_plans()[i].forward(&mut golden);
+            prop_assert_eq!(&pt.residues()[i], &golden, "residue limb {} differs", i);
+        }
+
+        // Golden slots: correctly rounded integer → exact 2^-72 scaling
+        // → the same forward embedding.
+        let golden_coeffs: Vec<f64> = ints.iter().map(|&x| (x as f64) / scale).collect();
+        let mut golden_slots = ctx.fft().coeffs_to_slots(&golden_coeffs);
+        ctx.fft().forward(&F64Field, &mut golden_slots);
+        let out = ctx.decode(&pt).expect("decode");
+        for (j, (a, b)) in out.iter().zip(&golden_slots).enumerate() {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "slot {} re", j);
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "slot {} im", j);
+        }
+        // And the round trip itself is quantization-grade accurate: the
+        // 2^-72 grid is far below the f64 embedding noise.
+        for (a, b) in out.iter().zip(&msg) {
+            prop_assert!(a.dist(*b) < 1e-10, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn pair_rescale_equals_two_single_rescales(seed in any::<u64>()) {
+        // One fused pair-rescale ≡ two successive single-prime
+        // rescales: identical exact scales, and ciphertexts that
+        // decrypt to the same slots within the one-unit rounding the
+        // fused form saves (≪ any message scale).
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(6)
+                .prime_bits(40)
+                .scale_bits(36)
+                .scale_mode(ScaleMode::DoublePair)
+                .secret_hamming_weight(Some(32))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (sk, pk) = ctx.keygen(Seed::from_u128(seed as u128));
+        let a = message_from_seed(ctx.params().slots(), seed);
+        let w = message_from_seed(ctx.params().slots(), seed.wrapping_add(7));
+        let ct = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(seed as u128 + 1));
+        let prod = evaluator::plaintext_mul(&ctx, &ct, &ctx.encode(&w).expect("e")).expect("mul");
+        let fused = evaluator::rescale_pair(&ctx, &prod).expect("pair");
+        let sequential = evaluator::rescale_prime(
+            &ctx,
+            &evaluator::rescale_prime(&ctx, &prod).expect("first"),
+        )
+        .expect("second");
+        prop_assert_eq!(fused.num_primes(), sequential.num_primes());
+        prop_assert_eq!(fused.exact_scale(), sequential.exact_scale());
+        let df = ctx.decode(&ctx.decrypt(&fused, &sk).expect("d")).expect("decode");
+        let ds = ctx.decode(&ctx.decrypt(&sequential, &sk).expect("d")).expect("decode");
+        for (x, y) in df.iter().zip(&ds) {
+            // Both carry the product noise; they differ only by the
+            // extra rounding unit of the sequential path.
+            prop_assert!(x.dist(*y) < 1e-12, "{} vs {}", x, y);
+        }
+        // And both decode to the actual slot-wise product.
+        let expected: Vec<Complex> = a.iter().zip(&w)
+            .map(|(x, y)| Complex::new(x.re * y.re - x.im * y.im, x.re * y.im + x.im * y.re))
+            .collect();
+        for (x, e) in df.iter().zip(&expected) {
+            prop_assert!(x.dist(*e) < 1e-5, "{} vs {}", x, e);
         }
     }
 

@@ -14,6 +14,12 @@
 //! with `--test` (as `cargo test --benches` does) every benchmark executes
 //! exactly one iteration so the target doubles as a smoke test.
 //!
+//! **Machine-readable output**: when `ABC_BENCH_JSON_DIR` is set, each
+//! bench binary additionally writes `BENCH_<binary>.json` into that
+//! directory — a JSON array of `{id, mean_ns, median_ns, p95_ns, iters}`
+//! records — so CI can archive the perf trajectory as an artifact
+//! instead of scraping logs.
+//!
 //! [`criterion`]: https://crates.io/crates/criterion
 
 use std::fmt::Display;
@@ -129,11 +135,51 @@ fn fmt_time(secs: f64) -> String {
     }
 }
 
+/// One finished measurement, as archived in `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_secs: f64,
+    /// Median of the per-batch means.
+    pub median_secs: f64,
+    /// 95th percentile of the per-batch means.
+    pub p95_secs: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Serializes records as a JSON array (no external dependencies; ids
+/// are escaped minimally — quotes and backslashes).
+pub fn records_to_json(records: &[BenchRecord]) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"iters\": {}}}",
+                escape(&r.id),
+                r.mean_secs * 1e9,
+                r.median_secs * 1e9,
+                r.p95_secs * 1e9,
+                r.iters
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Environment variable naming the directory `BENCH_<binary>.json`
+/// files are written into (one per bench binary, written on exit).
+pub const JSON_DIR_ENV: &str = "ABC_BENCH_JSON_DIR";
+
 /// Top-level benchmark driver (mirror of `criterion::Criterion`).
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
     measurement: Duration,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -142,6 +188,41 @@ impl Default for Criterion {
             test_mode: false,
             filter: None,
             measurement: Duration::from_secs(1),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let Ok(dir) = std::env::var(JSON_DIR_ENV) else {
+            return;
+        };
+        let binary = std::env::args()
+            .next()
+            .and_then(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_owned());
+        // Strip cargo's `-<hash>` suffix from the target name.
+        let name = match binary.rsplit_once('-') {
+            Some((stem, hash))
+                if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                stem.to_owned()
+            }
+            _ => binary,
+        };
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+        if let Err(e) = std::fs::write(&path, records_to_json(&self.records)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
         }
     }
 }
@@ -243,6 +324,13 @@ impl Criterion {
                 fmt_time(b.p95_secs),
                 b.iters_done
             );
+            self.records.push(BenchRecord {
+                id: full_id.to_owned(),
+                mean_secs: b.result_secs,
+                median_secs: b.median_secs,
+                p95_secs: b.p95_secs,
+                iters: b.iters_done,
+            });
         }
     }
 }
@@ -314,4 +402,37 @@ macro_rules! criterion_main {
             $( $group(&mut c); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_serialization_escapes_and_formats() {
+        let records = vec![
+            BenchRecord {
+                id: "ntt/forward/2^13".into(),
+                mean_secs: 30.6e-6,
+                median_secs: 30.0e-6,
+                p95_secs: 33.5e-6,
+                iters: 1000,
+            },
+            BenchRecord {
+                id: "weird\"id\\".into(),
+                mean_secs: 1.0,
+                median_secs: 1.0,
+                p95_secs: 1.0,
+                iters: 1,
+            },
+        ];
+        let json = records_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"id\": \"ntt/forward/2^13\""));
+        assert!(json.contains("\"median_ns\": 30000.0"));
+        assert!(json.contains("\"iters\": 1000"));
+        assert!(json.contains("weird\\\"id\\\\"));
+        assert_eq!(json.matches('{').count(), 2);
+    }
 }

@@ -1,0 +1,284 @@
+//! Double-double extended precision — the ≈106-bit real datapath the
+//! double-scale encoding needs.
+//!
+//! With the paper's double-scale technique the effective encoding scale
+//! is Δ_eff = 2^72, beyond the 53-bit mantissa of `f64`: a plain
+//! `f64` multiply-and-cast on the decode side would throw away up to
+//! 20 low bits of every CRT-lifted coefficient. [`ExtF64`] represents a
+//! real number as an unevaluated sum `hi + lo` of two `f64`s with
+//! `|lo| ≤ ulp(hi)/2`, giving ~106 significant bits — enough to divide
+//! a 75-bit centered coefficient by the exact rational scale and round
+//! *once*, at the very end, to `f64`.
+//!
+//! The arithmetic uses the classical error-free transforms (Knuth
+//! two-sum, Dekker split product); no FMA is required, so results are
+//! identical on every target.
+//!
+//! # Example
+//!
+//! ```
+//! use abc_float::ExtF64;
+//!
+//! // 2^72 + 1 is not representable in f64, but is in ExtF64.
+//! let x = ExtF64::from_f64(2f64.powi(72)) + ExtF64::from_f64(1.0);
+//! let back = x - ExtF64::from_f64(2f64.powi(72));
+//! assert_eq!(back.to_f64(), 1.0);
+//! ```
+
+/// An extended-precision real: the unevaluated sum `hi + lo`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtF64 {
+    hi: f64,
+    lo: f64,
+}
+
+/// Knuth's two-sum: `a + b = s + e` exactly, `s = fl(a + b)`.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Fast two-sum, valid when `|a| ≥ |b|`.
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Dekker's splitting constant: 2^27 + 1.
+const SPLIT: f64 = 134217729.0;
+
+/// Dekker's two-product: `a · b = p + e` exactly (no FMA needed).
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let (ah, al) = split(a);
+    let (bh, bl) = split(b);
+    let e = ((ah * bh - p) + ah * bl + al * bh) + al * bl;
+    (p, e)
+}
+
+/// Splits `a` into high/low 26-bit halves with `a = h + l` exactly.
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    let t = SPLIT * a;
+    let h = t - (t - a);
+    (h, a - h)
+}
+
+impl ExtF64 {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { hi: 0.0, lo: 0.0 }
+    }
+
+    /// Lifts an `f64` exactly.
+    pub fn from_f64(x: f64) -> Self {
+        Self { hi: x, lo: 0.0 }
+    }
+
+    /// Builds from an unnormalized pair `a + b`.
+    pub fn from_sum(a: f64, b: f64) -> Self {
+        let (hi, lo) = two_sum(a, b);
+        Self { hi, lo }
+    }
+
+    /// Lifts a `u64` exactly (64 bits exceed one mantissa; the residual
+    /// lands in `lo` via an exact integer difference).
+    pub fn from_u64(x: u64) -> Self {
+        let hi = x as f64; // rounds: |error| ≤ 2^11
+        let lo = (x as i128 - hi as i128) as f64; // exact small integer
+        Self { hi, lo }
+    }
+
+    /// The leading component.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Rounds to a single `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Exact scaling by 2^e (both components shift their exponents; no
+    /// rounding while the results stay normal). Large shifts apply in
+    /// two steps so the scale factor itself never leaves the `f64`
+    /// exponent range.
+    #[must_use]
+    pub fn ldexp(self, e: i32) -> Self {
+        if !(-900..=900).contains(&e) {
+            let h = e / 2;
+            return self.ldexp(h).ldexp(e - h);
+        }
+        let f = pow2(e);
+        Self {
+            hi: self.hi * f,
+            lo: self.lo * f,
+        }
+    }
+}
+
+impl core::ops::Neg for ExtF64 {
+    type Output = ExtF64;
+
+    /// Negation (exact).
+    fn neg(self) -> ExtF64 {
+        ExtF64 {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+}
+
+impl core::ops::Add for ExtF64 {
+    type Output = ExtF64;
+
+    /// Extended addition (error ≈ 2^-104 relative).
+    fn add(self, other: ExtF64) -> ExtF64 {
+        let (s, e) = two_sum(self.hi, other.hi);
+        let (t, f) = two_sum(self.lo, other.lo);
+        let (s2, e2) = quick_two_sum(s, e + t);
+        let (hi, lo) = quick_two_sum(s2, e2 + f);
+        ExtF64 { hi, lo }
+    }
+}
+
+impl core::ops::Sub for ExtF64 {
+    type Output = ExtF64;
+
+    /// Extended subtraction.
+    fn sub(self, other: ExtF64) -> ExtF64 {
+        self + (-other)
+    }
+}
+
+impl core::ops::Mul for ExtF64 {
+    type Output = ExtF64;
+
+    /// Extended multiplication (error ≈ 2^-104 relative).
+    fn mul(self, other: ExtF64) -> ExtF64 {
+        let (p, e) = two_prod(self.hi, other.hi);
+        let e = e + (self.hi * other.lo + self.lo * other.hi);
+        let (hi, lo) = quick_two_sum(p, e);
+        ExtF64 { hi, lo }
+    }
+}
+
+impl core::ops::Div for ExtF64 {
+    type Output = ExtF64;
+
+    /// Extended division (error ≈ 2^-104 relative): Newton-corrected
+    /// `f64` quotient estimates.
+    fn div(self, other: ExtF64) -> ExtF64 {
+        let q1 = self.hi / other.hi;
+        // r = self - q1·other, evaluated in extended precision.
+        let r = self - other * ExtF64::from_f64(q1);
+        let q2 = r.hi / other.hi;
+        let r2 = r - other * ExtF64::from_f64(q2);
+        let q3 = r2.hi / other.hi;
+        let (s, e) = quick_two_sum(q1, q2);
+        let (hi, lo) = quick_two_sum(s, e + q3);
+        ExtF64 { hi, lo }
+    }
+}
+
+/// `2^e` as `f64`, for `e` within the normal range.
+///
+/// # Panics
+///
+/// Debug-asserts `-1022 ≤ e ≤ 1023` (the exact-scaling range).
+pub fn pow2(e: i32) -> f64 {
+    debug_assert!(
+        (-1022..=1023).contains(&e),
+        "pow2 exponent {e} out of range"
+    );
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_free_transforms() {
+        let (s, e) = two_sum(1.0, 2f64.powi(-60));
+        assert_eq!(s, 1.0);
+        assert_eq!(e, 2f64.powi(-60));
+        let (p, e) = two_prod(1.0 + 2f64.powi(-30), 1.0 + 2f64.powi(-30));
+        // (1+2^-30)^2 = 1 + 2^-29 + 2^-60: the tail is exactly 2^-60.
+        assert_eq!(p, 1.0 + 2f64.powi(-29));
+        assert_eq!(e, 2f64.powi(-60));
+    }
+
+    #[test]
+    fn u64_roundtrip_is_exact() {
+        for x in [0u64, 1, u64::MAX, (1 << 53) + 1, 0xDEAD_BEEF_CAFE_F00D] {
+            let e = ExtF64::from_u64(x);
+            // hi + lo reconstructs x exactly in integer arithmetic.
+            assert_eq!(e.hi() as i128 + e.lo as i128, x as i128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn add_keeps_106_bits() {
+        let big = ExtF64::from_f64(2f64.powi(80));
+        let one = ExtF64::from_f64(1.0);
+        let sum = big + one;
+        assert_eq!((sum - big).to_f64(), 1.0);
+        assert_eq!(sum.to_f64(), 2f64.powi(80)); // rounds only on exit
+    }
+
+    #[test]
+    fn mul_exact_for_wide_integers() {
+        // (2^36 + 1)^2 = 2^72 + 2^37 + 1 needs 73 bits.
+        let x = ExtF64::from_f64(2f64.powi(36) + 1.0);
+        let sq = x * x;
+        let expect_hi = 2f64.powi(72) + 2f64.powi(37);
+        assert_eq!(sq.hi(), expect_hi);
+        assert_eq!((sq - ExtF64::from_f64(expect_hi)).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn div_recovers_exact_ratios() {
+        // (a·b)/b == a to full extended precision for wide integers.
+        let a = ExtF64::from_u64((1 << 61) + 12345);
+        let b = ExtF64::from_u64(0xF_FFF0_0001);
+        let q = a * b / b;
+        let err = q - a;
+        assert!(
+            err.to_f64().abs() <= 2f64.powi(-40),
+            "residual {}",
+            err.to_f64()
+        );
+        // And a plain f64 division is reproduced exactly.
+        let x = ExtF64::from_f64(1.0) / ExtF64::from_f64(3.0);
+        assert!((x.to_f64() - 1.0 / 3.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ldexp_and_pow2() {
+        assert_eq!(pow2(0), 1.0);
+        assert_eq!(pow2(72), 2f64.powi(72));
+        assert_eq!(pow2(-72), 2f64.powi(-72));
+        let x = ExtF64::from_u64(u64::MAX);
+        let scaled = x.ldexp(-64);
+        assert_eq!(scaled.ldexp(64).to_f64(), u64::MAX as f64);
+        assert!((scaled.to_f64() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_by_power_of_two_is_exact() {
+        // The double-scale decode path: integer / 2^72 must be the
+        // correctly rounded f64 of the exact ratio.
+        let x = (1u128 << 72) + (1 << 20); // 73-bit integer
+        let e = ExtF64::from_f64((x >> 64) as f64 * 2f64.powi(64)) + ExtF64::from_u64(x as u64);
+        let v = e / ExtF64::from_f64(2f64.powi(72));
+        assert_eq!(v.to_f64(), (x as f64) / 2f64.powi(72));
+        assert_eq!(v.to_f64(), 1.0 + 2f64.powi(-52));
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`Complex`] — complex arithmetic over any [`RealField`], including
 //!   the 4-multiplier product the paper's reconfigurable PNL implements
 //!   (Eq. 12),
+//! * [`ExtF64`] — double-double (~106-bit) extended precision for the
+//!   double-scale (Δ_eff = 2^72) encode/decode rounding paths, where a
+//!   single `f64` mantissa cannot hold the scaled coefficients,
 //! * [`SoftFloat`] — a standalone value type with operator overloads for
 //!   quick experiments.
 //!
@@ -38,10 +41,12 @@
 //! ```
 
 pub mod complex;
+pub mod extended;
 pub mod field;
 pub mod softfloat;
 
 pub use complex::Complex;
+pub use extended::ExtF64;
 pub use field::{F64Field, RealField, SoftFloatField};
 pub use softfloat::{round_to_mantissa, SoftFloat};
 

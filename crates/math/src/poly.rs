@@ -33,18 +33,28 @@ pub fn sub_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
 
 /// `out[i] = (a[i] * b[i]) mod q` (dyadic product in NTT domain).
 ///
+/// Both operands vary per element, so the Shoup trick does not apply;
+/// instead the modulus's Barrett constant is hoisted out of the loop and
+/// each element costs three multiplies plus two conditional subtractions
+/// — no per-element `u128` division (the reducer is proven
+/// 2-subtraction-tight for `t < q²` with `k = bits(q)`).
+///
 /// # Panics
 ///
 /// Panics if slice lengths differ.
 pub fn mul_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
     assert_eq!(a.len(), b.len());
+    let barrett = crate::reduce::Barrett::new(*m);
     for (x, &y) in a.iter_mut().zip(b) {
-        *x = m.mul(*x, y);
+        *x = barrett.reduce(*x as u128 * y as u128);
     }
 }
 
 /// `a[i] = (a[i] * b[i] + c[i]) mod q` — the fused kernel encryption uses
 /// for `v·pk + e`.
+///
+/// Barrett-reduced like [`mul_assign`]: `a·b + c < q² + q ≤ q·2^k ≤ 2^2k`
+/// stays inside the reducer's proven input range.
 ///
 /// # Panics
 ///
@@ -52,8 +62,9 @@ pub fn mul_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
 pub fn mul_add_assign(m: &Modulus, a: &mut [u64], b: &[u64], c: &[u64]) {
     assert_eq!(a.len(), b.len());
     assert_eq!(a.len(), c.len());
+    let barrett = crate::reduce::Barrett::new(*m);
     for i in 0..a.len() {
-        a[i] = m.mul_add(a[i], b[i], c[i]);
+        a[i] = barrett.reduce(a[i] as u128 * b[i] as u128 + c[i] as u128);
     }
 }
 

@@ -159,13 +159,48 @@ impl RnsBasis {
     ///
     /// Panics if `residues.len()` differs from the basis size.
     pub fn combine_centered(&self, residues: &[u64]) -> f64 {
-        let x = self.combine(residues);
         let q = self.product();
-        // x > Q/2  ⇔  2x > Q (Q is odd, so no tie).
-        if x.mul_u64(2) > q {
-            -(q.sub(&x).to_f64())
+        let (negative, mag) = self.combine_centered_big_with_product(residues, &q);
+        let v = mag.to_f64();
+        if negative {
+            -v
         } else {
-            x.to_f64()
+            v
+        }
+    }
+
+    /// Recombines residues and centers into `(-Q/2, Q/2]`, returned
+    /// **exactly** as a sign and magnitude — the lossless form the
+    /// double-scale decode path divides by the exact scale (the plain
+    /// [`Self::combine_centered`] rounds to `f64` and cannot feed an
+    /// exact-rational division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the basis size.
+    pub fn combine_centered_big(&self, residues: &[u64]) -> (bool, UBig) {
+        let q = self.product();
+        self.combine_centered_big_with_product(residues, &q)
+    }
+
+    /// [`Self::combine_centered_big`] with the basis product precomputed
+    /// by the caller (decode loops over `N` coefficients; the product
+    /// only depends on the basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len()` differs from the basis size.
+    pub fn combine_centered_big_with_product(
+        &self,
+        residues: &[u64],
+        product: &UBig,
+    ) -> (bool, UBig) {
+        let x = self.combine(residues);
+        // x > Q/2  ⇔  2x > Q (Q is odd, so no tie).
+        if x.mul_u64(2) > *product {
+            (true, product.sub(&x))
+        } else {
+            (false, x)
         }
     }
 }

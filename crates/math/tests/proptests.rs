@@ -117,6 +117,66 @@ proptest! {
     fn ubig_rem_matches_u128(a in any::<u128>(), m in 1u64..) {
         prop_assert_eq!(UBig::from(a).rem_u64(m), (a % m as u128) as u64);
     }
+
+    #[test]
+    fn ubig_full_mul_and_div_roundtrip(a in any::<u128>(), b in any::<u64>()) {
+        // (a·b) / b == a with zero remainder, and a general mul agrees
+        // with the single-limb one.
+        prop_assume!(b != 0);
+        let p = UBig::from(a).mul(&UBig::from(b));
+        prop_assert_eq!(&p, &UBig::from(a).mul_u64(b));
+        let (q, r) = p.div_rem_u64(b);
+        prop_assert_eq!(q, UBig::from(a));
+        prop_assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn ubig_shift_is_pow2_mul(a in any::<u128>(), s in 0u32..130) {
+        let x = UBig::from(a);
+        let shifted = x.shl(s);
+        // shl(s) == repeated doubling; shr undoes it exactly.
+        let mut doubled = x.clone();
+        for _ in 0..s {
+            doubled = doubled.mul_u64(2);
+        }
+        prop_assert_eq!(&shifted, &doubled);
+        prop_assert_eq!(shifted.shr(s), x);
+    }
+
+    #[test]
+    fn poly_dyadic_barrett_path_matches_golden(
+        m in arb_ntt_prime(),
+        seed in any::<u64>(),
+    ) {
+        // The vector kernels route through a hoisted Barrett reducer;
+        // they must agree with the u128 `%` golden model element-wise
+        // over every supported NTT-prime width (36–62 bits).
+        let q = m.q();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state % q
+        };
+        let mut a: Vec<u64> = (0..64).map(|_| next()).collect();
+        let mut b: Vec<u64> = (0..64).map(|_| next()).collect();
+        let mut c: Vec<u64> = (0..64).map(|_| next()).collect();
+        // Pin the extremes: the worst-case product and the zero element.
+        (a[0], b[0], c[0]) = (q - 1, q - 1, q - 1);
+        (a[1], b[1], c[1]) = (0, q - 1, 0);
+        let mut got = a.clone();
+        abc_math::poly::mul_assign(&m, &mut got, &b);
+        for i in 0..a.len() {
+            prop_assert_eq!(got[i], ((a[i] as u128 * b[i] as u128) % q as u128) as u64);
+        }
+        let mut fused = a.clone();
+        abc_math::poly::mul_add_assign(&m, &mut fused, &b, &c);
+        for i in 0..a.len() {
+            prop_assert_eq!(
+                fused[i],
+                ((a[i] as u128 * b[i] as u128 + c[i] as u128) % q as u128) as u64
+            );
+        }
+    }
 }
 
 proptest! {

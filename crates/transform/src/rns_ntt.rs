@@ -265,6 +265,29 @@ impl RnsNttEngine {
         out
     }
 
+    /// Expands centered `i128` coefficients under the first `k` primes
+    /// and forward-transforms each limb, pooled like
+    /// [`Self::expand_and_ntt_i64`]. This is the *pair*-rescale hot
+    /// path: the CRT-lifted two-prime tail (up to ~75 bits, centered)
+    /// re-enters NTT domain under every remaining prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N` or `k` exceeds the basis size.
+    pub fn expand_and_ntt_i128(&self, coeffs: &[i128], k: usize) -> PooledLimbs<'_> {
+        assert_eq!(coeffs.len(), self.n, "coefficient count must equal N");
+        assert!(k <= self.plans.len(), "more limbs than plans");
+        let mut out = self.take_limbs(k);
+        self.for_each_limb(&mut out, |_, plan, limb| {
+            let m = plan.modulus();
+            for (dst, &x) in limb.iter_mut().zip(coeffs) {
+                *dst = m.from_i128(x);
+            }
+            plan.forward(limb);
+        });
+        out
+    }
+
     /// Applies `f(i, plan_i, limb_i)` to every limb, splitting the limbs
     /// into contiguous chunks across scoped threads. Small batches
     /// (`limbs × N` below [`PARALLEL_THRESHOLD`]) run serially: thread
@@ -397,6 +420,17 @@ mod tests {
         let pooled = engine.expand_and_ntt_i64(&small, 2);
         for (i, m) in ms[..2].iter().enumerate() {
             let mut manual: Vec<u64> = small.iter().map(|&x| m.from_i64(x)).collect();
+            engine.plan(i).forward(&mut manual);
+            assert_eq!(pooled[i], manual, "limb {i}");
+        }
+        drop(pooled);
+        // i128 variant with pair-rescale-sized (≈75-bit) centered values.
+        let wide: Vec<i128> = (0..n as i128)
+            .map(|i| (i - 16) * ((1i128 << 70) + 12345))
+            .collect();
+        let pooled = engine.expand_and_ntt_i128(&wide, 2);
+        for (i, m) in ms[..2].iter().enumerate() {
+            let mut manual: Vec<u64> = wide.iter().map(|&x| m.from_i128(x)).collect();
             engine.plan(i).forward(&mut manual);
             assert_eq!(pooled[i], manual, "limb {i}");
         }

@@ -27,9 +27,13 @@ fn server_linear_layer(
 ) -> Result<Ciphertext, Box<dyn std::error::Error>> {
     let w_pt = ctx.encode(weights)?;
     let product = evaluator::plaintext_mul(ctx, ct, &w_pt)?;
+    // Under the bootstrappable presets this drops a double-scale prime
+    // *pair*, dividing the scale by ≈Δ_eff = 2^72.
     let rescaled = evaluator::rescale(ctx, &product)?;
-    // Bias encoded at the rescaled ciphertext's exact scale.
-    let b_pt = ctx.encode_at_scale(bias, rescaled.scale())?;
+    // Bias encoded at the rescaled ciphertext's *exact* rational scale
+    // (Δ_eff²/∏q — an f64 would be off in the low bits).
+    let b_pt =
+        ctx.encode_with_exact_scale(&abc_fhe::float::F64Field, bias, rescaled.exact_scale())?;
     Ok(evaluator::add_plaintext(ctx, &rescaled, &b_pt)?)
 }
 
