@@ -1,11 +1,12 @@
 //! Criterion benchmarks for the Fourier layer: negacyclic NTT — Harvey
 //! fast path vs the golden scalar kernel vs on-the-fly twiddles —
 //! batched RNS transforms at 1 and many threads, and the CKKS special
-//! FFT at FP64 and FP55.
+//! FFT: on-the-fly vs planned-twiddle vs batch engine, on the FP64,
+//! FP55 and ExtF64 datapaths.
 
-use abc_float::{F64Field, SoftFloatField};
+use abc_float::{Complex, ExtF64Field, F64Field, RealField, SoftFloatField};
 use abc_math::{primes::generate_ntt_primes, Modulus};
-use abc_transform::{NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft};
+use abc_transform::{NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft, SpecialFftEngine};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ntt(c: &mut Criterion) {
@@ -91,30 +92,76 @@ fn bench_rns_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// One datapath's forward/OTF/engine sweep at a given slot count.
+fn bench_fft_field<F: RealField>(
+    g: &mut criterion::BenchmarkGroup,
+    field: F,
+    label: &str,
+    slots: usize,
+    with_otf: bool,
+) {
+    let plan = SpecialFft::with_field(field.clone(), slots);
+    let vals: Vec<Complex<F::Real>> = (0..slots)
+        .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()).lift_in(&field))
+        .collect();
+    let mut buf = vals.clone();
+    // Planned-twiddle kernel (the new default everywhere).
+    g.bench_with_input(
+        BenchmarkId::new(format!("forward_planned_{label}"), slots),
+        &slots,
+        |b, _| {
+            b.iter(|| {
+                buf.copy_from_slice(&vals);
+                plan.forward(black_box(&mut buf));
+            })
+        },
+    );
+    // The seed's on-the-fly kernel: two trig evaluations per butterfly.
+    if with_otf {
+        g.bench_with_input(
+            BenchmarkId::new(format!("forward_otf_{label}"), slots),
+            &slots,
+            |b, _| {
+                b.iter(|| {
+                    buf.copy_from_slice(&vals);
+                    plan.forward_otf(black_box(&mut buf));
+                })
+            },
+        );
+    }
+    // Batch engine, 4 vectors, single thread (the bench box has one
+    // vCPU; thread fan-out is measured on multi-core hosts).
+    let engine = SpecialFftEngine::with_threads(field, slots, 1);
+    let batch0: Vec<Vec<Complex<F::Real>>> = (0..4).map(|_| vals.clone()).collect();
+    let mut batch = batch0.clone();
+    g.bench_with_input(
+        BenchmarkId::new(format!("forward_engine_batch4_{label}"), slots),
+        &slots,
+        |b, _| {
+            b.iter(|| {
+                for (dst, src) in batch.iter_mut().zip(&batch0) {
+                    dst.copy_from_slice(src);
+                }
+                engine.forward_batch(black_box(&mut batch));
+            })
+        },
+    );
+}
+
 fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("special_fft");
-    for log_slots in [11u32, 12, 13] {
+    for log_slots in [11u32, 12, 13, 14] {
         let slots = 1usize << log_slots;
-        let plan = SpecialFft::new(slots);
-        let vals: Vec<abc_float::Complex> = (0..slots)
-            .map(|i| abc_float::Complex::new((i as f64).sin(), (i as f64).cos()))
-            .collect();
-        g.bench_with_input(BenchmarkId::new("fp64", slots), &slots, |b, _| {
-            let f = F64Field;
-            b.iter(|| {
-                let mut v = vals.clone();
-                plan.inverse(&f, black_box(&mut v));
-                v
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("fp55", slots), &slots, |b, _| {
-            let f = SoftFloatField::fp55();
-            b.iter(|| {
-                let mut v = vals.clone();
-                plan.inverse(&f, black_box(&mut v));
-                v
-            })
-        });
+        // OTF at every size: the planned-vs-OTF ratio is the headline
+        // (acceptance: planned ≥ 3× OTF at N = 2^15, i.e. 2^14 slots).
+        bench_fft_field(&mut g, F64Field, "fp64", slots, true);
+        // Reduced and extended datapaths: planned + engine only at the
+        // small sizes (ExtF64 OTF regenerates 192-bit fixed-point
+        // twiddles per butterfly — benchmarked once, below).
+        if log_slots <= 12 {
+            bench_fft_field(&mut g, SoftFloatField::fp55(), "fp55", slots, false);
+            bench_fft_field(&mut g, ExtF64Field, "extf64", slots, log_slots == 11);
+        }
     }
     g.finish();
 }

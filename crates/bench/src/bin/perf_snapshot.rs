@@ -21,12 +21,14 @@
 //! The whole run stays under ~30 s so it can ride along on every CI
 //! push — this is the repo's perf trajectory, archived as an artifact.
 
-use abc_ckks::params::{CkksParams, ScaleMode};
-use abc_ckks::precision::measure_precision;
+use abc_ckks::params::{CkksParams, EmbeddingPrecision, ScaleMode};
+use abc_ckks::precision::{
+    measure_configured_precision, measure_embedding_precision, measure_precision,
+};
 use abc_ckks::CkksContext;
 use abc_float::{Complex, F64Field};
 use abc_prng::Seed;
-use abc_transform::{NttPlan, RnsNttEngine};
+use abc_transform::{NttPlan, RnsNttEngine, SpecialFft};
 use criterion::BenchRecord;
 use std::time::Instant;
 
@@ -113,8 +115,71 @@ fn main() {
         }));
     }
 
-    // --- Measured precision: the §V-B claim, both scale modes ---
+    // --- SpecialFft: planned vs on-the-fly (the PR 4 headline) ---
+    {
+        let slots = 1usize << 14; // N = 2^15
+        let plan = SpecialFft::new(slots);
+        let vals: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let mut buf = vals.clone();
+        benches.push(measure(
+            "special_fft/forward_planned_fp64/2^14",
+            400,
+            || {
+                buf.copy_from_slice(&vals);
+                plan.forward(&mut buf);
+            },
+        ));
+        benches.push(measure("special_fft/forward_otf_fp64/2^14", 400, || {
+            buf.copy_from_slice(&vals);
+            plan.forward_otf(&mut buf);
+        }));
+    }
+
+    // --- Embedding datapaths: encode/decode medians + precision ---
     let mut precision_rows = Vec::new();
+    for precision in [
+        EmbeddingPrecision::F64,
+        EmbeddingPrecision::ExtF64,
+        EmbeddingPrecision::Fp55,
+    ] {
+        let label = precision.name();
+        let params = CkksParams::bootstrappable(13)
+            .expect("preset")
+            .with_embedding(precision);
+        let ctx = CkksContext::new(params).expect("ctx");
+        let msg: Vec<Complex> = (0..ctx.params().slots())
+            .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let mut pt = None;
+        benches.push(measure(&format!("client/encode_{label}/2^13"), 700, || {
+            pt = Some(ctx.encode(&msg).expect("encode"));
+        }));
+        let pt = pt.expect("populated by the bench");
+        benches.push(measure(&format!("client/decode_{label}/2^13"), 700, || {
+            std::hint::black_box(ctx.decode(&pt).expect("decode"));
+        }));
+        let seed = Seed::from_u128(1300 + precision as u128);
+        // An exact round trip (every recovered slot re-rounds to its
+        // original f64 — routine on ExtF64 at small N) measures ∞; cap
+        // at 120 bits so the JSON stays finite.
+        let embed_bits = measure_embedding_precision(&ctx, 1, seed)
+            .expect("measure")
+            .min(120.0);
+        let enc_bits = measure_configured_precision(&ctx, 1, seed)
+            .expect("measure")
+            .min(120.0);
+        println!(
+            "precision/embedding_{label}/2^13       {embed_bits:.2} bits (encrypted {enc_bits:.2})"
+        );
+        precision_rows.push(format!(
+            "  {{\"id\": \"precision/embedding_{label}/2^13\", \"log_n\": 13, \"embedding\": \"{label}\", \
+             \"embedding_bits\": {embed_bits:.3}, \"encrypted_bits\": {enc_bits:.3}, \"paper_floor\": 19.29}}"
+        ));
+    }
+
+    // --- Measured precision: the §V-B claim, both scale modes ---
     for (label, mode) in [
         ("single_scale", ScaleMode::Single),
         ("double_scale", ScaleMode::DoublePair),

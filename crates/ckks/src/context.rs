@@ -2,18 +2,75 @@
 
 use crate::cipher::{Ciphertext, Plaintext};
 use crate::key::{PublicKey, SecretKey};
-use crate::params::CkksParams;
+use crate::params::{CkksParams, EmbeddingPrecision};
 use crate::scale::ExactScale;
 use crate::CkksError;
-use abc_float::{Complex, F64Field, RealField};
+use abc_float::{Complex, ExtF64Field, F64Field, RealField, SoftFloatField};
 use abc_math::{poly, RnsBasis};
 use abc_prng::sampler::{GaussianSampler, TernarySampler, UniformSampler};
 use abc_prng::Seed;
-use abc_transform::{NttPlan, RnsNttEngine, SpecialFft};
+use abc_transform::{NttPlan, RnsNttEngine, SpecialFftEngine};
+
+/// The context's canonical-embedding engine, instantiated at the
+/// datapath selected by [`CkksParams::embedding_precision`] — one
+/// planned per-(slots, datapath) twiddle table plus the batch thread
+/// fan-out, built once per context.
+#[derive(Debug)]
+pub enum EmbeddingEngine {
+    /// IEEE binary64 (the reference datapath).
+    F64(SpecialFftEngine<F64Field>),
+    /// Double-double ≈106-bit — decodes above the FP64 ceiling.
+    ExtF64(SpecialFftEngine<ExtF64Field>),
+    /// The paper's reduced FP55 hardware datapath.
+    Fp55(SpecialFftEngine<SoftFloatField>),
+}
+
+impl EmbeddingEngine {
+    fn build(precision: EmbeddingPrecision, slots: usize) -> Self {
+        match precision {
+            EmbeddingPrecision::F64 => Self::F64(SpecialFftEngine::new(F64Field, slots)),
+            EmbeddingPrecision::ExtF64 => Self::ExtF64(SpecialFftEngine::new(ExtF64Field, slots)),
+            EmbeddingPrecision::Fp55 => {
+                Self::Fp55(SpecialFftEngine::new(SoftFloatField::fp55(), slots))
+            }
+        }
+    }
+
+    /// The datapath's report name (`fp64` / `extf64` / `fp55`).
+    pub fn name(&self) -> String {
+        match self {
+            Self::F64(e) => e.plan().field().name(),
+            Self::ExtF64(e) => e.plan().field().name(),
+            Self::Fp55(e) => e.plan().field().name(),
+        }
+    }
+
+    /// Twiddle words materialized by the plan (both directions).
+    pub fn twiddle_words(&self) -> usize {
+        match self {
+            Self::F64(e) => e.plan().twiddle_words(),
+            Self::ExtF64(e) => e.plan().twiddle_words(),
+            Self::Fp55(e) => e.plan().twiddle_words(),
+        }
+    }
+}
+
+/// Dispatches a method call over the active embedding datapath.
+macro_rules! with_embedding {
+    ($self:expr, $engine:ident => $body:expr) => {
+        match &$self.embedding {
+            EmbeddingEngine::F64($engine) => $body,
+            EmbeddingEngine::ExtF64($engine) => $body,
+            EmbeddingEngine::Fp55($engine) => $body,
+        }
+    };
+}
 
 /// A ready-to-use CKKS client: owns the RNS basis, a batched
 /// [`RnsNttEngine`] (one Harvey-butterfly NTT plan per prime, limb
-/// fan-out across threads), and the canonical-embedding FFT plan.
+/// fan-out across threads), and a batched [`SpecialFftEngine`] holding
+/// the planned canonical-embedding twiddle table at the configured
+/// [`EmbeddingPrecision`].
 ///
 /// The four public operations mirror the paper's Fig. 2a:
 /// [`encode`](Self::encode) (IFFT → expand RNS → NTT),
@@ -25,7 +82,7 @@ pub struct CkksContext {
     params: CkksParams,
     basis: RnsBasis,
     engine: RnsNttEngine,
-    fft: SpecialFft,
+    embedding: EmbeddingEngine,
 }
 
 impl CkksContext {
@@ -54,12 +111,12 @@ impl CkksContext {
         }
         let basis = RnsBasis::new(primes)?;
         let engine = RnsNttEngine::new(basis.moduli(), n)?;
-        let fft = SpecialFft::new(params.slots());
+        let embedding = EmbeddingEngine::build(params.embedding_precision(), params.slots());
         Ok(Self {
             params,
             basis,
             engine,
-            fft,
+            embedding,
         })
     }
 
@@ -83,27 +140,44 @@ impl CkksContext {
         &self.engine
     }
 
-    /// The canonical-embedding FFT plan.
-    pub fn fft(&self) -> &SpecialFft {
-        &self.fft
+    /// The canonical-embedding engine at the configured
+    /// [`EmbeddingPrecision`] (planned twiddles + batch thread fan-out).
+    pub fn embedding(&self) -> &EmbeddingEngine {
+        &self.embedding
+    }
+
+    /// Per-prime residue bit widths of the first `primes` basis entries —
+    /// the v3 wire format's packing schedule
+    /// ([`crate::wire::serialize_ciphertext_packed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primes` exceeds the basis size.
+    pub fn wire_widths(&self, primes: usize) -> Vec<u32> {
+        crate::wire::residue_widths(&self.basis.moduli()[..primes])
     }
 
     // ------------------------------------------------------------------
     // Encode / decode
     // ------------------------------------------------------------------
 
-    /// Encodes a slot vector on the FP64 datapath.
+    /// Encodes a slot vector on the context's configured embedding
+    /// datapath, through the planned-twiddle engine.
     ///
     /// # Errors
     ///
     /// Returns [`CkksError::TooManySlots`] if `message` exceeds `N/2`
     /// entries.
     pub fn encode(&self, message: &[Complex]) -> Result<Plaintext, CkksError> {
-        self.encode_with(&F64Field, message)
+        let scale = ExactScale::from_log2(self.params.effective_scale_bits());
+        self.encode_with_exact_scale(message, &scale)
     }
 
-    /// Encodes on an arbitrary real datapath (e.g. the paper's FP55) —
-    /// the IFFT runs entirely inside `field`.
+    /// Encodes on an arbitrary real datapath (e.g. a mantissa-sweep
+    /// [`SoftFloatField`]) — the IFFT runs entirely inside `field`, on a
+    /// transient plan materialized for this call. Prefer
+    /// [`Self::encode`], which reuses the context's planned engine, when
+    /// the configured datapath is the one wanted.
     ///
     /// # Errors
     ///
@@ -115,7 +189,7 @@ impl CkksContext {
         message: &[Complex],
     ) -> Result<Plaintext, CkksError> {
         let scale = ExactScale::from_log2(self.params.effective_scale_bits());
-        self.encode_with_exact_scale(field, message, &scale)
+        self.encode_with_exact_scale_in(field, message, &scale)
     }
 
     /// Encodes at an explicit scale — needed when matching the scale of
@@ -128,10 +202,14 @@ impl CkksContext {
     /// Returns [`CkksError::TooManySlots`] for oversize messages and
     /// [`CkksError::InvalidParams`] for non-positive scales.
     pub fn encode_at_scale(&self, message: &[Complex], scale: f64) -> Result<Plaintext, CkksError> {
-        self.encode_at_scale_with(&F64Field, message, scale)
+        let scale = ExactScale::from_f64(scale).ok_or_else(|| {
+            CkksError::InvalidParams("encoding scale must be positive and finite".to_owned())
+        })?;
+        self.encode_with_exact_scale(message, &scale)
     }
 
-    /// [`Self::encode_at_scale`] on an arbitrary datapath.
+    /// [`Self::encode_at_scale`] on an arbitrary (caller-chosen)
+    /// datapath.
     ///
     /// # Errors
     ///
@@ -145,29 +223,58 @@ impl CkksContext {
         let scale = ExactScale::from_f64(scale).ok_or_else(|| {
             CkksError::InvalidParams("encoding scale must be positive and finite".to_owned())
         })?;
-        self.encode_with_exact_scale(field, message, &scale)
+        self.encode_with_exact_scale_in(field, message, &scale)
     }
 
-    /// Encodes at an exact rational scale — the core path. All scales
-    /// funnel through here; the Δ-rounding is *exact* for any scale:
-    ///
-    /// * power-of-two scales (fresh Δ_eff = 2^72 included) multiply the
-    ///   `f64` coefficient by an exact power of two — no mantissa is
-    ///   lost, even though the product exceeds 2^53 — and round through
-    ///   `i128`;
-    /// * rational scales (post-rescale, `Δ²/∏qᵢ`) round through the
-    ///   big-integer lift `round(mantissa · num · 2^e / ∏den)`, since a
-    ///   single `f64` product would corrupt up to 20 low bits at
-    ///   double-scale magnitudes.
+    /// Encodes at an exact rational scale on the configured embedding
+    /// datapath — the core path; see
+    /// [`Self::encode_with_exact_scale_in`] for the rounding contract.
     ///
     /// # Errors
     ///
     /// Returns [`CkksError::TooManySlots`] for oversize messages and
     /// [`CkksError::InvalidParams`] if a scaled coefficient is too large
     /// to encode (non-finite or beyond 2^120).
-    pub fn encode_with_exact_scale<F: RealField>(
+    pub fn encode_with_exact_scale(
+        &self,
+        message: &[Complex],
+        scale: &ExactScale,
+    ) -> Result<Plaintext, CkksError> {
+        with_embedding!(self, e => self.encode_core(e, message, scale))
+    }
+
+    /// Encodes at an exact rational scale on a caller-chosen datapath.
+    /// All scales funnel through here; the Δ-rounding is *exact* for any
+    /// scale and any datapath:
+    ///
+    /// * the embedding output is lifted losslessly into double-double
+    ///   (`ExtF64`) form — for `f64`-backed datapaths the low component
+    ///   is zero and the classic paths are reproduced bit for bit;
+    /// * power-of-two scales (fresh Δ_eff = 2^72 included) shift the
+    ///   exponents exactly and round once through `i128`;
+    /// * rational scales (post-rescale, `Δ²/∏qᵢ`) round through the
+    ///   big-integer lift `round((hi + lo)·num·2^e / ∏den)`, since a
+    ///   single `f64` product would corrupt up to 20 low bits at
+    ///   double-scale magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::encode_with_exact_scale`].
+    pub fn encode_with_exact_scale_in<F: RealField>(
         &self,
         field: &F,
+        message: &[Complex],
+        scale: &ExactScale,
+    ) -> Result<Plaintext, CkksError> {
+        let engine = SpecialFftEngine::with_threads(field.clone(), self.params.slots(), 1);
+        self.encode_core(&engine, message, scale)
+    }
+
+    /// The generic encode kernel: inverse embedding on `engine`'s
+    /// datapath, then exact Δ-rounding into RNS + NTT domain.
+    fn encode_core<F: RealField>(
+        &self,
+        engine: &SpecialFftEngine<F>,
         message: &[Complex],
         scale: &ExactScale,
     ) -> Result<Plaintext, CkksError> {
@@ -178,27 +285,48 @@ impl CkksContext {
                 max: slots,
             });
         }
-        // Slot vector, zero-padded, through the inverse embedding.
-        let mut vals = vec![Complex::zero(); slots];
-        vals[..message.len()].copy_from_slice(message);
-        self.fft.inverse(field, &mut vals);
-        let coeffs = self.fft.slots_to_coeffs(&vals);
+        let field = engine.plan().field().clone();
+        // Slot vector, zero-padded, through the inverse embedding
+        // (pooled scratch: no per-encode slot allocation).
+        let mut vals = engine.take_buf();
+        for (dst, &m) in vals.iter_mut().zip(message) {
+            *dst = m.lift_in(&field);
+        }
+        engine.inverse(&mut vals);
+        let coeffs = engine.plan().slots_to_coeffs(&vals);
+        engine.recycle(vals);
+        let rns = self.quantize_coeffs(&field, &coeffs, scale)?;
+        Ok(Plaintext {
+            rns,
+            scale: scale.clone(),
+            n: self.params.n(),
+        })
+    }
+
+    /// Exact Δ-rounding of embedding-output coefficients into NTT-domain
+    /// RNS residues.
+    fn quantize_coeffs<F: RealField>(
+        &self,
+        field: &F,
+        coeffs: &[F::Real],
+        scale: &ExactScale,
+    ) -> Result<Vec<Vec<u64>>, CkksError> {
         let scale_f = scale.to_f64();
-        for &c in &coeffs {
-            let v = c * scale_f;
+        // Lift losslessly into double-double; zero `lo` for f64-backed
+        // datapaths keeps their classic rounding paths bit-identical.
+        let ext: Vec<abc_float::ExtF64> = coeffs.iter().map(|&c| field.to_ext(c)).collect();
+        for e in &ext {
+            let v = e.to_f64() * scale_f;
             if !v.is_finite() || v.abs() >= 2f64.powi(120) {
                 return Err(CkksError::InvalidParams(format!(
                     "scaled coefficient {v:e} too large to encode"
                 )));
             }
         }
-        let rns = if scale.as_pow2().is_some() {
-            // Exact: a power-of-two multiply only shifts the exponent,
-            // and `.round()` on a value ≥ 2^53 is the identity.
-            let ints: Vec<i128> = coeffs
-                .iter()
-                .map(|&c| (c * scale_f).round() as i128)
-                .collect();
+        Ok(if let Some(exp) = scale.as_pow2() {
+            // Exact: a power-of-two scale only shifts both exponents;
+            // one rounding through `i128`.
+            let ints: Vec<i128> = ext.iter().map(|c| c.ldexp(exp).round_to_i128()).collect();
             self.expand_and_ntt(&ints)
         } else {
             // Rational scale: exact big-integer rounding, residues per
@@ -207,8 +335,8 @@ impl CkksContext {
             let moduli = self.basis.moduli();
             let rounder = scale.rounder();
             let mut rows: Vec<Vec<u64>> = vec![vec![0u64; n]; moduli.len()];
-            for (j, &c) in coeffs.iter().enumerate() {
-                let (negative, mag) = rounder.round(c);
+            for (j, &c) in ext.iter().enumerate() {
+                let (negative, mag) = rounder.round_ext(c);
                 for (i, m) in moduli.iter().enumerate() {
                     let r = mag.rem_u64(m.q());
                     rows[i][j] = if negative { m.neg(r) } else { r };
@@ -216,25 +344,22 @@ impl CkksContext {
             }
             self.engine.forward_all(&mut rows);
             rows
-        };
-        Ok(Plaintext {
-            rns,
-            scale: scale.clone(),
-            n: self.params.n(),
         })
     }
 
-    /// Decodes a plaintext back to slot values on the FP64 datapath.
+    /// Decodes a plaintext back to slot values on the context's
+    /// configured embedding datapath.
     ///
     /// # Errors
     ///
     /// Returns [`CkksError::ContextMismatch`] if the plaintext belongs to
     /// different parameters.
     pub fn decode(&self, pt: &Plaintext) -> Result<Vec<Complex>, CkksError> {
-        self.decode_with(&F64Field, pt)
+        with_embedding!(self, e => self.decode_core(e, pt))
     }
 
-    /// Decodes on an arbitrary real datapath.
+    /// Decodes on an arbitrary (caller-chosen) real datapath, on a
+    /// transient plan materialized for this call.
     ///
     /// # Errors
     ///
@@ -245,6 +370,30 @@ impl CkksContext {
         field: &F,
         pt: &Plaintext,
     ) -> Result<Vec<Complex>, CkksError> {
+        let engine = SpecialFftEngine::with_threads(field.clone(), self.params.slots(), 1);
+        self.decode_core(&engine, pt)
+    }
+
+    /// The generic decode kernel: INTT, exact CRT lift, double-double
+    /// scale division, forward embedding on `engine`'s datapath.
+    fn decode_core<F: RealField>(
+        &self,
+        engine: &SpecialFftEngine<F>,
+        pt: &Plaintext,
+    ) -> Result<Vec<Complex>, CkksError> {
+        let mut vals = self.decode_to_slots(engine, pt)?;
+        engine.forward(&mut vals);
+        let field = engine.plan().field();
+        Ok(vals.into_iter().map(|v| v.to_f64_in(field)).collect())
+    }
+
+    /// Everything decode does *before* the forward embedding: INTT,
+    /// exact CRT lift, double-double scale division, re/im packing.
+    fn decode_to_slots<F: RealField>(
+        &self,
+        engine: &SpecialFftEngine<F>,
+        pt: &Plaintext,
+    ) -> Result<Vec<Complex<F::Real>>, CkksError> {
         if pt.n != self.params.n() || pt.num_primes() > self.basis.len() {
             return Err(CkksError::ContextMismatch);
         }
@@ -256,9 +405,9 @@ impl CkksContext {
         self.engine.inverse_all(&mut res);
         // CRT-combine per coefficient to the *exact* centered integer,
         // then divide by the exact rational scale in double-double
-        // precision — one rounding, at the end. (A lossy `f64` lift
-        // would discard the bottom ~20 bits of every coefficient at
-        // Δ_eff = 2^72.)
+        // precision — the quotient enters the embedding at the
+        // datapath's full width (ExtF64 keeps all ~106 bits; the f64
+        // view is one final rounding, exactly as before).
         let sub_basis = if lvl == self.basis.len() {
             self.basis.clone()
         } else {
@@ -266,20 +415,91 @@ impl CkksContext {
         };
         let modulus_product = sub_basis.product();
         let divisor = pt.scale.divisor();
-        let mut coeffs = vec![0.0f64; n];
+        let field = engine.plan().field();
+        let mut coeffs = vec![F::Real::default(); n];
         let mut residues = vec![0u64; lvl];
-        for j in 0..n {
-            for i in 0..lvl {
-                residues[i] = res[i][j];
+        for (j, c) in coeffs.iter_mut().enumerate() {
+            for (r, limb) in residues.iter_mut().zip(&res) {
+                *r = limb[j];
             }
             let (negative, mag) =
                 sub_basis.combine_centered_big_with_product(&residues, &modulus_product);
-            coeffs[j] = divisor.apply(negative, &mag);
+            *c = field.from_ext(divisor.apply_ext(negative, &mag));
         }
-        // Coefficients → slots through the forward embedding.
-        let mut vals = self.fft.coeffs_to_slots(&coeffs);
-        self.fft.forward(field, &mut vals);
-        Ok(vals)
+        // Coefficients → slots, ready for the forward embedding.
+        Ok(engine.plan().coeffs_to_slots(&coeffs))
+    }
+
+    /// Encodes a batch of messages, fanning the inverse-embedding FFTs
+    /// out across the engine's threads (`ABC_FHE_THREADS`). Bit-identical
+    /// to encoding each message with [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::encode`]; the first failing message aborts the batch.
+    pub fn encode_batch(&self, messages: &[Vec<Complex>]) -> Result<Vec<Plaintext>, CkksError> {
+        let scale = ExactScale::from_log2(self.params.effective_scale_bits());
+        with_embedding!(self, e => {
+            let slots = self.params.slots();
+            let field = *e.plan().field();
+            for m in messages {
+                if m.len() > slots {
+                    return Err(CkksError::TooManySlots {
+                        got: m.len(),
+                        max: slots,
+                    });
+                }
+            }
+            // Stage 1: all inverse FFTs, thread fan-out over the batch.
+            let mut batch: Vec<_> = messages
+                .iter()
+                .map(|m| {
+                    let mut vals = e.take_buf();
+                    for (dst, &z) in vals.iter_mut().zip(m) {
+                        *dst = z.lift_in(&field);
+                    }
+                    vals
+                })
+                .collect();
+            e.inverse_batch(&mut batch);
+            // Stage 2: per-message exact quantization + batched NTTs
+            // (the NTT engine fans limbs out internally).
+            batch
+                .into_iter()
+                .map(|vals| {
+                    let coeffs = e.plan().slots_to_coeffs(&vals);
+                    e.recycle(vals);
+                    Ok(Plaintext {
+                        rns: self.quantize_coeffs(&field, &coeffs, &scale)?,
+                        scale: scale.clone(),
+                        n: self.params.n(),
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// Decodes a batch of plaintexts, fanning the forward-embedding FFTs
+    /// out across the engine's threads. Bit-identical to decoding each
+    /// with [`Self::decode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::decode`]; the first failing plaintext aborts the
+    /// batch.
+    pub fn decode_batch(&self, pts: &[Plaintext]) -> Result<Vec<Vec<Complex>>, CkksError> {
+        with_embedding!(self, e => {
+            let field = *e.plan().field();
+            let mut batch = pts
+                .iter()
+                .map(|pt| self.decode_to_slots(e, pt))
+                .collect::<Result<Vec<_>, _>>()?;
+            e.forward_batch(&mut batch);
+            Ok(batch
+                .into_iter()
+                .map(|v| v.into_iter().map(|z| z.to_f64_in(&field)).collect())
+                .collect())
+        })
     }
 
     // ------------------------------------------------------------------

@@ -57,8 +57,9 @@ pub mod symmetric;
 pub mod wire;
 
 pub use cipher::{Ciphertext, Plaintext};
-pub use context::CkksContext;
+pub use context::{CkksContext, EmbeddingEngine};
 pub use key::{PublicKey, SecretKey};
+pub use params::EmbeddingPrecision;
 pub use scale::ExactScale;
 
 /// Errors produced by the CKKS layer.

@@ -34,6 +34,38 @@ impl ScaleMode {
     }
 }
 
+/// Which real datapath the canonical-embedding FFT (encode/decode) runs
+/// on — the precision knob over `abc_transform::SpecialFft`'s
+/// per-(slots, datapath) twiddle plans.
+///
+/// The double-scale technique pays for Δ_eff = 2^72, but an FP64
+/// embedding resolves only ~49 of those bits (the 2^-53 kernel noise
+/// dominates): [`EmbeddingPrecision::ExtF64`] runs the embedding in
+/// double-double (~106-bit) arithmetic so decode finally sees the full
+/// double-scale payload, while [`EmbeddingPrecision::Fp55`] models the
+/// paper's reduced hardware datapath (Fig. 3c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmbeddingPrecision {
+    /// IEEE binary64 — the reference datapath.
+    #[default]
+    F64,
+    /// Double-double (~106 bits): decodes above the FP64 ceiling.
+    ExtF64,
+    /// The paper's reduced FP55 (43-bit mantissa) hardware datapath.
+    Fp55,
+}
+
+impl EmbeddingPrecision {
+    /// Report label (matches `RealField::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EmbeddingPrecision::F64 => "fp64",
+            EmbeddingPrecision::ExtF64 => "extf64",
+            EmbeddingPrecision::Fp55 => "fp55",
+        }
+    }
+}
+
 /// Validated CKKS client-side parameters.
 ///
 /// The paper's evaluation setting (§V-B): `N = 2^16`, 36-bit primes under
@@ -60,6 +92,7 @@ pub struct CkksParams {
     prime_bits: u32,
     scale_bits: u32,
     scale_mode: ScaleMode,
+    embedding: EmbeddingPrecision,
     error_sigma: f64,
     secret_hamming_weight: Option<usize>,
 }
@@ -143,6 +176,20 @@ impl CkksParams {
         self.scale_mode
     }
 
+    /// Which datapath the embedding FFT runs on.
+    pub fn embedding_precision(&self) -> EmbeddingPrecision {
+        self.embedding
+    }
+
+    /// The same parameters with a different embedding datapath — lets
+    /// every preset opt into `ExtF64` or `Fp55` embeddings:
+    /// `CkksParams::bootstrappable(16)?.with_embedding(EmbeddingPrecision::ExtF64)`.
+    #[must_use]
+    pub fn with_embedding(mut self, embedding: EmbeddingPrecision) -> Self {
+        self.embedding = embedding;
+        self
+    }
+
     /// Multiplicative levels the modulus supports: `num_primes` divided
     /// by the primes each level consumes (the paper's 24 primes are 12
     /// double-scale levels).
@@ -175,6 +222,7 @@ pub struct CkksParamsBuilder {
     prime_bits: u32,
     scale_bits: u32,
     scale_mode: ScaleMode,
+    embedding: EmbeddingPrecision,
     error_sigma: f64,
     secret_hamming_weight: Option<usize>,
 }
@@ -187,6 +235,7 @@ impl Default for CkksParamsBuilder {
             prime_bits: 36,
             scale_bits: 36,
             scale_mode: ScaleMode::Single,
+            embedding: EmbeddingPrecision::F64,
             error_sigma: 3.2,
             secret_hamming_weight: Some(192),
         }
@@ -221,6 +270,12 @@ impl CkksParamsBuilder {
     /// Sets the prime-to-level mapping ([`ScaleMode`]).
     pub fn scale_mode(mut self, mode: ScaleMode) -> Self {
         self.scale_mode = mode;
+        self
+    }
+
+    /// Sets the embedding-FFT datapath ([`EmbeddingPrecision`]).
+    pub fn embedding_precision(mut self, embedding: EmbeddingPrecision) -> Self {
+        self.embedding = embedding;
         self
     }
 
@@ -300,6 +355,7 @@ impl CkksParamsBuilder {
             prime_bits: self.prime_bits,
             scale_bits: self.scale_bits,
             scale_mode: self.scale_mode,
+            embedding: self.embedding,
             error_sigma: self.error_sigma,
             secret_hamming_weight: self.secret_hamming_weight,
         })
@@ -347,6 +403,24 @@ mod tests {
             .scale_mode(ScaleMode::DoublePair)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn embedding_precision_knob() {
+        let p = CkksParams::bootstrappable(13).unwrap();
+        assert_eq!(p.embedding_precision(), EmbeddingPrecision::F64);
+        let e = p.clone().with_embedding(EmbeddingPrecision::ExtF64);
+        assert_eq!(e.embedding_precision(), EmbeddingPrecision::ExtF64);
+        // Only the embedding differs; everything else carries over.
+        assert_eq!(e.clone().with_embedding(EmbeddingPrecision::F64), p);
+        let b = CkksParams::builder()
+            .embedding_precision(EmbeddingPrecision::Fp55)
+            .build()
+            .unwrap();
+        assert_eq!(b.embedding_precision(), EmbeddingPrecision::Fp55);
+        assert_eq!(EmbeddingPrecision::ExtF64.name(), "extf64");
+        assert_eq!(EmbeddingPrecision::F64.name(), "fp64");
+        assert_eq!(EmbeddingPrecision::Fp55.name(), "fp55");
     }
 
     #[test]

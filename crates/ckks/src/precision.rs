@@ -72,6 +72,95 @@ pub fn measure_precision<F: RealField>(
     Ok(-rms.log2())
 }
 
+/// Measures round-trip precision of the *configured* embedding datapath
+/// with encryption in the loop: encode → symmetric encrypt → decrypt →
+/// decode through the context's planned engine
+/// ([`CkksParams::embedding_precision`](crate::params::CkksParams)).
+///
+/// The symmetric (secret-key, seed-compressed) path is the paper's
+/// client flow; its fresh noise is just `e`, so the measurement exposes
+/// the embedding datapath rather than the much larger `e·v` noise of
+/// public-key encryption.
+///
+/// # Errors
+///
+/// Propagates [`CkksError`] from the pipeline.
+pub fn measure_configured_precision(
+    ctx: &CkksContext,
+    trials: usize,
+    seed: Seed,
+) -> Result<f64, CkksError> {
+    let slots = ctx.params().slots();
+    let (sk, _) = ctx.keygen(seed.derive(1));
+    let mut msg_rng = ChaCha20::from_seed(seed.derive(2));
+    let mut sq_err_sum = 0.0f64;
+    let mut count = 0usize;
+    for t in 0..trials.max(1) {
+        let msg: Vec<Complex> = (0..slots)
+            .map(|_| {
+                Complex::new(
+                    2.0 * msg_rng.next_f64() - 1.0,
+                    2.0 * msg_rng.next_f64() - 1.0,
+                )
+            })
+            .collect();
+        let pt = ctx.encode(&msg)?;
+        let cct = crate::symmetric::encrypt_symmetric_compressed(
+            ctx,
+            &pt,
+            &sk,
+            seed.derive(100 + t as u64),
+        );
+        let ct = cct.expand(ctx)?;
+        let back = ctx.decode(&ctx.decrypt(&ct, &sk)?)?;
+        for (a, b) in back.iter().zip(&msg) {
+            let d = a.dist(*b);
+            sq_err_sum += d * d;
+            count += 1;
+        }
+    }
+    let rms = (sq_err_sum / count as f64).sqrt();
+    Ok(-rms.log2())
+}
+
+/// Measures the *embedding* round trip — encode → decode on the
+/// configured datapath, no encryption — the precision the
+/// [`EmbeddingPrecision`](crate::params::EmbeddingPrecision) knob
+/// directly controls: Δ-quantization plus FFT datapath noise, nothing
+/// else.
+///
+/// # Errors
+///
+/// Propagates [`CkksError`] from encode/decode.
+pub fn measure_embedding_precision(
+    ctx: &CkksContext,
+    trials: usize,
+    seed: Seed,
+) -> Result<f64, CkksError> {
+    let slots = ctx.params().slots();
+    let mut msg_rng = ChaCha20::from_seed(seed.derive(3));
+    let mut sq_err_sum = 0.0f64;
+    let mut count = 0usize;
+    for _ in 0..trials.max(1) {
+        let msg: Vec<Complex> = (0..slots)
+            .map(|_| {
+                Complex::new(
+                    2.0 * msg_rng.next_f64() - 1.0,
+                    2.0 * msg_rng.next_f64() - 1.0,
+                )
+            })
+            .collect();
+        let back = ctx.decode(&ctx.encode(&msg)?)?;
+        for (a, b) in back.iter().zip(&msg) {
+            let d = a.dist(*b);
+            sq_err_sum += d * d;
+            count += 1;
+        }
+    }
+    let rms = (sq_err_sum / count as f64).sqrt();
+    Ok(-rms.log2())
+}
+
 /// Sweeps mantissa widths and returns one [`PrecisionPoint`] per width —
 /// the data series of Fig. 3c.
 ///
@@ -146,6 +235,42 @@ mod tests {
         assert!(pts[0].precision_bits + 2.0 < pts[4].precision_bits);
         // Plateau: 45 vs 52 nearly identical (scheme noise dominates).
         assert!((pts[3].precision_bits - pts[4].precision_bits).abs() < 2.0);
+    }
+
+    #[test]
+    fn extended_embedding_beats_f64_embedding() {
+        use crate::params::EmbeddingPrecision;
+        // Same small double-scale parameters, embedding datapath swapped:
+        // ExtF64 must decode well above the FP64 embedding ceiling.
+        let params = |e: EmbeddingPrecision| {
+            CkksParams::builder()
+                .log_n(9)
+                .num_primes(4)
+                .prime_bits(40)
+                .scale_bits(36)
+                .scale_mode(crate::params::ScaleMode::DoublePair)
+                .secret_hamming_weight(Some(32))
+                .embedding_precision(e)
+                .build()
+                .unwrap()
+        };
+        let f64_ctx = CkksContext::new(params(EmbeddingPrecision::F64)).unwrap();
+        let ext_ctx = CkksContext::new(params(EmbeddingPrecision::ExtF64)).unwrap();
+        let seed = Seed::from_u128(99);
+        let f64_bits = measure_embedding_precision(&f64_ctx, 1, seed).unwrap();
+        let ext_bits = measure_embedding_precision(&ext_ctx, 1, seed).unwrap();
+        assert!(
+            ext_bits > f64_bits + 8.0,
+            "extf64 {ext_bits:.2} vs fp64 {f64_bits:.2}"
+        );
+        // With encryption in the loop the gain survives (noise floor is
+        // higher, but still above what FP64 resolves at Δ_eff = 2^72).
+        let f64_enc = measure_configured_precision(&f64_ctx, 1, seed).unwrap();
+        let ext_enc = measure_configured_precision(&ext_ctx, 1, seed).unwrap();
+        assert!(
+            ext_enc > f64_enc,
+            "encrypted: extf64 {ext_enc:.2} vs fp64 {f64_enc:.2}"
+        );
     }
 
     #[test]

@@ -191,9 +191,38 @@ impl ScaleRounder<'_> {
         }
         debug_assert!(x.is_finite());
         let (negative, mant, mant_exp) = decompose_f64(x);
+        self.round_mantissa(negative, UBig::from(mant), mant_exp as i64)
+    }
+
+    /// [`Self::round`] for a double-double input: the `ExtF64` embedding
+    /// datapath's Δ-quantizer. Both components are dyadic rationals, so
+    /// `x = hi + lo` combines into one exact big-integer mantissa
+    /// (`|lo| ≤ ulp(hi)/2` guarantees `hi`'s sign and exponent dominate)
+    /// and the rounding is exact — no bit of the ~106-bit coefficient is
+    /// discarded before the single final rounding.
+    pub fn round_ext(&self, x: ExtF64) -> (bool, UBig) {
+        if x.lo() == 0.0 {
+            return self.round(x.hi());
+        }
+        debug_assert!(x.hi().is_finite() && x.lo().is_finite());
+        let (neg_h, mh, eh) = decompose_f64(x.hi());
+        let (neg_l, ml, el) = decompose_f64(x.lo());
+        // |lo| < |hi| ⇒ eh ≥ el once both are in mantissa·2^exp form.
+        let shift = (eh as i64 - el as i64) as u32;
+        let hi_big = UBig::from(mh).shl(shift);
+        let mant = if neg_h == neg_l {
+            hi_big.add(&UBig::from(ml))
+        } else {
+            hi_big.sub(&UBig::from(ml))
+        };
+        self.round_mantissa(neg_h, mant, el as i64)
+    }
+
+    /// Shared kernel: `round(±mant·2^e · scale)` exactly.
+    fn round_mantissa(&self, negative: bool, mant: UBig, mant_exp: i64) -> (bool, UBig) {
         // |x|·scale = T · 2^E / P with T = num·mant, P = ∏den.
-        let t = self.scale.num.mul_u64(mant);
-        let e = self.scale.exp as i64 + mant_exp as i64;
+        let t = self.scale.num.mul(&mant);
+        let e = self.scale.exp as i64 + mant_exp;
         // round(T·2^E/P) with ties away from zero is
         // floor((2·T·2^E + P') / (2·P')) where P' absorbs negative E;
         // nested floor divisions by the positive factors are exact.
@@ -230,11 +259,19 @@ pub struct ScaleDivisor {
 impl ScaleDivisor {
     /// `±mag / scale` as `f64`.
     pub fn apply(&self, negative: bool, mag: &UBig) -> f64 {
+        self.apply_ext(negative, mag).to_f64()
+    }
+
+    /// `±mag / scale` in double-double precision — the `ExtF64`
+    /// embedding datapath's decode entry: the quotient keeps ~106
+    /// significant bits so the FFT sees the full Δ_eff = 2^72 payload
+    /// instead of an `f64`-truncated view.
+    pub fn apply_ext(&self, negative: bool, mag: &UBig) -> ExtF64 {
         if mag.is_zero() {
-            return 0.0;
+            return ExtF64::zero();
         }
         let (xm, xe) = ubig_ext(mag);
-        let v = (xm * self.factor).ldexp((xe + self.exp) as i32).to_f64();
+        let v = (xm * self.factor).ldexp((xe + self.exp) as i32);
         if negative {
             -v
         } else {
@@ -399,6 +436,54 @@ mod tests {
                 "x = {x}, back = {back}"
             );
         }
+    }
+
+    #[test]
+    fn round_ext_agrees_with_round_on_f64_inputs() {
+        // lo == 0 must take the identical path (encode bit-compat for
+        // the f64 embedding datapath).
+        let s = ExactScale::from_log2(72).div_prime(0xF_FFF0_0001);
+        let r = s.rounder();
+        for x in [0.0, 1.0, -0.731, 1e-3, -123.456, 0.5 + 2f64.powi(-40)] {
+            assert_eq!(r.round_ext(ExtF64::from_f64(x)), r.round(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn round_ext_keeps_bits_beyond_the_f64_mantissa() {
+        // x = 1 + 2^-70: at Δ = 2^72 the exact product is 2^72 + 4. A
+        // plain f64 coefficient would have dropped the tail entirely.
+        let s = ExactScale::from_log2(72);
+        let r = s.rounder();
+        let x = ExtF64::from_f64(1.0) + ExtF64::from_f64(2f64.powi(-70));
+        let (neg, mag) = r.round_ext(x);
+        assert!(!neg);
+        assert_eq!(mag, UBig::from(1u64).shl(72).add(&UBig::from(4u64)));
+        // Negative lo component: 1 − 2^-70 → 2^72 − 4.
+        let y = ExtF64::from_f64(1.0) - ExtF64::from_f64(2f64.powi(-70));
+        let (neg, mag) = r.round_ext(y);
+        assert!(!neg);
+        assert_eq!(mag, UBig::from(1u64).shl(72).sub(&UBig::from(4u64)));
+        // And the divisor inverts it losslessly in extended precision.
+        let back = s.divisor().apply_ext(false, &mag);
+        let residual = back - y;
+        assert_eq!(residual.to_f64(), 0.0);
+    }
+
+    #[test]
+    fn round_ext_rational_scale_matches_bigint_model() {
+        // scale = 2^80/q: feed x = hi + lo with a live lo component and
+        // verify against an independent i128/UBig evaluation.
+        let q = 97u64;
+        let s = ExactScale::from_log2(80).div_prime(q);
+        let r = s.rounder();
+        let x = ExtF64::from_f64(3.0) + ExtF64::from_f64(2f64.powi(-60));
+        // x·2^80 = 3·2^80 + 2^20 exactly; round(x·2^80/97):
+        let t = UBig::from(3u64).shl(80).add(&UBig::from(1u64 << 20));
+        let expect = t.mul_u64(2).add(&UBig::from(q)).div_rem_u64(2 * q).0;
+        let (neg, mag) = r.round_ext(x);
+        assert!(!neg);
+        assert_eq!(mag, expect);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic    "ABCF"            4 B
-//! version  u16 (= 2)         2 B
+//! version  u16 (= 2 or 3)    2 B
 //! kind     u8 (1=full ct)    1 B
 //! log_n    u8                1 B
 //! primes   u16               2 B
@@ -14,38 +14,143 @@
 //! den_len  u16               2 B    │ num·2^exp / ∏den
 //! num      num_len B         var    │ (num little-endian bigint,
 //! den      den_len · 8 B     var   ─┘  den the dropped primes)
-//! c0 residues                primes · N · 8 B
-//! c1 residues                primes · N · 8 B
+//! v3 only: widths            primes · 1 B (per-prime residue bit width)
+//! c0 residues                v2: primes · N · 8 B; v3: Σ ⌈N·wᵢ/8⌉ B
+//! c1 residues                same as c0
 //! ```
 //!
 //! Version 2 transports the scale as the **exact rational** the
 //! evaluator tracks ([`crate::scale::ExactScale`]) instead of a lossy
-//! `f64`: a server that rescaled through a 24-prime chain returns the
-//! true ∏qᵢ history, so the client decodes at the true scale. The
-//! format stores residues as full `u64` words; a production codec
-//! would bit-pack to the prime width (44 bits → ×0.69), which is
-//! exactly the `coeff_bits` the simulator charges. Compressed (seeded)
-//! ciphertexts serialize via kind 2 with the 16-byte seed in place of
-//! `c1`.
+//! `f64`, but stores residues as full `u64` words.
+//!
+//! Version 3 **bit-packs every residue to its prime's width**, taken
+//! from the RNS basis (not from the data): the bootstrappable basis is
+//! 36-bit primes plus the 3-bit-widened special prime q₀ (39 bits), so a
+//! packed coefficient averages (23·36 + 39)/24 = 36.125 bits against the
+//! 64-bit words of v2 — **×0.57** of the transport bytes (not the ×0.69
+//! a uniform 44-bit residue would give; 44 bits is the *hardware
+//! datapath* width, which never appears on this wire). The packed byte
+//! count is exactly what `abc-sim`'s DRAM/stream model charges when
+//! configured with `SimConfig::with_wire_widths`. Decoders accept both
+//! versions; v2 remains readable forever.
+//!
+//! Compressed (seeded) ciphertexts serialize via kind 2 with the 16-byte
+//! seed in place of `c1`.
 
 use crate::cipher::Ciphertext;
 use crate::scale::ExactScale;
 use crate::CkksError;
-use abc_math::UBig;
+use abc_math::{Modulus, UBig};
 
 const MAGIC: &[u8; 4] = b"ABCF";
-const VERSION: u16 = 2;
+const VERSION_WORDS: u16 = 2;
+const VERSION_PACKED: u16 = 3;
 const KIND_FULL: u8 = 1;
 /// Bytes before the variable-length scale payload.
 const FIXED_HEADER: usize = 18;
 
-/// Exact serialized size of a ciphertext in this format.
-pub fn serialized_len(ct: &Ciphertext) -> usize {
-    let (num, _, den) = ct.exact_scale().raw_parts();
-    FIXED_HEADER + num.to_le_bytes().len() + den.len() * 8 + 2 * ct.num_primes() * ct.n() * 8
+/// Per-prime residue bit widths of a basis — the packing schedule of the
+/// v3 format (`⌈log2 qᵢ⌉`; residues are `< qᵢ`).
+pub fn residue_widths(moduli: &[Modulus]) -> Vec<u32> {
+    moduli.iter().map(|m| 64 - m.q().leading_zeros()).collect()
 }
 
-/// Serializes a ciphertext to the wire format.
+/// Mean payload bits per packed coefficient under `widths` — the figure
+/// the simulator charges per transported residue.
+pub fn packed_bits_per_coeff(widths: &[u32]) -> f64 {
+    if widths.is_empty() {
+        return 64.0;
+    }
+    widths.iter().map(|&w| w as f64).sum::<f64>() / widths.len() as f64
+}
+
+/// Packed bytes of one residue polynomial (`n` coefficients at `width`
+/// bits, byte-aligned per polynomial).
+fn packed_poly_bytes(n: usize, width: u32) -> usize {
+    (n * width as usize).div_ceil(8)
+}
+
+/// Appends `words` to `out`, `width` bits each, LSB-first.
+fn pack_bits(out: &mut Vec<u8>, words: &[u64], width: u32) {
+    let mut acc: u128 = 0;
+    let mut nbits = 0u32;
+    for &w in words {
+        acc |= (w as u128) << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Reads `n` words of `width` bits (LSB-first) from `bytes`.
+fn unpack_bits(bytes: &[u8], n: usize, width: u32) -> Vec<u64> {
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut out = Vec::with_capacity(n);
+    let mut acc: u128 = 0;
+    let mut nbits = 0u32;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        while nbits < width {
+            acc |= (bytes[cursor] as u128) << nbits;
+            cursor += 1;
+            nbits += 8;
+        }
+        out.push(acc as u64 & mask);
+        acc >>= width;
+        nbits -= width;
+    }
+    out
+}
+
+/// The shared header + exact-scale payload (both versions).
+fn write_header(out: &mut Vec<u8>, version: u16, ct: &Ciphertext) {
+    let (num, exp, den) = ct.exact_scale().raw_parts();
+    let num_bytes = num.to_le_bytes();
+    let num_len =
+        u16::try_from(num_bytes.len()).expect("scale numerator exceeds the wire format's 64 KiB");
+    let den_len =
+        u16::try_from(den.len()).expect("scale denominator exceeds the wire format's u16 count");
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.push(KIND_FULL);
+    out.push(ct.n().trailing_zeros() as u8);
+    out.extend_from_slice(&(ct.num_primes() as u16).to_le_bytes());
+    out.extend_from_slice(&exp.to_le_bytes());
+    out.extend_from_slice(&num_len.to_le_bytes());
+    out.extend_from_slice(&den_len.to_le_bytes());
+    out.extend_from_slice(&num_bytes);
+    for &q in den {
+        out.extend_from_slice(&q.to_le_bytes());
+    }
+}
+
+fn header_len(ct: &Ciphertext) -> usize {
+    let (num, _, den) = ct.exact_scale().raw_parts();
+    FIXED_HEADER + num.to_le_bytes().len() + den.len() * 8
+}
+
+/// Exact serialized size of a ciphertext in the v2 (full-word) format.
+pub fn serialized_len(ct: &Ciphertext) -> usize {
+    header_len(ct) + 2 * ct.num_primes() * ct.n() * 8
+}
+
+/// Exact serialized size in the v3 packed format under `widths`.
+pub fn packed_serialized_len(ct: &Ciphertext, widths: &[u32]) -> usize {
+    let polys: usize = widths.iter().map(|&w| packed_poly_bytes(ct.n(), w)).sum();
+    header_len(ct) + ct.num_primes() + 2 * polys
+}
+
+/// Serializes a ciphertext to the v2 wire format (full 64-bit words).
 ///
 /// # Panics
 ///
@@ -54,27 +159,8 @@ pub fn serialized_len(ct: &Ciphertext) -> usize {
 /// primes — thousands of unreduced multiplications past any modulus
 /// budget); truncating silently would emit a blob the decoder rejects.
 pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
-    let n = ct.n();
-    let primes = ct.num_primes();
-    let (num, exp, den) = ct.exact_scale().raw_parts();
-    let num_bytes = num.to_le_bytes();
-    let num_len =
-        u16::try_from(num_bytes.len()).expect("scale numerator exceeds the wire format's 64 KiB");
-    let den_len =
-        u16::try_from(den.len()).expect("scale denominator exceeds the wire format's u16 count");
     let mut out = Vec::with_capacity(serialized_len(ct));
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.push(KIND_FULL);
-    out.push(n.trailing_zeros() as u8);
-    out.extend_from_slice(&(primes as u16).to_le_bytes());
-    out.extend_from_slice(&exp.to_le_bytes());
-    out.extend_from_slice(&num_len.to_le_bytes());
-    out.extend_from_slice(&den_len.to_le_bytes());
-    out.extend_from_slice(&num_bytes);
-    for &q in den {
-        out.extend_from_slice(&q.to_le_bytes());
-    }
+    write_header(&mut out, VERSION_WORDS, ct);
     let (c0, c1) = ct.components();
     for component in [c0, c1] {
         for poly in component {
@@ -86,7 +172,58 @@ pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     out
 }
 
-/// Deserializes a ciphertext from the wire format.
+/// Serializes a ciphertext to the v3 wire format, bit-packing each
+/// residue polynomial to its prime's width. `widths` comes from the
+/// basis ([`residue_widths`] /
+/// [`crate::CkksContext::wire_widths`]), one entry per carried prime.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if `widths` doesn't match the
+/// ciphertext's prime count, a width is 0 or > 64, or any residue does
+/// not fit its declared width (corrupt data — packing it would emit a
+/// blob that cannot round-trip).
+///
+/// # Panics
+///
+/// Panics on oversize scale encodings, as [`serialize_ciphertext`].
+pub fn serialize_ciphertext_packed(ct: &Ciphertext, widths: &[u32]) -> Result<Vec<u8>, CkksError> {
+    let err = |msg: String| CkksError::InvalidParams(format!("wire: {msg}"));
+    if widths.len() != ct.num_primes() {
+        return Err(err(format!(
+            "{} widths for {} primes",
+            widths.len(),
+            ct.num_primes()
+        )));
+    }
+    if let Some(&w) = widths.iter().find(|&&w| w == 0 || w > 64) {
+        return Err(err(format!("residue width {w} out of 1..=64")));
+    }
+    let (c0, c1) = ct.components();
+    for component in [c0, c1] {
+        for (poly, &w) in component.iter().zip(widths) {
+            if w < 64 {
+                let limit = 1u64 << w;
+                if let Some(&bad) = poly.iter().find(|&&x| x >= limit) {
+                    return Err(err(format!("residue {bad:#x} exceeds {w}-bit width")));
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(packed_serialized_len(ct, widths));
+    write_header(&mut out, VERSION_PACKED, ct);
+    for &w in widths {
+        out.push(w as u8);
+    }
+    for component in [c0, c1] {
+        for (poly, &w) in component.iter().zip(widths) {
+            pack_bits(&mut out, poly, w);
+        }
+    }
+    Ok(out)
+}
+
+/// Deserializes a ciphertext from the wire format (v2 or v3).
 ///
 /// # Errors
 ///
@@ -102,7 +239,7 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
         return Err(err("bad magic"));
     }
     let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
-    if version != VERSION {
+    if version != VERSION_WORDS && version != VERSION_PACKED {
         return Err(err("unsupported version"));
     }
     if bytes[6] != KIND_FULL {
@@ -121,9 +258,8 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
     let num_len = u16::from_le_bytes(bytes[14..16].try_into().expect("2 bytes")) as usize;
     let den_len = u16::from_le_bytes(bytes[16..18].try_into().expect("2 bytes")) as usize;
     let scale_end = FIXED_HEADER + num_len + den_len * 8;
-    let expected = scale_end + 2 * primes * n * 8;
-    if bytes.len() != expected {
-        return Err(err("payload length mismatch"));
+    if bytes.len() < scale_end {
+        return Err(err("truncated scale payload"));
     }
     let num = UBig::from_le_bytes(&bytes[FIXED_HEADER..FIXED_HEADER + num_len]);
     let den: Vec<u64> = (0..den_len)
@@ -134,19 +270,58 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
         .collect();
     let scale =
         ExactScale::from_raw_parts(num, exp, den).ok_or_else(|| err("invalid scale encoding"))?;
-    let mut cursor = scale_end;
+
+    if version == VERSION_WORDS {
+        let expected = scale_end + 2 * primes * n * 8;
+        if bytes.len() != expected {
+            return Err(err("payload length mismatch"));
+        }
+        let mut cursor = scale_end;
+        let read_component = |cursor: &mut usize| -> Vec<Vec<u64>> {
+            (0..primes)
+                .map(|_| {
+                    (0..n)
+                        .map(|_| {
+                            let w = u64::from_le_bytes(
+                                bytes[*cursor..*cursor + 8].try_into().expect("8 bytes"),
+                            );
+                            *cursor += 8;
+                            w
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let c0 = read_component(&mut cursor);
+        let c1 = read_component(&mut cursor);
+        return Ciphertext::from_components_exact(c0, c1, scale);
+    }
+
+    // v3: per-prime widths, then bit-packed polynomials.
+    if bytes.len() < scale_end + primes {
+        return Err(err("truncated width table"));
+    }
+    let widths: Vec<u32> = bytes[scale_end..scale_end + primes]
+        .iter()
+        .map(|&b| b as u32)
+        .collect();
+    if widths.iter().any(|&w| w == 0 || w > 64) {
+        return Err(err("implausible residue width"));
+    }
+    let polys: usize = widths.iter().map(|&w| packed_poly_bytes(n, w)).sum();
+    let expected = scale_end + primes + 2 * polys;
+    if bytes.len() != expected {
+        return Err(err("payload length mismatch"));
+    }
+    let mut cursor = scale_end + primes;
     let read_component = |cursor: &mut usize| -> Vec<Vec<u64>> {
-        (0..primes)
-            .map(|_| {
-                (0..n)
-                    .map(|_| {
-                        let w = u64::from_le_bytes(
-                            bytes[*cursor..*cursor + 8].try_into().expect("8 bytes"),
-                        );
-                        *cursor += 8;
-                        w
-                    })
-                    .collect()
+        widths
+            .iter()
+            .map(|&w| {
+                let len = packed_poly_bytes(n, w);
+                let poly = unpack_bits(&bytes[*cursor..*cursor + len], n, w);
+                *cursor += len;
+                poly
             })
             .collect()
     };
@@ -190,9 +365,80 @@ mod tests {
     }
 
     #[test]
+    fn packed_roundtrip_bit_exact() {
+        let (ctx, ct) = sample_ct();
+        let widths = residue_widths(&ctx.basis().moduli()[..ct.num_primes()]);
+        let bytes = serialize_ciphertext_packed(&ct, &widths).expect("pack");
+        assert_eq!(bytes.len(), packed_serialized_len(&ct, &widths));
+        let back = deserialize_ciphertext(&bytes).expect("roundtrip");
+        assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn packed_shrinks_by_the_width_ratio() {
+        let (ctx, ct) = sample_ct();
+        let widths = ctx.wire_widths(ct.num_primes());
+        let full = serialize_ciphertext(&ct).len();
+        let packed = serialize_ciphertext_packed(&ct, &widths)
+            .expect("pack")
+            .len();
+        // Basis: ~39-bit special prime + 36-bit primes, vs 64-bit words.
+        let expect_ratio = packed_bits_per_coeff(&widths) / 64.0;
+        let got_ratio = packed as f64 / full as f64;
+        assert!(
+            (got_ratio - expect_ratio).abs() < 0.01,
+            "got ×{got_ratio:.3}, widths predict ×{expect_ratio:.3}"
+        );
+        assert!(got_ratio < 0.62, "packing saves ≥38%: ×{got_ratio:.3}");
+    }
+
+    #[test]
+    fn bootstrappable_packing_ratio_is_057() {
+        // The honest headline: 23 primes at 36 bits + q0 at 39 bits →
+        // 36.125 bits/coeff → ×0.5645 of the v2 words. (The stale ×0.69
+        // figure assumed the 44-bit *datapath* width on the wire.)
+        let widths: Vec<u32> = std::iter::once(39).chain([36; 23]).collect();
+        let ratio = packed_bits_per_coeff(&widths) / 64.0;
+        assert!((ratio - 0.5645).abs() < 0.001, "ratio {ratio:.4}");
+    }
+
+    #[test]
+    fn pack_unpack_inverse_at_odd_widths() {
+        for width in [1u32, 7, 13, 36, 39, 44, 63, 64] {
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let words: Vec<u64> = (0..131u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
+            let mut packed = Vec::new();
+            pack_bits(&mut packed, &words, width);
+            assert_eq!(packed.len(), packed_poly_bytes(words.len(), width));
+            assert_eq!(unpack_bits(&packed, words.len(), width), words, "w={width}");
+        }
+    }
+
+    #[test]
+    fn packed_rejects_bad_inputs() {
+        let (ctx, ct) = sample_ct();
+        let widths = ctx.wire_widths(ct.num_primes());
+        // Wrong width count.
+        assert!(serialize_ciphertext_packed(&ct, &widths[..1]).is_err());
+        // Width too narrow for the residues.
+        let narrow = vec![4u32; ct.num_primes()];
+        assert!(serialize_ciphertext_packed(&ct, &narrow).is_err());
+        // Width out of range.
+        let zero = vec![0u32; ct.num_primes()];
+        assert!(serialize_ciphertext_packed(&ct, &zero).is_err());
+    }
+
+    #[test]
     fn rescaled_exact_scale_survives_the_wire() {
-        // The whole point of v2: a server-side rescale history (exact
-        // rational scale, dropped primes included) round-trips.
+        // The whole point of v2/v3: a server-side rescale history (exact
+        // rational scale, dropped primes included) round-trips — in both
+        // formats.
         let (ctx, ct) = sample_ct();
         let prod =
             evaluator::plaintext_mul(&ctx, &ct, &ctx.encode(&[Complex::new(0.5, 0.0)]).unwrap())
@@ -200,6 +446,11 @@ mod tests {
         let rescaled = evaluator::rescale(&ctx, &prod).expect("rescale");
         assert!(!rescaled.exact_scale().dropped_primes().is_empty());
         let back = deserialize_ciphertext(&serialize_ciphertext(&rescaled)).expect("wire");
+        assert_eq!(back.exact_scale(), rescaled.exact_scale());
+        assert_eq!(back, rescaled);
+        let widths = ctx.wire_widths(rescaled.num_primes());
+        let packed = serialize_ciphertext_packed(&rescaled, &widths).expect("pack");
+        let back = deserialize_ciphertext(&packed).expect("wire v3");
         assert_eq!(back.exact_scale(), rescaled.exact_scale());
         assert_eq!(back, rescaled);
     }
@@ -228,7 +479,9 @@ mod tests {
         let (sk, pk) = ctx.keygen(Seed::from_u128(3));
         let msg = vec![Complex::new(0.25, -0.5); 16];
         let ct = ctx.encrypt(&ctx.encode(&msg).expect("e"), &pk, Seed::from_u128(4));
-        let back = deserialize_ciphertext(&serialize_ciphertext(&ct)).expect("wire");
+        let widths = ctx.wire_widths(ct.num_primes());
+        let packed = serialize_ciphertext_packed(&ct, &widths).expect("pack");
+        let back = deserialize_ciphertext(&packed).expect("wire");
         let out = ctx
             .decode(&ctx.decrypt(&back, &sk).expect("d"))
             .expect("decode");
@@ -237,7 +490,7 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        let (_, ct) = sample_ct();
+        let (ctx, ct) = sample_ct();
         let good = serialize_ciphertext(&ct);
         // Truncated.
         assert!(deserialize_ciphertext(&good[..good.len() - 1]).is_err());
@@ -262,6 +515,15 @@ mod tests {
         // Scale numerator of zero is invalid.
         let mut bad = good;
         bad[FIXED_HEADER] = 0; // num = 0 (single byte)
+        assert!(deserialize_ciphertext(&bad).is_err());
+        // v3: truncated width table / payload.
+        let widths = ctx.wire_widths(ct.num_primes());
+        let packed = serialize_ciphertext_packed(&ct, &widths).expect("pack");
+        assert!(deserialize_ciphertext(&packed[..packed.len() - 1]).is_err());
+        assert!(deserialize_ciphertext(&packed[..FIXED_HEADER + 2]).is_err());
+        // v3: zero width in the table.
+        let mut bad = packed.clone();
+        bad[FIXED_HEADER + 1] = 0; // first width byte (after 1-byte num)
         assert!(deserialize_ciphertext(&bad).is_err());
     }
 }

@@ -2,8 +2,9 @@
 
 use abc_ckks::params::{CkksParams, ScaleMode};
 use abc_ckks::{evaluator, noise, wire, CkksContext};
-use abc_float::{Complex, F64Field};
+use abc_float::Complex;
 use abc_prng::Seed;
+use abc_transform::SpecialFft;
 use proptest::prelude::*;
 
 fn small_ctx(log_n: u32, primes: usize) -> CkksContext {
@@ -197,10 +198,13 @@ proptest! {
         let msg = message_from_seed(slots, seed);
         let pt = ctx.encode(&msg).expect("encode");
 
-        // Golden integer coefficients.
+        // Golden integer coefficients, from an independently planned
+        // FP64 embedding (same (slots, datapath) table construction the
+        // context's engine uses).
+        let fft = SpecialFft::new(slots);
         let mut vals = msg.clone();
-        ctx.fft().inverse(&F64Field, &mut vals);
-        let coeffs = ctx.fft().slots_to_coeffs(&vals);
+        fft.inverse(&mut vals);
+        let coeffs = fft.slots_to_coeffs(&vals);
         let scale = 2f64.powi(72);
         let ints: Vec<i128> = coeffs.iter().map(|&c| (c * scale).round() as i128).collect();
 
@@ -215,8 +219,8 @@ proptest! {
         // Golden slots: correctly rounded integer → exact 2^-72 scaling
         // → the same forward embedding.
         let golden_coeffs: Vec<f64> = ints.iter().map(|&x| (x as f64) / scale).collect();
-        let mut golden_slots = ctx.fft().coeffs_to_slots(&golden_coeffs);
-        ctx.fft().forward(&F64Field, &mut golden_slots);
+        let mut golden_slots = fft.coeffs_to_slots(&golden_coeffs);
+        fft.forward(&mut golden_slots);
         let out = ctx.decode(&pt).expect("decode");
         for (j, (a, b)) in out.iter().zip(&golden_slots).enumerate() {
             prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "slot {} re", j);

@@ -4,6 +4,12 @@
 //! real multipliers (paper Eq. 12: `(a+bi)(c+di) = (ac−bd) + i(ad+bc)`);
 //! [`Complex::mul_in`] follows exactly that 4-mul/2-add structure so that
 //! reduced-precision rounding lands in the same places as the hardware.
+//!
+//! The component type is generic: `Complex` (defaulting to
+//! `Complex<f64>`) carries the reference and reduced-precision datapaths,
+//! while `Complex<ExtF64>` carries the double-double embedding datapath.
+//! Arithmetic always routes through a [`RealField`] whose
+//! [`RealField::Real`] matches the component type.
 
 use crate::field::RealField;
 
@@ -18,19 +24,62 @@ use crate::field::RealField;
 /// assert_eq!(i.mul_in(&F64Field, i), Complex::new(-1.0, 0.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Complex {
+pub struct Complex<R = f64> {
     /// Real part.
-    pub re: f64,
+    pub re: R,
     /// Imaginary part.
-    pub im: f64,
+    pub im: R,
 }
 
-impl Complex {
+impl<R> Complex<R> {
     /// Creates a complex number from parts (no rounding applied).
-    pub const fn new(re: f64, im: f64) -> Self {
+    pub const fn new(re: R, im: R) -> Self {
         Self { re, im }
     }
+}
 
+impl<R: Copy> Complex<R> {
+    /// Complex conjugate (exact in any binary format).
+    pub fn conj(self) -> Self
+    where
+        R: core::ops::Neg<Output = R>,
+    {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Addition in the datapath.
+    pub fn add_in<F: RealField<Real = R>>(self, f: &F, rhs: Self) -> Self {
+        Self::new(f.add(self.re, rhs.re), f.add(self.im, rhs.im))
+    }
+
+    /// Subtraction in the datapath.
+    pub fn sub_in<F: RealField<Real = R>>(self, f: &F, rhs: Self) -> Self {
+        Self::new(f.sub(self.re, rhs.re), f.sub(self.im, rhs.im))
+    }
+
+    /// Multiplication in the datapath with the hardware's 4-multiplier
+    /// structure (paper Eq. 12).
+    pub fn mul_in<F: RealField<Real = R>>(self, f: &F, rhs: Self) -> Self {
+        let ac = f.mul(self.re, rhs.re);
+        let bd = f.mul(self.im, rhs.im);
+        let ad = f.mul(self.re, rhs.im);
+        let bc = f.mul(self.im, rhs.re);
+        Self::new(f.sub(ac, bd), f.add(ad, bc))
+    }
+
+    /// Scales both parts by a real factor in the datapath.
+    pub fn scale_in<F: RealField<Real = R>>(self, f: &F, s: R) -> Self {
+        Self::new(f.mul(self.re, s), f.mul(self.im, s))
+    }
+
+    /// Rounds both components to `f64` through the datapath — the
+    /// measurement/output conversion.
+    pub fn to_f64_in<F: RealField<Real = R>>(self, f: &F) -> Complex<f64> {
+        Complex::new(f.to_f64(self.re), f.to_f64(self.im))
+    }
+}
+
+impl Complex<f64> {
     /// The additive identity.
     pub const fn zero() -> Self {
         Self::new(0.0, 0.0)
@@ -41,40 +90,9 @@ impl Complex {
         Self::new(1.0, 0.0)
     }
 
-    /// `e^{iθ}` evaluated in `f64` then rounded into the datapath —
-    /// the twiddle ROM/generator path.
-    pub fn from_polar_in<F: RealField>(f: &F, theta: f64) -> Self {
-        Self::new(f.from_f64(theta.cos()), f.from_f64(theta.sin()))
-    }
-
-    /// Complex conjugate (exact in any format).
-    pub fn conj(self) -> Self {
-        Self::new(self.re, -self.im)
-    }
-
-    /// Addition in the datapath.
-    pub fn add_in<F: RealField>(self, f: &F, rhs: Self) -> Self {
-        Self::new(f.add(self.re, rhs.re), f.add(self.im, rhs.im))
-    }
-
-    /// Subtraction in the datapath.
-    pub fn sub_in<F: RealField>(self, f: &F, rhs: Self) -> Self {
-        Self::new(f.sub(self.re, rhs.re), f.sub(self.im, rhs.im))
-    }
-
-    /// Multiplication in the datapath with the hardware's 4-multiplier
-    /// structure (paper Eq. 12).
-    pub fn mul_in<F: RealField>(self, f: &F, rhs: Self) -> Self {
-        let ac = f.mul(self.re, rhs.re);
-        let bd = f.mul(self.im, rhs.im);
-        let ad = f.mul(self.re, rhs.im);
-        let bc = f.mul(self.im, rhs.re);
-        Self::new(f.sub(ac, bd), f.add(ad, bc))
-    }
-
-    /// Scales both parts by a real factor in the datapath.
-    pub fn scale_in<F: RealField>(self, f: &F, s: f64) -> Self {
-        Self::new(f.mul(self.re, s), f.mul(self.im, s))
+    /// Lifts both components into a datapath's native scalar.
+    pub fn lift_in<F: RealField>(self, f: &F) -> Complex<F::Real> {
+        Complex::new(f.from_f64(self.re), f.from_f64(self.im))
     }
 
     /// Squared magnitude, evaluated exactly in `f64` (measurement only —
@@ -91,7 +109,7 @@ impl Complex {
     }
 }
 
-impl core::fmt::Display for Complex {
+impl core::fmt::Display for Complex<f64> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         if self.im >= 0.0 {
             write!(f, "{}+{}i", self.re, self.im)
@@ -104,7 +122,8 @@ impl core::fmt::Display for Complex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::field::{F64Field, SoftFloatField};
+    use crate::extended::ExtF64;
+    use crate::field::{ExtF64Field, F64Field, SoftFloatField};
 
     #[test]
     fn ring_identities() {
@@ -122,8 +141,10 @@ mod tests {
     #[test]
     fn polar_roots_of_unity() {
         let f = F64Field;
-        let n = 16u32;
-        let w = Complex::from_polar_in(&f, 2.0 * core::f64::consts::PI / n as f64);
+        let n = 16u64;
+        // w = e^{2πi/n} = e^{πi·2/n}: the datapath's twiddle generator.
+        let (c, s) = f.sincos_pi_frac(2, 4);
+        let w = Complex::new(c, s);
         let mut acc = Complex::one();
         for _ in 0..n {
             acc = acc.mul_in(&f, w);
@@ -141,6 +162,18 @@ mod tests {
         let p_hi = a.mul_in(&hi, b);
         assert!(p_lo.dist(p_hi) > 0.0);
         assert!(p_lo.dist(p_hi) < 1e-3);
+    }
+
+    #[test]
+    fn extended_components_roundtrip() {
+        let f = ExtF64Field;
+        let z = Complex::new(0.3, -0.7).lift_in(&f);
+        let w = Complex::new(ExtF64::from_f64(2f64.powi(60)), ExtF64::zero());
+        let back = z.mul_in(&f, w).to_f64_in(&f);
+        assert_eq!(back.re, 0.3 * 2f64.powi(60));
+        // i·i = −1 exactly in the extended datapath too.
+        let i = Complex::new(ExtF64::zero(), ExtF64::from_f64(1.0));
+        assert_eq!(i.mul_in(&f, i).to_f64_in(&f), Complex::new(-1.0, 0.0));
     }
 
     #[test]

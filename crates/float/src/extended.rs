@@ -26,7 +26,7 @@
 //! ```
 
 /// An extended-precision real: the unevaluated sum `hi + lo`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ExtF64 {
     hi: f64,
     lo: f64,
@@ -100,9 +100,52 @@ impl ExtF64 {
         self.hi
     }
 
+    /// The trailing component (`|lo| ≤ ulp(hi)/2` after normalization).
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
     /// Rounds to a single `f64`.
     pub fn to_f64(&self) -> f64 {
         self.hi + self.lo
+    }
+
+    /// Rounds to the nearest integer as `i128` (ties away from zero) —
+    /// the double-scale encode quantizer, where the scaled coefficient
+    /// exceeds one `f64` mantissa. When `lo == 0` this is exactly
+    /// `hi.round()`, matching the plain-`f64` encode path bit for bit.
+    /// With a live `lo` the fractional part is resolved *exactly* via a
+    /// two-sum: a rounded `rem + lo` could collapse onto ±½ and misfire
+    /// the tie rule even though the true value sits strictly off the
+    /// tie (e.g. `hi = 2.5, lo = 2⁻⁶⁰` must round to 3, not 2).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `hi` is finite and within `i128` range.
+    pub fn round_to_i128(&self) -> i128 {
+        debug_assert!(self.hi.is_finite() && self.hi.abs() < 2f64.powi(120));
+        let rh = self.hi.round();
+        if self.lo == 0.0 {
+            return rh as i128;
+        }
+        // rem is exact (|hi − rh| ≤ ½ and both share an exponent range),
+        // and two_sum keeps the fractional part exact: frac = s + e.
+        let rem = self.hi - rh;
+        let (s, e) = two_sum(rem, self.lo);
+        let base = rh as i128;
+        if s.abs() != 0.5 {
+            // s is the correctly rounded f64 of frac and is not a tie
+            // point, so its own rounding is decisive.
+            return base + s.round() as i128;
+        }
+        // s = ±½: the true fractional part is ±½ + e. An exact tie
+        // (e == 0) rounds away from zero of the *total* value.
+        let away_from_zero = if rh != 0.0 { rh > 0.0 } else { s > 0.0 };
+        if s > 0.0 {
+            base + i128::from(e > 0.0 || (e == 0.0 && away_from_zero))
+        } else {
+            base - i128::from(e < 0.0 || (e == 0.0 && !away_from_zero))
+        }
     }
 
     /// Exact scaling by 2^e (both components shift their exponents; no
@@ -269,6 +312,46 @@ mod tests {
         let scaled = x.ldexp(-64);
         assert_eq!(scaled.ldexp(64).to_f64(), u64::MAX as f64);
         assert!((scaled.to_f64() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn round_to_i128_matches_f64_round() {
+        for x in [0.0, 0.49, 0.5, 1.5, -0.5, -1.5, 1e15 + 0.5, -123.456] {
+            assert_eq!(ExtF64::from_f64(x).round_to_i128(), x.round() as i128);
+        }
+        // Beyond the f64 mantissa: 2^72 + 0.75 rounds to 2^72 + 1.
+        let v = ExtF64::from_f64(2f64.powi(72)) + ExtF64::from_f64(0.75);
+        assert_eq!(v.round_to_i128(), (1i128 << 72) + 1);
+        let w = ExtF64::from_f64(2f64.powi(72)) + ExtF64::from_f64(0.25);
+        assert_eq!(w.round_to_i128(), 1i128 << 72);
+        assert_eq!((-v).round_to_i128(), -((1i128 << 72) + 1));
+    }
+
+    #[test]
+    fn round_to_i128_resolves_near_tie_fractions_exactly() {
+        // hi exactly on a half-integer, lo a tiny nudge: the rounded
+        // f64 sum rem + lo collapses onto ±½, but the *true* value is
+        // strictly off the tie and must round accordingly.
+        let eps = 2f64.powi(-60);
+        let just_above = ExtF64::from_sum(2.5, eps); // 2.5 + 2^-60 → 3
+        assert_eq!(just_above.round_to_i128(), 3);
+        let just_below = ExtF64::from_sum(2.5, -eps); // 2.5 − 2^-60 → 2
+        assert_eq!(just_below.round_to_i128(), 2);
+        assert_eq!(ExtF64::from_sum(-2.5, -eps).round_to_i128(), -3);
+        assert_eq!(ExtF64::from_sum(-2.5, eps).round_to_i128(), -2);
+        // Half-integer + small positive lo at wide magnitudes too
+        // (2^51 + ½ is the largest-scale exactly representable
+        // half-integer regime in f64).
+        let wide = ExtF64::from_f64(2f64.powi(51) + 0.5) + ExtF64::from_f64(eps);
+        assert_eq!(wide.round_to_i128(), (1i128 << 51) + 1);
+        let wide_down = ExtF64::from_f64(2f64.powi(51) + 0.5) - ExtF64::from_f64(eps);
+        assert_eq!(wide_down.round_to_i128(), 1i128 << 51);
+        // Exact ties (lo folds to a true ±½) stay away-from-zero.
+        assert_eq!(ExtF64::from_sum(2.25, 0.25).round_to_i128(), 3);
+        assert_eq!(ExtF64::from_sum(-2.25, -0.25).round_to_i128(), -3);
+        // ±0.5 totals round away from zero.
+        assert_eq!(ExtF64::from_sum(0.25, 0.25).round_to_i128(), 1);
+        assert_eq!(ExtF64::from_sum(-0.25, -0.25).round_to_i128(), -1);
     }
 
     #[test]

@@ -1,32 +1,58 @@
 //! Datapath contexts: arithmetic routed through a context object so the
-//! same kernel runs at full or reduced precision.
+//! same kernel runs at full, reduced, or extended precision.
 
+use crate::extended::ExtF64;
 use crate::softfloat::round_to_mantissa;
+use crate::trig;
 
-/// A real-arithmetic datapath.
+/// A real-arithmetic datapath over an associated scalar type.
 ///
 /// Numeric kernels (the CKKS special FFT in `abc-transform`) are generic
-/// over this trait; instantiating them with [`SoftFloatField`] reproduces
-/// the rounding behaviour of a narrow hardware FPU after *every*
-/// operation, which is what the paper's Fig. 3c sweep measures.
-pub trait RealField {
-    /// Rounds a constant into the datapath format.
+/// over this trait. The scalar [`Self::Real`] flowing through the kernel
+/// is chosen by the datapath: plain `f64` for the reference and the
+/// paper's reduced FP55 formats, double-double [`ExtF64`] for the
+/// ≈106-bit embedding needed by double-scale (Δ_eff = 2^72) decoding.
+/// Instantiating a kernel with [`SoftFloatField`] reproduces the rounding
+/// behaviour of a narrow hardware FPU after *every* operation, which is
+/// what the paper's Fig. 3c sweep measures.
+pub trait RealField: Clone + Send + Sync {
+    /// The scalar values that flow through this datapath.
+    type Real: Copy + PartialEq + Default + core::fmt::Debug + Send + Sync;
+
+    /// Rounds an `f64` constant into the datapath format.
     #[allow(clippy::wrong_self_convention)] // `self` carries the datapath width
-    fn from_f64(&self, x: f64) -> f64;
+    fn from_f64(&self, x: f64) -> Self::Real;
+
+    /// Rounds a datapath value to `f64` (measurement / output side).
+    fn to_f64(&self, x: Self::Real) -> f64;
+
+    /// Rounds a double-double value into the datapath (the decode path:
+    /// exactly divided coefficients enter the embedding FFT).
+    #[allow(clippy::wrong_self_convention)] // `self` carries the datapath width
+    fn from_ext(&self, x: ExtF64) -> Self::Real;
+
+    /// Lifts a datapath value into double-double (the encode path:
+    /// embedding output meets the exact Δ-rounding).
+    fn to_ext(&self, x: Self::Real) -> ExtF64;
 
     /// Addition in the datapath.
-    fn add(&self, a: f64, b: f64) -> f64;
+    fn add(&self, a: Self::Real, b: Self::Real) -> Self::Real;
 
     /// Subtraction in the datapath.
-    fn sub(&self, a: f64, b: f64) -> f64;
+    fn sub(&self, a: Self::Real, b: Self::Real) -> Self::Real;
 
     /// Multiplication in the datapath.
-    fn mul(&self, a: f64, b: f64) -> f64;
+    fn mul(&self, a: Self::Real, b: Self::Real) -> Self::Real;
 
     /// Negation (sign flip is exact in every binary float format).
-    fn neg(&self, a: f64) -> f64 {
-        -a
-    }
+    fn neg(&self, a: Self::Real) -> Self::Real;
+
+    /// `(cos, sin)` of the dyadic angle `π·num/2^log2_den` at (at least)
+    /// the datapath's native accuracy — the planned-twiddle generator.
+    /// Wide datapaths must *not* derive this from `f64::sin_cos`; the
+    /// `ExtF64` instance evaluates a fixed-point Taylor series seeded by
+    /// a 192-bit π after exact integer octant reduction.
+    fn sincos_pi_frac(&self, num: u64, log2_den: u32) -> (Self::Real, Self::Real);
 
     /// Human-readable datapath name for reports.
     fn name(&self) -> String;
@@ -45,8 +71,22 @@ pub trait RealField {
 pub struct F64Field;
 
 impl RealField for F64Field {
+    type Real = f64;
+
     fn from_f64(&self, x: f64) -> f64 {
         x
+    }
+
+    fn to_f64(&self, x: f64) -> f64 {
+        x
+    }
+
+    fn from_ext(&self, x: ExtF64) -> f64 {
+        x.to_f64()
+    }
+
+    fn to_ext(&self, x: f64) -> ExtF64 {
+        ExtF64::from_f64(x)
     }
 
     fn add(&self, a: f64, b: f64) -> f64 {
@@ -59,6 +99,14 @@ impl RealField for F64Field {
 
     fn mul(&self, a: f64, b: f64) -> f64 {
         a * b
+    }
+
+    fn neg(&self, a: f64) -> f64 {
+        -a
+    }
+
+    fn sincos_pi_frac(&self, num: u64, log2_den: u32) -> (f64, f64) {
+        trig::sincos_pi_frac_f64(num, log2_den)
     }
 
     fn name(&self) -> String {
@@ -115,8 +163,22 @@ impl SoftFloatField {
 }
 
 impl RealField for SoftFloatField {
+    type Real = f64;
+
     fn from_f64(&self, x: f64) -> f64 {
         round_to_mantissa(x, self.mantissa_bits)
+    }
+
+    fn to_f64(&self, x: f64) -> f64 {
+        x
+    }
+
+    fn from_ext(&self, x: ExtF64) -> f64 {
+        round_to_mantissa(x.to_f64(), self.mantissa_bits)
+    }
+
+    fn to_ext(&self, x: f64) -> ExtF64 {
+        ExtF64::from_f64(x)
     }
 
     fn add(&self, a: f64, b: f64) -> f64 {
@@ -131,8 +193,83 @@ impl RealField for SoftFloatField {
         round_to_mantissa(a * b, self.mantissa_bits)
     }
 
+    fn neg(&self, a: f64) -> f64 {
+        -a
+    }
+
+    fn sincos_pi_frac(&self, num: u64, log2_den: u32) -> (f64, f64) {
+        let (c, s) = trig::sincos_pi_frac_f64(num, log2_den);
+        (
+            round_to_mantissa(c, self.mantissa_bits),
+            round_to_mantissa(s, self.mantissa_bits),
+        )
+    }
+
     fn name(&self) -> String {
         format!("fp{}", self.storage_bits())
+    }
+}
+
+/// The double-double (~106-bit) extended-precision datapath: the
+/// embedding FFT that is accurate enough for the double-scale encoding's
+/// full Δ_eff = 2^72, where the `f64` datapath masks ≈20 low bits of
+/// every coefficient.
+///
+/// # Example
+///
+/// ```
+/// use abc_float::{ExtF64Field, RealField};
+///
+/// let f = ExtF64Field;
+/// let big = f.from_f64(2f64.powi(80));
+/// let sum = f.add(big, f.from_f64(1.0));
+/// // The unit survives next to 2^80 — impossible in plain f64.
+/// assert_eq!(f.to_f64(f.sub(sum, big)), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtF64Field;
+
+impl RealField for ExtF64Field {
+    type Real = ExtF64;
+
+    fn from_f64(&self, x: f64) -> ExtF64 {
+        ExtF64::from_f64(x)
+    }
+
+    fn to_f64(&self, x: ExtF64) -> f64 {
+        x.to_f64()
+    }
+
+    fn from_ext(&self, x: ExtF64) -> ExtF64 {
+        x
+    }
+
+    fn to_ext(&self, x: ExtF64) -> ExtF64 {
+        x
+    }
+
+    fn add(&self, a: ExtF64, b: ExtF64) -> ExtF64 {
+        a + b
+    }
+
+    fn sub(&self, a: ExtF64, b: ExtF64) -> ExtF64 {
+        a - b
+    }
+
+    fn mul(&self, a: ExtF64, b: ExtF64) -> ExtF64 {
+        a * b
+    }
+
+    fn neg(&self, a: ExtF64) -> ExtF64 {
+        -a
+    }
+
+    fn sincos_pi_frac(&self, num: u64, log2_den: u32) -> (ExtF64, ExtF64) {
+        trig::sincos_pi_frac_ext(num, log2_den)
+    }
+
+    fn name(&self) -> String {
+        "extf64".to_owned()
     }
 }
 
@@ -196,5 +333,44 @@ mod tests {
             last_err = err;
         }
         assert_eq!(last_err, 0.0);
+    }
+
+    #[test]
+    fn extended_field_keeps_sub_f64_bits() {
+        let f = ExtF64Field;
+        let third = f.from_f64(1.0) / f.from_f64(3.0);
+        let one = f.mul(third, f.from_f64(3.0));
+        let err = f.to_f64(f.sub(one, f.from_f64(1.0)));
+        assert!(err.abs() < 2f64.powi(-100), "residual {err:e}");
+        assert_eq!(f.name(), "extf64");
+    }
+
+    #[test]
+    fn ext_roundtrip_conversions() {
+        let f = ExtF64Field;
+        let x = f.from_f64(0.1);
+        assert_eq!(f.to_ext(x), x);
+        assert_eq!(f.from_ext(x), x);
+        // f64 fields round from_ext to their mantissa width.
+        let g = SoftFloatField::new(12);
+        let wide = ExtF64Field.add(ExtF64::from_f64(1.0), ExtF64::from_f64(2f64.powi(-40)));
+        assert_eq!(g.from_ext(wide), 1.0);
+        assert_eq!(F64Field.from_ext(wide), 1.0 + 2f64.powi(-40));
+    }
+
+    #[test]
+    fn sincos_matches_reference_across_fields() {
+        for k in [0u64, 1, 7, 100, 1023] {
+            let (c64, s64) = F64Field.sincos_pi_frac(k, 10);
+            let theta = core::f64::consts::PI * k as f64 / 1024.0;
+            assert!((c64 - theta.cos()).abs() < 1e-15, "k={k}");
+            assert!((s64 - theta.sin()).abs() < 1e-15, "k={k}");
+            let (ce, se) = ExtF64Field.sincos_pi_frac(k, 10);
+            assert!((ce.to_f64() - c64).abs() < 1e-15, "k={k}");
+            assert!((se.to_f64() - s64).abs() < 1e-15, "k={k}");
+            let fp55 = SoftFloatField::fp55();
+            let (c55, _) = fp55.sincos_pi_frac(k, 10);
+            assert_eq!(c55, crate::round_to_mantissa(c64, 43), "k={k}");
+        }
     }
 }

@@ -11,17 +11,21 @@
 //!
 //! * [`round_to_mantissa`] — round-to-nearest-even truncation of an `f64`
 //!   to an arbitrary mantissa width `1..=52`,
-//! * [`RealField`] — a *datapath context* abstraction: every arithmetic op
-//!   routes through the context so reduced-precision rounding is applied
-//!   after each operation, exactly as a narrow hardware FPU would,
-//! * [`F64Field`] / [`SoftFloatField`] — full-precision and
-//!   reduced-precision datapaths,
-//! * [`Complex`] — complex arithmetic over any [`RealField`], including
-//!   the 4-multiplier product the paper's reconfigurable PNL implements
-//!   (Eq. 12),
+//! * [`RealField`] — a *datapath context* abstraction with an associated
+//!   [`RealField::Real`] scalar: every arithmetic op routes through the
+//!   context so reduced-precision rounding is applied after each
+//!   operation, exactly as a narrow hardware FPU would,
+//! * [`F64Field`] / [`SoftFloatField`] / [`ExtF64Field`] — full-precision,
+//!   reduced-precision, and double-double extended-precision datapaths,
+//! * [`Complex`] — complex arithmetic over any [`RealField`] (generic in
+//!   the component scalar, `f64` by default), including the 4-multiplier
+//!   product the paper's reconfigurable PNL implements (Eq. 12),
 //! * [`ExtF64`] — double-double (~106-bit) extended precision for the
 //!   double-scale (Δ_eff = 2^72) encode/decode rounding paths, where a
 //!   single `f64` mantissa cannot hold the scaled coefficients,
+//! * [`trig`] — `cos/sin(π·k/2^d)` twiddle generation from exact integer
+//!   octant reduction + a 192-bit fixed-point Taylor series (`UBig`), so
+//!   `ExtF64` twiddles reach ≥2^-100 accuracy without `f64::sin_cos`,
 //! * [`SoftFloat`] — a standalone value type with operator overloads for
 //!   quick experiments.
 //!
@@ -44,10 +48,11 @@ pub mod complex;
 pub mod extended;
 pub mod field;
 pub mod softfloat;
+pub mod trig;
 
 pub use complex::Complex;
 pub use extended::ExtF64;
-pub use field::{F64Field, RealField, SoftFloatField};
+pub use field::{ExtF64Field, F64Field, RealField, SoftFloatField};
 pub use softfloat::{round_to_mantissa, SoftFloat};
 
 /// Mantissa width (fraction bits, excluding the implicit leading 1) of the

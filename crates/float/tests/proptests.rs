@@ -1,6 +1,8 @@
 //! Property-based tests for the reduced-precision float layer.
 
-use abc_float::{round_to_mantissa, Complex, F64Field, RealField, SoftFloatField};
+use abc_float::{
+    round_to_mantissa, Complex, ExtF64, ExtF64Field, F64Field, RealField, SoftFloatField,
+};
 use proptest::prelude::*;
 
 fn finite_f64() -> impl Strategy<Value = f64> {
@@ -71,5 +73,64 @@ proptest! {
         let p = z.mul_in(&f, z.conj());
         prop_assert!((p.re - z.norm_sqr()).abs() < 1e-9);
         prop_assert!(p.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ext_complex_error_free_transform_algebra(
+        ar in -(1i64 << 40)..(1i64 << 40), ai in -(1i64 << 40)..(1i64 << 40),
+        br in -(1i64 << 40)..(1i64 << 40), bi in -(1i64 << 40)..(1i64 << 40),
+    ) {
+        // Knuth/Dekker error-free transforms make Complex<ExtF64>
+        // arithmetic *exact* whenever the true result fits 106 bits:
+        // products of 41-bit integers (≤82 bits, sums ≤84) qualify, far
+        // beyond the 53-bit f64 mantissa. Verify against i128.
+        let f = ExtF64Field;
+        let lift = |x: i64| if x >= 0 {
+            ExtF64::from_u64(x as u64)
+        } else {
+            -ExtF64::from_u64((-x) as u64)
+        };
+        let a = Complex::new(lift(ar), lift(ai));
+        let b = Complex::new(lift(br), lift(bi));
+        let p = a.mul_in(&f, b);
+        let s = a.add_in(&f, b);
+        let exact_re = ar as i128 * br as i128 - ai as i128 * bi as i128;
+        let exact_im = ar as i128 * bi as i128 + ai as i128 * br as i128;
+        prop_assert_eq!(p.re.round_to_i128(), exact_re);
+        prop_assert_eq!(p.im.round_to_i128(), exact_im);
+        // And *exactly*: the residual after subtracting the exact value
+        // is zero, not merely small.
+        let back_re = p.re - lift_i128(exact_re);
+        let back_im = p.im - lift_i128(exact_im);
+        prop_assert_eq!(back_re.to_f64(), 0.0);
+        prop_assert_eq!(back_im.to_f64(), 0.0);
+        prop_assert_eq!(s.re.round_to_i128(), (ar + br) as i128);
+        prop_assert_eq!(s.im.round_to_i128(), (ai + bi) as i128);
+    }
+
+    #[test]
+    fn ext_complex_mul_associates_with_conjugation(
+        re in -1000.0f64..1000.0, im in -1000.0f64..1000.0,
+    ) {
+        // conj(z)·z is real to double-double accuracy.
+        let f = ExtF64Field;
+        let z = Complex::new(re, im).lift_in(&f);
+        let p = z.mul_in(&f, z.conj());
+        prop_assert_eq!(p.im.to_f64(), 0.0);
+        let n = re * re + im * im;
+        prop_assert!((p.re.to_f64() - n).abs() <= n * 2f64.powi(-50) + f64::MIN_POSITIVE);
+    }
+}
+
+/// Lifts a signed ≤106-bit integer exactly into `ExtF64`.
+fn lift_i128(x: i128) -> ExtF64 {
+    let neg = x < 0;
+    let mag = x.unsigned_abs();
+    let hi = ExtF64::from_u64((mag >> 64) as u64).ldexp(64);
+    let v = hi + ExtF64::from_u64(mag as u64);
+    if neg {
+        -v
+    } else {
+        v
     }
 }

@@ -57,6 +57,15 @@ pub struct SimConfig {
     /// traffic (extension beyond the paper; see
     /// `abc_ckks::symmetric`).
     pub compressed_upload: bool,
+    /// Mean transported bits per ciphertext coefficient when the wire
+    /// runs the **v3 bit-packed** format (`abc_ckks::wire`): `None`
+    /// charges host↔chip ciphertext payloads at the on-chip
+    /// [`Self::coeff_bits`] width (the paper's accounting); `Some(b)`
+    /// charges them at `b` bits — the packed figure
+    /// (`abc_ckks::wire::packed_bits_per_coeff` of the basis widths,
+    /// 36.125 at the bootstrappable basis). On-chip parameter traffic
+    /// (twiddles, keys, masks) always stays at `coeff_bits`.
+    pub wire_coeff_bits: Option<f64>,
 }
 
 impl SimConfig {
@@ -74,12 +83,21 @@ impl SimConfig {
             dram: DramConfig::lpddr5(),
             memory: MemoryConfig::All,
             compressed_upload: false,
+            wire_coeff_bits: None,
         }
     }
 
     /// Enables seed-compressed symmetric upload (see the field docs).
     pub fn with_compressed_upload(mut self, on: bool) -> Self {
         self.compressed_upload = on;
+        self
+    }
+
+    /// Charges ciphertext transport at the v3 packed wire width derived
+    /// from the basis's per-prime residue widths (see
+    /// [`Self::wire_coeff_bits`]).
+    pub fn with_wire_widths(mut self, widths: &[u32]) -> Self {
+        self.wire_coeff_bits = Some(abc_ckks::wire::packed_bits_per_coeff(widths));
         self
     }
 
@@ -98,6 +116,12 @@ impl SimConfig {
     /// Bytes per stored integer coefficient.
     pub fn coeff_bytes(&self) -> f64 {
         self.coeff_bits as f64 / 8.0
+    }
+
+    /// Bytes per *transported* ciphertext coefficient: the packed wire
+    /// width when configured, the storage width otherwise.
+    pub fn wire_coeff_bytes(&self) -> f64 {
+        self.wire_coeff_bits.unwrap_or(self.coeff_bits as f64) / 8.0
     }
 
     /// DRAM bytes deliverable per clock cycle.
@@ -120,6 +144,9 @@ impl SimConfig {
         assert!(self.pnls_per_rsc >= 1 && self.rsc_count >= 1);
         assert!(self.clock_hz > 0.0 && self.dram.bandwidth_bytes_per_s > 0.0);
         assert!(self.coeff_bits >= 8 && self.coeff_bits <= 64);
+        if let Some(b) = self.wire_coeff_bits {
+            assert!((1.0..=64.0).contains(&b), "wire bits {b} out of 1..=64");
+        }
     }
 }
 

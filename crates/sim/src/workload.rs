@@ -104,11 +104,14 @@ impl Workload {
 
         // --- DRAM traffic ---
         // Seed-compressed symmetric upload ships only c0 plus a 16 B
-        // seed instead of both components.
+        // seed instead of both components. Ciphertext transport is
+        // charged at the wire width (v3 bit-packed when configured);
+        // on-chip parameters stay at the datapath width.
         let components = if cfg.compressed_upload { 1.0 } else { 2.0 };
+        let wire_cb = cfg.wire_coeff_bytes();
         let mut traffic = Traffic {
             payload_in: self.slots() as f64 * cfg.message_bits_per_slot as f64 / 8.0,
-            payload_out: primes * components * n as f64 * cb
+            payload_out: primes * components * n as f64 * wire_cb
                 + if cfg.compressed_upload { 16.0 } else { 0.0 },
             parameters: 0.0,
         };
@@ -165,8 +168,10 @@ impl Workload {
         let compute = intt + fft;
 
         // --- DRAM traffic ---
+        // Returned ciphertexts arrive over the wire: packed width when
+        // the v3 codec is configured.
         let mut traffic = Traffic {
-            payload_in: 2.0 * primes * n as f64 * cb,
+            payload_in: 2.0 * primes * n as f64 * cfg.wire_coeff_bytes(),
             payload_out: self.slots() as f64 * cfg.message_bits_per_slot as f64 / 8.0,
             parameters: 0.0,
         };
@@ -309,6 +314,31 @@ mod tests {
         // Message in: 32768 slots x 16 B.
         assert_eq!(enc.traffic.payload_in, 32768.0 * 16.0);
         assert_eq!(enc.traffic.parameters, 0.0);
+    }
+
+    #[test]
+    fn packed_wire_reduces_ciphertext_traffic() {
+        // The bootstrappable basis packs to 36.125 bits/coeff; charging
+        // the v3 wire must shrink ciphertext payloads by exactly that
+        // ratio and leave message + parameter traffic untouched.
+        let widths: Vec<u32> = std::iter::once(39).chain([36u32; 23]).collect();
+        let packed_cfg = cfg().with_wire_widths(&widths);
+        packed_cfg.validate();
+        assert!((packed_cfg.wire_coeff_bytes() - 36.125 / 8.0).abs() < 1e-12);
+        let full = Workload::encode_encrypt(16, 24).run(&cfg());
+        let packed = Workload::encode_encrypt(16, 24).run(&packed_cfg);
+        let ratio = packed.traffic.payload_out / full.traffic.payload_out;
+        assert!((ratio - 36.125 / 44.0).abs() < 1e-9, "ratio {ratio}");
+        assert_eq!(packed.traffic.payload_in, full.traffic.payload_in);
+        assert_eq!(packed.traffic.parameters, full.traffic.parameters);
+        assert!(packed.total_cycles < full.total_cycles);
+        // Decode side: the returned ciphertext shrinks too.
+        let dec_full = Workload::decode_decrypt(16, 2).run(&cfg());
+        let dec_packed = Workload::decode_decrypt(16, 2).run(&packed_cfg);
+        assert!(
+            (dec_packed.traffic.payload_in / dec_full.traffic.payload_in - 36.125 / 44.0).abs()
+                < 1e-9
+        );
     }
 
     #[test]

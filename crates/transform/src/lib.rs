@@ -11,11 +11,17 @@
 //!   per-stage seed (the paper's unified OTF TF Gen, §IV-B);
 //! * complex **FFT/IFFT** on the canonical-embedding slots —
 //!   [`fft::SpecialFft`], generic over the [`abc_float::RealField`]
-//!   datapath so the same kernel runs at FP64 or the paper's FP55.
+//!   datapath so the same kernel runs at FP64, the paper's FP55, or the
+//!   double-double `ExtF64` embedding, with per-(slots, datapath)
+//!   twiddle tables materialized once per plan (OTF kernels retained as
+//!   the hardware-generator model and benchmark baseline).
 //!
 //! [`rns_ntt::RnsNttEngine`] batches the NTT across all RNS limbs of a
 //! polynomial — one plan per prime, limb fan-out over scoped threads
 //! (`ABC_FHE_THREADS` override) and pooled scratch buffers.
+//! [`fft_engine::SpecialFftEngine`] gives the embedding FFT the same
+//! treatment: a shared plan, batch fan-out over scoped threads, and a
+//! recycling slot-buffer pool.
 //!
 //! [`radix`] analyses pipelined MDC design configurations (radix-2,
 //! radix-2^2, radix-2^3, radix-2^n and mixed) and counts the hardware
@@ -41,6 +47,7 @@
 
 pub mod bitrev;
 pub mod fft;
+pub mod fft_engine;
 pub mod ntt;
 #[cfg(target_arch = "x86_64")]
 pub mod ntt_ifma;
@@ -51,6 +58,7 @@ pub mod stream_fft;
 pub mod twiddle;
 
 pub use fft::SpecialFft;
+pub use fft_engine::SpecialFftEngine;
 pub use ntt::{KernelPreference, NttPlan};
 pub use rns_ntt::RnsNttEngine;
 pub use twiddle::{OtfTwiddleGen, TwiddleSource, TwiddleTable};

@@ -7,13 +7,19 @@
 //! canonical-embedding transform: per-stage streaming operators whose
 //! outputs are asserted identical to [`crate::fft::SpecialFft`].
 //!
+//! The streamer borrows its per-stage twiddle columns directly from the
+//! planned [`SpecialFft`] it is built from — one table per
+//! (slots, datapath), shared by the in-place kernel, the streaming model
+//! and the batch engine — so dataflow and reference are twiddle-identical
+//! by construction on every datapath (FP64, FP55, `ExtF64`).
+//!
 //! The bit-reversal permutation (front of the forward transform, back of
 //! the inverse) is realized by a full reorder buffer — the hardware's
 //! input/output shuffling network, with `slots` words of storage.
 
 use crate::bitrev::bit_reverse_permute;
 use crate::fft::SpecialFft;
-use abc_float::{Complex, RealField};
+use abc_float::{Complex, F64Field, RealField};
 
 /// One complex butterfly column as a streaming operator.
 ///
@@ -21,22 +27,21 @@ use abc_float::{Complex, RealField};
 /// one twiddle per *position inside the half-block*, shared by every
 /// block of the stage.
 #[derive(Debug, Clone)]
-struct FftStreamStage {
+struct FftStreamStage<R> {
     /// Half-block span `t`.
     t: usize,
     /// Twiddles indexed by position within the half-block (length `t`).
-    twiddles: Vec<Complex>,
-    delay: std::collections::VecDeque<Complex>,
-    reorder: std::collections::VecDeque<Complex>,
-    ready: std::collections::VecDeque<Complex>,
+    twiddles: Vec<Complex<R>>,
+    delay: std::collections::VecDeque<Complex<R>>,
+    reorder: std::collections::VecDeque<Complex<R>>,
+    ready: std::collections::VecDeque<Complex<R>>,
     pos: usize,
 }
 
-impl FftStreamStage {
-    fn new(t: usize, twiddles: Vec<Complex>) -> Self {
-        debug_assert_eq!(twiddles.len(), t);
+impl<R: Copy> FftStreamStage<R> {
+    fn new(twiddles: Vec<Complex<R>>) -> Self {
         Self {
-            t,
+            t: twiddles.len(),
             twiddles,
             delay: Default::default(),
             reorder: Default::default(),
@@ -45,6 +50,9 @@ impl FftStreamStage {
         }
     }
 
+    /// Drains transient state so the column can stream a fresh vector
+    /// (the twiddle ROM is permanent; only the delay/reorder buffers
+    /// reset between transforms).
     fn reset(&mut self) {
         self.delay.clear();
         self.reorder.clear();
@@ -52,7 +60,9 @@ impl FftStreamStage {
         self.pos = 0;
     }
 
-    fn tick<F: RealField>(&mut self, f: &F, x: Option<Complex>) -> Option<Complex> {
+    /// Cooley–Tukey column (forward direction): twiddle on the *input*
+    /// of the second half, outputs `u ± v·w`.
+    fn tick<F: RealField<Real = R>>(&mut self, f: &F, x: Option<Complex<R>>) -> Option<Complex<R>> {
         if let Some(x) = x {
             if self.pos < self.t {
                 self.delay.push_back(x);
@@ -71,9 +81,35 @@ impl FftStreamStage {
         }
         self.ready.pop_front()
     }
+
+    /// Gentleman–Sande column (inverse direction): outputs `u + v` and
+    /// `(u − v)·w`.
+    fn tick_gs<F: RealField<Real = R>>(
+        &mut self,
+        f: &F,
+        x: Option<Complex<R>>,
+    ) -> Option<Complex<R>> {
+        if let Some(x) = x {
+            if self.pos < self.t {
+                self.delay.push_back(x);
+            } else {
+                let u = self.delay.pop_front().expect("first half buffered");
+                let w = self.twiddles[self.pos - self.t];
+                self.ready.push_back(u.add_in(f, x));
+                self.reorder.push_back(u.sub_in(f, x).mul_in(f, w));
+            }
+            self.pos += 1;
+            if self.pos == 2 * self.t {
+                self.pos = 0;
+                self.ready.append(&mut std::mem::take(&mut self.reorder));
+            }
+        }
+        self.ready.pop_front()
+    }
 }
 
-/// A streaming special FFT (forward = decode direction).
+/// A streaming special FFT (forward = decode direction), built over the
+/// twiddle tables of a planned [`SpecialFft`].
 ///
 /// # Example
 ///
@@ -85,39 +121,42 @@ impl FftStreamStage {
 /// let plan = SpecialFft::new(16);
 /// let mut streamer = StreamingSpecialFft::new(&plan);
 /// let vals: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
-/// let f = F64Field;
-/// let streamed = streamer.forward(&f, &vals);
+/// let streamed = streamer.forward(&vals);
 /// let mut reference = vals.clone();
-/// plan.forward(&f, &mut reference);
+/// plan.forward(&mut reference);
 /// for (a, b) in streamed.iter().zip(&reference) {
 ///     assert!(a.dist(*b) < 1e-12);
 /// }
 /// ```
 #[derive(Debug, Clone)]
-pub struct StreamingSpecialFft {
+pub struct StreamingSpecialFft<F: RealField = F64Field> {
+    field: F,
     slots: usize,
-    n: usize,
-    rot_group: Vec<usize>,
+    /// Forward butterfly columns, execution order, twiddles copied from
+    /// the plan **once** at construction (per-call work touches only
+    /// the delay/reorder buffers).
+    fwd_stages: Vec<FftStreamStage<F::Real>>,
+    /// Inverse butterfly columns, execution order.
+    inv_stages: Vec<FftStreamStage<F::Real>>,
 }
 
-impl StreamingSpecialFft {
-    /// Builds the streamer for the same geometry as `plan`.
-    pub fn new(plan: &SpecialFft) -> Self {
-        // Recompute the rotation group (5^j mod 2N) — cheap, and keeps
-        // the plan's internals private.
-        let slots = plan.slots();
-        let n = plan.n();
-        let two_n = 2 * n;
-        let mut rot_group = Vec::with_capacity(slots);
-        let mut five = 1usize;
-        for _ in 0..slots {
-            rot_group.push(five);
-            five = (five * 5) % two_n;
-        }
+impl<F: RealField> StreamingSpecialFft<F> {
+    /// Builds the streamer for the same geometry *and twiddle table* as
+    /// `plan` — no twiddle is ever regenerated.
+    pub fn new(plan: &SpecialFft<F>) -> Self {
         Self {
-            slots,
-            n,
-            rot_group,
+            field: plan.field().clone(),
+            slots: plan.slots(),
+            fwd_stages: plan
+                .fwd_stage_twiddles()
+                .iter()
+                .map(|tw| FftStreamStage::new(tw.clone()))
+                .collect(),
+            inv_stages: plan
+                .inv_stage_twiddles()
+                .iter()
+                .map(|tw| FftStreamStage::new(tw.clone()))
+                .collect(),
         }
     }
 
@@ -131,82 +170,20 @@ impl StreamingSpecialFft {
         self.slots
     }
 
-    fn stage_twiddles<F: RealField>(&self, f: &F, len: usize) -> Vec<Complex> {
-        let lenh = len >> 1;
-        let lenq = len << 2;
-        let two_n = 2 * self.n;
-        (0..lenh)
-            .map(|j| {
-                let idx = (self.rot_group[j] % lenq) * (two_n / lenq);
-                let theta = 2.0 * core::f64::consts::PI * idx as f64 / two_n as f64;
-                Complex::from_polar_in(f, theta)
-            })
-            .collect()
-    }
-
-    fn stage_twiddles_inv<F: RealField>(&self, f: &F, len: usize) -> Vec<Complex> {
-        let lenh = len >> 1;
-        let lenq = len << 2;
-        let two_n = 2 * self.n;
-        (0..lenh)
-            .map(|j| {
-                let idx = (lenq - (self.rot_group[j] % lenq)) * (two_n / lenq);
-                let theta = 2.0 * core::f64::consts::PI * idx as f64 / two_n as f64;
-                Complex::from_polar_in(f, theta)
-            })
-            .collect()
-    }
-
-    fn run_stages<F: RealField>(
-        &self,
-        f: &F,
-        stages: &mut [FftStreamStage],
-        input: &[Complex],
-    ) -> Vec<Complex> {
-        let mut out = Vec::with_capacity(input.len());
-        let feed = |x: Option<Complex>, stages: &mut [FftStreamStage]| {
-            let mut carry = x;
-            for s in stages.iter_mut() {
-                carry = s.tick(f, carry);
-            }
-            carry
-        };
-        for &x in input {
-            if let Some(y) = feed(Some(x), stages) {
-                out.push(y);
-            }
-        }
-        while out.len() < input.len() {
-            if let Some(y) = feed(None, stages) {
-                out.push(y);
-            }
-        }
-        out
-    }
-
     /// Streaming forward transform (decode direction): shuffle network →
     /// ascending-span butterfly columns.
     ///
     /// # Panics
     ///
     /// Panics if `vals.len() != slots`.
-    pub fn forward<F: RealField>(&mut self, f: &F, vals: &[Complex]) -> Vec<Complex> {
+    pub fn forward(&mut self, vals: &[Complex<F::Real>]) -> Vec<Complex<F::Real>> {
         assert_eq!(vals.len(), self.slots, "length must equal slot count");
         let mut permuted = vals.to_vec();
         bit_reverse_permute(&mut permuted);
-        let mut stages: Vec<FftStreamStage> = {
-            let mut v = Vec::new();
-            let mut len = 2usize;
-            while len <= self.slots {
-                v.push(FftStreamStage::new(len >> 1, self.stage_twiddles(f, len)));
-                len <<= 1;
-            }
-            v
-        };
-        for s in &mut stages {
+        for s in self.fwd_stages.iter_mut() {
             s.reset();
         }
-        self.run_stages(f, &mut stages, &permuted)
+        run_stages(&self.field, &mut self.fwd_stages, &permuted, false)
     }
 
     /// Streaming inverse transform (encode direction): descending-span
@@ -215,89 +192,59 @@ impl StreamingSpecialFft {
     /// # Panics
     ///
     /// Panics if `vals.len() != slots`.
-    pub fn inverse<F: RealField>(&mut self, f: &F, vals: &[Complex]) -> Vec<Complex> {
+    pub fn inverse(&mut self, vals: &[Complex<F::Real>]) -> Vec<Complex<F::Real>> {
         assert_eq!(vals.len(), self.slots, "length must equal slot count");
-        let mut stages: Vec<FftStreamStage> = {
-            let mut v = Vec::new();
-            let mut len = self.slots;
-            while len >= 2 {
-                v.push(FftStreamStage::new(
-                    len >> 1,
-                    self.stage_twiddles_inv(f, len),
-                ));
-                len >>= 1;
-            }
-            v
-        };
-        // Inverse stages apply the twiddle to the *difference* path:
-        // (u, v) -> (u + v, (u - v)·w). The shared stage computes
-        // u + v·w / u - v·w, so feed through a dedicated runner instead.
-        let mut out = self.run_stages_inverse(f, &mut stages, vals);
+        for s in self.inv_stages.iter_mut() {
+            s.reset();
+        }
+        let mut out = run_stages(&self.field, &mut self.inv_stages, vals, true);
         bit_reverse_permute(&mut out);
+        let f = &self.field;
         let scale = f.from_f64(1.0 / self.slots as f64);
         for v in out.iter_mut() {
             *v = v.scale_in(f, scale);
         }
         out
     }
+}
 
-    fn run_stages_inverse<F: RealField>(
-        &self,
-        f: &F,
-        stages: &mut [FftStreamStage],
-        input: &[Complex],
-    ) -> Vec<Complex> {
-        // Same streaming skeleton but with the GS butterfly:
-        // first half buffered; on the second half produce u + v (now)
-        // and (u - v)·w (queued).
-        fn tick_gs<F: RealField>(
-            s: &mut FftStreamStage,
-            f: &F,
-            x: Option<Complex>,
-        ) -> Option<Complex> {
-            if let Some(x) = x {
-                if s.pos < s.t {
-                    s.delay.push_back(x);
-                } else {
-                    let u = s.delay.pop_front().expect("first half buffered");
-                    let w = s.twiddles[s.pos - s.t];
-                    s.ready.push_back(u.add_in(f, x));
-                    s.reorder.push_back(u.sub_in(f, x).mul_in(f, w));
-                }
-                s.pos += 1;
-                if s.pos == 2 * s.t {
-                    s.pos = 0;
-                    s.ready.append(&mut std::mem::take(&mut s.reorder));
-                }
-            }
-            s.ready.pop_front()
+/// Drives `input` through the butterfly columns, one sample per tick,
+/// draining the pipeline tail with bubbles.
+fn run_stages<F: RealField>(
+    f: &F,
+    stages: &mut [FftStreamStage<F::Real>],
+    input: &[Complex<F::Real>],
+    gs: bool,
+) -> Vec<Complex<F::Real>> {
+    let mut out = Vec::with_capacity(input.len());
+    let feed = |x: Option<Complex<F::Real>>, stages: &mut [FftStreamStage<F::Real>]| {
+        let mut carry = x;
+        for s in stages.iter_mut() {
+            carry = if gs {
+                s.tick_gs(f, carry)
+            } else {
+                s.tick(f, carry)
+            };
         }
-        let mut out = Vec::with_capacity(input.len());
-        let feed = |x: Option<Complex>, stages: &mut [FftStreamStage]| {
-            let mut carry = x;
-            for s in stages.iter_mut() {
-                carry = tick_gs(s, f, carry);
-            }
-            carry
-        };
-        for &x in input {
-            if let Some(y) = feed(Some(x), stages) {
-                out.push(y);
-            }
+        carry
+    };
+    for &x in input {
+        if let Some(y) = feed(Some(x), stages) {
+            out.push(y);
         }
-        while out.len() < input.len() {
-            if let Some(y) = feed(None, stages) {
-                out.push(y);
-            }
-        }
-        out
     }
+    while out.len() < input.len() {
+        if let Some(y) = feed(None, stages) {
+            out.push(y);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abc_float::{F64Field, SoftFloatField};
+    use abc_float::{ExtF64Field, SoftFloatField};
 
     fn sample(slots: usize) -> Vec<Complex> {
         (0..slots)
@@ -306,44 +253,39 @@ mod tests {
     }
 
     #[test]
-    fn streamed_forward_matches_plan() {
-        let f = F64Field;
+    fn streamed_forward_matches_plan_bit_exactly() {
         for slots in [2usize, 8, 64, 256] {
             let plan = SpecialFft::new(slots);
             let mut streamer = StreamingSpecialFft::new(&plan);
             let vals = sample(slots);
-            let streamed = streamer.forward(&f, &vals);
+            let streamed = streamer.forward(&vals);
             let mut reference = vals.clone();
-            plan.forward(&f, &mut reference);
-            for (a, b) in streamed.iter().zip(&reference) {
-                assert!(a.dist(*b) < 1e-10, "slots={slots}: {a} vs {b}");
-            }
+            plan.forward(&mut reference);
+            // Same twiddle table, same butterfly arithmetic: the
+            // dataflow is *bit-identical* to the in-place kernel.
+            assert_eq!(streamed, reference, "slots={slots}");
         }
     }
 
     #[test]
-    fn streamed_inverse_matches_plan() {
-        let f = F64Field;
+    fn streamed_inverse_matches_plan_bit_exactly() {
         for slots in [2usize, 8, 64, 256] {
             let plan = SpecialFft::new(slots);
             let mut streamer = StreamingSpecialFft::new(&plan);
             let vals = sample(slots);
-            let streamed = streamer.inverse(&f, &vals);
+            let streamed = streamer.inverse(&vals);
             let mut reference = vals.clone();
-            plan.inverse(&f, &mut reference);
-            for (a, b) in streamed.iter().zip(&reference) {
-                assert!(a.dist(*b) < 1e-10, "slots={slots}: {a} vs {b}");
-            }
+            plan.inverse(&mut reference);
+            assert_eq!(streamed, reference, "slots={slots}");
         }
     }
 
     #[test]
     fn streaming_roundtrip() {
-        let f = F64Field;
         let plan = SpecialFft::new(128);
         let mut streamer = StreamingSpecialFft::new(&plan);
         let vals = sample(128);
-        let back = streamer.forward(&f, &streamer.clone().inverse(&f, &vals));
+        let back = streamer.forward(&streamer.clone().inverse(&vals));
         for (a, b) in back.iter().zip(&vals) {
             assert!(a.dist(*b) < 1e-9);
         }
@@ -353,16 +295,25 @@ mod tests {
     fn reduced_precision_dataflow_matches_reduced_plan() {
         // The streaming pipeline must round in the same places as the
         // in-place kernel when both run on FP55.
-        let f = SoftFloatField::fp55();
-        let plan = SpecialFft::new(64);
+        let plan = SpecialFft::with_field(SoftFloatField::fp55(), 64);
         let mut streamer = StreamingSpecialFft::new(&plan);
         let vals = sample(64);
-        let streamed = streamer.forward(&f, &vals);
-        let mut reference = vals.clone();
-        plan.forward(&f, &mut reference);
-        for (a, b) in streamed.iter().zip(&reference) {
-            assert!(a.dist(*b) < 1e-12, "{a} vs {b}");
-        }
+        let streamed = streamer.forward(&vals);
+        let mut reference = vals;
+        plan.forward(&mut reference);
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn extended_precision_dataflow_matches_extended_plan() {
+        let fe = ExtF64Field;
+        let plan = SpecialFft::with_field(fe, 64);
+        let mut streamer = StreamingSpecialFft::new(&plan);
+        let vals: Vec<_> = sample(64).iter().map(|z| z.lift_in(&fe)).collect();
+        let streamed = streamer.inverse(&vals);
+        let mut reference = vals;
+        plan.inverse(&mut reference);
+        assert_eq!(streamed, reference);
     }
 
     #[test]
@@ -378,6 +329,6 @@ mod tests {
     fn wrong_length_panics() {
         let plan = SpecialFft::new(8);
         let mut s = StreamingSpecialFft::new(&plan);
-        s.forward(&F64Field, &sample(4));
+        s.forward(&sample(4));
     }
 }

@@ -1,12 +1,22 @@
 //! Property-based tests for the transform layer.
 
-use abc_float::{Complex, F64Field};
+use abc_float::{Complex, ExtF64Field, F64Field};
 use abc_math::poly::negacyclic_mul_schoolbook;
 use abc_math::primes::generate_ntt_primes;
 use abc_math::Modulus;
 use abc_transform::radix::{MdcDesign, TransformKind};
-use abc_transform::{NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft};
+use abc_transform::{NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft, SpecialFftEngine};
 use proptest::prelude::*;
+
+fn fft_message(slots: usize, seed: u64) -> Vec<Complex> {
+    (0..slots)
+        .map(|i| {
+            let x = (seed.wrapping_mul(i as u64 + 1) % 1000) as f64 / 500.0 - 1.0;
+            let y = (seed.wrapping_add(i as u64 * 7) % 1000) as f64 / 500.0 - 1.0;
+            Complex::new(x, y)
+        })
+        .collect()
+}
 
 fn arb_prime_modulus() -> impl Strategy<Value = Modulus> {
     // A pool of NTT primes at varied widths, all ≡ 1 mod 2^13.
@@ -138,19 +148,75 @@ proptest! {
     fn special_fft_roundtrip(seed in any::<u64>(), log_slots in 1u32..9) {
         let slots = 1usize << log_slots;
         let plan = SpecialFft::new(slots);
-        let f = F64Field;
-        let z: Vec<Complex> = (0..slots)
-            .map(|i| {
-                let x = (seed.wrapping_mul(i as u64 + 1) % 1000) as f64 / 500.0 - 1.0;
-                let y = (seed.wrapping_add(i as u64 * 7) % 1000) as f64 / 500.0 - 1.0;
-                Complex::new(x, y)
-            })
-            .collect();
+        let z = fft_message(slots, seed);
         let mut v = z.clone();
-        plan.inverse(&f, &mut v);
-        plan.forward(&f, &mut v);
+        plan.inverse(&mut v);
+        plan.forward(&mut v);
         for (a, b) in v.iter().zip(&z) {
             prop_assert!(a.dist(*b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn f64_and_extf64_ffts_agree(seed in any::<u64>(), log_slots in 1u32..9) {
+        // The same transform on the two datapaths must agree to ~f64
+        // accuracy at the f64 view: forward and inverse both within
+        // 1e-12 per slot. (ExtF64 is the more accurate of the two; this
+        // pins the f64 kernel's error as well as the ExtF64 plumbing.)
+        let slots = 1usize << log_slots;
+        let plan64 = SpecialFft::new(slots);
+        let fe = ExtF64Field;
+        let plan_ext = SpecialFft::with_field(fe, slots);
+        let z = fft_message(slots, seed);
+
+        let mut fwd64 = z.clone();
+        plan64.forward(&mut fwd64);
+        let mut fwd_ext: Vec<_> = z.iter().map(|c| c.lift_in(&fe)).collect();
+        plan_ext.forward(&mut fwd_ext);
+        for (a, b) in fwd64.iter().zip(&fwd_ext) {
+            prop_assert!(a.dist(b.to_f64_in(&fe)) < 1e-12, "{} vs {}", a, b.to_f64_in(&fe));
+        }
+
+        let mut inv64 = z.clone();
+        plan64.inverse(&mut inv64);
+        let mut inv_ext: Vec<_> = z.iter().map(|c| c.lift_in(&fe)).collect();
+        plan_ext.inverse(&mut inv_ext);
+        for (a, b) in inv64.iter().zip(&inv_ext) {
+            prop_assert!(a.dist(b.to_f64_in(&fe)) < 1e-12, "{} vs {}", a, b.to_f64_in(&fe));
+        }
+    }
+
+    #[test]
+    fn fft_engine_invariant_under_thread_count(
+        seed in any::<u64>(),
+        log_slots in 9u32..12,
+        vectors in 8usize..13,
+    ) {
+        // Batched + threaded embedding FFTs must equal the serial shared
+        // plan for every thread fan-out — bit for bit. The minimum case
+        // (8 × 2^9 slots) sits at the engine's PARALLEL_THRESHOLD, so
+        // every iteration really spawns threads.
+        let slots = 1usize << log_slots;
+        let batch0: Vec<Vec<Complex>> = (0..vectors as u64)
+            .map(|k| fft_message(slots, seed.wrapping_add(k)))
+            .collect();
+        let plan = SpecialFft::new(slots);
+        let mut fwd_ref = batch0.clone();
+        let mut inv_ref = batch0.clone();
+        for v in fwd_ref.iter_mut() {
+            plan.forward(v);
+        }
+        for v in inv_ref.iter_mut() {
+            plan.inverse(v);
+        }
+        for threads in [1usize, 2, 4] {
+            let engine = SpecialFftEngine::with_threads(F64Field, slots, threads);
+            let mut fwd = batch0.clone();
+            engine.forward_batch(&mut fwd);
+            prop_assert_eq!(&fwd, &fwd_ref, "forward threads = {}", threads);
+            let mut inv = batch0.clone();
+            engine.inverse_batch(&mut inv);
+            prop_assert_eq!(&inv, &inv_ref, "inverse threads = {}", threads);
         }
     }
 

@@ -31,9 +31,9 @@ fn server_linear_layer(
     // *pair*, dividing the scale by ≈Δ_eff = 2^72.
     let rescaled = evaluator::rescale(ctx, &product)?;
     // Bias encoded at the rescaled ciphertext's *exact* rational scale
-    // (Δ_eff²/∏q — an f64 would be off in the low bits).
-    let b_pt =
-        ctx.encode_with_exact_scale(&abc_fhe::float::F64Field, bias, rescaled.exact_scale())?;
+    // (Δ_eff²/∏q — an f64 would be off in the low bits), on the
+    // context's configured embedding datapath.
+    let b_pt = ctx.encode_with_exact_scale(bias, rescaled.exact_scale())?;
     Ok(evaluator::add_plaintext(ctx, &rescaled, &b_pt)?)
 }
 
