@@ -78,6 +78,39 @@ fn main() {
         }));
     }
 
+    // --- Dyadic element-wise kernels: per-kernel throughput rows ---
+    {
+        use abc_math::dyadic::{DyadicEngine, DyadicPreference};
+        let n = 1usize << 15;
+        let q = abc_math::primes::generate_ntt_primes(36, 1, 2 * n as u64).expect("prime")[0];
+        let m = abc_math::Modulus::new(q).expect("modulus");
+        let a0: Vec<u64> = (0..n as u64).map(|i| (i * 31) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 17 + 5) % q).collect();
+        let mut buf = a0.clone();
+        for pref in [
+            DyadicPreference::Golden,
+            DyadicPreference::Barrett,
+            DyadicPreference::Montgomery,
+            DyadicPreference::Ifma,
+        ] {
+            let engine = DyadicEngine::with_kernel(m, pref);
+            let label = engine.kernel_name();
+            // A degraded preference would re-measure another kernel's
+            // row under a misleading id; skip it.
+            if format!("{pref:?}").to_lowercase() != label {
+                continue;
+            }
+            benches.push(measure(
+                &format!("poly_dyadic/mul_assign_{label}/2^15"),
+                200,
+                || {
+                    buf.copy_from_slice(&a0);
+                    engine.mul_assign(std::hint::black_box(&mut buf), &b);
+                },
+            ));
+        }
+    }
+
     // --- Batched RNS limb fan-out (24 limbs = the paper's chain) ---
     {
         let n = 1usize << 13;

@@ -6,7 +6,7 @@ use crate::params::{CkksParams, EmbeddingPrecision};
 use crate::scale::ExactScale;
 use crate::CkksError;
 use abc_float::{Complex, ExtF64Field, F64Field, RealField, SoftFloatField};
-use abc_math::{poly, RnsBasis};
+use abc_math::RnsBasis;
 use abc_prng::sampler::{GaussianSampler, TernarySampler, UniformSampler};
 use abc_prng::Seed;
 use abc_transform::{NttPlan, RnsNttEngine, SpecialFftEngine};
@@ -520,20 +520,19 @@ impl CkksContext {
         // Uniform mask a, sampled directly in NTT domain per prime (the
         // distribution is invariant under the NTT).
         let mask_seed = seed.derive(1);
-        let mut pk0 = Vec::with_capacity(self.basis.len());
         let mut pk1 = Vec::with_capacity(self.basis.len());
-        for (i, &m) in self.basis.moduli().iter().enumerate() {
+        for (i, m) in self.basis.moduli().iter().enumerate() {
             let mut uni = UniformSampler::new(mask_seed, i as u64);
             let mut a = vec![0u64; n];
-            uni.sample_poly(&m, &mut a);
-            // pk0 = -(a·s) + e
-            let mut p0 = a.clone();
-            poly::mul_assign(&m, &mut p0, &s_ntt[i]);
-            poly::neg_assign(&m, &mut p0);
-            poly::add_assign(&m, &mut p0, &e_ntt[i]);
-            pk0.push(p0);
+            uni.sample_poly(m, &mut a);
             pk1.push(a);
         }
+        // pk0 = -(a·s) + e, each step one RNS-wide engine call (limb
+        // fan-out across threads, IFMA/Montgomery dyadic kernels).
+        let mut pk0 = pk1.clone();
+        self.engine.dyadic_mul_all(&mut pk0, &s_ntt);
+        self.engine.neg_assign_all(&mut pk0);
+        self.engine.add_assign_all(&mut pk0, &e_ntt);
         (
             SecretKey {
                 coeffs: s,
@@ -579,22 +578,13 @@ impl CkksContext {
         let e1 = gauss1.sample_poly(n);
         let e1_ntt = self.signed64_to_ntt(&e1);
 
-        let mut c0 = Vec::with_capacity(lvl);
-        let mut c1 = Vec::with_capacity(lvl);
-        for i in 0..lvl {
-            let m = &self.basis.moduli()[i];
-            // c0 = pk0·v + e0 + m
-            let mut x = pk.pk0[i].clone();
-            poly::mul_assign(m, &mut x, &v_ntt[i]);
-            poly::add_assign(m, &mut x, &e0_ntt[i]);
-            poly::add_assign(m, &mut x, &pt.rns[i]);
-            c0.push(x);
-            // c1 = pk1·v + e1
-            let mut y = pk.pk1[i].clone();
-            poly::mul_assign(m, &mut y, &v_ntt[i]);
-            poly::add_assign(m, &mut y, &e1_ntt[i]);
-            c1.push(y);
-        }
+        // c0 = pk0·v + e0 + m and c1 = pk1·v + e1, the multiply-add
+        // fused per element and every step one RNS-wide engine call.
+        let mut c0 = pk.pk0[..lvl].to_vec();
+        self.engine.dyadic_mul_add_all(&mut c0, &v_ntt, &e0_ntt);
+        self.engine.add_assign_all(&mut c0, &pt.rns);
+        let mut c1 = pk.pk1[..lvl].to_vec();
+        self.engine.dyadic_mul_add_all(&mut c1, &v_ntt, &e1_ntt);
         Ciphertext {
             c0,
             c1,
@@ -615,14 +605,9 @@ impl CkksContext {
             return Err(CkksError::ContextMismatch);
         }
         let lvl = ct.num_primes();
-        let mut rns = Vec::with_capacity(lvl);
-        for i in 0..lvl {
-            let m = &self.basis.moduli()[i];
-            let mut d = ct.c1[i].clone();
-            poly::mul_assign(m, &mut d, &sk.ntt[i]);
-            poly::add_assign(m, &mut d, &ct.c0[i]);
-            rns.push(d);
-        }
+        // d = c1·s + c0: one fused RNS-wide multiply-add.
+        let mut rns = ct.c1[..lvl].to_vec();
+        self.engine.dyadic_mul_add_all(&mut rns, &sk.ntt, &ct.c0);
         Ok(Plaintext {
             rns,
             scale: ct.scale.clone(),

@@ -29,7 +29,6 @@ use crate::cipher::{Ciphertext, Plaintext};
 use crate::context::CkksContext;
 use crate::params::ScaleMode;
 use crate::CkksError;
-use abc_math::poly;
 
 /// Homomorphic addition: `enc(a) + enc(b) = enc(a + b)`.
 ///
@@ -57,10 +56,9 @@ pub fn add(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Cipherte
     let (b0, b1) = b.components();
     let mut c0 = a0.to_vec();
     let mut c1 = a1.to_vec();
-    for (i, m) in ctx.basis().moduli()[..a.num_primes()].iter().enumerate() {
-        poly::add_assign(m, &mut c0[i], &b0[i]);
-        poly::add_assign(m, &mut c1[i], &b1[i]);
-    }
+    let engine = ctx.ntt_engine();
+    engine.add_assign_all(&mut c0, b0);
+    engine.add_assign_all(&mut c1, b1);
     Ciphertext::from_components_exact(c0, c1, a.exact_scale().clone())
 }
 
@@ -91,9 +89,7 @@ pub fn add_plaintext(
     }
     let (c0, c1) = ct.components();
     let mut n0 = c0.to_vec();
-    for (i, m) in ctx.basis().moduli()[..ct.num_primes()].iter().enumerate() {
-        poly::add_assign(m, &mut n0[i], &pt.residues()[i]);
-    }
+    ctx.ntt_engine().add_assign_all(&mut n0, pt.residues());
     Ciphertext::from_components_exact(n0, c1.to_vec(), ct.exact_scale().clone())
 }
 
@@ -121,10 +117,11 @@ pub fn plaintext_mul(
     let (c0, c1) = ct.components();
     let mut n0 = c0.to_vec();
     let mut n1 = c1.to_vec();
-    for (i, m) in ctx.basis().moduli()[..ct.num_primes()].iter().enumerate() {
-        poly::mul_assign(m, &mut n0[i], &pt.residues()[i]);
-        poly::mul_assign(m, &mut n1[i], &pt.residues()[i]);
-    }
+    // Both components multiply by the same plaintext: the engine enters
+    // each residue limb into the dyadic kernel's Montgomery domain once
+    // and reuses it for the pair, limbs fanned out across threads.
+    ctx.ntt_engine()
+        .dyadic_mul_pair_all(&mut n0, &mut n1, pt.residues());
     Ciphertext::from_components_exact(n0, n1, ct.exact_scale().mul(pt.exact_scale()))
 }
 
@@ -151,7 +148,6 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksErr
 /// Returns [`CkksError::InvalidParams`] for single-prime ciphertexts
 /// (nothing left to drop) and [`CkksError::ContextMismatch`] for foreign
 /// ciphertexts.
-#[allow(clippy::needless_range_loop)] // parallel indexing of basis/plans/components
 pub fn rescale_prime(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
         return Err(CkksError::ContextMismatch);
@@ -188,14 +184,12 @@ pub fn rescale_prime(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, C
         // NTT of the centered tail under every remaining prime, batched
         // across limbs and threads; buffers recycle when `tails` drops.
         let tails = engine.expand_and_ntt_i64(&centered, last);
-        for i in 0..last {
-            let m = &ctx.basis().moduli()[i];
-            // c'_i = (c_i - tail) * q_last^{-1} mod q_i.
-            let mut r = component[i].clone();
-            poly::sub_assign(m, &mut r, &tails[i]);
-            poly::scalar_mul_assign(m, &mut r, q_last_inv[i]);
-            out.push(r);
-        }
+        // c'_i = (c_i - tail) * q_last^{-1} mod q_i — each step one
+        // RNS-wide engine call (Shoup/IFMA scalar kernels per limb).
+        let mut kept = component[..last].to_vec();
+        engine.sub_assign_all(&mut kept, &tails);
+        engine.dyadic_scalar_mul_all(&mut kept, &q_last_inv);
+        out.extend(kept);
     }
     Ciphertext::from_components_exact(out0, out1, ct.exact_scale().div_prime(q_last.q()))
 }
@@ -214,7 +208,6 @@ pub fn rescale_prime(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, C
 /// Returns [`CkksError::InvalidParams`] if fewer than three primes
 /// remain (a pair must drop and at least one prime must survive) and
 /// [`CkksError::ContextMismatch`] for foreign ciphertexts.
-#[allow(clippy::needless_range_loop)] // parallel indexing of basis/plans/components
 pub fn rescale_pair(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
         return Err(CkksError::ContextMismatch);
@@ -265,13 +258,11 @@ pub fn rescale_pair(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, Ck
         engine.recycle(tail_b);
         // The centered pair-tail under every remaining prime, batched.
         let tails = engine.expand_and_ntt_i128(&centered, keep);
-        for i in 0..keep {
-            let m = &ctx.basis().moduli()[i];
-            let mut r = component[i].clone();
-            poly::sub_assign(m, &mut r, &tails[i]);
-            poly::scalar_mul_assign(m, &mut r, pair_inv[i]);
-            out.push(r);
-        }
+        // c'_i = (c_i - tail) * (qa·qb)^{-1} mod q_i, RNS-wide.
+        let mut kept = component[..keep].to_vec();
+        engine.sub_assign_all(&mut kept, &tails);
+        engine.dyadic_scalar_mul_all(&mut kept, &pair_inv);
+        out.extend(kept);
     }
     let scale = ct.exact_scale().div_prime(qa.q()).div_prime(qb.q());
     Ciphertext::from_components_exact(out0, out1, scale)

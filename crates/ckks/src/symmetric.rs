@@ -14,7 +14,6 @@ use crate::context::CkksContext;
 use crate::key::SecretKey;
 use crate::scale::ExactScale;
 use crate::CkksError;
-use abc_math::poly;
 use abc_prng::sampler::{GaussianSampler, UniformSampler};
 use abc_prng::Seed;
 
@@ -84,7 +83,6 @@ fn sample_mask(ctx: &CkksContext, seed: Seed, primes: usize) -> Vec<Vec<u64>> {
 ///
 /// Panics if the plaintext belongs to a different context (encode from
 /// the same context always matches).
-#[allow(clippy::needless_range_loop)] // parallel indexing of basis/plans/mask rows
 pub fn encrypt_symmetric_compressed(
     ctx: &CkksContext,
     pt: &Plaintext,
@@ -95,23 +93,20 @@ pub fn encrypt_symmetric_compressed(
     let n = ctx.params().n();
     let lvl = pt.num_primes();
     let mask_seed = seed.derive(0);
-    let a = sample_mask(ctx, mask_seed, lvl);
     let mut gauss = GaussianSampler::new(seed.derive(1), 0, ctx.params().error_sigma());
     let e = gauss.sample_poly(n);
     // Error polynomial into NTT domain under every prime in one batched,
     // thread-fanned pass (buffers recycle into the engine's pool).
-    let e_ntt = ctx.ntt_engine().expand_and_ntt_i64(&e, lvl);
-    let mut c0 = Vec::with_capacity(lvl);
-    for i in 0..lvl {
-        let m = &ctx.basis().moduli()[i];
-        // c0 = -(a·s) + e + m
-        let mut x = a[i].clone();
-        poly::mul_assign(m, &mut x, &sk.ntt[i]);
-        poly::neg_assign(m, &mut x);
-        poly::add_assign(m, &mut x, &e_ntt[i]);
-        poly::add_assign(m, &mut x, pt.residues()[i].as_slice());
-        c0.push(x);
-    }
+    let engine = ctx.ntt_engine();
+    let e_ntt = engine.expand_and_ntt_i64(&e, lvl);
+    // c0 = -(a·s) + e + m, each step one RNS-wide engine call over the
+    // sampled mask (consumed here; expansion re-derives it from the
+    // seed).
+    let mut c0 = sample_mask(ctx, mask_seed, lvl);
+    engine.dyadic_mul_all(&mut c0, &sk.ntt);
+    engine.neg_assign_all(&mut c0);
+    engine.add_assign_all(&mut c0, &e_ntt);
+    engine.add_assign_all(&mut c0, pt.residues());
     CompressedCiphertext {
         c0,
         mask_seed,

@@ -1,0 +1,522 @@
+//! The dyadic (element-wise, NTT-domain) vector engine — the paper's
+//! Table I modular-multiplication strategies applied to the *hot* path.
+//!
+//! Every post-transform ciphertext operation is element-wise over `Z_q`
+//! (`c0·v`, `c1·s`, plaintext products, rescale scalar passes…), so this
+//! is the Modular Streaming Engine's entire client-side workload once
+//! the transforms are done. [`DyadicEngine`] picks the fastest
+//! applicable kernel per modulus, exactly like `NttPlan` does for
+//! butterflies:
+//!
+//! * **`ifma`** — AVX-512IFMA radix-2^52 Montgomery REDC, eight lanes
+//!   per instruction ([`crate::simd`]); requires `q < 2^50` and an
+//!   IFMA-capable x86-64 CPU.
+//! * **`montgomery`** — scalar Montgomery with `R = 2^64`
+//!   ([`crate::reduce::Montgomery`]): per element one widening product
+//!   and one REDC against precomputed `-q^{-1} mod 2^64`, with the
+//!   domain factor folded into a premultiplied operand. Any odd
+//!   `q < 2^63`.
+//! * **`barrett`** — the hoisted-Barrett loop (the previous fast path;
+//!   kept selectable as the bench baseline).
+//! * **`golden`** — the `u128 %` reference model.
+//!
+//! All kernels produce canonical `[0, q)` outputs, so they are
+//! **bit-identical** (asserted by the property suites over 36–62-bit
+//! NTT primes); [`DyadicPreference`] lets tests force each one on
+//! whatever machine they run.
+//!
+//! # Montgomery-domain lifecycle
+//!
+//! Montgomery-style kernels compute `REDC(x·y) = x·y·R^{-1} mod q`
+//! (`R = 2^64` scalar, `2^52` IFMA). The engine hides the domain from
+//! callers by *pre-entering one operand*:
+//!
+//! 1. **enter** — [`DyadicEngine::premul`] maps `b` to `b̃ = b·R mod q`
+//!    once per polynomial (a Shoup multiply by the constant `R mod q`,
+//!    or one REDC against `R² mod q`);
+//! 2. **operate** — each element costs a single fused
+//!    `REDC(a·b̃) = a·b·R·R^{-1} = a·b mod q`;
+//! 3. **exit** — nothing: the entry factor is consumed by the REDC, so
+//!    results are already ordinary-domain canonical residues.
+//!
+//! Premultiplied vectors are kernel-specific opaque values — reuse them
+//! only with the engine that produced them ([`DyadicEngine::premul`] +
+//! [`DyadicEngine::mul_assign_premul`] amortize the entry pass when one
+//! operand multiplies several polynomials, e.g. a plaintext against
+//! both ciphertext components). The one-shot entry points
+//! ([`DyadicEngine::mul_assign`], [`DyadicEngine::mul_add_assign`])
+//! fuse the conversion into the loop and need no scratch at all.
+
+use crate::modulus::Modulus;
+use crate::reduce::{Barrett, Montgomery};
+use crate::shoup;
+
+/// Caller preference for the element-wise kernel of a [`DyadicEngine`].
+///
+/// Kernel selection is otherwise host-dependent (the fastest applicable
+/// kernel wins), so a given machine only ever executes one fast path.
+/// Forcing a preference lets tests assert the bit-identity of **every**
+/// kernel wherever they run; an unavailable preference degrades to the
+/// next applicable kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DyadicPreference {
+    /// Fastest applicable kernel: ifma → montgomery.
+    #[default]
+    Auto,
+    /// The `u128 %` reference model, always applicable.
+    Golden,
+    /// Hoisted-Barrett loop (the pre-engine fast path), always
+    /// applicable.
+    Barrett,
+    /// Scalar Montgomery (`R = 2^64`), always applicable for the odd
+    /// moduli [`Modulus`] admits.
+    Montgomery,
+    /// AVX-512IFMA radix-2^52 REDC; falls back to scalar Montgomery
+    /// when the CPU or the modulus width (`q ≥ 2^50`) rule it out.
+    Ifma,
+}
+
+/// Which kernel an engine dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Golden,
+    Barrett,
+    Montgomery,
+    #[cfg(target_arch = "x86_64")]
+    Ifma,
+}
+
+/// Element-wise vector operations over one RNS prime, dispatched to the
+/// fastest applicable kernel (ifma → montgomery; golden and the hoisted
+/// Barrett loop stay selectable through [`DyadicPreference`]).
+///
+/// # Example
+///
+/// ```
+/// use abc_math::dyadic::DyadicEngine;
+/// use abc_math::Modulus;
+///
+/// # fn main() -> Result<(), abc_math::MathError> {
+/// let m = Modulus::new(0xFFF_FFFF_C001)?; // 2^44 - 2^14 + 1
+/// let engine = DyadicEngine::new(m);
+/// let mut a = vec![1u64, 2, 3, m.q() - 1];
+/// let b = vec![5u64, 6, 7, m.q() - 1];
+/// let expected: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.mul(x, y)).collect();
+/// engine.mul_assign(&mut a, &b);
+/// assert_eq!(a, expected);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DyadicEngine {
+    m: Modulus,
+    kernel: Kernel,
+    barrett: Barrett,
+    mont: Montgomery,
+    #[cfg(target_arch = "x86_64")]
+    mont52: Option<crate::simd::Mont52>,
+}
+
+impl DyadicEngine {
+    /// Builds an engine with the fastest applicable kernel for `m`.
+    pub fn new(m: Modulus) -> Self {
+        Self::with_kernel(m, DyadicPreference::Auto)
+    }
+
+    /// Builds an engine with an explicit kernel preference (capability
+    /// rules still apply; check [`DyadicEngine::kernel_name`]).
+    pub fn with_kernel(m: Modulus, pref: DyadicPreference) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        let ifma_ok = m.q() < shoup::MAX_SHOUP52_MODULUS && crate::simd::available();
+        #[cfg(not(target_arch = "x86_64"))]
+        let ifma_ok = false;
+        let kernel = match pref {
+            DyadicPreference::Golden => Kernel::Golden,
+            DyadicPreference::Barrett => Kernel::Barrett,
+            DyadicPreference::Montgomery => Kernel::Montgomery,
+            #[cfg(target_arch = "x86_64")]
+            DyadicPreference::Auto | DyadicPreference::Ifma if ifma_ok => Kernel::Ifma,
+            DyadicPreference::Auto | DyadicPreference::Ifma => Kernel::Montgomery,
+        };
+        #[cfg(target_arch = "x86_64")]
+        let mont52 = ifma_ok.then(|| crate::simd::Mont52::new(m.q()));
+        Self {
+            m,
+            kernel,
+            barrett: Barrett::new(m),
+            mont: Montgomery::new(m),
+            #[cfg(target_arch = "x86_64")]
+            mont52,
+        }
+    }
+
+    /// The modulus of this engine.
+    pub fn modulus(&self) -> &Modulus {
+        &self.m
+    }
+
+    /// Name of the dispatched kernel (`"golden"`, `"barrett"`,
+    /// `"montgomery"` or `"ifma"`), for diagnostics and bench labels.
+    pub fn kernel_name(&self) -> &'static str {
+        match self.kernel {
+            Kernel::Golden => "golden",
+            Kernel::Barrett => "barrett",
+            Kernel::Montgomery => "montgomery",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => "ifma",
+        }
+    }
+
+    /// `a[i] = a[i]·b[i] mod q` — the dyadic product of two NTT-domain
+    /// polynomials, canonical inputs and outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_assign(&self, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        match self.kernel {
+            Kernel::Golden => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x = self.m.mul(*x, y);
+                }
+            }
+            Kernel::Barrett => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x = self.barrett.reduce(*x as u128 * y as u128);
+                }
+            }
+            Kernel::Montgomery => {
+                // Fused enter+REDC: b̃ = REDC(b·R²) ∈ [0, q), then
+                // REDC(a·b̃) = a·b mod q (see the module lifecycle doc).
+                let r2 = self.mont.r2();
+                for (x, &y) in a.iter_mut().zip(b) {
+                    let y_dom = self.mont.redc(y as u128 * r2 as u128);
+                    *x = self.mont.redc(*x as u128 * y_dom as u128);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_assign(k, a, b);
+                for (x, &y) in a[done..].iter_mut().zip(&b[done..]) {
+                    *x = k.mul(*x, y);
+                }
+            }
+        }
+    }
+
+    /// `a[i] = a[i]·b[i] + c[i] mod q` — the fused kernel encryption and
+    /// decryption use (`pk·v + e`, `c1·s + c0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_add_assign(&self, a: &mut [u64], b: &[u64], c: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.len());
+        match self.kernel {
+            Kernel::Golden => {
+                for i in 0..a.len() {
+                    a[i] = self.m.mul_add(a[i], b[i], c[i]);
+                }
+            }
+            Kernel::Barrett => {
+                // a·b + c ≤ q² + q − 1 < 2^2k: inside the reducer's
+                // proven domain.
+                for i in 0..a.len() {
+                    a[i] = self
+                        .barrett
+                        .reduce(a[i] as u128 * b[i] as u128 + c[i] as u128);
+                }
+            }
+            Kernel::Montgomery => {
+                let r2 = self.mont.r2();
+                let q = self.m.q();
+                let mont = self.mont;
+                for (x, (&y, &z)) in a.iter_mut().zip(b.iter().zip(c)) {
+                    let y_dom = mont.redc(y as u128 * r2 as u128);
+                    let p = mont.redc(*x as u128 * y_dom as u128);
+                    // Branchless conditional subtract (min picks the
+                    // in-range representative; the wrapped value is
+                    // huge) — a data-dependent branch here costs ~5×.
+                    let t = p + z;
+                    *x = t.min(t.wrapping_sub(q));
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_add_assign(k, a, b, c);
+                let q = self.m.q();
+                for i in done..a.len() {
+                    a[i] = shoup::reduce_once(k.mul(a[i], b[i]) + c[i], q);
+                }
+            }
+        }
+    }
+
+    /// `a[i] = a[i]·s mod q` for a scalar `s` (reduced on entry — any
+    /// `u64` is accepted).
+    pub fn scalar_mul_assign(&self, a: &mut [u64], s: u64) {
+        let s = if s >= self.m.q() { self.m.reduce(s) } else { s };
+        match self.kernel {
+            Kernel::Golden => {
+                for x in a.iter_mut() {
+                    *x = self.m.mul(*x, s);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let q = self.m.q();
+                let s52 = shoup::shoup_precompute52(s, q);
+                let done = crate::simd::scalar_mul_assign(k, a, s, s52);
+                for x in a[done..].iter_mut() {
+                    *x = shoup::reduce_once(shoup::mul_shoup52_lazy(*x, s, s52, q), q);
+                }
+            }
+            // Barrett and Montgomery both take the 64-bit Shoup path: a
+            // constant factor admits a precomputed quotient, which beats
+            // any general two-operand reduction.
+            _ => {
+                let q = self.m.q();
+                if q < shoup::MAX_SHOUP_MODULUS {
+                    let ss = shoup::shoup_precompute(s, q);
+                    for x in a.iter_mut() {
+                        *x = shoup::mul_shoup(*x, s, ss, q);
+                    }
+                } else {
+                    for x in a.iter_mut() {
+                        *x = self.m.mul(*x, s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `a[i] = a[i] + b[i] mod q`, canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn add_assign(&self, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        #[cfg(target_arch = "x86_64")]
+        if matches!(self.kernel, Kernel::Ifma) {
+            let done = crate::simd::addsub_assign(self.m.q(), crate::simd::AddSubOp::Add, a, b);
+            for (x, &y) in a[done..].iter_mut().zip(&b[done..]) {
+                *x = self.m.add(*x, y);
+            }
+            return;
+        }
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.m.add(*x, y);
+        }
+    }
+
+    /// `a[i] = a[i] − b[i] mod q`, canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn sub_assign(&self, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        #[cfg(target_arch = "x86_64")]
+        if matches!(self.kernel, Kernel::Ifma) {
+            let done = crate::simd::addsub_assign(self.m.q(), crate::simd::AddSubOp::Sub, a, b);
+            for (x, &y) in a[done..].iter_mut().zip(&b[done..]) {
+                *x = self.m.sub(*x, y);
+            }
+            return;
+        }
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.m.sub(*x, y);
+        }
+    }
+
+    /// `a[i] = −a[i] mod q`.
+    pub fn neg_assign(&self, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = self.m.neg(*x);
+        }
+    }
+
+    /// Enters `b` into this kernel's multiplication domain in place —
+    /// step 1 of the Montgomery lifecycle (see the module docs). The
+    /// result is **kernel-specific and opaque**: feed it only to
+    /// [`DyadicEngine::mul_assign_premul`] on the same engine. For the
+    /// golden/Barrett kernels this is the identity.
+    pub fn premul(&self, b: &mut [u64]) {
+        match self.kernel {
+            Kernel::Golden | Kernel::Barrett => {}
+            Kernel::Montgomery => self.mont.to_mont_slice(b),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                // Canonical entry (one csub after the lazy Shoup) keeps
+                // the premultiplied vector reusable by the vector and
+                // scalar-tail paths alike.
+                let q = self.m.q();
+                let done = crate::simd::scalar_mul_assign(k, b, k.r52, k.r52_shoup);
+                for y in b[done..].iter_mut() {
+                    *y = shoup::reduce_once(shoup::mul_shoup52_lazy(*y, k.r52, k.r52_shoup, q), q);
+                }
+            }
+        }
+    }
+
+    /// `a[i] = a[i]·b[i] mod q` against a vector already entered with
+    /// [`DyadicEngine::premul`] — step 2 of the lifecycle; the REDC
+    /// consumes the domain factor, so outputs are ordinary canonical
+    /// residues (no exit step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_assign_premul(&self, a: &mut [u64], b_pre: &[u64]) {
+        assert_eq!(a.len(), b_pre.len());
+        match self.kernel {
+            Kernel::Golden | Kernel::Barrett => self.mul_assign(a, b_pre),
+            Kernel::Montgomery => self.mont.mul_slice_mont(a, b_pre),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_assign_premul(k, a, b_pre);
+                for (x, &y) in a[done..].iter_mut().zip(&b_pre[done..]) {
+                    *x = k.mul_premul(*x, y);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefs() -> [DyadicPreference; 5] {
+        [
+            DyadicPreference::Auto,
+            DyadicPreference::Golden,
+            DyadicPreference::Barrett,
+            DyadicPreference::Montgomery,
+            DyadicPreference::Ifma,
+        ]
+    }
+
+    fn pseudo(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_kernel_matches_golden_model() {
+        // 36-, 44- and 62-bit moduli: the 62-bit one forces the IFMA
+        // preference to degrade to Montgomery.
+        for q in [0xF_FFF0_0001u64, 0xFFF_FFFF_C001, (1 << 62) - 57] {
+            let m = Modulus::new(q).unwrap();
+            // Length 21 crosses the 8-lane boundary with a tail of 5.
+            let n = 21;
+            let a0 = {
+                let mut v = pseudo(n, q, q);
+                (v[0], v[1], v[2]) = (q - 1, 0, 1);
+                v
+            };
+            let b = {
+                let mut v = pseudo(n, q, q ^ 7);
+                (v[0], v[1], v[2]) = (q - 1, q - 1, 0);
+                v
+            };
+            let c = {
+                let mut v = pseudo(n, q, q ^ 13);
+                v[0] = q - 1;
+                v
+            };
+            for pref in prefs() {
+                let e = DyadicEngine::with_kernel(m, pref);
+                if q >= shoup::MAX_SHOUP52_MODULUS {
+                    assert_ne!(e.kernel_name(), "ifma", "q={q} must exclude ifma");
+                }
+                let mut got = a0.clone();
+                e.mul_assign(&mut got, &b);
+                for i in 0..n {
+                    assert_eq!(got[i], m.mul(a0[i], b[i]), "mul {pref:?} q={q} i={i}");
+                }
+                let mut got = a0.clone();
+                e.mul_add_assign(&mut got, &b, &c);
+                for i in 0..n {
+                    assert_eq!(
+                        got[i],
+                        m.mul_add(a0[i], b[i], c[i]),
+                        "mul_add {pref:?} q={q} i={i}"
+                    );
+                }
+                for s in [0u64, 1, q - 1, q, u64::MAX] {
+                    let mut got = a0.clone();
+                    e.scalar_mul_assign(&mut got, s);
+                    for i in 0..n {
+                        assert_eq!(
+                            got[i],
+                            m.mul(a0[i], s % q),
+                            "scalar {pref:?} q={q} s={s} i={i}"
+                        );
+                    }
+                }
+                let mut got = a0.clone();
+                e.add_assign(&mut got, &b);
+                for i in 0..n {
+                    assert_eq!(got[i], m.add(a0[i], b[i]), "add {pref:?} q={q} i={i}");
+                }
+                let mut got = a0.clone();
+                e.sub_assign(&mut got, &b);
+                for i in 0..n {
+                    assert_eq!(got[i], m.sub(a0[i], b[i]), "sub {pref:?} q={q} i={i}");
+                }
+                let mut got = a0.clone();
+                e.neg_assign(&mut got);
+                for i in 0..n {
+                    assert_eq!(got[i], m.neg(a0[i]), "neg {pref:?} q={q} i={i}");
+                }
+                // Lifecycle: premul once, multiply twice (the plaintext
+                // × both-components pattern).
+                let mut b_pre = b.clone();
+                e.premul(&mut b_pre);
+                for seed in [3u64, 4] {
+                    let x0 = pseudo(n, q, seed);
+                    let mut x = x0.clone();
+                    e.mul_assign_premul(&mut x, &b_pre);
+                    for i in 0..n {
+                        assert_eq!(x[i], m.mul(x0[i], b[i]), "premul {pref:?} q={q} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preferences_degrade_by_capability() {
+        let wide = Modulus::new((1 << 62) - 57).unwrap();
+        let e = DyadicEngine::with_kernel(wide, DyadicPreference::Ifma);
+        assert_eq!(e.kernel_name(), "montgomery");
+        let e = DyadicEngine::with_kernel(wide, DyadicPreference::Golden);
+        assert_eq!(e.kernel_name(), "golden");
+        let e = DyadicEngine::with_kernel(wide, DyadicPreference::Barrett);
+        assert_eq!(e.kernel_name(), "barrett");
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let e = DyadicEngine::new(Modulus::new(97).unwrap());
+        let mut a = vec![1, 2];
+        e.mul_assign(&mut a, &[1]);
+    }
+}

@@ -20,6 +20,10 @@
 //!   recombination ([`rns::RnsBasis`]).
 //! * [`poly`] — element-wise polynomial (vector) operations over `Z_q`, the
 //!   workload of the paper's Modular Streaming Engine.
+//! * [`dyadic`] — the [`DyadicEngine`] that dispatches those element-wise
+//!   ops per modulus to the fastest kernel (AVX-512IFMA radix-2^52
+//!   Montgomery → scalar Montgomery → hoisted Barrett → golden), with the
+//!   vector kernels themselves in the `x86_64`-only `simd` module.
 //! * [`shoup`] — Shoup-precomputed constant multiplication and the lazy
 //!   `[0, 2q)`/`[0, 4q)` reduction helpers behind the Harvey NTT
 //!   butterflies in `abc-transform`.
@@ -39,14 +43,18 @@
 //! ```
 
 pub mod bigint;
+pub mod dyadic;
 pub mod modulus;
 pub mod poly;
 pub mod primes;
 pub mod reduce;
 pub mod rns;
 pub mod shoup;
+#[cfg(target_arch = "x86_64")]
+pub mod simd;
 
 pub use bigint::UBig;
+pub use dyadic::{DyadicEngine, DyadicPreference};
 pub use modulus::Modulus;
 pub use rns::RnsBasis;
 

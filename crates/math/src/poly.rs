@@ -37,7 +37,11 @@ pub fn sub_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
 /// instead the modulus's Barrett constant is hoisted out of the loop and
 /// each element costs three multiplies plus two conditional subtractions
 /// — no per-element `u128` division (the reducer is proven
-/// 2-subtraction-tight for `t < q²` with `k = bits(q)`).
+/// 2-subtraction-tight for `t < 2^(2k)` with `k = bits(q)`).
+///
+/// This is the portable baseline; hot paths should prefer
+/// [`crate::dyadic::DyadicEngine`], which dispatches to the
+/// Montgomery/AVX-512IFMA vector kernels (bit-identical results).
 ///
 /// # Panics
 ///
@@ -53,8 +57,10 @@ pub fn mul_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
 /// `a[i] = (a[i] * b[i] + c[i]) mod q` — the fused kernel encryption uses
 /// for `v·pk + e`.
 ///
-/// Barrett-reduced like [`mul_assign`]: `a·b + c < q² + q ≤ q·2^k ≤ 2^2k`
-/// stays inside the reducer's proven input range.
+/// Barrett-reduced like [`mul_assign`]: `a·b + c ≤ q² − q < 2^(2k)`
+/// stays inside the reducer's proven `t < 2^(2k)` domain (the fused
+/// extreme `a = b = c = q − 1` is pinned by the exhaustive boundary
+/// test in [`crate::reduce`]).
 ///
 /// # Panics
 ///
@@ -75,12 +81,16 @@ pub fn neg_assign(m: &Modulus, a: &mut [u64]) {
     }
 }
 
-/// `a[i] = (a[i] * s) mod q` for a scalar `s ∈ [0, q)`.
+/// `a[i] = (a[i] * s) mod q` for any scalar `s` (reduced on entry).
 ///
 /// The scalar is a loop constant, so its Shoup quotient is precomputed
 /// once and each element costs two high-multiplies instead of a `u128`
 /// division (moduli ≥ 2^62 fall back to the golden multiply).
 pub fn scalar_mul_assign(m: &Modulus, a: &mut [u64], s: u64) {
+    // Reduce the scalar first: `shoup_precompute(s, q)` overflows its
+    // 64-bit quotient for s ≥ q (silently wrong results in release
+    // builds), and the golden fallback would differ from the fast path.
+    let s = if s >= m.q() { m.reduce(s) } else { s };
     if m.q() < crate::shoup::MAX_SHOUP_MODULUS {
         let q = m.q();
         let ss = crate::shoup::shoup_precompute(s, q);
@@ -154,6 +164,27 @@ mod tests {
         let mut a = vec![3, 96];
         mul_add_assign(&m, &mut a, &[4, 2], &[1, 10]);
         assert_eq!(a, vec![13, (96 * 2 + 10) % 97]);
+    }
+
+    #[test]
+    fn scalar_mul_accepts_unreduced_scalars() {
+        // Regression: s ≥ q used to feed `shoup_precompute` an
+        // unreduced constant, overflowing the 64-bit quotient — the
+        // fast path silently diverged from the `u128 %` model (and from
+        // the golden fallback for wide moduli). Pin s = q and
+        // s = u64::MAX on both the Shoup path and the ≥ 2^62 fallback.
+        for q in [97u64, 0xFFF_FFFF_C001, (1 << 62) + 1153] {
+            let m = Modulus::new(q).unwrap();
+            let a0: Vec<u64> = vec![0, 1, q / 2, q - 1];
+            for s in [q, q + 1, u64::MAX] {
+                let mut a = a0.clone();
+                scalar_mul_assign(&m, &mut a, s);
+                for (got, &x) in a.iter().zip(&a0) {
+                    let want = (x as u128 * (s % q) as u128 % q as u128) as u64;
+                    assert_eq!(*got, want, "q={q} s={s} x={x}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -67,13 +67,27 @@ impl Barrett {
         Self { m, mu, k }
     }
 
-    /// Reduces a product `t < q^2` to `[0, q)`.
+    /// Reduces `t < 2^(2k)` (`k = bits(q)`) to `[0, q)`.
+    ///
+    /// The proven input domain is HAC Alg. 14.42's actual hypothesis
+    /// `t < b^(2k)` — **not** merely `t < q²`. Since
+    /// `q² + q − 1 < 2^(2k)`, every fused product `a·b + c` with
+    /// `a, b, c ∈ [0, q)` is inside the domain ([`crate::poly`]'s
+    /// `mul_add_assign` relies on this), but a product of two *lazy*
+    /// `[0, 2q)` operands can reach `4q² ≥ 2^(2k)` and is **out of
+    /// contract** — lazy paths must reduce at least one operand first
+    /// (debug-asserted below).
     #[inline]
     pub fn reduce(&self, t: u128) -> u64 {
+        debug_assert!(
+            t >> (2 * self.k) == 0,
+            "Barrett input {t} outside the proven domain t < 2^(2k), k={}",
+            self.k
+        );
         let q = self.m.q() as u128;
         // Estimate the quotient: qhat = floor( floor(t / 2^(k-1)) * mu / 2^(k+1) ).
         let thi = t >> (self.k - 1);
-        // thi <= q^2 / 2^(k-1) < 2^(k+1); mu <= 2^(k+1); product < 2^(2k+2) <= 2^128.
+        // thi < 2^(2k) / 2^(k-1) = 2^(k+1); mu <= 2^(k+1); product < 2^(2k+2) <= 2^128.
         // Split to avoid overflow: use 128x128->hi via decomposition
         // into 64-bit halves.
         let qhat = mul_hi_shift(thi, self.mu, self.k + 1);
@@ -95,8 +109,10 @@ impl Barrett {
 }
 
 /// Computes `floor(a * b / 2^s)` where the 256-bit product is formed from
-/// 128-bit halves. Requires `s >= 64` in Barrett's use (`k + 1 >= 65`?) —
-/// handled generically for any `s < 192`.
+/// 128-bit halves. In Barrett's use `s = k + 1 ≤ 64` (since
+/// `k = bits(q) ≤ 63`), so the `s < 128` branch below is the live one;
+/// the function handles any `s < 192` generically so it stays correct
+/// for other callers and parameterizations.
 #[inline]
 fn mul_hi_shift(a: u128, b: u128, s: u32) -> u128 {
     // Split both operands into 64-bit limbs: a = a1*2^64 + a0.
@@ -143,6 +159,17 @@ impl ModMul for Barrett {
 /// Operands are kept in the ordinary domain; each `mul_mod` converts the
 /// REDC output back by a second REDC against `R^2 mod q`, matching how a
 /// hardware pipeline hides domain conversion inside the twiddle constants.
+///
+/// # Batch (vector) use — the Montgomery-domain lifecycle
+///
+/// Element-wise loops amortize the domain conversion instead of paying
+/// it per multiply: **enter** one operand once per polynomial
+/// ([`Montgomery::to_mont_slice`], `b̃ = b·R mod q`), **operate** with a
+/// single fused REDC per element (`redc(a·b̃) = a·b mod q` — the entry
+/// factor cancels the REDC's `R^{-1}`), and **exit** for free (outputs
+/// are already ordinary-domain). [`crate::dyadic::DyadicEngine`] wraps
+/// this lifecycle (and its radix-2^52 AVX-512IFMA counterpart) behind a
+/// kernel-dispatched API.
 #[derive(Debug, Clone, Copy)]
 pub struct Montgomery {
     m: Modulus,
@@ -193,6 +220,43 @@ impl Montgomery {
     #[inline]
     pub fn mont_mul(&self, a: u64, b: u64) -> u64 {
         self.redc(a as u128 * b as u128)
+    }
+
+    /// The precomputed `R² mod q` (the domain-entry constant).
+    #[inline]
+    pub fn r2(&self) -> u64 {
+        self.r2
+    }
+
+    /// Batch domain entry: maps every element of `a` into the
+    /// Montgomery domain in place (`a[i] ← a[i]·R mod q`).
+    pub fn to_mont_slice(&self, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = self.to_mont(*x);
+        }
+    }
+
+    /// Batch domain exit: maps every Montgomery-domain element of `a`
+    /// back to the ordinary domain in place (`a[i] ← a[i]·R^{-1} mod q`).
+    pub fn from_mont_slice(&self, a: &mut [u64]) {
+        for x in a.iter_mut() {
+            *x = self.from_mont(*x);
+        }
+    }
+
+    /// Batch fused multiply against a pre-entered operand:
+    /// `a[i] ← redc(a[i]·b_mont[i]) = a[i]·b[i] mod q` for
+    /// `b_mont = b·R mod q` — step 2 of the lifecycle; outputs are
+    /// ordinary-domain canonical residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_slice_mont(&self, a: &mut [u64], b_mont: &[u64]) {
+        assert_eq!(a.len(), b_mont.len());
+        for (x, &y) in a.iter_mut().zip(b_mont) {
+            *x = self.redc(*x as u128 * y as u128);
+        }
     }
 }
 
@@ -462,15 +526,83 @@ mod tests {
         // q = 1031, a = 1030, b = 1022 is a witness that the looser
         // k = bits(q)+1 parameterization undershoots the quotient by 3,
         // escaping two conditional subtractions. Exhaust every product
-        // for several odd moduli (including that witness) to pin the
-        // [0, 3q) remainder bound.
+        // — plain and fused with both extreme addends — for several odd
+        // moduli (including that witness) to pin the [0, 3q) remainder
+        // bound across the whole proven domain.
         for q in [3u64, 5, 7, 31, 97, 127, 1031] {
             let m = Modulus::new(q).unwrap();
             let b = Barrett::new(m);
             for x in 0..q {
                 for y in 0..q {
                     assert_eq!(b.mul_mod(x, y), m.mul(x, y), "q={q} x={x} y={y}");
+                    for c in [1, q - 1] {
+                        let t = x as u128 * y as u128 + c as u128;
+                        assert_eq!(
+                            b.reduce(t),
+                            (t % q as u128) as u64,
+                            "q={q} x={x} y={y} c={c}"
+                        );
+                    }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_fused_boundary_every_width_class() {
+        // The proven domain is t < 2^(2k) (HAC 14.42), not t < q²: for
+        // every modulus width class k = 2..=63 hit the fused extreme
+        // a = b = c = q − 1 (t = q² − q, `mul_add_assign`'s worst case)
+        // and the absolute domain boundary t = 2^(2k) − 1, on both the
+        // smallest and the largest odd modulus of the class.
+        for k in 2u32..=63 {
+            let lo = (1u64 << (k - 1)) | 1; // smallest odd with bits() == k
+            let hi = (1u64 << k) - 1; // largest odd below 2^k
+            for q in [lo, hi] {
+                let m = Modulus::new(q).unwrap();
+                assert_eq!(m.bits(), k);
+                let b = Barrett::new(m);
+                let qq = q as u128;
+                let fused = (qq - 1) * (qq - 1) + (qq - 1);
+                assert_eq!(b.reduce(fused), (fused % qq) as u64, "fused q={q}");
+                let top = (1u128 << (2 * k)) - 1;
+                assert_eq!(b.reduce(top), (top % qq) as u64, "domain top q={q}");
+                assert_eq!(b.reduce(0), 0, "zero q={q}");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside the proven domain")]
+    fn barrett_rejects_out_of_domain_input() {
+        // 4q² (two lazy [0, 2q) operands multiplied) exceeds 2^(2k).
+        let m = Modulus::new(97).unwrap();
+        let b = Barrett::new(m);
+        let t = 4u128 * 97 * 97;
+        b.reduce(t);
+    }
+
+    #[test]
+    fn montgomery_batch_lifecycle_roundtrip() {
+        // enter → operate → (free) exit: the slice helpers agree with
+        // the golden model element-wise and to_mont/from_mont invert.
+        for q in [97u64, 0xF_FFF0_0001, 0xFFF_FFFF_C001] {
+            let m = Modulus::new(q).unwrap();
+            let mg = Montgomery::new(m);
+            let a0: Vec<u64> = (0..33u64).map(|i| i.wrapping_mul(0x9E37) % q).collect();
+            let b0: Vec<u64> = (0..33u64)
+                .map(|i| i.wrapping_mul(0x1234_5677) % q)
+                .collect();
+            let mut b_mont = b0.clone();
+            mg.to_mont_slice(&mut b_mont);
+            let mut back = b_mont.clone();
+            mg.from_mont_slice(&mut back);
+            assert_eq!(back, b0, "q={q}");
+            let mut a = a0.clone();
+            mg.mul_slice_mont(&mut a, &b_mont);
+            for i in 0..a.len() {
+                assert_eq!(a[i], m.mul(a0[i], b0[i]), "q={q} i={i}");
             }
         }
     }

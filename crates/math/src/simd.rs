@@ -1,0 +1,429 @@
+//! AVX-512IFMA element-wise vector kernels: radix-2^52 Montgomery
+//! products on eight lanes per instruction — the dyadic (post-NTT)
+//! counterpart of the `vpmadd52` butterfly kernels in `abc-transform`.
+//!
+//! The NTT kernels get away with Shoup multiplication because one factor
+//! is a *constant* twiddle; the dyadic workload multiplies two varying
+//! vectors, so no quotient can be precomputed per element. Instead each
+//! lane runs one radix-2^52 Montgomery reduction (REDC): for
+//! `q < 2^50` the full 104-bit product `a·b̃` is formed by
+//! `vpmadd52{lo,hi}uq`, the low 52 bits are cancelled with the
+//! precomputed `-q^{-1} mod 2^52`, and the quotient word drops out in
+//! two more IFMA instructions — five 8-lane multiplies replace eight
+//! scalar Barrett reductions (each ~6 wide multiplies).
+//!
+//! The Montgomery factor `2^-52` is absorbed *before* the loop: the
+//! `b` operand enters the radix-2^52 domain once per polynomial
+//! (`b̃ = b·2^52 mod q`, a Shoup multiply by the constant `2^52 mod q`),
+//! so `REDC52(a·b̃) = a·b mod q` directly and no exit conversion exists.
+//! See [`crate::dyadic`] for the domain lifecycle and the dispatch.
+//!
+//! All kernels return **canonical** `[0, q)` values and are therefore
+//! bit-identical to the `u128 %` golden model (asserted by the
+//! property suites). Everything is `x86_64`-only and gated at runtime
+//! behind [`available`]; slices are processed in full 8-lane blocks and
+//! the sub-8 tail is left to the scalar caller (each function returns
+//! the number of elements it handled).
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::shoup;
+use core::arch::x86_64::*;
+
+/// Whether this CPU supports the IFMA dyadic kernels (AVX-512F + IFMA).
+pub fn available() -> bool {
+    is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512ifma")
+}
+
+/// Constants of the radix-2^52 Montgomery domain for one modulus
+/// `q < 2^50`, shared by every kernel below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mont52 {
+    /// The modulus.
+    pub q: u64,
+    /// `-q^{-1} mod 2^52` — the REDC cancellation constant.
+    pub qinv_neg52: u64,
+    /// `R = 2^52 mod q` — the domain-entry constant.
+    pub r52: u64,
+    /// Shoup-52 quotient of `r52` (`floor(r52·2^52/q)`).
+    pub r52_shoup: u64,
+}
+
+impl Mont52 {
+    /// Precomputes the radix-2^52 constants for an odd `q < 2^50`.
+    pub fn new(q: u64) -> Self {
+        debug_assert!(q % 2 == 1 && q < shoup::MAX_SHOUP52_MODULUS);
+        // Newton iteration for q^{-1} mod 2^52 (converges past 52 bits).
+        let mut x = q;
+        for _ in 0..5 {
+            x = x.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(x)));
+        }
+        debug_assert_eq!(q.wrapping_mul(x) & shoup::MASK52, 1);
+        let qinv_neg52 = x.wrapping_neg() & shoup::MASK52;
+        let r52 = ((1u128 << 52) % q as u128) as u64;
+        let r52_shoup = shoup::shoup_precompute52(r52, q);
+        Self {
+            q,
+            qinv_neg52,
+            r52,
+            r52_shoup,
+        }
+    }
+
+    /// Scalar model of one radix-2^52 REDC: `t·2^{-52} mod q`, output in
+    /// `[0, 2q)` for `t < 2^52·q` — exactly the words the vector kernel
+    /// computes, used for the sub-8-lane tails.
+    #[inline(always)]
+    pub fn redc52_lazy(&self, t: u128) -> u64 {
+        debug_assert!(t < (self.q as u128) << 52);
+        let t_lo = (t as u64) & shoup::MASK52;
+        let m = t_lo.wrapping_mul(self.qinv_neg52) & shoup::MASK52;
+        let r = ((t + m as u128 * self.q as u128) >> 52) as u64;
+        debug_assert!(r < 2 * self.q);
+        r
+    }
+
+    /// Scalar model of the fused multiply: `a·b mod q`, canonical, for
+    /// `a ∈ [0, 2q)` (lazy inputs welcome) and `b < q`.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        // Enter b into the domain lazily ([0, 2q)), REDC the product.
+        let b_dom = shoup::mul_shoup52_lazy(b, self.r52, self.r52_shoup, self.q);
+        let r = self.redc52_lazy(a as u128 * b_dom as u128);
+        shoup::reduce_once(r, self.q)
+    }
+
+    /// Scalar model of [`Self::mul`] against a *pre-entered* operand
+    /// `b_dom ∈ [0, 2q)` (see [`premul`]).
+    #[inline(always)]
+    pub fn mul_premul(&self, a: u64, b_dom: u64) -> u64 {
+        let r = self.redc52_lazy(a as u128 * b_dom as u128);
+        shoup::reduce_once(r, self.q)
+    }
+}
+
+/// Eight-lane radix-2^52 Shoup multiply by the constant pair
+/// `(w, w52)`: lanes in `[0, 2q)` (mirror of the NTT kernel's helper).
+#[inline(always)]
+unsafe fn mul_shoup52_x8(y: __m512i, w: __m512i, w52: __m512i, vq: __m512i) -> __m512i {
+    unsafe {
+        let zero = _mm512_setzero_si512();
+        let mask52 = _mm512_set1_epi64(shoup::MASK52 as i64);
+        let hi = _mm512_madd52hi_epu64(zero, y, w52);
+        let t1 = _mm512_madd52lo_epu64(zero, y, w);
+        let t2 = _mm512_madd52lo_epu64(zero, hi, vq);
+        _mm512_and_si512(_mm512_sub_epi64(t1, t2), mask52)
+    }
+}
+
+/// Eight-lane conditional subtract: `min(x, x − m)` unsigned maps
+/// `[0, 2m)` into `[0, m)`.
+#[inline(always)]
+unsafe fn csub_x8(x: __m512i, m: __m512i) -> __m512i {
+    unsafe { _mm512_min_epu64(x, _mm512_sub_epi64(x, m)) }
+}
+
+/// Eight-lane radix-2^52 REDC of the product `a·b_dom`: returns lanes
+/// in `[0, 2q)` congruent to `a·b_dom·2^{-52} (mod q)`, for
+/// `a < 2^52`, `b_dom < 2q < 2^51`.
+#[inline(always)]
+unsafe fn redc52_x8(va: __m512i, vb_dom: __m512i, vq: __m512i, vqinv: __m512i) -> __m512i {
+    unsafe {
+        let zero = _mm512_setzero_si512();
+        // 104-bit product split at bit 52.
+        let t_lo = _mm512_madd52lo_epu64(zero, va, vb_dom);
+        let t_hi = _mm512_madd52hi_epu64(zero, va, vb_dom);
+        // m = t_lo · (−q^{-1}) mod 2^52 (madd52lo keeps only low 52).
+        let m = _mm512_madd52lo_epu64(zero, t_lo, vqinv);
+        // (t + m·q) / 2^52 = t_hi + hi52(m·q) + carry(t_lo + lo52(m·q)).
+        let hi = _mm512_madd52hi_epu64(t_hi, m, vq);
+        let lo_sum = _mm512_madd52lo_epu64(t_lo, m, vq);
+        let carry = _mm512_srli_epi64(lo_sum, 52);
+        _mm512_add_epi64(hi, carry)
+    }
+}
+
+/// `a[i] = a[i]·b[i] mod q` over full 8-lane blocks; returns the count
+/// handled (`len − len % 8`). Canonical inputs and outputs.
+///
+/// # Panics
+///
+/// Asserts [`available`] (soundness: the `target_feature` body would be
+/// UB on a CPU without IFMA) and equal slice lengths.
+pub fn mul_assign(k: &Mont52, a: &mut [u64], b: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_assign_impl(k, &mut a[..n8], &b[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let vr = _mm512_set1_epi64(k.r52 as i64);
+    let vrs = _mm512_set1_epi64(k.r52_shoup as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= a.len() == b.len().
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            // b into the radix-2^52 domain ([0, 2q)), REDC the product
+            // back out — the two conversions cancel into `a·b mod q`.
+            let vb_dom = mul_shoup52_x8(vb, vr, vrs, vq);
+            let r = redc52_x8(va, vb_dom, vq, vqinv);
+            _mm512_storeu_si512(pa, csub_x8(r, vq));
+        }
+        j += 8;
+    }
+}
+
+/// `a[i] = a[i]·b_dom[i] mod q` against an operand already in the
+/// radix-2^52 domain (`b_dom = b·2^52 mod q`, lanes `< 2q`), over full
+/// 8-lane blocks; returns the count handled.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn mul_assign_premul(k: &Mont52, a: &mut [u64], b_dom: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b_dom.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_assign_premul_impl(k, &mut a[..n8], &b_dom[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_assign_premul_impl(k: &Mont52, a: &mut [u64], b_dom: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= a.len() == b_dom.len().
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b_dom.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb_dom = _mm512_loadu_si512(pb);
+            let r = redc52_x8(va, vb_dom, vq, vqinv);
+            _mm512_storeu_si512(pa, csub_x8(r, vq));
+        }
+        j += 8;
+    }
+}
+
+/// `a[i] = a[i]·b[i] + c[i] mod q` over full 8-lane blocks; returns the
+/// count handled. Canonical inputs and outputs.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn mul_add_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_add_assign_impl(k, &mut a[..n8], &b[..n8], &c[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_add_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let v2q = _mm512_set1_epi64(2 * k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let vr = _mm512_set1_epi64(k.r52 as i64);
+    let vrs = _mm512_set1_epi64(k.r52_shoup as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= len of every slice.
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let pc = c.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            let vc = _mm512_loadu_si512(pc);
+            let vb_dom = mul_shoup52_x8(vb, vr, vrs, vq);
+            // REDC lands in [0, 2q); + c < 3q; two csubs normalize.
+            let r = _mm512_add_epi64(redc52_x8(va, vb_dom, vq, vqinv), vc);
+            _mm512_storeu_si512(pa, csub_x8(csub_x8(r, v2q), vq));
+        }
+        j += 8;
+    }
+}
+
+/// `a[i] = a[i]·w mod q` for a constant `w < q` with Shoup-52 quotient
+/// `w52`, over full 8-lane blocks; returns the count handled.
+///
+/// # Panics
+///
+/// Asserts [`available`].
+pub fn scalar_mul_assign(k: &Mont52, a: &mut [u64], w: u64, w52: u64) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { scalar_mul_assign_impl(k, &mut a[..n8], w, w52) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn scalar_mul_assign_impl(k: &Mont52, a: &mut [u64], w: u64, w52: u64) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let vw = _mm512_set1_epi64(w as i64);
+    let vw52 = _mm512_set1_epi64(w52 as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= a.len().
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let r = mul_shoup52_x8(va, vw, vw52, vq);
+            _mm512_storeu_si512(pa, csub_x8(r, vq));
+        }
+        j += 8;
+    }
+}
+
+/// Which element-wise additive kernel [`addsub_assign`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddSubOp {
+    /// `a[i] = a[i] + b[i] mod q`.
+    Add,
+    /// `a[i] = a[i] − b[i] mod q`.
+    Sub,
+}
+
+/// Canonical element-wise add/sub over full 8-lane blocks; returns the
+/// count handled.
+///
+/// # Panics
+///
+/// Asserts [`available`] and equal slice lengths.
+pub fn addsub_assign(q: u64, op: AddSubOp, a: &mut [u64], b: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { addsub_assign_impl(q, op, &mut a[..n8], &b[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn addsub_assign_impl(q: u64, op: AddSubOp, a: &mut [u64], b: &[u64]) {
+    let vq = _mm512_set1_epi64(q as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= a.len() == b.len().
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            // Both ops land in [0, 2q): a+b directly; a−b as a+(q−b).
+            let s = match op {
+                AddSubOp::Add => _mm512_add_epi64(va, vb),
+                AddSubOp::Sub => _mm512_add_epi64(va, _mm512_sub_epi64(vq, vb)),
+            };
+            _mm512_storeu_si512(pa, csub_x8(s, vq));
+        }
+        j += 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Modulus;
+
+    fn pseudo(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mont52_scalar_model_matches_golden() {
+        for q in [97u64, 65537, 0xFFF0_0001, 0xF_FFF0_0001, 0xFFF_FFFF_C001] {
+            let m = Modulus::new(q).unwrap();
+            let k = Mont52::new(q);
+            for (a, b) in [
+                (0u64, 0u64),
+                (1, 1),
+                (q - 1, q - 1),
+                (q / 2, 2),
+                (2 * q - 1, q - 1),
+            ] {
+                assert_eq!(k.mul(a, b), m.mul(a % q, b), "q={q} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_kernels_match_golden() {
+        if !available() {
+            return;
+        }
+        let q = 0xFFF_FFFF_C001u64; // 2^44 - 2^14 + 1
+        let m = Modulus::new(q).unwrap();
+        let k = Mont52::new(q);
+        let n = 40; // full blocks only (tails are the caller's job)
+        let a0 = pseudo(n, q, 1);
+        let b = pseudo(n, q, 2);
+        let c = pseudo(n, q, 3);
+        let mut a = a0.clone();
+        assert_eq!(mul_assign(&k, &mut a, &b), n);
+        for i in 0..n {
+            assert_eq!(a[i], m.mul(a0[i], b[i]), "mul i={i}");
+        }
+        let mut a = a0.clone();
+        assert_eq!(mul_add_assign(&k, &mut a, &b, &c), n);
+        for i in 0..n {
+            assert_eq!(a[i], m.mul_add(a0[i], b[i], c[i]), "mul_add i={i}");
+        }
+        let w = q - 2;
+        let w52 = crate::shoup::shoup_precompute52(w, q);
+        let mut a = a0.clone();
+        assert_eq!(scalar_mul_assign(&k, &mut a, w, w52), n);
+        for i in 0..n {
+            assert_eq!(a[i], m.mul(a0[i], w), "scalar i={i}");
+        }
+        let mut a = a0.clone();
+        assert_eq!(addsub_assign(q, AddSubOp::Add, &mut a, &b), n);
+        for i in 0..n {
+            assert_eq!(a[i], m.add(a0[i], b[i]), "add i={i}");
+        }
+        let mut a = a0.clone();
+        assert_eq!(addsub_assign(q, AddSubOp::Sub, &mut a, &b), n);
+        for i in 0..n {
+            assert_eq!(a[i], m.sub(a0[i], b[i]), "sub i={i}");
+        }
+    }
+
+    #[test]
+    fn tail_is_left_untouched() {
+        if !available() {
+            return;
+        }
+        let q = 0xFFF0_0001u64;
+        let k = Mont52::new(q);
+        let mut a = pseudo(13, q, 4);
+        let before = a.clone();
+        let b = pseudo(13, q, 5);
+        assert_eq!(mul_assign(&k, &mut a, &b), 8);
+        assert_eq!(&a[8..], &before[8..]);
+    }
+}

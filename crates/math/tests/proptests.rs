@@ -2,6 +2,7 @@
 //! the `u128` golden model, CSD decompositions re-evaluate to their input,
 //! and RNS decompose/combine round-trips.
 
+use abc_math::dyadic::{DyadicEngine, DyadicPreference};
 use abc_math::primes::{generate_ntt_primes, generate_structured_ntt_primes, is_prime};
 use abc_math::reduce::{
     csd, csd_eval_wrapping, Barrett, ModMul, Montgomery, NttFriendlyMontgomery,
@@ -175,6 +176,72 @@ proptest! {
                 fused[i],
                 ((a[i] as u128 * b[i] as u128 + c[i] as u128) % q as u128) as u64
             );
+        }
+    }
+
+    #[test]
+    fn dyadic_engine_kernels_bit_identical_to_golden(
+        m in arb_ntt_prime(),
+        seed in any::<u64>(),
+        s in any::<u64>(),
+    ) {
+        // Every DyadicEngine kernel — forced golden, hoisted Barrett,
+        // scalar Montgomery and IFMA (which degrades to Montgomery at
+        // q ≥ 2^50 and off-IFMA hosts) — must equal the u128 `%` model
+        // element-wise over the full supported NTT-prime width range
+        // (36–62 bits). Length 37 exercises the 8-lane vector body and
+        // a 5-element scalar tail.
+        let q = m.q();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state % q
+        };
+        let mut a: Vec<u64> = (0..37).map(|_| next()).collect();
+        let mut b: Vec<u64> = (0..37).map(|_| next()).collect();
+        let c: Vec<u64> = (0..37).map(|_| next()).collect();
+        // Pin the extremes alongside the random body.
+        (a[0], b[0]) = (q - 1, q - 1);
+        (a[1], b[1]) = (0, q - 1);
+        (a[2], b[2]) = (1, q - 1);
+        for pref in [
+            DyadicPreference::Auto,
+            DyadicPreference::Golden,
+            DyadicPreference::Barrett,
+            DyadicPreference::Montgomery,
+            DyadicPreference::Ifma,
+        ] {
+            let e = DyadicEngine::with_kernel(m, pref);
+            if q >= shoup::MAX_SHOUP52_MODULUS {
+                // The IFMA-fallback boundary: q ≥ 2^50 must never
+                // dispatch to the 52-bit kernel.
+                prop_assert_ne!(e.kernel_name(), "ifma");
+            }
+            let mut mul = a.clone();
+            e.mul_assign(&mut mul, &b);
+            let mut fused = a.clone();
+            e.mul_add_assign(&mut fused, &b, &c);
+            let mut scaled = a.clone();
+            e.scalar_mul_assign(&mut scaled, s); // any u64, reduced on entry
+            let mut pre = b.clone();
+            e.premul(&mut pre);
+            let mut premul = a.clone();
+            e.mul_assign_premul(&mut premul, &pre);
+            for i in 0..a.len() {
+                let ab = (a[i] as u128 * b[i] as u128 % q as u128) as u64;
+                prop_assert_eq!(mul[i], ab, "mul {:?} q={} i={}", pref, q, i);
+                prop_assert_eq!(premul[i], ab, "premul {:?} q={} i={}", pref, q, i);
+                prop_assert_eq!(
+                    fused[i],
+                    ((a[i] as u128 * b[i] as u128 + c[i] as u128) % q as u128) as u64,
+                    "mul_add {:?} q={} i={}", pref, q, i
+                );
+                prop_assert_eq!(
+                    scaled[i],
+                    (a[i] as u128 * (s % q) as u128 % q as u128) as u64,
+                    "scalar {:?} q={} i={}", pref, q, i
+                );
+            }
         }
     }
 }

@@ -11,6 +11,7 @@
 //! saving (Fig. 6a).
 
 use crate::twiddle::{TwiddleSource, TwiddleTable};
+use abc_math::dyadic::{DyadicEngine, DyadicPreference};
 use abc_math::shoup::{self, MAX_SHOUP_MODULUS};
 use abc_math::{MathError, Modulus};
 
@@ -86,6 +87,9 @@ pub struct NttPlan {
     n: usize,
     table: TwiddleTable,
     kernel: Kernel,
+    /// Element-wise engine for the dyadic stage of negacyclic products,
+    /// preference-matched to the butterfly kernel.
+    dyadic: DyadicEngine,
 }
 
 impl NttPlan {
@@ -120,12 +124,31 @@ impl NttPlan {
             _ => Kernel::Golden,
         };
         let table = TwiddleTable::new(m, n)?;
+        // The dyadic engine follows the same forcing: a golden-forced
+        // plan stays golden end to end (bit-identity tests rely on it),
+        // a Harvey-forced plan exercises the scalar Montgomery vector
+        // path, and Auto/Ifma pick the fastest element-wise kernel.
+        let dyadic = DyadicEngine::with_kernel(
+            m,
+            match pref {
+                KernelPreference::Golden => DyadicPreference::Golden,
+                KernelPreference::Harvey => DyadicPreference::Montgomery,
+                KernelPreference::Ifma => DyadicPreference::Ifma,
+                KernelPreference::Auto => DyadicPreference::Auto,
+            },
+        );
         Ok(Self {
             m,
             n,
             table,
             kernel,
+            dyadic,
         })
+    }
+
+    /// The element-wise (dyadic) engine matched to this plan's modulus.
+    pub fn dyadic(&self) -> &DyadicEngine {
+        &self.dyadic
     }
 
     /// Name of the butterfly kernel this plan dispatches to
@@ -380,7 +403,7 @@ impl NttPlan {
         scratch.copy_from_slice(b);
         self.forward(out);
         self.forward(scratch);
-        abc_math::poly::mul_assign(&self.m, out, scratch);
+        self.dyadic.mul_assign(out, scratch);
         self.inverse(out);
     }
 }

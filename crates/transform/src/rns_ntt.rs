@@ -14,9 +14,17 @@
 //! pool and recycled, so steady-state operation performs no per-op
 //! allocation ([`PooledLimbs`] returns its buffers on drop).
 //!
-//! Transforms are **bit-identical** to running each limb through its
-//! [`NttPlan`] serially — threading only changes scheduling, never
-//! values — which the property suite asserts for thread counts 1/2/4.
+//! Beyond the transforms, the engine exposes **RNS-wide element-wise
+//! operations** (`dyadic_mul_all`, `dyadic_mul_add_all`,
+//! `dyadic_scalar_mul_all`, add/sub/neg) so a ciphertext-level dyadic
+//! product is one engine call instead of a per-limb loop: limb `i`
+//! runs on its plan's [`abc_math::dyadic::DyadicEngine`]
+//! (AVX-512IFMA → Montgomery dispatch) with the same thread fan-out.
+//!
+//! Transforms and dyadic ops are **bit-identical** to running each limb
+//! through its [`NttPlan`] serially — threading only changes
+//! scheduling, never values — which the property suite asserts for
+//! thread counts 1/2/4.
 
 use crate::ntt::NttPlan;
 use abc_math::{MathError, Modulus};
@@ -31,6 +39,11 @@ const MAX_POOLED_BUFS: usize = 64;
 /// Below this much total work (`limbs × N`), thread spawn overhead
 /// outweighs the fan-out and the engine runs serially.
 const PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// Parallel threshold for the element-wise (dyadic) ops: they are
+/// `O(N)` per limb instead of `O(N log N)`, so spawning threads pays
+/// off only on larger batches.
+const DYADIC_PARALLEL_THRESHOLD: usize = 1 << 16;
 
 /// A recycling pool of `Vec<u64>` scratch buffers.
 #[derive(Debug, Default)]
@@ -288,6 +301,154 @@ impl RnsNttEngine {
         out
     }
 
+    // ------------------------------------------------------------------
+    // RNS-wide element-wise (dyadic) operations
+    // ------------------------------------------------------------------
+    //
+    // One engine call per ciphertext-level operation instead of a
+    // per-limb loop at every call site: limb `i` runs on its plan's
+    // [`abc_math::dyadic::DyadicEngine`] (ifma → montgomery dispatch)
+    // and the limbs fan out across the same scoped threads the
+    // transforms use. Bit-identical to the serial per-limb loop.
+
+    /// `a[i][j] = a[i][j]·b[i][j] mod q_i` — the RNS-wide dyadic
+    /// product (`b` may carry more limbs than `a`; the leading ones are
+    /// used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has more limbs than plans, `b` has fewer limbs
+    /// than `a`, or paired limb lengths differ.
+    pub fn dyadic_mul_all(&self, a: &mut [Vec<u64>], b: &[Vec<u64>]) {
+        assert!(b.len() >= a.len(), "fewer multiplier limbs than targets");
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().mul_assign(limb, &b[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// `a[i][j] = a[i][j]·b[i][j] + c[i][j] mod q_i` — the fused RNS-wide
+    /// kernel behind `pk·v + e` (encrypt) and `c1·s + c0` (decrypt).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::dyadic_mul_all`], extended to `c`.
+    pub fn dyadic_mul_add_all(&self, a: &mut [Vec<u64>], b: &[Vec<u64>], c: &[Vec<u64>]) {
+        assert!(b.len() >= a.len(), "fewer multiplier limbs than targets");
+        assert!(c.len() >= a.len(), "fewer addend limbs than targets");
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().mul_add_assign(limb, &b[i], &c[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// Multiplies **both** ciphertext components by the same RNS vector
+    /// (`a0[i] ⊙= b[i]`, `a1[i] ⊙= b[i]`), entering `b` into each
+    /// kernel's Montgomery domain once per limb and reusing the
+    /// premultiplied form for the pair — the plaintext-multiplication
+    /// shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component limb counts differ, exceed the plans, or
+    /// `b` carries fewer limbs; and if any limb's length differs from
+    /// `N`.
+    pub fn dyadic_mul_pair_all(&self, a0: &mut [Vec<u64>], a1: &mut [Vec<u64>], b: &[Vec<u64>]) {
+        let k = a0.len();
+        assert_eq!(k, a1.len(), "component limb counts differ");
+        assert!(k <= self.plans.len(), "more limbs than plans");
+        assert!(b.len() >= k, "fewer multiplier limbs than targets");
+        let work = |i: usize, x0: &mut Vec<u64>, x1: &mut Vec<u64>| {
+            let d = self.plans[i].dyadic();
+            // Enter b_i once (pooled scratch), multiply both components
+            // against the premultiplied form — one conversion pass
+            // amortized over two products.
+            let mut pre = self.pool.take(self.n);
+            pre.copy_from_slice(&b[i]);
+            d.premul(&mut pre);
+            d.mul_assign_premul(x0, &pre);
+            d.mul_assign_premul(x1, &pre);
+            self.pool.put(pre);
+        };
+        let threads = self.threads.min(k);
+        if threads <= 1 || 2 * k * self.n < DYADIC_PARALLEL_THRESHOLD {
+            for (i, (x0, x1)) in a0.iter_mut().zip(a1.iter_mut()).enumerate() {
+                work(i, x0, x1);
+            }
+            return;
+        }
+        let chunk = k.div_ceil(threads);
+        let work = &work;
+        std::thread::scope(|s| {
+            for (t, (c0, c1)) in a0.chunks_mut(chunk).zip(a1.chunks_mut(chunk)).enumerate() {
+                s.spawn(move || {
+                    for (j, (x0, x1)) in c0.iter_mut().zip(c1.iter_mut()).enumerate() {
+                        work(t * chunk + j, x0, x1);
+                    }
+                });
+            }
+        });
+    }
+
+    /// `a[i][j] = a[i][j]·s[i] mod q_i` — per-limb scalar multiply (the
+    /// rescale `q_last^{-1}` pass). Scalars are reduced on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has more limbs than plans or fewer scalars than
+    /// limbs are supplied.
+    pub fn dyadic_scalar_mul_all(&self, a: &mut [Vec<u64>], s: &[u64]) {
+        assert!(s.len() >= a.len(), "fewer scalars than limbs");
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().scalar_mul_assign(limb, s[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// `a[i][j] = a[i][j] + b[i][j] mod q_i`, RNS-wide.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::dyadic_mul_all`].
+    pub fn add_assign_all(&self, a: &mut [Vec<u64>], b: &[Vec<u64>]) {
+        assert!(b.len() >= a.len(), "fewer addend limbs than targets");
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().add_assign(limb, &b[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// `a[i][j] = a[i][j] − b[i][j] mod q_i`, RNS-wide.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::dyadic_mul_all`].
+    pub fn sub_assign_all(&self, a: &mut [Vec<u64>], b: &[Vec<u64>]) {
+        assert!(b.len() >= a.len(), "fewer subtrahend limbs than targets");
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().sub_assign(limb, &b[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// `a[i][j] = −a[i][j] mod q_i`, RNS-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has more limbs than plans.
+    pub fn neg_assign_all(&self, a: &mut [Vec<u64>]) {
+        self.for_each_limb_threshold(
+            a,
+            |_, plan, limb| plan.dyadic().neg_assign(limb),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
     /// Applies `f(i, plan_i, limb_i)` to every limb, splitting the limbs
     /// into contiguous chunks across scoped threads. Small batches
     /// (`limbs × N` below [`PARALLEL_THRESHOLD`]) run serially: thread
@@ -296,11 +457,20 @@ impl RnsNttEngine {
     where
         F: Fn(usize, &NttPlan, &mut Vec<u64>) + Sync,
     {
+        self.for_each_limb_threshold(limbs, f, PARALLEL_THRESHOLD);
+    }
+
+    /// [`Self::for_each_limb`] with an explicit serial/parallel cutoff
+    /// (the dyadic ops amortize spawns over less work per limb).
+    fn for_each_limb_threshold<F>(&self, limbs: &mut [Vec<u64>], f: F, threshold: usize)
+    where
+        F: Fn(usize, &NttPlan, &mut Vec<u64>) + Sync,
+    {
         let k = limbs.len();
         assert!(k <= self.plans.len(), "more limbs than plans");
         let plans = &self.plans[..k];
         let threads = self.threads.min(k);
-        if threads <= 1 || k * self.n < PARALLEL_THRESHOLD {
+        if threads <= 1 || k * self.n < threshold {
             for (i, (plan, limb)) in plans.iter().zip(limbs.iter_mut()).enumerate() {
                 f(i, plan, limb);
             }

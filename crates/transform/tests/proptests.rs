@@ -145,6 +145,73 @@ proptest! {
     }
 
     #[test]
+    fn rns_dyadic_ops_invariant_under_thread_count(seed in any::<u64>(), limbs in 1usize..6) {
+        // The engine-wide dyadic calls must equal the serial per-limb
+        // DyadicEngine loop for every thread fan-out, bit for bit.
+        // limbs × N reaches 5 × 2^14 > DYADIC_PARALLEL_THRESHOLD
+        // (= 2^16), so the widest cases really spawn threads.
+        let n = 1usize << 14;
+        let pool = generate_ntt_primes(36, limbs, 1 << 15).expect("primes");
+        let moduli: Vec<Modulus> = pool
+            .into_iter()
+            .map(|q| Modulus::new(q).expect("valid"))
+            .collect();
+        let gen = |salt: u64| -> Vec<Vec<u64>> {
+            moduli
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    (0..n as u64)
+                        .map(|j| seed.wrapping_mul(salt + i as u64).wrapping_add(j * 23) % m.q())
+                        .collect()
+                })
+                .collect()
+        };
+        let (a0, b, c) = (gen(1), gen(101), gen(1009));
+        let scalars: Vec<u64> = moduli
+            .iter()
+            .enumerate()
+            .map(|(i, m)| seed.wrapping_add(i as u64) % m.q())
+            .collect();
+        // Serial reference through each plan's own dyadic engine.
+        let plans: Vec<NttPlan> = moduli.iter().map(|&m| NttPlan::new(m, n).expect("plan")).collect();
+        let apply_ref = |f: &dyn Fn(usize, &mut Vec<u64>)| -> Vec<Vec<u64>> {
+            let mut out = a0.clone();
+            for (i, limb) in out.iter_mut().enumerate() {
+                f(i, limb);
+            }
+            out
+        };
+        let mul_ref = apply_ref(&|i, l| plans[i].dyadic().mul_assign(l, &b[i]));
+        let fused_ref = apply_ref(&|i, l| plans[i].dyadic().mul_add_assign(l, &b[i], &c[i]));
+        let scaled_ref = apply_ref(&|i, l| plans[i].dyadic().scalar_mul_assign(l, scalars[i]));
+        let sub_ref = apply_ref(&|i, l| plans[i].dyadic().sub_assign(l, &b[i]));
+        for threads in [1usize, 2, 4] {
+            let engine = RnsNttEngine::with_threads(&moduli, n, threads).expect("engine");
+            let mut mul = a0.clone();
+            engine.dyadic_mul_all(&mut mul, &b);
+            prop_assert_eq!(&mul, &mul_ref, "mul threads = {}", threads);
+            let mut fused = a0.clone();
+            engine.dyadic_mul_add_all(&mut fused, &b, &c);
+            prop_assert_eq!(&fused, &fused_ref, "mul_add threads = {}", threads);
+            let mut scaled = a0.clone();
+            engine.dyadic_scalar_mul_all(&mut scaled, &scalars);
+            prop_assert_eq!(&scaled, &scaled_ref, "scalar threads = {}", threads);
+            let mut sub = a0.clone();
+            engine.sub_assign_all(&mut sub, &b);
+            prop_assert_eq!(&sub, &sub_ref, "sub threads = {}", threads);
+            // The pair call (premul amortized over two components)
+            // equals two plain engine-wide muls.
+            let (mut p0, mut p1) = (a0.clone(), c.clone());
+            engine.dyadic_mul_pair_all(&mut p0, &mut p1, &b);
+            prop_assert_eq!(&p0, &mul_ref, "pair c0 threads = {}", threads);
+            let mut p1_ref = c.clone();
+            engine.dyadic_mul_all(&mut p1_ref, &b);
+            prop_assert_eq!(&p1, &p1_ref, "pair c1 threads = {}", threads);
+        }
+    }
+
+    #[test]
     fn special_fft_roundtrip(seed in any::<u64>(), log_slots in 1u32..9) {
         let slots = 1usize << log_slots;
         let plan = SpecialFft::new(slots);
