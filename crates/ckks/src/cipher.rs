@@ -165,11 +165,74 @@ impl Ciphertext {
         }
     }
 
-    /// Serialized size in bytes (both components, 8 B per residue
-    /// coefficient) — the client→server traffic the simulator's DRAM
-    /// model charges.
+    /// In-memory / wire-v2 size in bytes (both components, full 8 B per
+    /// residue coefficient). The v3 wire format bit-packs residues to
+    /// their prime's width — use [`Self::packed_byte_size`] for the
+    /// bytes actually transported (and charged by the simulator).
     pub fn byte_size(&self) -> usize {
         2 * self.num_primes() * self.n * 8
+    }
+
+    /// Exact wire-v3 (bit-packed) serialized size in bytes under the
+    /// widths `params` generates — what
+    /// [`crate::wire::serialize_ciphertext_packed`] emits and what the
+    /// simulator's DRAM/stream model charges for transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext carries more primes than `params`.
+    pub fn packed_byte_size(&self, params: &crate::params::CkksParams) -> usize {
+        let widths = params.residue_widths(self.num_primes());
+        crate::wire::packed_serialized_len(self, &widths)
+    }
+}
+
+/// The degree-2 intermediate of a ciphertext–ciphertext product
+/// `(c0, c1, c2)`: decrypts as `c0 + c1·s + c2·s²`. Produced by
+/// [`crate::evaluator::mul`]; fold it back to a regular [`Ciphertext`]
+/// with [`crate::evaluator::relinearize`] before further rotations or
+/// serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degree2Ciphertext {
+    pub(crate) c0: Vec<Vec<u64>>,
+    pub(crate) c1: Vec<Vec<u64>>,
+    pub(crate) c2: Vec<Vec<u64>>,
+    pub(crate) scale: ExactScale,
+    pub(crate) n: usize,
+}
+
+/// Borrowed `(d0, d1, d2)` views of a [`Degree2Ciphertext`].
+pub type Degree2Components<'a> = (&'a [Vec<u64>], &'a [Vec<u64>], &'a [Vec<u64>]);
+
+impl Degree2Ciphertext {
+    /// Number of RNS primes (level + 1).
+    pub fn num_primes(&self) -> usize {
+        self.c0.len()
+    }
+
+    /// Ciphertext level (`num_primes - 1`).
+    pub fn level(&self) -> usize {
+        self.c0.len().saturating_sub(1)
+    }
+
+    /// The product scale `Δ_a·Δ_b`, as `f64`.
+    pub fn scale(&self) -> f64 {
+        self.scale.to_f64()
+    }
+
+    /// The exact rational product scale.
+    pub fn exact_scale(&self) -> &ExactScale {
+        &self.scale
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read-only views of the three components.
+    pub fn components(&self) -> Degree2Components<'_> {
+        (&self.c0, &self.c1, &self.c2)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The CKKS client context: encode, encrypt, decrypt, decode.
 
 use crate::cipher::{Ciphertext, Plaintext};
-use crate::key::{PublicKey, SecretKey};
+use crate::key::{EvalKey, GaloisKey, KeySwitchKey, PublicKey, SecretKey};
 use crate::params::{CkksParams, EmbeddingPrecision};
 use crate::scale::ExactScale;
 use crate::CkksError;
@@ -544,6 +544,148 @@ impl CkksContext {
                 seed: mask_seed,
             },
         )
+    }
+
+    /// Generates the relinearization key (key-switching target `s²`)
+    /// deterministically from `seed`. See [`crate::key`] for the
+    /// RNS-gadget decomposition and its noise model.
+    pub fn gen_eval_key(&self, sk: &SecretKey, seed: Seed) -> EvalKey {
+        // s² limb-wise in NTT domain: the evaluation representation of
+        // the polynomial s·s mod (X^N+1, q_i).
+        let mut s2 = sk.ntt.clone();
+        self.engine.dyadic_mul_all(&mut s2, &sk.ntt);
+        EvalKey {
+            ksk: self.gen_key_switch_key(&s2, sk, seed),
+        }
+    }
+
+    /// Generates a Galois key for the automorphism `X → X^element`
+    /// (key-switching target `σ_g(s)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::InvalidParams`] unless `element` is odd and
+    /// in `1..2N` (the Galois group of the 2N-th cyclotomic).
+    pub fn gen_galois_key(
+        &self,
+        sk: &SecretKey,
+        element: u64,
+        seed: Seed,
+    ) -> Result<GaloisKey, CkksError> {
+        let n = self.params.n();
+        let two_n = 2 * n as u64;
+        if element.is_multiple_of(2) || element == 0 || element >= two_n {
+            return Err(CkksError::InvalidParams(format!(
+                "Galois element {element} not odd in 1..{two_n}"
+            )));
+        }
+        // σ_g(s) in coefficient domain: coefficient j lands at
+        // j·g mod 2N, negated when it wraps past N (X^N = −1).
+        let mut permuted = vec![0i8; n];
+        for (j, &c) in sk.coeffs.iter().enumerate() {
+            let idx = (j * element as usize) & (2 * n - 1);
+            if idx < n {
+                permuted[idx] = c;
+            } else {
+                permuted[idx - n] = -c;
+            }
+        }
+        let t_ntt = self.signed_to_ntt(&permuted);
+        Ok(GaloisKey {
+            element,
+            ksk: self.gen_key_switch_key(&t_ntt, sk, seed),
+        })
+    }
+
+    /// Generates the Galois key for a slot rotation by `steps`
+    /// ([`crate::evaluator::rotate`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::gen_galois_key`].
+    pub fn gen_rotation_key(
+        &self,
+        sk: &SecretKey,
+        steps: usize,
+        seed: Seed,
+    ) -> Result<GaloisKey, CkksError> {
+        self.gen_galois_key(sk, self.galois_element_for_rotation(steps), seed)
+    }
+
+    /// Generates the Galois key for slot conjugation
+    /// ([`crate::evaluator::conjugate`]): element `2N − 1 ≡ −1`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::gen_galois_key`].
+    pub fn gen_conjugation_key(&self, sk: &SecretKey, seed: Seed) -> Result<GaloisKey, CkksError> {
+        self.gen_galois_key(sk, 2 * self.params.n() as u64 - 1, seed)
+    }
+
+    /// The Galois element `5^steps mod 2N` realizing a slot rotation by
+    /// `steps` (slot `j` of the result holds slot `(j + steps) mod N/2`
+    /// of the input): the canonical embedding indexes slots along the
+    /// orbit of 5 in `(Z/2N)^×`, so stepping the automorphism walks the
+    /// slots.
+    pub fn galois_element_for_rotation(&self, steps: usize) -> u64 {
+        let two_n = 2 * self.params.n() as u64;
+        let steps = steps % self.params.slots();
+        let mut g: u64 = 1;
+        for _ in 0..steps {
+            g = (g as u128 * 5 % two_n as u128) as u64;
+        }
+        g
+    }
+
+    /// The RNS-gadget key-switching key encrypting `target_ntt` under
+    /// `sk`: digit `i` is `(−a_i·s + e_i + ẽ_i·t, a_i)` with the CRT
+    /// idempotent `ẽ_i` applied as an RNS indicator (limb `i` alone
+    /// picks up `t`). Samplers follow the keygen idiom: each digit's
+    /// error from `seed.derive(2i+1)`, its mask per prime from
+    /// `seed.derive(2i)`, uniform directly in NTT domain.
+    fn gen_key_switch_key(
+        &self,
+        target_ntt: &[Vec<u64>],
+        sk: &SecretKey,
+        seed: Seed,
+    ) -> KeySwitchKey {
+        let n = self.params.n();
+        let digits = self.basis.len();
+        let mut b_digits = Vec::with_capacity(digits);
+        let mut a_digits = Vec::with_capacity(digits);
+        for digit in 0..digits {
+            let mut gauss = GaussianSampler::new(
+                seed.derive(2 * digit as u64 + 1),
+                0,
+                self.params.error_sigma(),
+            );
+            let e = gauss.sample_poly(n);
+            let e_ntt = self.signed64_to_ntt(&e);
+            let mask_seed = seed.derive(2 * digit as u64);
+            let mut a = Vec::with_capacity(digits);
+            for (i, m) in self.basis.moduli().iter().enumerate() {
+                let mut uni = UniformSampler::new(mask_seed, i as u64);
+                let mut limb = vec![0u64; n];
+                uni.sample_poly(m, &mut limb);
+                a.push(limb);
+            }
+            // b = −(a·s) + e, every step one RNS-wide engine call, then
+            // the gadget term on the digit's own limb.
+            let mut b = a.clone();
+            self.engine.dyadic_mul_all(&mut b, &sk.ntt);
+            self.engine.neg_assign_all(&mut b);
+            self.engine.add_assign_all(&mut b, &e_ntt);
+            let m = &self.basis.moduli()[digit];
+            for (dst, &t) in b[digit].iter_mut().zip(&target_ntt[digit]) {
+                *dst = m.add(*dst, t);
+            }
+            b_digits.push(b);
+            a_digits.push(a);
+        }
+        KeySwitchKey {
+            b: b_digits,
+            a: a_digits,
+        }
     }
 
     // ------------------------------------------------------------------

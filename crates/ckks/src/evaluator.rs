@@ -1,13 +1,19 @@
 //! Server-side homomorphic operations on client ciphertexts.
 //!
 //! The client-side accelerator exists so that a *server* can compute on
-//! the ciphertexts; this module provides the primitive the paper's
-//! "level" vocabulary comes from — RNS **rescaling** — plus the
-//! degree-preserving operations (addition, plaintext multiplication)
-//! that need no evaluation keys. Together they are enough to run
-//! linear layers end to end and to produce the low-level ciphertexts
-//! the paper's decryption workload receives (fresh at 24 primes,
-//! returned at 2).
+//! the ciphertexts; this module provides the full primitive set of a
+//! CKKS evaluation server:
+//!
+//! * the degree-preserving, key-free operations — [`add`],
+//!   [`add_plaintext`], [`plaintext_mul`] — enough for linear layers;
+//! * RNS **rescaling** ([`rescale`]), the paper's "level" mechanism;
+//! * keyed compute: ciphertext–ciphertext [`mul`] (degree-2
+//!   intermediate), [`relinearize`] under an [`EvalKey`], and the
+//!   Galois automorphisms [`rotate`] / [`conjugate`] under
+//!   [`GaloisKey`]s — the building blocks of dot products, matvecs and
+//!   every rotate-and-add reduction. All keyed ops share one
+//!   RNS-gadget [`key_switch`]-style core (see [`crate::key`] for the
+//!   decomposition choice and its noise model).
 //!
 //! Rescaling in RNS drops the last prime `q_L`:
 //! `c'_i = (c_i − [c]_{q_L}) · q_L^{-1} (mod q_i)`, which divides the
@@ -23,23 +29,61 @@
 //! with the tail CRT-lifted across both primes), dividing the scale by
 //! ≈Δ_eff = 2^72. Scales are tracked *exactly* as rationals
 //! ([`crate::scale::ExactScale`]): no `f64` drift over the 24-prime
-//! chain.
+//! chain, and operand scales are compared by **exact equality**
+//! ([`ExactScale`]'s normalized representation), not an `f64`
+//! tolerance — see [`add`] for the single sanctioned fallback.
 
-use crate::cipher::{Ciphertext, Plaintext};
+use crate::cipher::{Ciphertext, Degree2Ciphertext, Plaintext};
 use crate::context::CkksContext;
+use crate::key::{EvalKey, GaloisKey, KeySwitchKey};
 use crate::params::ScaleMode;
+use crate::scale::ExactScale;
 use crate::CkksError;
 
+/// Shared entry-point validation for every evaluator operation: the
+/// operand must carry this context's ring degree and no more primes
+/// than the context's basis — an oversized ciphertext would otherwise
+/// index out of bounds inside the engine instead of failing cleanly.
+fn validate_operand(ctx: &CkksContext, n: usize, num_primes: usize) -> Result<(), CkksError> {
+    if n != ctx.params().n() || num_primes > ctx.basis().len() {
+        return Err(CkksError::ContextMismatch);
+    }
+    Ok(())
+}
+
+/// Operand scale compatibility. Evaluator-produced scales carry their
+/// full rescale provenance and must match **exactly** — two different
+/// dropped-prime histories are rejected even when their `f64` images
+/// collide, since silently inheriting one operand's `ExactScale` would
+/// corrupt the exact-rational chain. The one sanctioned fallback: a
+/// history-free scale (empty denominator — e.g. the `f64` conversion
+/// behind [`Ciphertext::from_components`]) may match within `f64`
+/// round-off, because such a scale cannot encode a rescale history in
+/// the first place.
+fn scales_compatible(a: &ExactScale, b: &ExactScale) -> bool {
+    if a == b {
+        return true;
+    }
+    if !a.dropped_primes().is_empty() && !b.dropped_primes().is_empty() {
+        return false;
+    }
+    let (af, bf) = (a.to_f64(), b.to_f64());
+    (af - bf).abs() <= af.abs() * 1e-9
+}
+
 /// Homomorphic addition: `enc(a) + enc(b) = enc(a + b)`.
+///
+/// Operand scales must be equal as exact rationals; see
+/// [`scales_compatible`]'s contract for the documented
+/// [`Ciphertext::from_components`] fallback.
 ///
 /// # Errors
 ///
 /// Returns [`CkksError::InvalidParams`] if levels or scales mismatch and
 /// [`CkksError::ContextMismatch`] for foreign ciphertexts.
 pub fn add(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, CkksError> {
-    if a.n() != ctx.params().n() || b.n() != ctx.params().n() {
-        return Err(CkksError::ContextMismatch);
-    }
+    validate_operand(ctx, a.n(), a.num_primes())?;
+    validate_operand(ctx, b.n(), b.num_primes())?;
     if a.num_primes() != b.num_primes() {
         return Err(CkksError::InvalidParams(format!(
             "level mismatch: {} vs {} primes",
@@ -47,7 +91,7 @@ pub fn add(ctx: &CkksContext, a: &Ciphertext, b: &Ciphertext) -> Result<Cipherte
             b.num_primes()
         )));
     }
-    if (a.scale() - b.scale()).abs() > a.scale() * 1e-9 {
+    if !scales_compatible(a.exact_scale(), b.exact_scale()) {
         return Err(CkksError::InvalidParams(
             "scale mismatch in homomorphic addition".to_owned(),
         ));
@@ -74,15 +118,14 @@ pub fn add_plaintext(
     ct: &Ciphertext,
     pt: &Plaintext,
 ) -> Result<Ciphertext, CkksError> {
-    if ct.n() != ctx.params().n() || pt.n() != ctx.params().n() {
-        return Err(CkksError::ContextMismatch);
-    }
+    validate_operand(ctx, ct.n(), ct.num_primes())?;
+    validate_operand(ctx, pt.n(), pt.num_primes())?;
     if pt.num_primes() < ct.num_primes() {
         return Err(CkksError::InvalidParams(
             "plaintext carries fewer primes than the ciphertext".to_owned(),
         ));
     }
-    if (ct.scale() - pt.scale()).abs() > ct.scale() * 1e-9 {
+    if !scales_compatible(ct.exact_scale(), pt.exact_scale()) {
         return Err(CkksError::InvalidParams(
             "scale mismatch in plaintext addition".to_owned(),
         ));
@@ -106,9 +149,8 @@ pub fn plaintext_mul(
     ct: &Ciphertext,
     pt: &Plaintext,
 ) -> Result<Ciphertext, CkksError> {
-    if ct.n() != ctx.params().n() || pt.n() != ctx.params().n() {
-        return Err(CkksError::ContextMismatch);
-    }
+    validate_operand(ctx, ct.n(), ct.num_primes())?;
+    validate_operand(ctx, pt.n(), pt.num_primes())?;
     if pt.num_primes() < ct.num_primes() {
         return Err(CkksError::InvalidParams(
             "plaintext carries fewer primes than the ciphertext".to_owned(),
@@ -149,9 +191,7 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksErr
 /// (nothing left to drop) and [`CkksError::ContextMismatch`] for foreign
 /// ciphertexts.
 pub fn rescale_prime(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
-    if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
-        return Err(CkksError::ContextMismatch);
-    }
+    validate_operand(ctx, ct.n(), ct.num_primes())?;
     let lvl = ct.num_primes();
     if lvl < 2 {
         return Err(CkksError::InvalidParams(
@@ -209,9 +249,7 @@ pub fn rescale_prime(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, C
 /// remain (a pair must drop and at least one prime must survive) and
 /// [`CkksError::ContextMismatch`] for foreign ciphertexts.
 pub fn rescale_pair(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
-    if ct.n() != ctx.params().n() || ct.num_primes() > ctx.basis().len() {
-        return Err(CkksError::ContextMismatch);
-    }
+    validate_operand(ctx, ct.n(), ct.num_primes())?;
     let lvl = ct.num_primes();
     if lvl < 3 {
         return Err(CkksError::InvalidParams(format!(
@@ -266,6 +304,230 @@ pub fn rescale_pair(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, Ck
     }
     let scale = ct.exact_scale().div_prime(qa.q()).div_prime(qb.q());
     Ciphertext::from_components_exact(out0, out1, scale)
+}
+
+/// Ciphertext–ciphertext multiplication, producing the degree-2
+/// intermediate `(d0, d1, d2) = (a0·b0, a0·b1 + a1·b0, a1·b1)` at scale
+/// `Δ_a·Δ_b`. Fold it back to degree 1 with [`relinearize`] (or use
+/// [`mul_relin`]), then [`rescale`].
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] on level or scale-provenance
+/// pathologies (levels must match; scales may differ — the product
+/// scale is tracked exactly) and [`CkksError::ContextMismatch`] for
+/// foreign ciphertexts.
+pub fn mul(
+    ctx: &CkksContext,
+    a: &Ciphertext,
+    b: &Ciphertext,
+) -> Result<Degree2Ciphertext, CkksError> {
+    validate_operand(ctx, a.n(), a.num_primes())?;
+    validate_operand(ctx, b.n(), b.num_primes())?;
+    if a.num_primes() != b.num_primes() {
+        return Err(CkksError::InvalidParams(format!(
+            "level mismatch: {} vs {} primes",
+            a.num_primes(),
+            b.num_primes()
+        )));
+    }
+    let engine = ctx.ntt_engine();
+    let (a0, a1) = a.components();
+    let (b0, b1) = b.components();
+    // All three products run on NTT-domain limbs: four dyadic passes
+    // total, with the cross term fused as d1 = a0·b1 + (a1·b0).
+    let mut d0 = a0.to_vec();
+    engine.dyadic_mul_all(&mut d0, b0);
+    let mut d2 = a1.to_vec();
+    engine.dyadic_mul_all(&mut d2, b1);
+    let mut cross = a1.to_vec();
+    engine.dyadic_mul_all(&mut cross, b0);
+    let mut d1 = a0.to_vec();
+    engine.dyadic_mul_add_all(&mut d1, b1, &cross);
+    Ok(Degree2Ciphertext {
+        c0: d0,
+        c1: d1,
+        c2: d2,
+        scale: a.exact_scale().mul(b.exact_scale()),
+        n: a.n(),
+    })
+}
+
+/// The `(ks0, ks1)` component pair a key switch produces.
+type KeySwitchOutput = (Vec<Vec<u64>>, Vec<Vec<u64>>);
+
+/// The shared key-switch core. Decomposes the NTT-domain polynomial `a`
+/// into one *centered* digit per carried prime — limb `i` goes back to
+/// coefficient domain, centers into `(−q_i/2, q_i/2]`, and re-expands
+/// under all carried primes — then accumulates `Σ Dᵢ·(bᵢ, aᵢ)` through
+/// the engine's fused pair kernel. The result satisfies
+/// `ks0 + ks1·s ≈ a·t` up to the gadget noise `Σ Dᵢ·eᵢ`
+/// ([`crate::noise::predicted_keyswitch_std`]).
+///
+/// Because the RNS gadget is an indicator basis, a full-level key
+/// prefix-truncates: a ciphertext carrying `k` limbs uses digits
+/// `0..k`, each restricted to limbs `0..k`.
+fn key_switch(
+    ctx: &CkksContext,
+    a: &[Vec<u64>],
+    ksk: &KeySwitchKey,
+) -> Result<KeySwitchOutput, CkksError> {
+    let k = a.len();
+    if ksk.num_digits() < k || ksk.num_primes() < k {
+        return Err(CkksError::ContextMismatch);
+    }
+    let n = ctx.params().n();
+    let engine = ctx.ntt_engine();
+    let moduli = ctx.basis().moduli();
+    let mut acc0 = vec![vec![0u64; n]; k];
+    let mut acc1 = vec![vec![0u64; n]; k];
+    let mut centered = vec![0i64; n];
+    for (i, limb) in a.iter().enumerate() {
+        let mut tail = engine.take_buf();
+        tail.copy_from_slice(limb);
+        engine.plan(i).inverse(&mut tail);
+        for (dst, &x) in centered.iter_mut().zip(tail.iter()) {
+            *dst = moduli[i].to_centered(x);
+        }
+        engine.recycle(tail);
+        let digit = engine.expand_and_ntt_i64(&centered, k);
+        engine.dyadic_mul_acc_pair_all(&mut acc0, &mut acc1, &digit, &ksk.b[i], &ksk.a[i]);
+    }
+    Ok((acc0, acc1))
+}
+
+/// Folds the degree-2 component of a ciphertext product back onto
+/// `(c0, c1)` by key-switching `c2` from `s²` to `s` under the
+/// relinearization key: `(c0 + ks0, c1 + ks1)`. The scale is unchanged.
+///
+/// # Errors
+///
+/// Returns [`CkksError::ContextMismatch`] for foreign ciphertexts or an
+/// evaluation key carrying fewer digits/limbs than the ciphertext.
+pub fn relinearize(
+    ctx: &CkksContext,
+    ct: &Degree2Ciphertext,
+    evk: &EvalKey,
+) -> Result<Ciphertext, CkksError> {
+    validate_operand(ctx, ct.n(), ct.num_primes())?;
+    let (ks0, ks1) = key_switch(ctx, &ct.c2, &evk.ksk)?;
+    let engine = ctx.ntt_engine();
+    let mut c0 = ct.c0.clone();
+    engine.add_assign_all(&mut c0, &ks0);
+    let mut c1 = ct.c1.clone();
+    engine.add_assign_all(&mut c1, &ks1);
+    Ciphertext::from_components_exact(c0, c1, ct.exact_scale().clone())
+}
+
+/// [`mul`] followed by [`relinearize`] — the common path for
+/// ciphertext–ciphertext products.
+///
+/// # Errors
+///
+/// Propagates the errors of [`mul`] and [`relinearize`].
+pub fn mul_relin(
+    ctx: &CkksContext,
+    a: &Ciphertext,
+    b: &Ciphertext,
+    evk: &EvalKey,
+) -> Result<Ciphertext, CkksError> {
+    let product = mul(ctx, a, b)?;
+    relinearize(ctx, &product, evk)
+}
+
+/// Applies the automorphism `X → X^g` to one NTT-domain component:
+/// each limb returns to coefficient domain, permutes
+/// `j → j·g mod 2N` (with `X^N = −1` folding the upper half as a
+/// negation), and transforms forward again.
+fn apply_automorphism(ctx: &CkksContext, component: &[Vec<u64>], element: u64) -> Vec<Vec<u64>> {
+    let n = ctx.params().n();
+    let engine = ctx.ntt_engine();
+    let mask = 2 * n - 1;
+    let g = element as usize;
+    let mut limbs = component.to_vec();
+    engine.inverse_all(&mut limbs);
+    let mut out: Vec<Vec<u64>> = limbs
+        .iter()
+        .enumerate()
+        .map(|(i, limb)| {
+            let m = &ctx.basis().moduli()[i];
+            let mut dst = vec![0u64; n];
+            for (j, &c) in limb.iter().enumerate() {
+                let idx = (j * g) & mask;
+                if idx < n {
+                    dst[idx] = c;
+                } else {
+                    dst[idx - n] = m.neg(c);
+                }
+            }
+            dst
+        })
+        .collect();
+    engine.forward_all(&mut out);
+    out
+}
+
+/// Shared Galois path: automorphism on both components, then
+/// key-switch `σ_g(c1)` from `σ_g(s)` back to `s`.
+fn apply_galois(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    gk: &GaloisKey,
+    expected_element: u64,
+) -> Result<Ciphertext, CkksError> {
+    validate_operand(ctx, ct.n(), ct.num_primes())?;
+    if gk.element() != expected_element {
+        return Err(CkksError::InvalidParams(format!(
+            "Galois key element {} does not match the requested automorphism {expected_element}",
+            gk.element()
+        )));
+    }
+    let (c0, c1) = ct.components();
+    let g0 = apply_automorphism(ctx, c0, gk.element());
+    let g1 = apply_automorphism(ctx, c1, gk.element());
+    let (ks0, ks1) = key_switch(ctx, &g1, &gk.ksk)?;
+    let engine = ctx.ntt_engine();
+    let mut out0 = g0;
+    engine.add_assign_all(&mut out0, &ks0);
+    Ciphertext::from_components_exact(out0, ks1, ct.exact_scale().clone())
+}
+
+/// Homomorphic slot rotation by `steps`: slot `j` of the result holds
+/// slot `(j + steps) mod N/2` of the input (a rotation *toward* lower
+/// indices). The key must have been generated with
+/// [`CkksContext::gen_rotation_key`] for the same `steps` (equivalently
+/// [`CkksContext::galois_element_for_rotation`]). The scale is
+/// unchanged.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if the key's Galois element
+/// does not match `steps` and [`CkksError::ContextMismatch`] for
+/// foreign inputs.
+pub fn rotate(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    steps: usize,
+    gk: &GaloisKey,
+) -> Result<Ciphertext, CkksError> {
+    apply_galois(ctx, ct, gk, ctx.galois_element_for_rotation(steps))
+}
+
+/// Homomorphic complex conjugation of every slot (the automorphism
+/// `X → X^{2N−1}`). The key must come from
+/// [`CkksContext::gen_conjugation_key`]. The scale is unchanged.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] on a key element mismatch and
+/// [`CkksError::ContextMismatch`] for foreign inputs.
+pub fn conjugate(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    gk: &GaloisKey,
+) -> Result<Ciphertext, CkksError> {
+    let expected = 2 * ctx.params().n() as u64 - 1;
+    apply_galois(ctx, ct, gk, expected)
 }
 
 #[cfg(test)]
@@ -508,6 +770,227 @@ mod tests {
         assert!(matches!(
             add(&ctx, &a, &b),
             Err(CkksError::InvalidParams(_))
+        ));
+    }
+
+    fn slot_product(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| Complex::new(x.re * y.re - x.im * y.im, x.re * y.im + x.im * y.re))
+            .collect()
+    }
+
+    #[test]
+    fn mul_relin_rescale_matches_slotwise_product() {
+        let ctx = ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(30));
+        let evk = ctx.gen_eval_key(&sk, Seed::from_u128(31));
+        let slots = ctx.params().slots();
+        let a = msg(slots, 0.0);
+        let b = msg(slots, 1.7);
+        let ca = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(32));
+        let cb = ctx.encrypt(&ctx.encode(&b).expect("e"), &pk, Seed::from_u128(33));
+        let product = mul(&ctx, &ca, &cb).expect("mul");
+        assert_eq!(product.num_primes(), ca.num_primes());
+        assert_eq!(product.scale(), ca.scale() * cb.scale());
+        let relin = relinearize(&ctx, &product, &evk).expect("relinearize");
+        assert_eq!(relin.exact_scale(), product.exact_scale());
+        let rescaled = rescale(&ctx, &relin).expect("rescale");
+        let out = ctx
+            .decode(&ctx.decrypt(&rescaled, &sk).expect("d"))
+            .expect("decode");
+        let err = max_err(&out, &slot_product(&a, &b));
+        assert!(err < 1e-3, "slot error {err}");
+        // The convenience wrapper is exactly the staged pipeline.
+        let fused = mul_relin(&ctx, &ca, &cb, &evk).expect("mul_relin");
+        assert_eq!(fused, relin);
+    }
+
+    #[test]
+    fn keyswitch_keys_prefix_truncate_to_lower_levels() {
+        // One full-level eval key serves every level: the RNS-indicator
+        // gadget restricts to digits 0..k / limbs 0..k.
+        let ctx = ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(34));
+        let evk = ctx.gen_eval_key(&sk, Seed::from_u128(35));
+        let slots = ctx.params().slots();
+        let a = msg(slots, 0.4);
+        let b = msg(slots, 2.2);
+        let ca = ctx
+            .encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(36))
+            .truncated(3);
+        let cb = ctx
+            .encrypt(&ctx.encode(&b).expect("e"), &pk, Seed::from_u128(37))
+            .truncated(3);
+        let relin = mul_relin(&ctx, &ca, &cb, &evk).expect("low-level mul_relin");
+        assert_eq!(relin.num_primes(), 3);
+        let rescaled = rescale(&ctx, &relin).expect("rescale");
+        let out = ctx
+            .decode(&ctx.decrypt(&rescaled, &sk).expect("d"))
+            .expect("decode");
+        let err = max_err(&out, &slot_product(&a, &b));
+        assert!(err < 1e-3, "slot error {err}");
+    }
+
+    /// A double-scale context: Galois key-switch noise (≈q_max·σ·√(Nk/12),
+    /// see [`crate::key`]) needs the DoublePair Δ_eff = 2^72 budget —
+    /// against a Single-mode Δ = 2^36 it would dominate the message.
+    fn double_ctx() -> CkksContext {
+        use crate::params::ScaleMode;
+        CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .num_primes(6)
+                .scale_mode(ScaleMode::DoublePair)
+                .secret_hamming_weight(Some(64))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx")
+    }
+
+    #[test]
+    fn rotate_matches_slot_permutation() {
+        let ctx = double_ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(40));
+        let slots = ctx.params().slots();
+        let a = msg(slots, 0.9);
+        let ct = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(41));
+        for steps in [1usize, 3, slots / 2, slots - 1] {
+            let gk = ctx
+                .gen_rotation_key(&sk, steps, Seed::from_u128(42 + steps as u128))
+                .expect("rotation key");
+            let rotated = rotate(&ctx, &ct, steps, &gk).expect("rotate");
+            assert_eq!(rotated.exact_scale(), ct.exact_scale());
+            let out = ctx
+                .decode(&ctx.decrypt(&rotated, &sk).expect("d"))
+                .expect("decode");
+            let expected: Vec<Complex> = (0..slots).map(|j| a[(j + steps) % slots]).collect();
+            let err = max_err(&out, &expected);
+            assert!(err < 1e-3, "steps {steps}: slot error {err}");
+        }
+    }
+
+    #[test]
+    fn conjugate_matches_slot_conjugation() {
+        let ctx = double_ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(44));
+        let slots = ctx.params().slots();
+        let a = msg(slots, 0.2);
+        let ct = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(45));
+        let gk = ctx
+            .gen_conjugation_key(&sk, Seed::from_u128(46))
+            .expect("conjugation key");
+        let conj = conjugate(&ctx, &ct, &gk).expect("conjugate");
+        let out = ctx
+            .decode(&ctx.decrypt(&conj, &sk).expect("d"))
+            .expect("decode");
+        let expected: Vec<Complex> = a.iter().map(|z| Complex::new(z.re, -z.im)).collect();
+        let err = max_err(&out, &expected);
+        assert!(err < 1e-3, "slot error {err}");
+    }
+
+    #[test]
+    fn rotate_rejects_mismatched_key_element() {
+        let ctx = ctx();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(47));
+        let ct = ctx.encrypt(
+            &ctx.encode(&msg(8, 0.0)).expect("e"),
+            &pk,
+            Seed::from_u128(48),
+        );
+        let gk = ctx
+            .gen_rotation_key(&sk, 1, Seed::from_u128(49))
+            .expect("key");
+        assert!(matches!(
+            rotate(&ctx, &ct, 2, &gk),
+            Err(CkksError::InvalidParams(_))
+        ));
+        assert!(matches!(
+            conjugate(&ctx, &ct, &gk),
+            Err(CkksError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn mul_rejects_level_mismatch() {
+        let ctx = ctx();
+        let (_, pk) = ctx.keygen(Seed::from_u128(50));
+        let ct = ctx.encrypt(
+            &ctx.encode(&msg(8, 0.0)).expect("e"),
+            &pk,
+            Seed::from_u128(51),
+        );
+        assert!(matches!(
+            mul(&ctx, &ct, &ct.truncated(3)),
+            Err(CkksError::InvalidParams(_))
+        ));
+    }
+
+    /// Regression: the old evaluator compared scales with an `f64`
+    /// relative tolerance of 1e-9, silently accepting two *different*
+    /// exact rescale histories whose `f64` images collide. Exact-scale
+    /// operands must match by representation.
+    #[test]
+    fn add_rejects_distinct_exact_scale_histories() {
+        use abc_math::UBig;
+        let ctx = ctx();
+        let n = ctx.params().n();
+        let q_last = ctx.basis().moduli()[4].q();
+        // The true post-rescale scale 2^72/q_last …
+        let true_scale = ExactScale::from_log2(72).div_prime(q_last);
+        // … and an impostor (2^40+1)·2^32/q_last, off by 2^-40 relative —
+        // far inside the old 1e-9 tolerance.
+        let near =
+            ExactScale::from_raw_parts(UBig::one().shl(40).add(&UBig::one()), 32, vec![q_last])
+                .expect("valid raw parts");
+        let rel = (near.to_f64() - true_scale.to_f64()).abs() / true_scale.to_f64();
+        assert!(rel < 1e-9, "impostor must defeat the old f64 check: {rel}");
+        let limbs = vec![vec![0u64; n]; 3];
+        let a = Ciphertext::from_components_exact(limbs.clone(), limbs.clone(), true_scale.clone())
+            .expect("ct");
+        let b = Ciphertext::from_components_exact(limbs.clone(), limbs.clone(), near).expect("ct");
+        assert!(matches!(
+            add(&ctx, &a, &b),
+            Err(CkksError::InvalidParams(_))
+        ));
+        // The sanctioned fallback survives: a history-free f64 scale
+        // (`from_components`) still matches within f64 round-off.
+        let loose =
+            Ciphertext::from_components(limbs.clone(), limbs, true_scale.to_f64()).expect("ct");
+        assert!(add(&ctx, &a, &loose).is_ok());
+    }
+
+    /// Regression: ciphertexts carrying more primes than the context's
+    /// basis used to panic (out-of-bounds plan/modulus indexing) in
+    /// `add`/`add_plaintext`/`plaintext_mul`; every entry point must
+    /// return [`CkksError::ContextMismatch`] instead.
+    #[test]
+    fn oversized_ciphertext_is_rejected_not_a_panic() {
+        let ctx = ctx();
+        let n = ctx.params().n();
+        let limbs = vec![vec![0u64; n]; ctx.basis().len() + 1];
+        let ct = Ciphertext::from_components(limbs.clone(), limbs, 2f64.powi(36)).expect("ct");
+        let pt = ctx.encode(&msg(8, 0.0)).expect("encode");
+        assert!(matches!(
+            add(&ctx, &ct, &ct),
+            Err(CkksError::ContextMismatch)
+        ));
+        assert!(matches!(
+            add_plaintext(&ctx, &ct, &pt),
+            Err(CkksError::ContextMismatch)
+        ));
+        assert!(matches!(
+            plaintext_mul(&ctx, &ct, &pt),
+            Err(CkksError::ContextMismatch)
+        ));
+        assert!(matches!(
+            rescale(&ctx, &ct),
+            Err(CkksError::ContextMismatch)
+        ));
+        assert!(matches!(
+            mul(&ctx, &ct, &ct),
+            Err(CkksError::ContextMismatch)
         ));
     }
 

@@ -1,4 +1,29 @@
-//! Secret and public keys.
+//! Secret, public, and evaluation (key-switching) keys.
+//!
+//! # Key-switching decomposition
+//!
+//! [`EvalKey`] and [`GaloisKey`] wrap a [`KeySwitchKey`]: the plain
+//! **RNS-gadget** (per-prime digit) decomposition of the full RNS-CKKS
+//! construction (Cheon et al., "A Full RNS Variant of Approximate
+//! Homomorphic Encryption"). The gadget vector is the CRT idempotent
+//! basis `ẽ_i = q̂_i·[q̂_i⁻¹]_{q_i}`, which in RNS representation is the
+//! *indicator* vector (limb `i` = 1, every other limb = 0) — so key
+//! generation needs no big-integer arithmetic, and truncating every
+//! digit's limbs to a prefix of the basis yields a valid key for any
+//! lower level. Digit `i` of the key is the pair
+//! `(b_i, a_i) = (−a_i·s + e_i + ẽ_i·t, a_i)` encrypting the target
+//! polynomial `t` (s² for relinearization, σ_g(s) for a Galois
+//! element `g`).
+//!
+//! **Noise model.** Switching a `k`-limb polynomial decomposes each limb
+//! into a centered digit `|D_i| ≤ q_i/2` and accumulates `Σ D_i·e_i`:
+//! per coefficient a sum of `k` ring convolutions of `N` terms each,
+//! giving standard deviation `σ·√(N/12·Σq_i²)` ≈ `q_max·σ·√(N·k/12)`
+//! ([`crate::noise::predicted_keyswitch_std`]). At the bootstrappable
+//! parameters (N = 2^13, 24 36-bit primes, σ = 3.2) that is ≈2^45 —
+//! against a degree-2 scale of Δ_eff² = 2^144, a relative slot error
+//! near 2^-92, so the plain per-prime gadget holds the DoublePair
+//! precision budget with no hybrid/special-modulus decomposition.
 
 /// The secret key: a ternary polynomial, stored both as signed
 /// coefficients and per-prime in NTT domain (decryption uses the latter).
@@ -56,5 +81,88 @@ impl PublicKey {
             .chain(self.pk1.iter())
             .map(|p| p.len() * 8)
             .sum()
+    }
+}
+
+/// An RNS-gadget key-switching key: one `(b_i, a_i)` pair per digit
+/// (= per basis prime), each pair spanning the full basis in NTT
+/// domain. See the module docs for the decomposition and noise model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeySwitchKey {
+    /// `b[i][j]`: digit `i`'s masked component mod `q_j`, NTT domain
+    /// (`−a_i·s + e_i + ẽ_i·t`).
+    pub(crate) b: Vec<Vec<Vec<u64>>>,
+    /// `a[i][j]`: digit `i`'s uniform mask mod `q_j`, NTT domain.
+    pub(crate) a: Vec<Vec<Vec<u64>>>,
+}
+
+impl KeySwitchKey {
+    /// Number of decomposition digits (= basis primes at generation).
+    pub fn num_digits(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Limbs carried by each digit pair.
+    pub fn num_primes(&self) -> usize {
+        self.b.first().map_or(0, Vec::len)
+    }
+
+    /// In-memory bytes of both components across all digits.
+    pub fn byte_size(&self) -> usize {
+        self.b
+            .iter()
+            .chain(self.a.iter())
+            .flatten()
+            .map(|p| p.len() * 8)
+            .sum()
+    }
+}
+
+/// The relinearization key: a [`KeySwitchKey`] whose target is `s²`,
+/// used by [`crate::evaluator::relinearize`] to fold the degree-2
+/// component of a ciphertext product back onto `(c0, c1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalKey {
+    pub(crate) ksk: KeySwitchKey,
+}
+
+impl EvalKey {
+    /// The underlying key-switching key.
+    pub fn key_switch_key(&self) -> &KeySwitchKey {
+        &self.ksk
+    }
+
+    /// In-memory bytes (the quantity a server holds per client).
+    pub fn byte_size(&self) -> usize {
+        self.ksk.byte_size()
+    }
+}
+
+/// A Galois key for one automorphism `X → X^g`: a [`KeySwitchKey`]
+/// whose target is `σ_g(s)`, used by [`crate::evaluator::rotate`] and
+/// [`crate::evaluator::conjugate`]. Each rotation step needs its own
+/// key (the paper's server holds a set for the power-of-two steps of a
+/// rotate-and-add reduction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaloisKey {
+    /// The Galois element `g` (odd, modulo `2N`) this key switches from.
+    pub(crate) element: u64,
+    pub(crate) ksk: KeySwitchKey,
+}
+
+impl GaloisKey {
+    /// The Galois element `g` of the automorphism `X → X^g`.
+    pub fn element(&self) -> u64 {
+        self.element
+    }
+
+    /// The underlying key-switching key.
+    pub fn key_switch_key(&self) -> &KeySwitchKey {
+        &self.ksk
+    }
+
+    /// In-memory bytes.
+    pub fn byte_size(&self) -> usize {
+        self.ksk.byte_size()
     }
 }

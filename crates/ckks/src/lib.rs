@@ -56,9 +56,9 @@ pub mod security;
 pub mod symmetric;
 pub mod wire;
 
-pub use cipher::{Ciphertext, Plaintext};
+pub use cipher::{Ciphertext, Degree2Ciphertext, Plaintext};
 pub use context::{CkksContext, EmbeddingEngine};
-pub use key::{PublicKey, SecretKey};
+pub use key::{EvalKey, GaloisKey, KeySwitchKey, PublicKey, SecretKey};
 pub use params::EmbeddingPrecision;
 pub use scale::ExactScale;
 

@@ -64,6 +64,44 @@ pub fn predicted_roundtrip_precision_bits(params: &crate::params::CkksParams) ->
     params.effective_scale_bits() as f64 - sigma_hat.log2() - (n as f64).log2() / 2.0
 }
 
+/// Predicted standard deviation of the noise one RNS-gadget key switch
+/// adds (see [`crate::key`] for the decomposition): the switched
+/// polynomial splits into one centered digit `|Dᵢ| ≤ qᵢ/2` per carried
+/// prime, and the accumulated error `Σ Dᵢ·eᵢ` sums `primes` ring
+/// convolutions of `N` terms each:
+///
+/// ```text
+/// std ≈ σ·√(N/12 · Σ qᵢ²)
+/// ```
+///
+/// with the basis widths `params` generates (the head prime widened
+/// 3 bits, the rest at `prime_bits`). Relinearization and rotation add
+/// exactly one key switch each, so this figure *is* their noise
+/// prediction — compare it to the operating scale: against the
+/// DoublePair product scale Δ_eff² = 2^144 it is ≈2^-99 relative, and
+/// against Δ_eff = 2^72 still ≈2^-27; against a Single-mode Δ = 2^36 it
+/// would dominate, which is why keyed ops belong to double-scale
+/// parameters.
+pub fn predicted_keyswitch_std(params: &crate::params::CkksParams, primes: usize) -> f64 {
+    let widths = params.residue_widths(primes);
+    let sum_q_sq: f64 = widths.iter().map(|&w| 4.0f64.powi(w as i32)).sum();
+    params.error_sigma() * (params.n() as f64 / 12.0 * sum_q_sq).sqrt()
+}
+
+/// Predicted noise standard deviation of [`crate::evaluator::relinearize`]
+/// on a `primes`-limb degree-2 ciphertext — one key switch.
+pub fn predicted_relinearize_std(params: &crate::params::CkksParams, primes: usize) -> f64 {
+    predicted_keyswitch_std(params, primes)
+}
+
+/// Predicted noise standard deviation of [`crate::evaluator::rotate`] /
+/// [`crate::evaluator::conjugate`] on a `primes`-limb ciphertext — the
+/// automorphism itself is exact (a signed permutation); only its key
+/// switch adds noise.
+pub fn predicted_rotate_std(params: &crate::params::CkksParams, primes: usize) -> f64 {
+    predicted_keyswitch_std(params, primes)
+}
+
 /// Measures the actual noise of `ct` for the known plaintext
 /// `reference` (both from the same context): decrypts, subtracts the
 /// reference in the NTT domain, inverse-transforms, and reads centered
@@ -212,6 +250,75 @@ mod tests {
             (p15 - p_double - 1.0).abs() < 0.05,
             "N-slope {}",
             p15 - p_double
+        );
+    }
+
+    #[test]
+    fn keyswitch_prediction_scales_with_level_and_matches_magnitude() {
+        let params = CkksParams::builder()
+            .log_n(10)
+            .num_primes(6)
+            .secret_hamming_weight(Some(64))
+            .build()
+            .expect("params");
+        // More carried primes ⇒ more digits ⇒ more accumulated noise.
+        assert!(predicted_keyswitch_std(&params, 2) < predicted_keyswitch_std(&params, 6));
+        // Dominated by the 39-bit head prime: σ·√(N/12·Σq²) ≈ 2^44.
+        let bits = predicted_keyswitch_std(&params, 6).log2();
+        assert!((41.0..47.0).contains(&bits), "keyswitch std 2^{bits:.1}");
+        // Relin and rotate each cost exactly one key switch.
+        assert_eq!(
+            predicted_relinearize_std(&params, 4),
+            predicted_keyswitch_std(&params, 4)
+        );
+        assert_eq!(
+            predicted_rotate_std(&params, 4),
+            predicted_keyswitch_std(&params, 4)
+        );
+    }
+
+    #[test]
+    fn measured_rotation_noise_tracks_keyswitch_prediction() {
+        // Rotation noise ≈ one key switch; in the slot domain the RMS
+        // error is std·√N/Δ_eff. The coefficient noise (≈2^44) wraps the
+        // 39-bit head prime, so measure in slots rather than via
+        // measure_noise's limb-0 path.
+        use crate::evaluator;
+        use crate::params::ScaleMode;
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(10)
+                .num_primes(6)
+                .scale_mode(ScaleMode::DoublePair)
+                .secret_hamming_weight(Some(64))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (sk, pk) = ctx.keygen(Seed::from_u128(40));
+        let slots = ctx.params().slots();
+        let a = msg(slots);
+        let ct = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(41));
+        let gk = ctx
+            .gen_rotation_key(&sk, 1, Seed::from_u128(42))
+            .expect("key");
+        let rotated = evaluator::rotate(&ctx, &ct, 1, &gk).expect("rotate");
+        let out = ctx
+            .decode(&ctx.decrypt(&rotated, &sk).expect("d"))
+            .expect("decode");
+        let mut sum_sq = 0.0f64;
+        for (j, z) in out.iter().enumerate() {
+            let d = z.dist(a[(j + 1) % slots]);
+            sum_sq += d * d;
+        }
+        let measured_rms = (sum_sq / slots as f64).sqrt();
+        let n = ctx.params().n() as f64;
+        let predicted_rms =
+            predicted_rotate_std(ctx.params(), ct.num_primes()) * n.sqrt() / ctx.params().scale();
+        let ratio = measured_rms / predicted_rms;
+        assert!(
+            (0.05..20.0).contains(&ratio),
+            "measured {measured_rms:.3e} vs predicted {predicted_rms:.3e} (ratio {ratio:.2})"
         );
     }
 

@@ -291,6 +291,96 @@ pub fn fig2_rows(n: u64, enc_primes: u64, dec_primes: u64) -> Vec<Fig2Row> {
     ]
 }
 
+/// Counts one RNS-gadget key switch of a `primes`-limb polynomial
+/// ([`crate::evaluator::relinearize`] / rotation internals): per digit,
+/// one INTT of the digit's limb, `primes` NTTs of the centered digit,
+/// and a fused multiply-accumulate against both key components across
+/// every limb. The `primes²` NTT term dominates — the same transform
+/// bound that rules the client workload rules the server's key switch.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 4 or `primes` is zero.
+pub fn count_keyswitch_ops(n: u64, primes: u64) -> PhaseBreakdown {
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "n must be a power of two >= 4"
+    );
+    assert!(primes >= 1, "prime counts must be positive");
+    let k = primes;
+    let mut out = PhaseBreakdown {
+        // k digit INTTs + k² re-expansion NTTs.
+        ntt: (0..k + k * k).map(|_| ntt_ops(n)).sum(),
+        ..Default::default()
+    };
+    // Per digit per limb: D·b and D·a muls, two accumulator adds.
+    out.poly.muls += 2 * n * k * k;
+    out.poly.adds += 2 * n * k * k;
+    // Centering each digit + RNS re-expansion reductions.
+    out.other.others += n * k + n * k * k;
+    out
+}
+
+/// Counts a ciphertext–ciphertext multiply ([`crate::evaluator::mul`]):
+/// four dyadic limb products and one accumulation for the cross term,
+/// all in the NTT domain (no transforms).
+pub fn count_mul_ops(n: u64, primes: u64) -> PhaseBreakdown {
+    assert!(
+        n.is_power_of_two() && n >= 4,
+        "n must be a power of two >= 4"
+    );
+    assert!(primes >= 1, "prime counts must be positive");
+    let mut out = PhaseBreakdown::default();
+    out.poly.muls += 4 * n * primes;
+    out.poly.adds += n * primes;
+    out
+}
+
+/// Counts [`crate::evaluator::relinearize`]: one key switch of `c2`
+/// plus folding both switched components onto `(c0, c1)`.
+pub fn count_relinearize_ops(n: u64, primes: u64) -> PhaseBreakdown {
+    let mut out = count_keyswitch_ops(n, primes);
+    out.poly.adds += 2 * n * primes;
+    out
+}
+
+/// Counts [`crate::evaluator::rotate`] / `conjugate`: the coefficient-
+/// domain automorphism on both components (2·`primes` INTT/NTT pairs
+/// around a signed permutation) plus one key switch and the `c0` fold.
+pub fn count_rotate_ops(n: u64, primes: u64) -> PhaseBreakdown {
+    let mut out = count_keyswitch_ops(n, primes);
+    let automorphism: Ops = (0..4 * primes).map(|_| ntt_ops(n)).sum();
+    out.ntt = out.ntt + automorphism;
+    out.other.others += 2 * n * primes; // the permutation itself
+    out.poly.adds += n * primes; // c0 + ks0
+    out
+}
+
+/// Server-side op rows in the same shape as the Fig. 2b client rows:
+/// one row each for `mul`, `relinearize`, and `rotate` at the given
+/// ring degree and carried prime count.
+pub fn server_op_rows(n: u64, primes: u64) -> Vec<Fig2Row> {
+    let make = |phase: &str, b: PhaseBreakdown| {
+        let cats = [
+            b.fft.total(),
+            b.ntt.total(),
+            b.poly.total(),
+            b.other.total(),
+        ];
+        let total: u64 = cats.iter().sum();
+        Fig2Row {
+            phase: phase.to_owned(),
+            category_pct: cats.map(|x| 100.0 * x as f64 / total as f64),
+            mops: total as f64 / 1e6,
+        }
+    };
+    vec![
+        make("mul", count_mul_ops(n, primes)),
+        make("relinearize", count_relinearize_ops(n, primes)),
+        make("rotate", count_rotate_ops(n, primes)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +475,49 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_bad_n() {
         count_client_ops(100, 1, 1);
+    }
+
+    #[test]
+    fn keyswitch_is_transform_bound_and_quadratic_in_primes() {
+        let n = 1u64 << 13;
+        let k12 = count_keyswitch_ops(n, 12);
+        let k24 = count_keyswitch_ops(n, 24);
+        // NTT work dominates the key switch (k² re-expansion NTTs).
+        assert!(k24.ntt.total() > k24.poly.total());
+        // Doubling the level count quadruples the NTT term (~k²).
+        let ratio = k24.ntt.total() as f64 / k12.ntt.total() as f64;
+        assert!((3.5..4.5).contains(&ratio), "NTT ratio {ratio}");
+    }
+
+    #[test]
+    fn server_op_ordering_and_magnitudes() {
+        let n = 1u64 << 13;
+        let k = 24;
+        let mul = count_mul_ops(n, k).total();
+        let relin = count_relinearize_ops(n, k).total();
+        let rot = count_rotate_ops(n, k).total();
+        // A raw multiply is cheap; relinearization adds the key switch;
+        // rotation adds the automorphism transforms on top.
+        assert!(mul < relin && relin < rot, "{mul} {relin} {rot}");
+        assert!(count_keyswitch_ops(n, k).total() < relin);
+        // The paper-scale key switch lands in the hundreds of MOPs —
+        // far beyond one client encode+encrypt (≈27 MOPs butterfly
+        // convention), which is why servers want ASICs too.
+        let relin_mops = relin as f64 / 1e6;
+        assert!(
+            (50.0..5000.0).contains(&relin_mops),
+            "relin = {relin_mops} MOPs"
+        );
+    }
+
+    #[test]
+    fn server_rows_sum_to_hundred_percent() {
+        let rows = server_op_rows(1 << 13, 24);
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            let s: f64 = row.category_pct.iter().sum();
+            assert!((s - 100.0).abs() < 1e-9, "{row:?}");
+            assert!(row.mops > 0.0);
+        }
     }
 }

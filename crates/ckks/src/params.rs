@@ -212,6 +212,30 @@ impl CkksParams {
     pub fn modulus_bits(&self) -> u32 {
         self.num_primes as u32 * self.prime_bits
     }
+
+    /// Per-prime residue bit widths of the basis these parameters
+    /// generate — the v3 wire packing schedule, derivable without a
+    /// built context: `q₀` carries 3 headroom bits (capped at 61, the
+    /// widening [`crate::CkksContext::new`] applies), the rest are
+    /// `prime_bits` wide. Matches
+    /// [`crate::CkksContext::wire_widths`] for a context built from
+    /// these parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primes` is zero or exceeds `num_primes`.
+    pub fn residue_widths(&self, primes: usize) -> Vec<u32> {
+        assert!(
+            primes >= 1 && primes <= self.num_primes,
+            "prime count {primes} out of range 1..={}",
+            self.num_primes
+        );
+        let head = (self.prime_bits + 3).min(61);
+        std::iter::once(head)
+            .chain(std::iter::repeat(self.prime_bits))
+            .take(primes)
+            .collect()
+    }
 }
 
 /// Builder for [`CkksParams`].

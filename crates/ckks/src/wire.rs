@@ -36,8 +36,25 @@
 //!
 //! Compressed (seeded) ciphertexts serialize via kind 2 with the 16-byte
 //! seed in place of `c1`.
+//!
+//! **Evaluation keys** (kinds 3/4, v3-packed only) carry the RNS-gadget
+//! key-switching material a server needs — `digits · limbs` polynomial
+//! pairs, each residue bit-packed to its prime's width:
+//!
+//! ```text
+//! magic    "ABCF"             4 B
+//! version  u16 (= 3)          2 B
+//! kind     u8 (3=eval key, 4=Galois key)
+//! log_n    u8                 1 B
+//! limbs    u16                2 B   (primes per digit)
+//! digits   u16                2 B   (decomposition digits)
+//! element  u64                8 B   (kind 4 only: the Galois element)
+//! widths   limbs · 1 B
+//! payload  per digit: b residues packed, then a residues packed
+//! ```
 
 use crate::cipher::Ciphertext;
+use crate::key::{EvalKey, GaloisKey, KeySwitchKey};
 use crate::scale::ExactScale;
 use crate::CkksError;
 use abc_math::{Modulus, UBig};
@@ -46,8 +63,12 @@ const MAGIC: &[u8; 4] = b"ABCF";
 const VERSION_WORDS: u16 = 2;
 const VERSION_PACKED: u16 = 3;
 const KIND_FULL: u8 = 1;
+const KIND_EVAL_KEY: u8 = 3;
+const KIND_GALOIS_KEY: u8 = 4;
 /// Bytes before the variable-length scale payload.
 const FIXED_HEADER: usize = 18;
+/// Key header bytes before the `element` field / width table.
+const KEY_FIXED_HEADER: usize = 12;
 
 /// Per-prime residue bit widths of a basis — the packing schedule of the
 /// v3 format (`⌈log2 qᵢ⌉`; residues are `< qᵢ`).
@@ -330,6 +351,200 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
     Ciphertext::from_components_exact(c0, c1, scale)
 }
 
+/// Exact serialized size of a key-switching key in the v3 packed key
+/// format (shared by eval and Galois keys; the latter adds 8 bytes for
+/// the element field).
+pub fn packed_key_len(ksk: &KeySwitchKey, widths: &[u32], n: usize) -> usize {
+    let per_digit: usize = widths.iter().map(|&w| packed_poly_bytes(n, w)).sum();
+    KEY_FIXED_HEADER + widths.len() + ksk.num_digits() * 2 * per_digit
+}
+
+/// Shared validation + packing of the `digits · limbs` polynomial pairs.
+fn serialize_ksk(
+    out: &mut Vec<u8>,
+    kind: u8,
+    element: Option<u64>,
+    ksk: &KeySwitchKey,
+    widths: &[u32],
+) -> Result<(), CkksError> {
+    let err = |msg: String| CkksError::InvalidParams(format!("wire: {msg}"));
+    let digits = ksk.num_digits();
+    let limbs = ksk.num_primes();
+    if digits == 0 || limbs == 0 {
+        return Err(err("empty key-switching key".to_owned()));
+    }
+    if widths.len() != limbs {
+        return Err(err(format!(
+            "{} widths for {limbs} key limbs",
+            widths.len()
+        )));
+    }
+    if let Some(&w) = widths.iter().find(|&&w| w == 0 || w > 64) {
+        return Err(err(format!("residue width {w} out of 1..=64")));
+    }
+    let n = ksk.b[0][0].len();
+    for digit_pair in ksk.b.iter().chain(ksk.a.iter()) {
+        for (poly, &w) in digit_pair.iter().zip(widths) {
+            if w < 64 {
+                let limit = 1u64 << w;
+                if let Some(&bad) = poly.iter().find(|&&x| x >= limit) {
+                    return Err(err(format!("residue {bad:#x} exceeds {w}-bit width")));
+                }
+            }
+        }
+    }
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION_PACKED.to_le_bytes());
+    out.push(kind);
+    out.push(n.trailing_zeros() as u8);
+    out.extend_from_slice(&(limbs as u16).to_le_bytes());
+    out.extend_from_slice(&(digits as u16).to_le_bytes());
+    if let Some(g) = element {
+        out.extend_from_slice(&g.to_le_bytes());
+    }
+    for &w in widths {
+        out.push(w as u8);
+    }
+    for (b_digit, a_digit) in ksk.b.iter().zip(&ksk.a) {
+        for component in [b_digit, a_digit] {
+            for (poly, &w) in component.iter().zip(widths) {
+                pack_bits(out, poly, w);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a relinearization key to the v3 packed key format
+/// (kind 3). `widths` comes from the basis, one entry per key limb.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if `widths` doesn't match the
+/// key's limb count, a width is out of range, or a residue overflows
+/// its declared width.
+pub fn serialize_eval_key(key: &EvalKey, widths: &[u32]) -> Result<Vec<u8>, CkksError> {
+    let mut out = Vec::with_capacity(packed_key_len(&key.ksk, widths, key.ksk.b[0][0].len()));
+    serialize_ksk(&mut out, KIND_EVAL_KEY, None, &key.ksk, widths)?;
+    Ok(out)
+}
+
+/// Serializes a Galois key to the v3 packed key format (kind 4, the
+/// Galois element in the header).
+///
+/// # Errors
+///
+/// As [`serialize_eval_key`].
+pub fn serialize_galois_key(key: &GaloisKey, widths: &[u32]) -> Result<Vec<u8>, CkksError> {
+    let mut out = Vec::with_capacity(packed_key_len(&key.ksk, widths, key.ksk.b[0][0].len()) + 8);
+    serialize_ksk(
+        &mut out,
+        KIND_GALOIS_KEY,
+        Some(key.element()),
+        &key.ksk,
+        widths,
+    )?;
+    Ok(out)
+}
+
+/// Shared key-header parse + payload unpack.
+fn deserialize_ksk(bytes: &[u8], kind: u8) -> Result<(Option<u64>, KeySwitchKey), CkksError> {
+    let err = |msg: &str| CkksError::InvalidParams(format!("wire: {msg}"));
+    if bytes.len() < KEY_FIXED_HEADER {
+        return Err(err("truncated key header"));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes")) != VERSION_PACKED {
+        return Err(err("unsupported key version"));
+    }
+    if bytes[6] != kind {
+        return Err(err("unexpected key kind"));
+    }
+    let log_n = bytes[7] as u32;
+    if log_n == 0 || log_n > 20 {
+        return Err(err("implausible ring degree"));
+    }
+    let n = 1usize << log_n;
+    let limbs = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes")) as usize;
+    let digits = u16::from_le_bytes(bytes[10..12].try_into().expect("2 bytes")) as usize;
+    if limbs == 0 || limbs > 64 || digits == 0 || digits > 64 {
+        return Err(err("implausible key shape"));
+    }
+    let mut cursor = KEY_FIXED_HEADER;
+    let element = if kind == KIND_GALOIS_KEY {
+        if bytes.len() < cursor + 8 {
+            return Err(err("truncated key header"));
+        }
+        let g = u64::from_le_bytes(bytes[cursor..cursor + 8].try_into().expect("8 bytes"));
+        cursor += 8;
+        if g % 2 == 0 || g as usize >= 2 * n {
+            return Err(err("invalid Galois element"));
+        }
+        Some(g)
+    } else {
+        None
+    };
+    if bytes.len() < cursor + limbs {
+        return Err(err("truncated width table"));
+    }
+    let widths: Vec<u32> = bytes[cursor..cursor + limbs]
+        .iter()
+        .map(|&b| b as u32)
+        .collect();
+    cursor += limbs;
+    if widths.iter().any(|&w| w == 0 || w > 64) {
+        return Err(err("implausible residue width"));
+    }
+    let per_digit: usize = widths.iter().map(|&w| packed_poly_bytes(n, w)).sum();
+    if bytes.len() != cursor + digits * 2 * per_digit {
+        return Err(err("key payload length mismatch"));
+    }
+    let read_digit = |cursor: &mut usize| -> Vec<Vec<u64>> {
+        widths
+            .iter()
+            .map(|&w| {
+                let len = packed_poly_bytes(n, w);
+                let poly = unpack_bits(&bytes[*cursor..*cursor + len], n, w);
+                *cursor += len;
+                poly
+            })
+            .collect()
+    };
+    let mut b = Vec::with_capacity(digits);
+    let mut a = Vec::with_capacity(digits);
+    for _ in 0..digits {
+        b.push(read_digit(&mut cursor));
+        a.push(read_digit(&mut cursor));
+    }
+    Ok((element, KeySwitchKey { b, a }))
+}
+
+/// Deserializes a relinearization key (kind 3).
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] for malformed input: bad magic,
+/// wrong version/kind, implausible shape, or a truncated payload.
+pub fn deserialize_eval_key(bytes: &[u8]) -> Result<EvalKey, CkksError> {
+    let (_, ksk) = deserialize_ksk(bytes, KIND_EVAL_KEY)?;
+    Ok(EvalKey { ksk })
+}
+
+/// Deserializes a Galois key (kind 4).
+///
+/// # Errors
+///
+/// As [`deserialize_eval_key`], plus an invalid Galois element.
+pub fn deserialize_galois_key(bytes: &[u8]) -> Result<GaloisKey, CkksError> {
+    let (element, ksk) = deserialize_ksk(bytes, KIND_GALOIS_KEY)?;
+    Ok(GaloisKey {
+        element: element.expect("kind 4 always parses an element"),
+        ksk,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +701,61 @@ mod tests {
             .decode(&ctx.decrypt(&back, &sk).expect("d"))
             .expect("decode");
         assert!(out[0].dist(msg[0]) < 1e-4);
+    }
+
+    #[test]
+    fn eval_and_galois_keys_roundtrip_bit_exact() {
+        let (ctx, _) = sample_ct();
+        let (sk, _) = ctx.keygen(Seed::from_u128(5));
+        let widths = ctx.wire_widths(ctx.basis().len());
+        let evk = ctx.gen_eval_key(&sk, Seed::from_u128(6));
+        let bytes = serialize_eval_key(&evk, &widths).expect("serialize");
+        assert_eq!(
+            bytes.len(),
+            packed_key_len(evk.key_switch_key(), &widths, ctx.params().n())
+        );
+        assert_eq!(deserialize_eval_key(&bytes).expect("roundtrip"), evk);
+        let gk = ctx
+            .gen_rotation_key(&sk, 1, Seed::from_u128(7))
+            .expect("key");
+        let bytes = serialize_galois_key(&gk, &widths).expect("serialize");
+        let back = deserialize_galois_key(&bytes).expect("roundtrip");
+        assert_eq!(back.element(), gk.element());
+        assert_eq!(back, gk);
+    }
+
+    #[test]
+    fn key_wire_rejects_malformed_input() {
+        let (ctx, _) = sample_ct();
+        let (sk, _) = ctx.keygen(Seed::from_u128(8));
+        let widths = ctx.wire_widths(ctx.basis().len());
+        let evk = ctx.gen_eval_key(&sk, Seed::from_u128(9));
+        let good = serialize_eval_key(&evk, &widths).expect("serialize");
+        // Truncated at every structural boundary.
+        assert!(deserialize_eval_key(&good[..good.len() - 1]).is_err());
+        assert!(deserialize_eval_key(&good[..KEY_FIXED_HEADER + 1]).is_err());
+        assert!(deserialize_eval_key(&good[..6]).is_err());
+        // Kind confusion: an eval key is not a Galois key (and vice versa).
+        assert!(deserialize_galois_key(&good).is_err());
+        let gk = ctx
+            .gen_conjugation_key(&sk, Seed::from_u128(10))
+            .expect("key");
+        let gk_bytes = serialize_galois_key(&gk, &widths).expect("serialize");
+        assert!(deserialize_eval_key(&gk_bytes).is_err());
+        // A ciphertext blob is neither.
+        let (_, ct) = sample_ct();
+        assert!(deserialize_eval_key(&serialize_ciphertext(&ct)).is_err());
+        // Corrupt element: even values are not Galois group members.
+        let mut bad = gk_bytes.clone();
+        bad[KEY_FIXED_HEADER] &= !1;
+        assert!(deserialize_galois_key(&bad).is_err());
+        // Zero width in the table.
+        let mut bad = good.clone();
+        bad[KEY_FIXED_HEADER] = 0;
+        assert!(deserialize_eval_key(&bad).is_err());
+        // Serializer rejects width/limb mismatches.
+        assert!(serialize_eval_key(&evk, &widths[..1]).is_err());
+        assert!(serialize_eval_key(&evk, &vec![4u32; widths.len()]).is_err());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Property-based tests for the CKKS client pipeline.
 
 use abc_ckks::params::{CkksParams, ScaleMode};
-use abc_ckks::{evaluator, noise, wire, CkksContext};
+use abc_ckks::{evaluator, noise, wire, Ciphertext, CkksContext};
 use abc_float::Complex;
 use abc_prng::Seed;
+use abc_transform::rns_ntt::THREADS_ENV;
 use abc_transform::SpecialFft;
 use proptest::prelude::*;
 
@@ -278,6 +279,154 @@ proptest! {
         for (x, e) in df.iter().zip(&expected) {
             prop_assert!(x.dist(*e) < 1e-5, "{} vs {}", x, e);
         }
+    }
+
+    #[test]
+    fn mul_relin_pinned_to_schoolbook_i128_model(seed in any::<u64>()) {
+        // ct×ct multiply against a fully independent golden model.
+        //
+        // The degree-2 product (d0, d1, d2) must satisfy the *ring
+        // identity* d0 + d1·s + d2·s² = (a0 + a1·s)·(b0 + b1·s), i.e.
+        // the full decryption of the product equals the negacyclic
+        // product of the individual decryptions. We evaluate both sides
+        // with nothing but the public API and exact integer arithmetic:
+        //
+        // * the left side via decrypt — s and s² are applied by
+        //   decrypting the auxiliary ciphertexts (0, d2) → d2·s and
+        //   (0, d2·s) → d2·s², then summing residues per prime;
+        // * the right side by a schoolbook i128 negacyclic convolution
+        //   of the decrypted coefficient vectors, reduced per prime.
+        //
+        // The comparison is bit-for-bit: any mismatch in the dyadic
+        // cross terms, NTT plumbing, or component ordering fails loudly.
+        let ctx = small_ctx(10, 3);
+        let n = ctx.params().n();
+        let (sk, pk) = ctx.keygen(Seed::from_u128(seed as u128 + 100));
+        let a = message_from_seed(ctx.params().slots(), seed);
+        let b = message_from_seed(ctx.params().slots(), seed.wrapping_add(31));
+        let ca = ctx.encrypt(&ctx.encode(&a).expect("e"), &pk, Seed::from_u128(seed as u128 + 101));
+        let cb = ctx.encrypt(&ctx.encode(&b).expect("e"), &pk, Seed::from_u128(seed as u128 + 102));
+        let prod = evaluator::mul(&ctx, &ca, &cb).expect("mul");
+        let (d0, d1, d2) = prod.components();
+
+        let scale = ca.exact_scale().clone();
+        let zero = vec![vec![0u64; n]; ca.num_primes()];
+        let dec = |c0: &[Vec<u64>], c1: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            let ct = Ciphertext::from_components_exact(c0.to_vec(), c1.to_vec(), scale.clone())
+                .expect("ct");
+            ctx.decrypt(&ct, &sk).expect("decrypt").residues().to_vec()
+        };
+        let (ca0, ca1) = ca.components();
+        let (cb0, cb1) = cb.components();
+        let ma = dec(ca0, ca1);
+        let mb = dec(cb0, cb1);
+        let p1 = dec(d0, d1); // d0 + d1·s
+        let u = dec(&zero, d2); // d2·s
+        let v = dec(&zero, &u); // d2·s²
+
+        for (i, m) in ctx.basis().moduli().iter().enumerate() {
+            // Left side: (d0 + d1·s) + d2·s² in the NTT domain, then back
+            // to coefficients.
+            let mut total: Vec<u64> =
+                p1[i].iter().zip(&v[i]).map(|(&x, &y)| m.add(x, y)).collect();
+            ctx.ntt_plans()[i].inverse(&mut total);
+            // Right side: schoolbook negacyclic convolution of the
+            // coefficient-domain decryptions, exact in i128/u128.
+            let mut am = ma[i].clone();
+            let mut bm = mb[i].clone();
+            ctx.ntt_plans()[i].inverse(&mut am);
+            ctx.ntt_plans()[i].inverse(&mut bm);
+            let q = u128::from(m.q());
+            let golden: Vec<u64> = (0..n)
+                .map(|k| {
+                    let (mut pos, mut neg) = (0u128, 0u128);
+                    for (j, &aj) in am.iter().enumerate() {
+                        let term = u128::from(aj) * u128::from(bm[(k + n - j) % n]) % q;
+                        if j <= k {
+                            pos += term;
+                        } else {
+                            neg += term; // X^n ≡ −1 wraps with a sign flip
+                        }
+                    }
+                    ((pos % q + q - neg % q) % q) as u64
+                })
+                .collect();
+            prop_assert_eq!(&total, &golden, "limb {} violates the ring identity", i);
+        }
+
+        // And the (relinearized, rescaled) product still decodes to the
+        // slot-wise product. The bound is dominated by key-switch noise
+        // (≈2^44 against the Δ² = 2^72 product scale, ×√N in slots).
+        let evk = ctx.gen_eval_key(&sk, Seed::from_u128(seed as u128 + 103));
+        let relin = evaluator::relinearize(&ctx, &prod, &evk).expect("relin");
+        let out = ctx
+            .decode(&ctx.decrypt(&evaluator::rescale_prime(&ctx, &relin).expect("rescale"), &sk)
+                .expect("d"))
+            .expect("decode");
+        for (j, (x, (xa, xb))) in out.iter().zip(a.iter().zip(&b)).enumerate() {
+            let e = Complex::new(
+                xa.re * xb.re - xa.im * xb.im,
+                xa.re * xb.im + xa.im * xb.re,
+            );
+            prop_assert!(x.dist(e) < 1e-4, "slot {}: {} vs {}", j, x, e);
+        }
+    }
+
+    #[test]
+    fn rotate_is_the_slot_permutation_at_any_thread_count(
+        seed in any::<u64>(),
+        raw_steps in 1usize..512,
+    ) {
+        // rotate(k) ≡ the forward slot permutation out[j] = in[(j+k) mod
+        // N/2] for *random* k — and the engine's thread fan-out must not
+        // change a single bit of the result. Keyed ops run on the
+        // double-scale profile (Δ_eff = 2^72): key-switch noise (≈2^44)
+        // would drown a single 2^36 scale but sits 27 bits under Δ_eff.
+        let build = || {
+            CkksContext::new(
+                CkksParams::builder()
+                    .log_n(10)
+                    .num_primes(6)
+                    .scale_mode(ScaleMode::DoublePair)
+                    .secret_hamming_weight(Some(64))
+                    .build()
+                    .expect("params"),
+            )
+            .expect("ctx")
+        };
+        // Engines capture the thread count at construction, so build one
+        // context per fan-out under a temporary env override.
+        let saved = std::env::var(THREADS_ENV).ok();
+        std::env::set_var(THREADS_ENV, "1");
+        let ctx1 = build();
+        std::env::set_var(THREADS_ENV, "4");
+        let ctx4 = build();
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+        let slots = ctx1.params().slots();
+        let steps = raw_steps % slots;
+        let msg = message_from_seed(slots, seed);
+        let mut rotated = Vec::new();
+        for ctx in [&ctx1, &ctx4] {
+            let (sk, pk) = ctx.keygen(Seed::from_u128(seed as u128 + 5));
+            let gk = ctx
+                .gen_rotation_key(&sk, steps, Seed::from_u128(seed as u128 + 6))
+                .expect("rotation key");
+            let ct = ctx.encrypt(&ctx.encode(&msg).expect("e"), &pk, Seed::from_u128(seed as u128 + 7));
+            let rot = evaluator::rotate(ctx, &ct, steps, &gk).expect("rotate");
+            prop_assert_eq!(rot.exact_scale(), ct.exact_scale());
+            let out = ctx.decode(&ctx.decrypt(&rot, &sk).expect("d")).expect("decode");
+            for (j, z) in out.iter().enumerate() {
+                let e = msg[(j + steps) % slots];
+                prop_assert!(z.dist(e) < 1e-3, "slot {}: {} vs {}", j, z, e);
+            }
+            rotated.push(rot);
+        }
+        // Bit-identical across thread counts: same keys, same seeds,
+        // same arithmetic — fan-out is an implementation detail.
+        prop_assert_eq!(&rotated[0], &rotated[1]);
     }
 
     #[test]

@@ -392,6 +392,75 @@ impl RnsNttEngine {
         });
     }
 
+    /// Fused key-switch accumulate: for every limb `i`,
+    /// `acc0[i] += d[i]·b[i]` and `acc1[i] += d[i]·a[i]` (mod `q_i`).
+    /// The digit `d` enters each kernel's Montgomery domain once per
+    /// limb and the premultiplied form is reused for both products —
+    /// the inner loop of RNS-gadget key switching, where one decomposed
+    /// digit multiplies both halves of its key-switching-key pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator limb counts differ, exceed the plans,
+    /// or `d`/`b`/`a` carry fewer limbs; and if any limb's length
+    /// differs from `N`.
+    pub fn dyadic_mul_acc_pair_all(
+        &self,
+        acc0: &mut [Vec<u64>],
+        acc1: &mut [Vec<u64>],
+        d: &[Vec<u64>],
+        b: &[Vec<u64>],
+        a: &[Vec<u64>],
+    ) {
+        let k = acc0.len();
+        assert_eq!(k, acc1.len(), "accumulator limb counts differ");
+        assert!(k <= self.plans.len(), "more limbs than plans");
+        assert!(d.len() >= k, "fewer digit limbs than accumulators");
+        assert!(
+            b.len() >= k && a.len() >= k,
+            "fewer key limbs than accumulators"
+        );
+        let work = |i: usize, x0: &mut Vec<u64>, x1: &mut Vec<u64>| {
+            let dy = self.plans[i].dyadic();
+            // Enter d_i once (pooled scratch); each product lands in a
+            // second scratch buffer and folds into its accumulator.
+            let mut pre = self.pool.take(self.n);
+            pre.copy_from_slice(&d[i]);
+            dy.premul(&mut pre);
+            let mut t = self.pool.take(self.n);
+            t.copy_from_slice(&b[i]);
+            dy.mul_assign_premul(&mut t, &pre);
+            dy.add_assign(x0, &t);
+            t.copy_from_slice(&a[i]);
+            dy.mul_assign_premul(&mut t, &pre);
+            dy.add_assign(x1, &t);
+            self.pool.put(t);
+            self.pool.put(pre);
+        };
+        let threads = self.threads.min(k);
+        if threads <= 1 || 2 * k * self.n < DYADIC_PARALLEL_THRESHOLD {
+            for (i, (x0, x1)) in acc0.iter_mut().zip(acc1.iter_mut()).enumerate() {
+                work(i, x0, x1);
+            }
+            return;
+        }
+        let chunk = k.div_ceil(threads);
+        let work = &work;
+        std::thread::scope(|s| {
+            for (t, (c0, c1)) in acc0
+                .chunks_mut(chunk)
+                .zip(acc1.chunks_mut(chunk))
+                .enumerate()
+            {
+                s.spawn(move || {
+                    for (j, (x0, x1)) in c0.iter_mut().zip(c1.iter_mut()).enumerate() {
+                        work(t * chunk + j, x0, x1);
+                    }
+                });
+            }
+        });
+    }
+
     /// `a[i][j] = a[i][j]·s[i] mod q_i` — per-limb scalar multiply (the
     /// rescale `q_last^{-1}` pass). Scalars are reduced on entry.
     ///
@@ -603,6 +672,35 @@ mod tests {
             let mut manual: Vec<u64> = wide.iter().map(|&x| m.from_i128(x)).collect();
             engine.plan(i).forward(&mut manual);
             assert_eq!(pooled[i], manual, "limb {i}");
+        }
+    }
+
+    #[test]
+    fn mul_acc_pair_matches_manual_across_thread_counts() {
+        // 2·k·n = 2^16 reaches DYADIC_PARALLEL_THRESHOLD at k = 4,
+        // n = 2^13, so the threaded path really runs.
+        let n = 1usize << 13;
+        let ms = moduli(4, 2 * n as u64);
+        let d = pseudo_limbs(&ms, n, 11);
+        let b = pseudo_limbs(&ms, n, 22);
+        let a = pseudo_limbs(&ms, n, 33);
+        let acc0_init = pseudo_limbs(&ms, n, 44);
+        let acc1_init = pseudo_limbs(&ms, n, 55);
+        let mut reference0 = acc0_init.clone();
+        let mut reference1 = acc1_init.clone();
+        for (i, m) in ms.iter().enumerate() {
+            for j in 0..n {
+                reference0[i][j] = m.add(reference0[i][j], m.mul(d[i][j], b[i][j]));
+                reference1[i][j] = m.add(reference1[i][j], m.mul(d[i][j], a[i][j]));
+            }
+        }
+        for threads in [1usize, 4] {
+            let engine = RnsNttEngine::with_threads(&ms, n, threads).unwrap();
+            let mut acc0 = acc0_init.clone();
+            let mut acc1 = acc1_init.clone();
+            engine.dyadic_mul_acc_pair_all(&mut acc0, &mut acc1, &d, &b, &a);
+            assert_eq!(acc0, reference0, "threads={threads}");
+            assert_eq!(acc1, reference1, "threads={threads}");
         }
     }
 

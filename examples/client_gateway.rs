@@ -11,8 +11,8 @@
 //! cargo run --release --example client_gateway
 //! ```
 
+use abc_fhe::prelude::*;
 use abc_fhe::sim::schedule::{batch_makespan_ms, best_mode, Batch, RscMode};
-use abc_fhe::sim::{simulate, SimConfig, Workload};
 
 fn main() {
     let cfg = SimConfig::paper_default();
@@ -60,9 +60,36 @@ fn main() {
         );
     }
 
+    println!("\n--- v3 bit-packed wire vs 8 B/coefficient transport ---");
+    // Cross-charge a *real* ciphertext: the gateway bills uplink at the
+    // packed wire size, and the simulator — configured with the same
+    // per-prime residue widths — must agree with what the CKKS layer
+    // actually serializes.
+    let log_n = std::env::var("ABC_FHE_LOG_N")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&v| (13..=16).contains(&v))
+        .unwrap_or(13);
+    let ctx = CkksContext::new(CkksParams::bootstrappable(log_n).expect("preset")).expect("ctx");
+    let (_, pk) = ctx.keygen(Seed::from_u128(1));
+    let msg: Vec<Complex> = (0..64)
+        .map(|i| Complex::new(i as f64 / 64.0, 0.0))
+        .collect();
+    let ct = ctx.encrypt(&ctx.encode(&msg).expect("encode"), &pk, Seed::from_u128(2));
+    let widths = ctx.params().residue_widths(ct.num_primes());
+    let packed_cfg = cfg.clone().with_wire_widths(&widths);
+    let packed = simulate(&Workload::encode_encrypt(log_n, 24), &packed_cfg);
+    println!(
+        "N = 2^{log_n}: {:.2} MiB naive -> {:.2} MiB packed per ciphertext \
+         (sim charges {:.2} MiB + header)",
+        ct.byte_size() as f64 / (1024.0 * 1024.0),
+        ct.packed_byte_size(ctx.params()) as f64 / (1024.0 * 1024.0),
+        packed.traffic.payload_out / (1024.0 * 1024.0)
+    );
+
     println!("\n--- sustained service rates at the paper configuration ---");
-    let enc = simulate(&Workload::encode_encrypt(16, 24), &cfg);
-    let dec = simulate(&Workload::decode_decrypt(16, 2), &cfg);
+    let enc = simulate(&Workload::encode_encrypt(16, 24), &packed_cfg);
+    let dec = simulate(&Workload::decode_decrypt(16, 2), &packed_cfg);
     println!(
         "encode+encrypt: {:>6.0} ct/s    decode+decrypt: {:>6.0} msg/s",
         enc.throughput_per_s, dec.throughput_per_s

@@ -139,4 +139,24 @@ fn ciphertext_byte_size_matches_sim_traffic() {
     cfg.coeff_bits = 64; // our software residues are u64 words
     let r = simulate(&Workload::encode_encrypt(10, 4), &cfg);
     assert_eq!(ct.byte_size() as f64, r.traffic.payload_out);
+
+    // And the v3 bit-packed wire: what `packed_byte_size` reports for a
+    // real ciphertext must equal the traffic the simulator charges under
+    // `with_wire_widths`, up to the serialization header (scale encoding
+    // + per-prime width table) the payload model doesn't bill.
+    use abc_fhe::ckks::wire;
+    let widths = ctx.params().residue_widths(ct.num_primes());
+    let packed = simulate(
+        &Workload::encode_encrypt(10, 4),
+        &cfg.clone().with_wire_widths(&widths),
+    );
+    let header = wire::serialized_len(&ct) - 2 * ct.num_primes() * ctx.params().n() * 8;
+    assert_eq!(
+        ct.packed_byte_size(ctx.params()),
+        packed.traffic.payload_out as usize + header + ct.num_primes()
+    );
+    assert!(
+        (ct.packed_byte_size(ctx.params()) as f64) < 0.7 * ct.byte_size() as f64,
+        "36-bit residues must pack well under 8 B/coeff"
+    );
 }

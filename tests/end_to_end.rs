@@ -226,6 +226,98 @@ fn tier2_extf64_embedding_precision_floor() {
     }
 }
 
+/// Encrypted dot product of two 64-slot vectors: ct×ct multiply →
+/// relinearize → log₂-depth rotate-and-add at the Δ_eff² product scale
+/// → one pair-rescale. Returns the accurate bits of slot 0 against the
+/// cleartext ⟨w, x⟩.
+fn encrypted_dot_product_bits(ctx: &CkksContext) -> f64 {
+    use abc_fhe::ckks::evaluator;
+    const FEATURES: usize = 64;
+    let (sk, pk) = ctx.keygen(Seed::from_u128(41));
+    let x: Vec<Complex> = (0..FEATURES)
+        .map(|i| Complex::new((i as f64 * 0.37).sin() * 0.8, 0.0))
+        .collect();
+    let w: Vec<Complex> = (0..FEATURES)
+        .map(|i| Complex::new((i as f64 * 0.19).cos() * 0.6, 0.0))
+        .collect();
+    let cx = ctx.encrypt(&ctx.encode(&x).expect("e"), &pk, Seed::from_u128(42));
+    let cw = ctx.encrypt(&ctx.encode(&w).expect("e"), &pk, Seed::from_u128(43));
+    let evk = ctx.gen_eval_key(&sk, Seed::from_u128(44));
+    let product = evaluator::mul(ctx, &cx, &cw).expect("mul");
+    let mut acc = evaluator::relinearize(ctx, &product, &evk).expect("relin");
+    for k in 0..FEATURES.ilog2() {
+        let steps = 1usize << k;
+        let gk = ctx
+            .gen_rotation_key(&sk, steps, Seed::from_u128(50 + k as u128))
+            .expect("rotation key");
+        let rotated = evaluator::rotate(ctx, &acc, steps, &gk).expect("rotate");
+        acc = evaluator::add(ctx, &acc, &rotated).expect("add");
+    }
+    let returned = evaluator::rescale(ctx, &acc).expect("rescale");
+    let out = ctx
+        .decode(&ctx.decrypt(&returned, &sk).expect("decrypt"))
+        .expect("decode");
+    let expected: f64 = x.iter().zip(&w).map(|(a, b)| a.re * b.re).sum();
+    let err = out[0].dist(Complex::new(expected, 0.0));
+    -(err / expected.abs()).log2()
+}
+
+#[test]
+fn encrypted_dot_product_holds_forty_bits_small_ring() {
+    // Tier-1 smoke of the full keyed pipeline at log_n = 10 on the same
+    // DoublePair profile the bootstrappable presets use.
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_n(10)
+            .num_primes(24)
+            .prime_bits(36)
+            .scale_bits(36)
+            .scale_mode(abc_fhe::ckks::params::ScaleMode::DoublePair)
+            .build()
+            .expect("params"),
+    )
+    .expect("ctx");
+    let bits = encrypted_dot_product_bits(&ctx);
+    assert!(
+        bits >= 40.0,
+        "encrypted dot product below the 40-bit budget at log_n=10: {bits:.1} bits"
+    );
+}
+
+fn tier2_encrypted_dot_product(log_n: u32) {
+    let ctx = CkksContext::new(CkksParams::bootstrappable(log_n).expect("preset")).expect("ctx");
+    let bits = encrypted_dot_product_bits(&ctx);
+    println!("N=2^{log_n}: encrypted dot product accurate to {bits:.1} bits");
+    assert!(
+        bits >= 40.0,
+        "N=2^{log_n}: encrypted dot product below the 40-bit budget: {bits:.1} bits"
+    );
+}
+
+#[test]
+#[ignore = "tier-2: encrypted dot product at N = 2^13"]
+fn tier2_encrypted_dot_product_n13() {
+    tier2_encrypted_dot_product(13);
+}
+
+#[test]
+#[ignore = "tier-2: encrypted dot product at N = 2^14"]
+fn tier2_encrypted_dot_product_n14() {
+    tier2_encrypted_dot_product(14);
+}
+
+#[test]
+#[ignore = "tier-2: encrypted dot product at N = 2^15"]
+fn tier2_encrypted_dot_product_n15() {
+    tier2_encrypted_dot_product(15);
+}
+
+#[test]
+#[ignore = "tier-2: encrypted dot product at N = 2^16 (the paper's headline setting)"]
+fn tier2_encrypted_dot_product_n16() {
+    tier2_encrypted_dot_product(16);
+}
+
 #[test]
 fn seeded_pipeline_is_fully_reproducible() {
     // Identical seeds must produce bit-identical ciphertexts across

@@ -147,3 +147,50 @@ fn evaluator_rejects_cross_level_operands() {
     let scaled = evaluator::plaintext_mul(&ctx, &a, &w).expect("mul");
     assert!(evaluator::add(&ctx, &a, &scaled).is_err());
 }
+
+#[test]
+fn wrong_galois_element_is_rejected_before_any_arithmetic() {
+    use abc_fhe::ckks::evaluator;
+    let ctx = ctx();
+    let (sk, pk) = ctx.keygen(Seed::from_u128(10));
+    let m = msg(ctx.params().slots());
+    let ct = ctx.encrypt(&ctx.encode(&m).expect("e"), &pk, Seed::from_u128(11));
+    let gk1 = ctx
+        .gen_rotation_key(&sk, 1, Seed::from_u128(12))
+        .expect("rotation key");
+    // A rotate-by-3 request against a rotate-by-1 key must fail loudly
+    // — silently key-switching under the wrong automorphism would
+    // decrypt to garbage with no error surfaced anywhere.
+    let err = evaluator::rotate(&ctx, &ct, 3, &gk1).unwrap_err();
+    assert!(matches!(err, abc_fhe::ckks::CkksError::InvalidParams(_)));
+    // Conjugation (element 2N−1) is not a rotation key either.
+    assert!(evaluator::conjugate(&ctx, &ct, &gk1).is_err());
+    // The right pairing still works.
+    let rot = evaluator::rotate(&ctx, &ct, 1, &gk1).expect("rotate");
+    assert_eq!(rot.num_primes(), ct.num_primes());
+}
+
+#[test]
+fn truncated_eval_key_on_the_wire_is_rejected() {
+    use abc_fhe::ckks::wire;
+    let ctx = ctx();
+    let (sk, _) = ctx.keygen(Seed::from_u128(13));
+    let evk = ctx.gen_eval_key(&sk, Seed::from_u128(14));
+    let widths = ctx.params().residue_widths(ctx.basis().len());
+    let bytes = wire::serialize_eval_key(&evk, &widths).expect("serialize");
+    assert!(wire::deserialize_eval_key(&bytes).is_ok());
+    // Every strict prefix must fail — a short read can never produce a
+    // structurally valid (let alone correct) key-switching key.
+    for cut in [0, 1, 11, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            wire::deserialize_eval_key(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes must not deserialize"
+        );
+    }
+    // Trailing garbage is a length mismatch, not extra digits.
+    let mut long = bytes.clone();
+    long.extend_from_slice(&[0u8; 8]);
+    assert!(wire::deserialize_eval_key(&long).is_err());
+    // And an eval-key blob is not a Galois key.
+    assert!(wire::deserialize_galois_key(&bytes).is_err());
+}
