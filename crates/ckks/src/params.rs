@@ -386,6 +386,82 @@ impl CkksParamsBuilder {
     }
 }
 
+/// Environment variable overriding the ring-degree exponent in examples
+/// and smoke tests (`ABC_FHE_LOG_N=10` shrinks every demo to CI size).
+pub const LOG_N_ENV: &str = "ABC_FHE_LOG_N";
+
+/// Parses a raw `ABC_FHE_LOG_N` value: `None` or an empty/whitespace
+/// string yields `default`; a valid exponent in the builder's `2..=17`
+/// range yields that exponent.
+///
+/// Pure so it is testable without mutating process environment — env
+/// readers go through [`log_n_from_env`].
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] naming the variable and the
+/// offending value for anything else (garbage, out-of-range) — a typo'd
+/// override must never silently fall back to the default and report
+/// figures for the wrong ring degree.
+pub fn parse_log_n_override(raw: Option<&str>, default: u32) -> Result<u32, CkksError> {
+    let Some(raw) = raw else {
+        return Ok(default);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(default);
+    }
+    match trimmed.parse::<u32>() {
+        Ok(log_n) if (2..=17).contains(&log_n) => Ok(log_n),
+        _ => Err(CkksError::InvalidParams(format!(
+            "{LOG_N_ENV}={raw:?} is not a ring-degree exponent in 2..=17 \
+             (unset it or pass e.g. {LOG_N_ENV}=10)"
+        ))),
+    }
+}
+
+/// Reads the [`LOG_N_ENV`] override from the process environment,
+/// falling back to `default` when unset.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] for unparseable or out-of-range
+/// values (see [`parse_log_n_override`]).
+pub fn log_n_from_env(default: u32) -> Result<u32, CkksError> {
+    parse_log_n_override(std::env::var(LOG_N_ENV).ok().as_deref(), default)
+}
+
+#[cfg(test)]
+mod env_tests {
+    use super::*;
+
+    #[test]
+    fn unset_or_blank_falls_back_to_default() {
+        assert_eq!(parse_log_n_override(None, 12).expect("default"), 12);
+        assert_eq!(parse_log_n_override(Some(""), 13).expect("blank"), 13);
+        assert_eq!(parse_log_n_override(Some("  "), 14).expect("spaces"), 14);
+    }
+
+    #[test]
+    fn valid_overrides_parse_with_whitespace_tolerance() {
+        assert_eq!(parse_log_n_override(Some("10"), 12).expect("10"), 10);
+        assert_eq!(parse_log_n_override(Some(" 17 "), 12).expect("17"), 17);
+        assert_eq!(parse_log_n_override(Some("2"), 12).expect("2"), 2);
+    }
+
+    #[test]
+    fn garbage_and_out_of_range_are_loud_errors() {
+        for bad in ["ten", "1O", "-3", "1.5", "0", "1", "18", "99", "0x10"] {
+            let err = parse_log_n_override(Some(bad), 12).expect_err(bad);
+            let msg = format!("{err}");
+            assert!(
+                msg.contains(LOG_N_ENV) && msg.contains("2..=17"),
+                "error for {bad:?} must name the variable and range: {msg}"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

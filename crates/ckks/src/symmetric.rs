@@ -21,16 +21,31 @@ use abc_prng::Seed;
 /// the 128-bit seed that regenerates `c1 = a`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressedCiphertext {
-    c0: Vec<Vec<u64>>,
-    mask_seed: Seed,
-    scale: ExactScale,
-    n: usize,
+    pub(crate) c0: Vec<Vec<u64>>,
+    pub(crate) mask_seed: Seed,
+    pub(crate) scale: ExactScale,
+    pub(crate) n: usize,
 }
 
 impl CompressedCiphertext {
     /// Number of RNS primes.
     pub fn num_primes(&self) -> usize {
         self.c0.len()
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exact rational encoding scale.
+    pub fn exact_scale(&self) -> &ExactScale {
+        &self.scale
+    }
+
+    /// Read-only view of the `c0` residue polynomials.
+    pub fn c0(&self) -> &[Vec<u64>] {
+        &self.c0
     }
 
     /// Serialized size in bytes: one component plus the seed — about

@@ -34,8 +34,10 @@
 //! configured with `SimConfig::with_wire_widths`. Decoders accept both
 //! versions; v2 remains readable forever.
 //!
-//! Compressed (seeded) ciphertexts serialize via kind 2 with the 16-byte
-//! seed in place of `c1`.
+//! **Compressed (seeded) ciphertexts** serialize via kind 2 (v3-packed
+//! only): the shared ciphertext header, then the 16-byte mask seed in
+//! place of `c1`, then the width table and the packed `c0` residues —
+//! roughly half the bytes of a kind-1 v3 ciphertext.
 //!
 //! **Evaluation keys** (kinds 3/4, v3-packed only) carry the RNS-gadget
 //! key-switching material a server needs — `digits · limbs` polynomial
@@ -56,13 +58,16 @@
 use crate::cipher::Ciphertext;
 use crate::key::{EvalKey, GaloisKey, KeySwitchKey};
 use crate::scale::ExactScale;
+use crate::symmetric::CompressedCiphertext;
 use crate::CkksError;
 use abc_math::{Modulus, UBig};
+use abc_prng::Seed;
 
 const MAGIC: &[u8; 4] = b"ABCF";
 const VERSION_WORDS: u16 = 2;
 const VERSION_PACKED: u16 = 3;
 const KIND_FULL: u8 = 1;
+const KIND_COMPRESSED: u8 = 2;
 const KIND_EVAL_KEY: u8 = 3;
 const KIND_GALOIS_KEY: u8 = 4;
 /// Bytes before the variable-length scale payload.
@@ -133,9 +138,16 @@ fn unpack_bits(bytes: &[u8], n: usize, width: u32) -> Vec<u64> {
     out
 }
 
-/// The shared header + exact-scale payload (both versions).
-fn write_header(out: &mut Vec<u8>, version: u16, ct: &Ciphertext) {
-    let (num, exp, den) = ct.exact_scale().raw_parts();
+/// The shared header + exact-scale payload (both versions, kinds 1/2).
+fn write_header(
+    out: &mut Vec<u8>,
+    version: u16,
+    kind: u8,
+    n: usize,
+    primes: usize,
+    scale: &ExactScale,
+) {
+    let (num, exp, den) = scale.raw_parts();
     let num_bytes = num.to_le_bytes();
     let num_len =
         u16::try_from(num_bytes.len()).expect("scale numerator exceeds the wire format's 64 KiB");
@@ -143,9 +155,9 @@ fn write_header(out: &mut Vec<u8>, version: u16, ct: &Ciphertext) {
         u16::try_from(den.len()).expect("scale denominator exceeds the wire format's u16 count");
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&version.to_le_bytes());
-    out.push(KIND_FULL);
-    out.push(ct.n().trailing_zeros() as u8);
-    out.extend_from_slice(&(ct.num_primes() as u16).to_le_bytes());
+    out.push(kind);
+    out.push(n.trailing_zeros() as u8);
+    out.extend_from_slice(&(primes as u16).to_le_bytes());
     out.extend_from_slice(&exp.to_le_bytes());
     out.extend_from_slice(&num_len.to_le_bytes());
     out.extend_from_slice(&den_len.to_le_bytes());
@@ -155,9 +167,13 @@ fn write_header(out: &mut Vec<u8>, version: u16, ct: &Ciphertext) {
     }
 }
 
-fn header_len(ct: &Ciphertext) -> usize {
-    let (num, _, den) = ct.exact_scale().raw_parts();
+fn scale_header_len(scale: &ExactScale) -> usize {
+    let (num, _, den) = scale.raw_parts();
     FIXED_HEADER + num.to_le_bytes().len() + den.len() * 8
+}
+
+fn header_len(ct: &Ciphertext) -> usize {
+    scale_header_len(ct.exact_scale())
 }
 
 /// Exact serialized size of a ciphertext in the v2 (full-word) format.
@@ -181,7 +197,14 @@ pub fn packed_serialized_len(ct: &Ciphertext, widths: &[u32]) -> usize {
 /// budget); truncating silently would emit a blob the decoder rejects.
 pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
     let mut out = Vec::with_capacity(serialized_len(ct));
-    write_header(&mut out, VERSION_WORDS, ct);
+    write_header(
+        &mut out,
+        VERSION_WORDS,
+        KIND_FULL,
+        ct.n(),
+        ct.num_primes(),
+        ct.exact_scale(),
+    );
     let (c0, c1) = ct.components();
     for component in [c0, c1] {
         for poly in component {
@@ -232,7 +255,14 @@ pub fn serialize_ciphertext_packed(ct: &Ciphertext, widths: &[u32]) -> Result<Ve
         }
     }
     let mut out = Vec::with_capacity(packed_serialized_len(ct, widths));
-    write_header(&mut out, VERSION_PACKED, ct);
+    write_header(
+        &mut out,
+        VERSION_PACKED,
+        KIND_FULL,
+        ct.n(),
+        ct.num_primes(),
+        ct.exact_scale(),
+    );
     for &w in widths {
         out.push(w as u8);
     }
@@ -244,14 +274,19 @@ pub fn serialize_ciphertext_packed(ct: &Ciphertext, widths: &[u32]) -> Result<Ve
     Ok(out)
 }
 
-/// Deserializes a ciphertext from the wire format (v2 or v3).
-///
-/// # Errors
-///
-/// Returns [`CkksError::InvalidParams`] for malformed input: bad magic,
-/// unsupported version/kind, truncated payload, inconsistent sizes, or
-/// an invalid scale encoding.
-pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
+/// Parsed common ciphertext header (kinds 1 and 2).
+struct CtHeader {
+    version: u16,
+    n: usize,
+    primes: usize,
+    scale: ExactScale,
+    /// Offset of the first byte after the variable-length scale payload.
+    scale_end: usize,
+}
+
+/// Parses and validates the shared magic/version/kind/shape/scale header
+/// of ciphertext-carrying blobs (kind 1 full, kind 2 seed-compressed).
+fn parse_ct_header(bytes: &[u8], expect_kind: u8) -> Result<CtHeader, CkksError> {
     let err = |msg: &str| CkksError::InvalidParams(format!("wire: {msg}"));
     if bytes.len() < FIXED_HEADER {
         return Err(err("truncated header"));
@@ -263,7 +298,7 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
     if version != VERSION_WORDS && version != VERSION_PACKED {
         return Err(err("unsupported version"));
     }
-    if bytes[6] != KIND_FULL {
+    if bytes[6] != expect_kind {
         return Err(err("unsupported kind"));
     }
     let log_n = bytes[7] as u32;
@@ -291,6 +326,32 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
         .collect();
     let scale =
         ExactScale::from_raw_parts(num, exp, den).ok_or_else(|| err("invalid scale encoding"))?;
+    Ok(CtHeader {
+        version,
+        n,
+        primes,
+        scale,
+        scale_end,
+    })
+}
+
+/// Deserializes a ciphertext from the wire format (v2 or v3).
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] for malformed input: bad magic,
+/// unsupported version/kind, truncated payload, inconsistent sizes, or
+/// an invalid scale encoding.
+pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
+    let err = |msg: &str| CkksError::InvalidParams(format!("wire: {msg}"));
+    let hdr = parse_ct_header(bytes, KIND_FULL)?;
+    let CtHeader {
+        version,
+        n,
+        primes,
+        scale,
+        scale_end,
+    } = hdr;
 
     if version == VERSION_WORDS {
         let expected = scale_end + 2 * primes * n * 8;
@@ -349,6 +410,133 @@ pub fn deserialize_ciphertext(bytes: &[u8]) -> Result<Ciphertext, CkksError> {
     let c0 = read_component(&mut cursor);
     let c1 = read_component(&mut cursor);
     Ciphertext::from_components_exact(c0, c1, scale)
+}
+
+/// Exact serialized size of a seed-compressed ciphertext in the v3
+/// packed format under `widths` (header + 16-byte seed + width table +
+/// packed `c0`).
+pub fn compressed_serialized_len(cct: &CompressedCiphertext, widths: &[u32]) -> usize {
+    let polys: usize = widths.iter().map(|&w| packed_poly_bytes(cct.n(), w)).sum();
+    scale_header_len(cct.exact_scale()) + 16 + cct.num_primes() + polys
+}
+
+/// Serializes a seed-compressed (symmetric) ciphertext to the v3 wire
+/// format (kind 2): the 16-byte mask seed stands in for the whole `c1`
+/// component, and `c0` is bit-packed to the basis widths — the upload
+/// format of a client that derives masks on-chip.
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] if `widths` doesn't match the
+/// ciphertext's prime count, a width is 0 or > 64, or a residue does not
+/// fit its declared width.
+///
+/// # Panics
+///
+/// Panics on oversize scale encodings, as [`serialize_ciphertext`].
+pub fn serialize_compressed_ciphertext(
+    cct: &CompressedCiphertext,
+    widths: &[u32],
+) -> Result<Vec<u8>, CkksError> {
+    let err = |msg: String| CkksError::InvalidParams(format!("wire: {msg}"));
+    if widths.len() != cct.num_primes() {
+        return Err(err(format!(
+            "{} widths for {} primes",
+            widths.len(),
+            cct.num_primes()
+        )));
+    }
+    if let Some(&w) = widths.iter().find(|&&w| w == 0 || w > 64) {
+        return Err(err(format!("residue width {w} out of 1..=64")));
+    }
+    for (poly, &w) in cct.c0().iter().zip(widths) {
+        if w < 64 {
+            let limit = 1u64 << w;
+            if let Some(&bad) = poly.iter().find(|&&x| x >= limit) {
+                return Err(err(format!("residue {bad:#x} exceeds {w}-bit width")));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(compressed_serialized_len(cct, widths));
+    write_header(
+        &mut out,
+        VERSION_PACKED,
+        KIND_COMPRESSED,
+        cct.n(),
+        cct.num_primes(),
+        cct.exact_scale(),
+    );
+    out.extend_from_slice(&cct.mask_seed().0);
+    for &w in widths {
+        out.push(w as u8);
+    }
+    for (poly, &w) in cct.c0().iter().zip(widths) {
+        pack_bits(&mut out, poly, w);
+    }
+    Ok(out)
+}
+
+/// Deserializes a seed-compressed ciphertext (kind 2, v3 packed).
+/// Expand it back into a full ciphertext with
+/// [`CompressedCiphertext::expand`].
+///
+/// # Errors
+///
+/// Returns [`CkksError::InvalidParams`] for malformed input: bad magic,
+/// wrong version/kind, truncated seed/width table/payload, trailing
+/// garbage, or an invalid scale encoding.
+pub fn deserialize_compressed_ciphertext(bytes: &[u8]) -> Result<CompressedCiphertext, CkksError> {
+    let err = |msg: &str| CkksError::InvalidParams(format!("wire: {msg}"));
+    let hdr = parse_ct_header(bytes, KIND_COMPRESSED)?;
+    if hdr.version != VERSION_PACKED {
+        return Err(err("compressed ciphertexts are v3-packed only"));
+    }
+    let CtHeader {
+        n,
+        primes,
+        scale,
+        scale_end,
+        ..
+    } = hdr;
+    if bytes.len() < scale_end + 16 {
+        return Err(err("truncated mask seed"));
+    }
+    let seed = Seed(
+        bytes[scale_end..scale_end + 16]
+            .try_into()
+            .expect("16 bytes"),
+    );
+    let widths_at = scale_end + 16;
+    if bytes.len() < widths_at + primes {
+        return Err(err("truncated width table"));
+    }
+    let widths: Vec<u32> = bytes[widths_at..widths_at + primes]
+        .iter()
+        .map(|&b| b as u32)
+        .collect();
+    if widths.iter().any(|&w| w == 0 || w > 64) {
+        return Err(err("implausible residue width"));
+    }
+    let polys: usize = widths.iter().map(|&w| packed_poly_bytes(n, w)).sum();
+    if bytes.len() != widths_at + primes + polys {
+        return Err(err("payload length mismatch"));
+    }
+    let mut cursor = widths_at + primes;
+    let c0: Vec<Vec<u64>> = widths
+        .iter()
+        .map(|&w| {
+            let len = packed_poly_bytes(n, w);
+            let poly = unpack_bits(&bytes[cursor..cursor + len], n, w);
+            cursor += len;
+            poly
+        })
+        .collect();
+    Ok(CompressedCiphertext {
+        c0,
+        mask_seed: seed,
+        scale,
+        n,
+    })
 }
 
 /// Exact serialized size of a key-switching key in the v3 packed key
@@ -587,6 +775,102 @@ mod tests {
         assert_eq!(bytes.len(), packed_serialized_len(&ct, &widths));
         let back = deserialize_ciphertext(&bytes).expect("roundtrip");
         assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn compressed_roundtrip_bit_exact() {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(3)
+                .secret_hamming_weight(Some(16))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (sk, _) = ctx.keygen(Seed::from_u128(11));
+        let msg = vec![Complex::new(0.25, -0.5); 16];
+        let pt = ctx.encode(&msg).expect("encode");
+        let cct =
+            crate::symmetric::encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(12));
+        let widths = ctx.wire_widths(cct.num_primes());
+        let bytes = serialize_compressed_ciphertext(&cct, &widths).expect("pack");
+        assert_eq!(bytes.len(), compressed_serialized_len(&cct, &widths));
+        let back = deserialize_compressed_ciphertext(&bytes).expect("roundtrip");
+        assert_eq!(back, cct);
+        // And the expanded ciphertext still decrypts to the message.
+        let out = ctx
+            .decode(
+                &ctx.decrypt(&back.expand(&ctx).expect("expand"), &sk)
+                    .expect("decrypt"),
+            )
+            .expect("decode");
+        assert!(out[0].dist(msg[0]) < 1e-4);
+    }
+
+    #[test]
+    fn compressed_wire_is_about_half_the_full_ct() {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(3)
+                .secret_hamming_weight(Some(16))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (sk, pk) = ctx.keygen(Seed::from_u128(13));
+        let pt = ctx.encode(&[Complex::new(0.5, 0.0); 8]).expect("encode");
+        let full = ctx.encrypt(&pt, &pk, Seed::from_u128(14));
+        let cct =
+            crate::symmetric::encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(14));
+        let widths = ctx.wire_widths(full.num_primes());
+        let full_bytes = serialize_ciphertext_packed(&full, &widths).expect("pack");
+        let cct_bytes = serialize_compressed_ciphertext(&cct, &widths).expect("pack");
+        // One packed component + 16 B seed vs two packed components.
+        assert!(
+            2 * cct_bytes.len() <= full_bytes.len() + 64,
+            "compressed {} vs full {}",
+            cct_bytes.len(),
+            full_bytes.len()
+        );
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected_both_ways() {
+        let (ctx, ct) = sample_ct();
+        let widths = ctx.wire_widths(ct.num_primes());
+        let full_bytes = serialize_ciphertext_packed(&ct, &widths).expect("pack");
+        assert!(deserialize_compressed_ciphertext(&full_bytes).is_err());
+        let (sk, _) = ctx.keygen(Seed::from_u128(15));
+        let pt = ctx.encode(&[Complex::new(0.1, 0.2); 4]).expect("encode");
+        let cct =
+            crate::symmetric::encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(16));
+        let cct_bytes = serialize_compressed_ciphertext(&cct, &widths).expect("pack");
+        assert!(deserialize_ciphertext(&cct_bytes).is_err());
+    }
+
+    #[test]
+    fn compressed_rejects_truncation_and_garbage() {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(2)
+                .secret_hamming_weight(Some(16))
+                .build()
+                .expect("params"),
+        )
+        .expect("ctx");
+        let (sk, _) = ctx.keygen(Seed::from_u128(17));
+        let pt = ctx.encode(&[Complex::new(0.3, 0.4); 4]).expect("encode");
+        let cct =
+            crate::symmetric::encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(18));
+        let widths = ctx.wire_widths(cct.num_primes());
+        let bytes = serialize_compressed_ciphertext(&cct, &widths).expect("pack");
+        assert!(deserialize_compressed_ciphertext(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(deserialize_compressed_ciphertext(&longer).is_err());
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Gateway counters and latency tracking.
+//!
+//! The central invariant — **zero lost requests** — is checkable from
+//! here alone: every admission increments `submitted`, every terminal
+//! resolution (success or typed error, whether sent by a worker, the
+//! drop-guard of a panicked worker, or the admission path shedding
+//! load) increments exactly one resolution counter, and after a drain
+//! `submitted == resolved()`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Monotonic event counters plus a latency reservoir.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests entering admission — including ones shed at the door,
+    /// which resolve synchronously with a typed error.
+    pub submitted: AtomicU64,
+    /// Requests resolved with `Ok`.
+    pub succeeded: AtomicU64,
+    /// Requests resolved with a typed error (any variant).
+    pub failed: AtomicU64,
+    /// `Overloaded` rejections at admission.
+    pub shed_overload: AtomicU64,
+    /// `BatchShed` rejections at admission.
+    pub shed_batch: AtomicU64,
+    /// Auto-mode requests downgraded to seed-compressed uploads.
+    pub degraded_compressed: AtomicU64,
+    /// Deadline expiries noticed while queued.
+    pub timeout_queued: AtomicU64,
+    /// Deadline expiries noticed at/after compute.
+    pub timeout_compute: AtomicU64,
+    /// Caller-side await timeouts (the request still resolves).
+    pub timeout_await: AtomicU64,
+    /// Wire-validation rejections.
+    pub bad_requests: AtomicU64,
+    /// Worker panics caught.
+    pub worker_panics: AtomicU64,
+    /// Workers respawned with fresh pooled state after a panic.
+    pub worker_respawns: AtomicU64,
+    /// Retry attempts made by `call_with_retry` (beyond the first).
+    pub retries: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+/// Point-in-time copy of the counters with derived percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub succeeded: u64,
+    pub failed: u64,
+    pub shed_overload: u64,
+    pub shed_batch: u64,
+    pub degraded_compressed: u64,
+    pub timeout_queued: u64,
+    pub timeout_compute: u64,
+    pub timeout_await: u64,
+    pub bad_requests: u64,
+    pub worker_panics: u64,
+    pub worker_respawns: u64,
+    pub retries: u64,
+    /// Median end-to-end latency, microseconds (0 when empty).
+    pub p50_us: u64,
+    /// 95th-percentile end-to-end latency, microseconds.
+    pub p95_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Requests that reached a terminal state.
+    pub fn resolved(&self) -> u64 {
+        self.succeeded + self.failed
+    }
+
+    /// Admitted requests not yet resolved — must be 0 after a drain;
+    /// anything else is a lost request.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted.saturating_sub(self.resolved())
+    }
+}
+
+/// Bumps a counter by one.
+pub(crate) fn inc(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+impl Metrics {
+    /// Records one end-to-end request latency.
+    pub fn record_latency(&self, latency: Duration) {
+        self.latencies_us
+            .lock()
+            .expect("metrics lock")
+            .push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Copies the counters and computes latency percentiles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut lat = self.latencies_us.lock().expect("metrics lock").clone();
+        lat.sort_unstable();
+        let pct = |p: f64| {
+            if lat.is_empty() {
+                0
+            } else {
+                // Nearest-rank (upper): conservative at small samples.
+                lat[(((lat.len() - 1) as f64 * p).ceil()) as usize]
+            }
+        };
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: get(&self.submitted),
+            succeeded: get(&self.succeeded),
+            failed: get(&self.failed),
+            shed_overload: get(&self.shed_overload),
+            shed_batch: get(&self.shed_batch),
+            degraded_compressed: get(&self.degraded_compressed),
+            timeout_queued: get(&self.timeout_queued),
+            timeout_compute: get(&self.timeout_compute),
+            timeout_await: get(&self.timeout_await),
+            bad_requests: get(&self.bad_requests),
+            worker_panics: get(&self.worker_panics),
+            worker_respawns: get(&self.worker_respawns),
+            retries: get(&self.retries),
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_accounting() {
+        let m = Metrics::default();
+        for us in [100u64, 200, 300, 400, 1000] {
+            m.record_latency(Duration::from_micros(us));
+        }
+        inc(&m.submitted);
+        inc(&m.submitted);
+        inc(&m.succeeded);
+        let snap = m.snapshot();
+        assert_eq!(snap.p50_us, 300);
+        assert_eq!(snap.p95_us, 1000);
+        assert_eq!(snap.resolved(), 1);
+        assert_eq!(snap.in_flight(), 1);
+    }
+
+    #[test]
+    fn empty_reservoir_reports_zero() {
+        let snap = Metrics::default().snapshot();
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p95_us, 0);
+    }
+}

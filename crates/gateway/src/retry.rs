@@ -1,0 +1,154 @@
+//! Caller-side retry with jittered exponential backoff.
+//!
+//! Retries are restricted to [`GatewayError::is_transient`] failures:
+//! re-submitting a `BadRequest` burns queue slots on bytes that can
+//! never parse, and retrying a compute-stage timeout re-runs work that
+//! is already known not to fit the budget. Jitter is derived from a
+//! [`Seed`] rather than the system clock so chaos runs replay exactly.
+
+use crate::error::GatewayError;
+use abc_prng::Seed;
+use std::time::Duration;
+
+/// Backoff policy for [`crate::Gateway::call_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (1-based):
+    /// `base·2^(attempt-1)` capped at `cap`, scaled by a deterministic
+    /// factor in `[0.5, 1.0)` drawn from `seed` — decorrelating
+    /// colliding clients without sacrificing replayability.
+    pub fn backoff(&self, attempt: u32, seed: Seed) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.cap);
+        let raw = u64::from_le_bytes(
+            seed.derive(u64::from(attempt)).0[..8]
+                .try_into()
+                .expect("seed is 16 bytes"),
+        );
+        let jitter = 0.5 + (raw % 1024) as f64 / 2048.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// Runs `op` up to `policy.max_attempts` times, sleeping the jittered
+/// backoff between attempts, retrying only transient errors. Invokes
+/// `on_retry` before each re-attempt (metrics hook).
+///
+/// # Errors
+///
+/// Returns the last error once attempts are exhausted, or the first
+/// non-transient error immediately.
+pub fn call_with_retry<T>(
+    policy: &RetryPolicy,
+    seed: Seed,
+    mut on_retry: impl FnMut(),
+    mut op: impl FnMut() -> Result<T, GatewayError>,
+) -> Result<T, GatewayError> {
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_attempts => {
+                std::thread::sleep(policy.backoff(attempt, seed));
+                on_retry();
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::TimeoutStage;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(20),
+        };
+        let s = Seed::from_u128(9);
+        let d1 = p.backoff(1, s);
+        let d2 = p.backoff(2, s);
+        let d4 = p.backoff(4, s);
+        assert_eq!(d1, p.backoff(1, s), "deterministic");
+        // Jitter keeps each delay within [0.5, 1.0) of the exponential.
+        assert!(d1 >= Duration::from_millis(2) && d1 < Duration::from_millis(4));
+        assert!(d2 >= Duration::from_millis(4) && d2 < Duration::from_millis(8));
+        assert!(d4 < Duration::from_millis(20), "capped");
+    }
+
+    #[test]
+    fn retries_only_transient_errors() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+        };
+        let mut calls = 0;
+        let out: Result<(), _> = call_with_retry(
+            &policy,
+            Seed::from_u128(1),
+            || {},
+            || {
+                calls += 1;
+                Err(GatewayError::Overloaded { depth: 1 })
+            },
+        );
+        assert_eq!(out, Err(GatewayError::Overloaded { depth: 1 }));
+        assert_eq!(calls, 3, "transient: exhausted all attempts");
+
+        let mut calls = 0;
+        let out: Result<(), _> = call_with_retry(
+            &policy,
+            Seed::from_u128(1),
+            || {},
+            || {
+                calls += 1;
+                Err(GatewayError::BadRequest("junk".into()))
+            },
+        );
+        assert!(matches!(out, Err(GatewayError::BadRequest(_))));
+        assert_eq!(calls, 1, "permanent: no retry");
+
+        let mut calls = 0;
+        let out = call_with_retry(
+            &policy,
+            Seed::from_u128(1),
+            || {},
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(GatewayError::Timeout(TimeoutStage::Queued))
+                } else {
+                    Ok(42)
+                }
+            },
+        );
+        assert_eq!(out, Ok(42), "recovers after transient failures");
+    }
+}

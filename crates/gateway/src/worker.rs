@@ -1,0 +1,262 @@
+//! Worker threads: pooled CKKS state, panic isolation, and the
+//! zero-lost-request drop guard.
+//!
+//! Each worker owns its `CkksContext` outright (engines, NTT plans,
+//! scratch pools) — no sharing means no lock contention on the hot
+//! path and, more importantly, a clean respawn story: a panic caught
+//! mid-request may leave the context's internal buffer pools poisoned,
+//! so the worker discards the whole context and rebuilds fresh state
+//! before taking the next job. The in-flight request is resolved by
+//! [`Responder`]'s drop guard — a panicking worker can *never* strand
+//! its caller.
+
+use crate::config::GatewayConfig;
+use crate::error::{GatewayError, TimeoutStage};
+use crate::fault::Fault;
+use crate::metrics::{inc, Metrics};
+use crate::service::{Operation, Response, Shared, UploadMode};
+use abc_ckks::params::CkksParams;
+use abc_ckks::symmetric::encrypt_symmetric_compressed;
+use abc_ckks::{wire, CkksContext, CkksError, Plaintext};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// One admitted request, owned by the queue and then by a worker.
+pub(crate) struct Job {
+    pub seq: u64,
+    pub tenant: u64,
+    pub op: Operation,
+    pub deadline: Instant,
+    pub responder: Responder,
+}
+
+/// Single-shot response channel with a drop guard: if a job is dropped
+/// without an explicit resolution (the only way is a panic unwinding
+/// the handler), the guard sends `WorkerPanicked` — the caller always
+/// hears *something*, and metrics count exactly one terminal outcome
+/// per admitted request.
+pub(crate) struct Responder {
+    tx: Option<mpsc::Sender<Result<Response, GatewayError>>>,
+    metrics: Arc<Metrics>,
+    submitted_at: Instant,
+}
+
+impl Responder {
+    pub fn new(tx: mpsc::Sender<Result<Response, GatewayError>>, metrics: Arc<Metrics>) -> Self {
+        Self {
+            tx: Some(tx),
+            metrics,
+            submitted_at: Instant::now(),
+        }
+    }
+
+    /// Resolves the request (exactly once; the drop guard disarms).
+    pub fn resolve(mut self, result: Result<Response, GatewayError>) {
+        self.finish(result);
+    }
+
+    fn finish(&mut self, result: Result<Response, GatewayError>) {
+        let Some(tx) = self.tx.take() else { return };
+        match &result {
+            Ok(_) => inc(&self.metrics.succeeded),
+            Err(e) => {
+                inc(&self.metrics.failed);
+                match e {
+                    GatewayError::Timeout(TimeoutStage::Queued) => {
+                        inc(&self.metrics.timeout_queued)
+                    }
+                    GatewayError::Timeout(TimeoutStage::Compute) => {
+                        inc(&self.metrics.timeout_compute)
+                    }
+                    GatewayError::BadRequest(_) => inc(&self.metrics.bad_requests),
+                    _ => {}
+                }
+            }
+        }
+        self.metrics.record_latency(self.submitted_at.elapsed());
+        // A disconnected receiver (caller gave up waiting) is fine —
+        // the request is still accounted as resolved above.
+        let _ = tx.send(result);
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        self.finish(Err(GatewayError::WorkerPanicked));
+    }
+}
+
+/// Builds a worker's pooled context from the gateway parameters.
+fn build_context(config: &GatewayConfig) -> Result<CkksContext, GatewayError> {
+    let params = CkksParams::builder()
+        .log_n(config.log_n)
+        .num_primes(config.num_primes)
+        .secret_hamming_weight(Some((1usize << config.log_n) / 8))
+        .build()
+        .map_err(|e| GatewayError::InvalidConfig(format!("{e}")))?;
+    CkksContext::new(params).map_err(|e| GatewayError::InvalidConfig(format!("{e}")))
+}
+
+/// Validates the gateway's CKKS parameters without starting a worker —
+/// called once by `Gateway::start` so bad configs fail synchronously.
+pub(crate) fn validate_params(config: &GatewayConfig) -> Result<(), GatewayError> {
+    build_context(config).map(|_| ())
+}
+
+/// The worker thread body: pop → handle (panic-isolated) → repeat.
+pub(crate) fn worker_main(shared: Arc<Shared>, live_workers: Arc<AtomicU64>) {
+    let Ok(mut ctx) = build_context(&shared.config) else {
+        return;
+    };
+    live_workers.fetch_add(1, Ordering::SeqCst);
+    while let Some(job) = shared.queue.pop() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_job(&ctx, &shared, job)));
+        if outcome.is_err() {
+            // The job's Responder drop guard has already resolved the
+            // caller with WorkerPanicked during unwinding. The panic
+            // may have poisoned the context's internal scratch pools,
+            // so respawn the compute state from scratch.
+            inc(&shared.metrics.worker_panics);
+            match build_context(&shared.config) {
+                Ok(fresh) => {
+                    ctx = fresh;
+                    inc(&shared.metrics.worker_respawns);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    live_workers.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Handles one job end to end; every exit path resolves the responder.
+fn handle_job(ctx: &CkksContext, shared: &Shared, mut job: Job) {
+    if Instant::now() >= job.deadline {
+        job.responder
+            .resolve(Err(GatewayError::Timeout(TimeoutStage::Queued)));
+        return;
+    }
+    let plan = shared.fault.lock().expect("fault lock").clone();
+    match plan.fault_for(job.seq) {
+        Fault::PanicWorker => panic!("injected worker fault (seq {})", job.seq),
+        Fault::ExtraLatency(d) => std::thread::sleep(d),
+        Fault::CorruptBlob | Fault::TruncateBlob => {
+            if let Operation::Decrypt { blob } | Operation::Ingest { blob } = &mut job.op {
+                plan.damage_blob(job.seq, blob);
+            }
+        }
+        Fault::None => {}
+    }
+    let result = execute(ctx, shared, &job);
+    if Instant::now() >= job.deadline {
+        job.responder
+            .resolve(Err(GatewayError::Timeout(TimeoutStage::Compute)));
+        return;
+    }
+    job.responder.resolve(result);
+}
+
+/// Maps pipeline errors: anything provoked by client-supplied data is
+/// `BadRequest`; internal inconsistencies stay `Internal`.
+fn client_err(e: CkksError) -> GatewayError {
+    match e {
+        CkksError::Math(_) => GatewayError::Internal(format!("{e}")),
+        other => GatewayError::BadRequest(format!("{other}")),
+    }
+}
+
+fn execute(ctx: &CkksContext, shared: &Shared, job: &Job) -> Result<Response, GatewayError> {
+    let session = shared.sessions.get_or_create(job.tenant, ctx);
+    let enc_seed = shared.config.master_seed.derive(job.seq).derive(1);
+    match &job.op {
+        Operation::Encrypt { message, mode } => {
+            let pt = ctx.encode(message).map_err(client_err)?;
+            let (blob, compressed) = encrypt_to_wire(ctx, &pt, &session, *mode, enc_seed)?;
+            Ok(Response::Encrypted { blob, compressed })
+        }
+        Operation::EncryptBatch { messages, mode } => {
+            let pts = ctx.encode_batch(messages).map_err(client_err)?;
+            let mut blobs = Vec::with_capacity(pts.len());
+            let mut compressed = false;
+            for (i, pt) in pts.iter().enumerate() {
+                let (blob, c) =
+                    encrypt_to_wire(ctx, pt, &session, *mode, enc_seed.derive(i as u64))?;
+                compressed = c;
+                blobs.push(blob);
+            }
+            Ok(Response::EncryptedBatch { blobs, compressed })
+        }
+        Operation::Decrypt { blob } => {
+            let ct = wire::deserialize_ciphertext(blob).map_err(client_err)?;
+            let pt = ctx.decrypt(&ct, &session.sk).map_err(client_err)?;
+            let slots = ctx.decode(&pt).map_err(client_err)?;
+            Ok(Response::Decrypted { slots })
+        }
+        Operation::Ingest { blob } => {
+            let (primes, compressed) = ingest(ctx, blob)?;
+            Ok(Response::Ingested {
+                compressed,
+                primes,
+                wire_bytes: blob.len(),
+            })
+        }
+    }
+}
+
+/// Encrypts a plaintext to wire bytes in the requested upload mode
+/// (`Auto` has been resolved to a concrete mode at admission).
+fn encrypt_to_wire(
+    ctx: &CkksContext,
+    pt: &Plaintext,
+    session: &crate::session::TenantSession,
+    mode: UploadMode,
+    seed: abc_prng::Seed,
+) -> Result<(Vec<u8>, bool), GatewayError> {
+    let widths = ctx.wire_widths(pt.num_primes());
+    match mode {
+        UploadMode::Compressed => {
+            let cct = encrypt_symmetric_compressed(ctx, pt, &session.sk, seed);
+            let blob = wire::serialize_compressed_ciphertext(&cct, &widths)
+                .map_err(|e| GatewayError::Internal(format!("{e}")))?;
+            Ok((blob, true))
+        }
+        UploadMode::Full | UploadMode::Auto => {
+            let ct = ctx.encrypt(pt, &session.pk, seed);
+            let blob = wire::serialize_ciphertext_packed(&ct, &widths)
+                .map_err(|e| GatewayError::Internal(format!("{e}")))?;
+            Ok((blob, false))
+        }
+    }
+}
+
+/// Strict ingress validation: parse the wire kind, run the matching
+/// deserializer, and (for seeded uploads) expand against the pooled
+/// context — malformed bytes are rejected with `BadRequest`, never
+/// stored or forwarded.
+fn ingest(ctx: &CkksContext, blob: &[u8]) -> Result<(usize, bool), GatewayError> {
+    const KIND_OFFSET: usize = 6;
+    let kind = *blob
+        .get(KIND_OFFSET)
+        .ok_or_else(|| GatewayError::BadRequest("wire blob shorter than a header".into()))?;
+    match kind {
+        1 => {
+            let ct = wire::deserialize_ciphertext(blob).map_err(client_err)?;
+            if ct.n() != ctx.params().n() || ct.num_primes() > ctx.params().num_primes() {
+                return Err(GatewayError::BadRequest(
+                    "ciphertext shape does not match gateway parameters".into(),
+                ));
+            }
+            Ok((ct.num_primes(), false))
+        }
+        2 => {
+            let cct = wire::deserialize_compressed_ciphertext(blob).map_err(client_err)?;
+            let ct = cct.expand(ctx).map_err(client_err)?;
+            Ok((ct.num_primes(), true))
+        }
+        other => Err(GatewayError::BadRequest(format!(
+            "unsupported wire kind {other} at ingress"
+        ))),
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests (via the offline proptest shim) for the
+//! gateway's two safety-critical data structures.
+//!
+//! The LRU cache is model-checked against an independent naive
+//! implementation (an ordered `Vec`, recency-sorted by construction);
+//! the bounded queue is driven with random push/pop schedules and must
+//! never exceed capacity, never reorder, and never drop an accepted
+//! item.
+
+use abc_gateway::lru::LruCache;
+use abc_gateway::queue::{BoundedQueue, PushError};
+use proptest::prelude::*;
+
+/// Reference model: most-recently-used at the back of a Vec.
+struct NaiveLru {
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+}
+
+impl NaiveLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        let at = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(at);
+        let value = entry.1;
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: u64, value: u64) -> Option<(u64, u64)> {
+        if let Some(at) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(at);
+            self.entries.push((key, value));
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.push((key, value));
+        evicted
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_matches_the_naive_model(seed in any::<u64>(), capacity in 1usize..8, ops in 1usize..120) {
+        let mut lru = LruCache::new(capacity);
+        let mut model = NaiveLru::new(capacity);
+        let mut x = seed | 1;
+        for step in 0..ops {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 12; // small key space forces collisions
+            let value = x % 1000;
+            if x.is_multiple_of(3) {
+                let got = lru.get(&key).copied();
+                let want = model.get(key);
+                prop_assert_eq!(got, want, "get({}) diverged at step {}", key, step);
+            } else {
+                let evicted = lru.insert(key, value);
+                let model_evicted = model.insert(key, value);
+                prop_assert_eq!(evicted, model_evicted, "insert({}) eviction diverged at step {}", key, step);
+            }
+            prop_assert!(lru.len() <= capacity, "capacity exceeded: {} > {}", lru.len(), capacity);
+            prop_assert_eq!(lru.len(), model.entries.len());
+        }
+        // Final membership agrees exactly.
+        for (k, _) in &model.entries {
+            prop_assert!(lru.contains(k), "model has {} but cache lost it", k);
+        }
+    }
+
+    #[test]
+    fn queue_never_exceeds_capacity_and_preserves_fifo(seed in any::<u64>(), capacity in 1usize..10, ops in 1usize..200) {
+        let q = BoundedQueue::new(capacity);
+        let mut x = seed | 1;
+        let mut next_id = 0u64;
+        let mut accepted = std::collections::VecDeque::new();
+        let mut popped = Vec::new();
+        for _ in 0..ops {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x.is_multiple_of(2) {
+                match q.try_push(next_id) {
+                    Ok(depth) => {
+                        prop_assert!(depth <= capacity, "depth {} > capacity {}", depth, capacity);
+                        accepted.push_back(next_id);
+                    }
+                    Err(PushError::Full(returned)) => {
+                        // Shed admission hands the item back and only
+                        // happens at capacity.
+                        prop_assert_eq!(returned, next_id);
+                        prop_assert_eq!(q.len(), capacity);
+                    }
+                    Err(PushError::Closed(_)) => prop_assert!(false, "queue never closed"),
+                }
+                next_id += 1;
+            } else if let Some(expected) = accepted.pop_front() {
+                // Non-empty: pop must return the FIFO head.
+                let got = q.pop();
+                prop_assert_eq!(got, Some(expected));
+                popped.push(expected);
+            }
+            prop_assert!(q.len() <= capacity);
+            prop_assert_eq!(q.len(), accepted.len());
+        }
+        // Drain: every accepted item comes out, in order, exactly once.
+        q.close();
+        while let Some(v) = q.pop() {
+            let expected = accepted.pop_front();
+            prop_assert_eq!(Some(v), expected);
+            popped.push(v);
+        }
+        prop_assert!(accepted.is_empty(), "accepted items lost in the queue");
+        for w in popped.windows(2) {
+            prop_assert!(w[0] < w[1], "FIFO order violated: {} after {}", w[1], w[0]);
+        }
+    }
+}

@@ -559,19 +559,81 @@ impl RnsNttEngine {
     }
 }
 
-/// Resolves the engine thread count: a valid `ABC_FHE_THREADS` value
-/// wins (clamped to `1..=64`); otherwise the machine's available
+/// Parses a raw `ABC_FHE_THREADS` value: `None` or a blank string means
+/// "no override" (`Ok(None)`); a thread count in `1..=64` wins.
+///
+/// Pure so the policy is testable without mutating process environment;
+/// env readers go through [`threads_from_env`].
+///
+/// # Errors
+///
+/// Anything else — garbage, `0`, out-of-range — is an error naming the
+/// variable and the accepted range. A typo'd override must not silently
+/// bench on a default thread count.
+pub fn parse_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(t) if (1..=64).contains(&t) => Ok(Some(t)),
+        _ => Err(format!(
+            "{THREADS_ENV}={raw:?} is not a thread count in 1..=64 \
+             (unset it or pass e.g. {THREADS_ENV}=4)"
+        )),
+    }
+}
+
+/// Resolves the engine thread count: a valid `ABC_FHE_THREADS` value in
+/// `1..=64` wins; unset/blank falls back to the machine's available
 /// parallelism, capped at 8.
+///
+/// # Panics
+///
+/// Panics with one clear message on an invalid override (see
+/// [`parse_threads`]) — engines are constructed at startup, where
+/// failing fast beats silently running every benchmark on the wrong
+/// thread count.
 pub fn threads_from_env() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(t) = v.trim().parse::<usize>() {
-            return t.clamp(1, 64);
+    match parse_threads(std::env::var(THREADS_ENV).ok().as_deref()) {
+        Ok(Some(t)) => t,
+        Ok(None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+#[cfg(test)]
+mod env_tests {
+    use super::*;
+
+    #[test]
+    fn unset_or_blank_means_no_override() {
+        assert_eq!(parse_threads(None).expect("unset"), None);
+        assert_eq!(parse_threads(Some("")).expect("blank"), None);
+        assert_eq!(parse_threads(Some("  ")).expect("spaces"), None);
+    }
+
+    #[test]
+    fn valid_counts_win_with_whitespace_tolerance() {
+        assert_eq!(parse_threads(Some("1")).expect("1"), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")).expect("8"), Some(8));
+        assert_eq!(parse_threads(Some("64")).expect("64"), Some(64));
+    }
+
+    #[test]
+    fn garbage_and_out_of_range_are_loud_errors() {
+        for bad in ["four", "-2", "0", "65", "1000", "3.5", "8x"] {
+            let msg = parse_threads(Some(bad)).expect_err(bad);
+            assert!(
+                msg.contains(THREADS_ENV) && msg.contains("1..=64"),
+                "error for {bad:?} must name the variable and range: {msg}"
+            );
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
 }
 
 #[cfg(test)]

@@ -14,11 +14,9 @@ use abc_fhe::transform::{NttPlan, OtfTwiddleGen};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Structured 34-36-bit primes supporting N = 2^14 negacyclic NTTs.
-    // `ABC_FHE_LOG_N` overrides the ring-degree exponent (CI smoke).
-    let log_n: u32 = std::env::var("ABC_FHE_LOG_N")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(14);
+    // `ABC_FHE_LOG_N` overrides the ring-degree exponent (CI smoke);
+    // garbage values abort instead of silently reporting N = 2^14.
+    let log_n = abc_fhe::ckks::params::log_n_from_env(14)?;
     let n = 1u64 << log_n;
     let primes = search_structured_primes(34..=36, n);
     println!(

@@ -60,20 +60,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // example runs in seconds; the paper's headline is 2^16.
     // `ABC_FHE_LOG_N` overrides the ring degree (CI smoke-tests at
     // log_n = 10, below the bootstrappable floor, via the builder —
-    // still on the DoublePair profile the keyed ops need).
-    let params = match std::env::var("ABC_FHE_LOG_N")
-        .ok()
-        .and_then(|v| v.parse::<u32>().ok())
-    {
-        Some(log_n) if log_n < 13 => CkksParams::builder()
+    // still on the DoublePair profile the keyed ops need). Unparseable
+    // overrides abort here rather than silently demoing at 2^13.
+    let params = match abc_fhe::ckks::params::log_n_from_env(13)? {
+        log_n if log_n < 13 => CkksParams::builder()
             .log_n(log_n)
             .num_primes(24)
             .prime_bits(36)
             .scale_bits(36)
             .scale_mode(ScaleMode::DoublePair)
             .build()?,
-        Some(log_n) => CkksParams::bootstrappable(log_n)?,
-        None => CkksParams::bootstrappable(13)?,
+        log_n => CkksParams::bootstrappable(log_n)?,
     };
     let ctx = CkksContext::new(params)?;
     let (sk, pk) = ctx.keygen(Seed::from_u128(0x5EC2E7));

@@ -10,11 +10,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A laptop-friendly parameter set. For the paper's full
     // bootstrappable setting use `CkksParams::bootstrappable(16)`
     // (N = 2^16, 24 x 36-bit primes). `ABC_FHE_LOG_N` overrides the ring
-    // degree (CI smoke-tests the examples at log_n = 10).
-    let log_n: u32 = std::env::var("ABC_FHE_LOG_N")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(12);
+    // degree (CI smoke-tests the examples at log_n = 10); an unparseable
+    // override is a hard error, not a silent fallback.
+    let log_n = abc_fhe::ckks::params::log_n_from_env(12)?;
     let params = CkksParams::builder().log_n(log_n).num_primes(6).build()?;
     let ctx = CkksContext::new(params)?;
     println!(

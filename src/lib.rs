@@ -19,6 +19,7 @@
 //! | [`prng`] | `abc-prng` | ChaCha20 PRNG, uniform/ternary/Gaussian samplers |
 //! | [`transform`] | `abc-transform` | Negacyclic NTT, OTF twiddle generation, CKKS special FFT, radix analysis |
 //! | [`ckks`] | `abc-ckks` | Encode/encrypt/decrypt/decode, op counts, precision sweeps |
+//! | [`gateway`] | `abc-gateway` | Fault-tolerant multi-tenant encryption gateway (bounded admission, deadlines, chaos testing) |
 //! | [`hw`] | `abc-hw` | Area/power model: Tables I & II, Fig. 6a walk, tech scaling |
 //! | [`sim`] | `abc-sim` | Cycle-level simulator: latency, lane sweep, memory configs |
 //!
@@ -46,6 +47,7 @@
 
 pub use abc_ckks as ckks;
 pub use abc_float as float;
+pub use abc_gateway as gateway;
 pub use abc_hw as hw;
 pub use abc_math as math;
 pub use abc_prng as prng;

@@ -171,6 +171,58 @@ fn wrong_galois_element_is_rejected_before_any_arithmetic() {
 }
 
 #[test]
+fn every_prefix_of_every_ciphertext_wire_form_is_rejected() {
+    // The same strictness guarantee for all three ciphertext encodings:
+    // full-word v2, bit-packed v3, and seed-compressed (kind 2). Every
+    // strict prefix must fail and trailing garbage must fail — a partial
+    // download or a concatenation bug can never parse.
+    use abc_fhe::ckks::{symmetric, wire};
+    let ctx = ctx();
+    let (sk, pk) = ctx.keygen(Seed::from_u128(20));
+    let pt = ctx.encode(&msg(16)).expect("encode");
+    let ct = ctx.encrypt(&pt, &pk, Seed::from_u128(21));
+    let widths = ctx.params().residue_widths(ct.num_primes());
+    let cct = symmetric::encrypt_symmetric_compressed(&ctx, &pt, &sk, Seed::from_u128(22));
+
+    type Parses = Box<dyn Fn(&[u8]) -> bool>;
+    let forms: Vec<(&str, Vec<u8>, Parses)> = vec![
+        (
+            "v2 full-word ciphertext",
+            wire::serialize_ciphertext(&ct),
+            Box::new(|b: &[u8]| wire::deserialize_ciphertext(b).is_ok()),
+        ),
+        (
+            "v3 bit-packed ciphertext",
+            wire::serialize_ciphertext_packed(&ct, &widths).expect("serialize"),
+            Box::new(|b: &[u8]| wire::deserialize_ciphertext(b).is_ok()),
+        ),
+        (
+            "seed-compressed ciphertext",
+            wire::serialize_compressed_ciphertext(&cct, &widths).expect("serialize"),
+            Box::new(|b: &[u8]| wire::deserialize_compressed_ciphertext(b).is_ok()),
+        ),
+    ];
+    for (name, bytes, parses) in &forms {
+        assert!(parses(bytes), "{name}: the intact blob must deserialize");
+        for cut in 0..bytes.len() {
+            assert!(
+                !parses(&bytes[..cut]),
+                "{name}: prefix of {cut}/{} bytes must not deserialize",
+                bytes.len()
+            );
+        }
+        for garbage in [1usize, 8] {
+            let mut long = bytes.clone();
+            long.resize(long.len() + garbage, 0xA5);
+            assert!(
+                !parses(&long),
+                "{name}: {garbage} trailing bytes must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
 fn truncated_eval_key_on_the_wire_is_rejected() {
     use abc_fhe::ckks::wire;
     let ctx = ctx();
