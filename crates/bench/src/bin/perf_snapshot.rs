@@ -13,8 +13,9 @@
 //!
 //! ```json
 //! {
-//!   "benches":   [{"id": ..., "mean_ns": ..., "median_ns": ..., "p95_ns": ..., "iters": ...}],
-//!   "precision": [{"id": ..., "log_n": ..., "scale_mode": ..., "precision_bits": ..., "paper_floor": 19.29}]
+//!   "benches":    [{"id": ..., "mean_ns": ..., "median_ns": ..., "p95_ns": ..., "iters": ...}],
+//!   "throughput": [{"id": ..., "bytes_per_op": ..., "median_ns": ..., "gib_per_s": ...}],
+//!   "precision":  [{"id": ..., "log_n": ..., "scale_mode": ..., "precision_bits": ..., "paper_floor": 19.29}]
 //! }
 //! ```
 //!
@@ -79,6 +80,13 @@ fn main() {
     }
 
     // --- Dyadic element-wise kernels: per-kernel throughput rows ---
+    //
+    // Each kernel row also lands in the `"throughput"` JSON section
+    // with its memory traffic (`bytes_per_op` = streams × N × 8) and
+    // the derived bandwidth, so the CI trajectory can compare fused
+    // kernels against the unfused sequences they replace in GiB/s
+    // rather than raw nanoseconds.
+    let mut throughput_rows = Vec::new();
     {
         use abc_math::dyadic::{DyadicEngine, DyadicPreference};
         let n = 1usize << 15;
@@ -86,6 +94,9 @@ fn main() {
         let m = abc_math::Modulus::new(q).expect("modulus");
         let a0: Vec<u64> = (0..n as u64).map(|i| (i * 31) % q).collect();
         let b: Vec<u64> = (0..n as u64).map(|i| (i * 17 + 5) % q).collect();
+        let c: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 11) % q).collect();
+        let d: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q).collect();
+        let s = q - 12345;
         let mut buf = a0.clone();
         for pref in [
             DyadicPreference::Golden,
@@ -100,14 +111,50 @@ fn main() {
             if format!("{pref:?}").to_lowercase() != label {
                 continue;
             }
-            benches.push(measure(
-                &format!("poly_dyadic/mul_assign_{label}/2^15"),
-                200,
-                || {
+            // (id, bytes/op, the kernel body) — bytes/op counts each
+            // input stream read once plus the in-place write-back.
+            let mut rows: Vec<(String, usize, BenchRecord)> = Vec::new();
+            rows.push((
+                format!("poly_dyadic/mul_assign_{label}/2^15"),
+                3 * n * 8,
+                measure(&format!("poly_dyadic/mul_assign_{label}/2^15"), 200, || {
                     buf.copy_from_slice(&a0);
                     engine.mul_assign(std::hint::black_box(&mut buf), &b);
-                },
+                }),
             ));
+            rows.push((
+                format!("fused_dyadic/mul_neg_add2_{label}/2^15"),
+                5 * n * 8,
+                measure(
+                    &format!("fused_dyadic/mul_neg_add2_{label}/2^15"),
+                    200,
+                    || {
+                        buf.copy_from_slice(&a0);
+                        engine.mul_neg_add2_assign(std::hint::black_box(&mut buf), &b, &c, &d);
+                    },
+                ),
+            ));
+            rows.push((
+                format!("fused_dyadic/sub_scalar_mul_{label}/2^15"),
+                3 * n * 8,
+                measure(
+                    &format!("fused_dyadic/sub_scalar_mul_{label}/2^15"),
+                    200,
+                    || {
+                        buf.copy_from_slice(&a0);
+                        engine.sub_scalar_mul_assign(std::hint::black_box(&mut buf), &b, s);
+                    },
+                ),
+            ));
+            for (id, bytes, rec) in rows {
+                let gib_s = bytes as f64 / rec.median_secs / (1u64 << 30) as f64;
+                throughput_rows.push(format!(
+                    "  {{\"id\": \"{id}\", \"bytes_per_op\": {bytes}, \
+                     \"median_ns\": {:.1}, \"gib_per_s\": {gib_s:.2}}}",
+                    rec.median_secs * 1e9
+                ));
+                benches.push(rec);
+            }
         }
     }
 
@@ -234,8 +281,9 @@ fn main() {
 
     let bench_json = criterion::records_to_json(&benches);
     let json = format!(
-        "{{\n\"benches\": {},\n\"precision\": [\n{}\n]\n}}\n",
+        "{{\n\"benches\": {},\n\"throughput\": [\n{}\n],\n\"precision\": [\n{}\n]\n}}\n",
         bench_json.trim_end(),
+        throughput_rows.join(",\n"),
         precision_rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

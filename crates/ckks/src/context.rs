@@ -527,12 +527,10 @@ impl CkksContext {
             uni.sample_poly(m, &mut a);
             pk1.push(a);
         }
-        // pk0 = -(a·s) + e, each step one RNS-wide engine call (limb
+        // pk0 = -(a·s) + e as ONE fused RNS-wide engine call (limb
         // fan-out across threads, IFMA/Montgomery dyadic kernels).
         let mut pk0 = pk1.clone();
-        self.engine.dyadic_mul_all(&mut pk0, &s_ntt);
-        self.engine.neg_assign_all(&mut pk0);
-        self.engine.add_assign_all(&mut pk0, &e_ntt);
+        self.engine.dyadic_mul_neg_add_all(&mut pk0, &s_ntt, &e_ntt);
         (
             SecretKey {
                 coeffs: s,
@@ -669,12 +667,10 @@ impl CkksContext {
                 uni.sample_poly(m, &mut limb);
                 a.push(limb);
             }
-            // b = −(a·s) + e, every step one RNS-wide engine call, then
+            // b = −(a·s) + e as ONE fused RNS-wide engine call, then
             // the gadget term on the digit's own limb.
             let mut b = a.clone();
-            self.engine.dyadic_mul_all(&mut b, &sk.ntt);
-            self.engine.neg_assign_all(&mut b);
-            self.engine.add_assign_all(&mut b, &e_ntt);
+            self.engine.dyadic_mul_neg_add_all(&mut b, &sk.ntt, &e_ntt);
             let m = &self.basis.moduli()[digit];
             for (dst, &t) in b[digit].iter_mut().zip(&target_ntt[digit]) {
                 *dst = m.add(*dst, t);
@@ -720,11 +716,12 @@ impl CkksContext {
         let e1 = gauss1.sample_poly(n);
         let e1_ntt = self.signed64_to_ntt(&e1);
 
-        // c0 = pk0·v + e0 + m and c1 = pk1·v + e1, the multiply-add
-        // fused per element and every step one RNS-wide engine call.
+        // c0 = pk0·v + e0 + m and c1 = pk1·v + e1, each component ONE
+        // fused RNS-wide engine call (multiply and both additions in a
+        // single pass over each limb).
         let mut c0 = pk.pk0[..lvl].to_vec();
-        self.engine.dyadic_mul_add_all(&mut c0, &v_ntt, &e0_ntt);
-        self.engine.add_assign_all(&mut c0, &pt.rns);
+        self.engine
+            .dyadic_mul_add2_all(&mut c0, &v_ntt, &e0_ntt, &pt.rns);
         let mut c1 = pk.pk1[..lvl].to_vec();
         self.engine.dyadic_mul_add_all(&mut c1, &v_ntt, &e1_ntt);
         Ciphertext {

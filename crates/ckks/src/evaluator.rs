@@ -212,23 +212,22 @@ pub fn rescale_prime(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, C
     let mut out1 = Vec::with_capacity(last);
     let mut centered = vec![0i64; ct.n()];
     for (component, out) in [(c0, &mut out0), (c1, &mut out1)] {
-        // Last residue back to coefficient domain, centered. The tail
-        // buffer comes from the engine's pool instead of a fresh clone.
+        // Last residue back to coefficient domain (the copy folds into
+        // the first inverse-NTT stage; the buffer comes from the
+        // engine's pool), centered.
         let mut tail = engine.take_buf();
-        tail.copy_from_slice(&component[last]);
-        engine.plan(last).inverse(&mut tail);
+        engine.plan(last).inverse_from(&component[last], &mut tail);
         for (dst, &x) in centered.iter_mut().zip(tail.iter()) {
             *dst = q_last.to_centered(x);
         }
         engine.recycle(tail);
-        // NTT of the centered tail under every remaining prime, batched
-        // across limbs and threads; buffers recycle when `tails` drops.
-        let tails = engine.expand_and_ntt_i64(&centered, last);
-        // c'_i = (c_i - tail) * q_last^{-1} mod q_i — each step one
-        // RNS-wide engine call (Shoup/IFMA scalar kernels per limb).
+        // c'_i = (c_i - NTT(tail)) * q_last^{-1} mod q_i as ONE fused
+        // engine call: per kept limb, the centered tail expands,
+        // forward-transforms with a lazy last stage, and folds straight
+        // into the subtract + scalar-multiply — one memory pass instead
+        // of an NTT round trip plus two dyadic passes.
         let mut kept = component[..last].to_vec();
-        engine.sub_assign_all(&mut kept, &tails);
-        engine.dyadic_scalar_mul_all(&mut kept, &q_last_inv);
+        engine.expand_ntt_sub_scalar_mul_all_i64(&mut kept, &centered, &q_last_inv);
         out.extend(kept);
     }
     Ciphertext::from_components_exact(out0, out1, ct.exact_scale().div_prime(q_last.q()))
@@ -272,13 +271,16 @@ pub fn rescale_pair(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, Ck
     let mut out1 = Vec::with_capacity(keep);
     let mut centered = vec![0i128; ct.n()];
     for (component, out) in [(c0, &mut out0), (c1, &mut out1)] {
-        // Both tail residues back to coefficient domain.
+        // Both tail residues back to coefficient domain (copies folded
+        // into the first inverse-NTT stage).
         let mut tail_a = engine.take_buf();
         let mut tail_b = engine.take_buf();
-        tail_a.copy_from_slice(&component[keep]);
-        tail_b.copy_from_slice(&component[lvl - 1]);
-        engine.plan(keep).inverse(&mut tail_a);
-        engine.plan(lvl - 1).inverse(&mut tail_b);
+        engine
+            .plan(keep)
+            .inverse_from(&component[keep], &mut tail_a);
+        engine
+            .plan(lvl - 1)
+            .inverse_from(&component[lvl - 1], &mut tail_b);
         // CRT lift per coefficient: x = ra + qa·((rb − ra)·qa^{-1} mod qb),
         // centered into (−qa·qb/2, qa·qb/2].
         for (j, dst) in centered.iter_mut().enumerate() {
@@ -294,12 +296,11 @@ pub fn rescale_pair(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, Ck
         }
         engine.recycle(tail_a);
         engine.recycle(tail_b);
-        // The centered pair-tail under every remaining prime, batched.
-        let tails = engine.expand_and_ntt_i128(&centered, keep);
-        // c'_i = (c_i - tail) * (qa·qb)^{-1} mod q_i, RNS-wide.
+        // c'_i = (c_i - NTT(tail)) * (qa·qb)^{-1} mod q_i as ONE fused
+        // engine call (expand → lazy NTT → subtract → scalar-multiply
+        // per kept limb).
         let mut kept = component[..keep].to_vec();
-        engine.sub_assign_all(&mut kept, &tails);
-        engine.dyadic_scalar_mul_all(&mut kept, &pair_inv);
+        engine.expand_ntt_sub_scalar_mul_all_i128(&mut kept, &centered, &pair_inv);
         out.extend(kept);
     }
     let scale = ct.exact_scale().div_prime(qa.q()).div_prime(qb.q());
@@ -384,8 +385,7 @@ fn key_switch(
     let mut centered = vec![0i64; n];
     for (i, limb) in a.iter().enumerate() {
         let mut tail = engine.take_buf();
-        tail.copy_from_slice(limb);
-        engine.plan(i).inverse(&mut tail);
+        engine.plan(i).inverse_from(limb, &mut tail);
         for (dst, &x) in centered.iter_mut().zip(tail.iter()) {
             *dst = moduli[i].to_centered(x);
         }
@@ -444,8 +444,10 @@ fn apply_automorphism(ctx: &CkksContext, component: &[Vec<u64>], element: u64) -
     let engine = ctx.ntt_engine();
     let mask = 2 * n - 1;
     let g = element as usize;
-    let mut limbs = component.to_vec();
-    engine.inverse_all(&mut limbs);
+    // Out-of-place batched inverse: the copy folds into the first
+    // inverse-NTT stage and the limb buffers recycle into the pool.
+    let mut limbs = engine.take_limbs(component.len());
+    engine.inverse_all_from(component, &mut limbs);
     let mut out: Vec<Vec<u64>> = limbs
         .iter()
         .enumerate()

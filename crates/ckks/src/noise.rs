@@ -15,7 +15,6 @@ use crate::context::CkksContext;
 use crate::key::SecretKey;
 use crate::CkksError;
 use abc_float::Complex;
-use abc_math::poly;
 
 /// Noise statistics of one ciphertext.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,11 +121,15 @@ pub fn measure_noise(
     }
     let decrypted = ctx.decrypt(ct, sk)?;
     let m = &ctx.basis().moduli()[0];
-    // diff = (d - m_ref) mod q0, still in NTT domain — linearity lets us
-    // subtract before the inverse transform.
-    let mut diff = decrypted.residues()[0].clone();
-    poly::sub_assign(m, &mut diff, &reference.residues()[0]);
-    ctx.ntt_plans()[0].inverse(&mut diff);
+    // diff = INTT(d - m_ref) mod q0 — linearity lets us subtract before
+    // the inverse transform, and the subtraction folds into the first
+    // inverse-NTT stage (one pass over both operands).
+    let mut diff = vec![0u64; ct.n()];
+    ctx.ntt_plans()[0].sub_then_inverse_into(
+        &decrypted.residues()[0],
+        &reference.residues()[0],
+        &mut diff,
+    );
     let mut sum_sq = 0.0f64;
     let mut max_abs = 0.0f64;
     for &c in &diff {

@@ -114,14 +114,12 @@ pub fn encrypt_symmetric_compressed(
     // thread-fanned pass (buffers recycle into the engine's pool).
     let engine = ctx.ntt_engine();
     let e_ntt = engine.expand_and_ntt_i64(&e, lvl);
-    // c0 = -(a·s) + e + m, each step one RNS-wide engine call over the
-    // sampled mask (consumed here; expansion re-derives it from the
-    // seed).
+    // c0 = -(a·s) + e + m as ONE fused RNS-wide engine call: multiply,
+    // negate and both additions land in a single read-modify-write of
+    // each limb (the mask is consumed here; expansion re-derives it
+    // from the seed).
     let mut c0 = sample_mask(ctx, mask_seed, lvl);
-    engine.dyadic_mul_all(&mut c0, &sk.ntt);
-    engine.neg_assign_all(&mut c0);
-    engine.add_assign_all(&mut c0, &e_ntt);
-    engine.add_assign_all(&mut c0, pt.residues());
+    engine.dyadic_mul_neg_add2_all(&mut c0, &sk.ntt, &e_ntt, pt.residues());
     CompressedCiphertext {
         c0,
         mask_seed,

@@ -55,7 +55,7 @@
 //! payload  per digit: b residues packed, then a residues packed
 //! ```
 
-use crate::cipher::Ciphertext;
+use crate::cipher::{Ciphertext, Degree2Ciphertext};
 use crate::key::{EvalKey, GaloisKey, KeySwitchKey};
 use crate::scale::ExactScale;
 use crate::symmetric::CompressedCiphertext;
@@ -185,6 +185,14 @@ pub fn serialized_len(ct: &Ciphertext) -> usize {
 pub fn packed_serialized_len(ct: &Ciphertext, widths: &[u32]) -> usize {
     let polys: usize = widths.iter().map(|&w| packed_poly_bytes(ct.n(), w)).sum();
     header_len(ct) + ct.num_primes() + 2 * polys
+}
+
+/// Exact v3-packed size of a degree-2 intermediate under `widths` —
+/// the same header and width table as [`packed_serialized_len`], with
+/// three bit-packed components instead of two.
+pub fn packed_degree2_serialized_len(ct: &Degree2Ciphertext, widths: &[u32]) -> usize {
+    let polys: usize = widths.iter().map(|&w| packed_poly_bytes(ct.n(), w)).sum();
+    scale_header_len(ct.exact_scale()) + ct.num_primes() + 3 * polys
 }
 
 /// Serializes a ciphertext to the v2 wire format (full 64-bit words).

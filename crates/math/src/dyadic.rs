@@ -46,6 +46,30 @@
 //! both ciphertext components). The one-shot entry points
 //! ([`DyadicEngine::mul_assign`], [`DyadicEngine::mul_add_assign`])
 //! fuse the conversion into the loop and need no scratch at all.
+//!
+//! # Fused chain entry points
+//!
+//! The layer is memory-bound, so whole ciphertext call-site chains are
+//! single passes rather than op sequences — each loop enters one
+//! operand into the Montgomery domain, REDCs once, and folds the
+//! surrounding adds/subs/negation into the same load/store trip:
+//!
+//! * [`DyadicEngine::mul_neg_add_assign`] — `a = c − a·b` (keygen);
+//! * [`DyadicEngine::mul_neg_add2_assign`] — `a = c + d − a·b`
+//!   (symmetric encrypt c0, formerly four passes);
+//! * [`DyadicEngine::mul_add2_assign`] — `a = a·b + c + d` (public-key
+//!   encrypt c0);
+//! * [`DyadicEngine::sub_scalar_mul_assign`] — `a = (a − b)·s` (both
+//!   rescales; accepts a `[0, 4q)`-lazy subtrahend so the forward-NTT
+//!   normalization stage fuses in too);
+//! * [`DyadicEngine::mul_acc_assign_premul`] — `acc += b·d̃` against a
+//!   premultiplied digit (key-switch accumulation, no scratch copies);
+//! * [`DyadicEngine::fused_mulacc_addsub`] — the general
+//!   `a = ±(a·b) + Σ addends` dispatcher over the entries above.
+//!
+//! Every fused kernel is bit-identical to the composition of its
+//! unfused ops (canonical outputs; pinned by the property suites across
+//! kernels, moduli widths and thread counts).
 
 use crate::modulus::Modulus;
 use crate::reduce::{Barrett, Montgomery};
@@ -74,6 +98,43 @@ pub enum DyadicPreference {
     /// AVX-512IFMA radix-2^52 REDC; falls back to scalar Montgomery
     /// when the CPU or the modulus width (`q ≥ 2^50`) rule it out.
     Ifma,
+}
+
+/// Environment variable overriding the kernel of engines built with
+/// [`DyadicPreference::Auto`] (`auto`, `golden`, `barrett`,
+/// `montgomery` or `ifma`, case-insensitive; blank means `auto`).
+///
+/// Explicit preferences are never overridden — tests that force a
+/// kernel keep working under the override — and capability rules still
+/// apply (`ifma` degrades to `montgomery` off-capability). CI uses this
+/// to run the whole tier-1 suite down the scalar fallback paths on
+/// machines that would otherwise always pick IFMA.
+pub const DYADIC_KERNEL_ENV: &str = "ABC_FHE_DYADIC_KERNEL";
+
+/// Parses a [`DYADIC_KERNEL_ENV`] value. `None`, empty and blank mean
+/// [`DyadicPreference::Auto`]; anything unrecognized is an error (the
+/// engine constructor turns it into a loud panic rather than silently
+/// mis-dispatching a forced-kernel CI run).
+pub fn parse_dyadic_preference(raw: Option<&str>) -> Result<DyadicPreference, String> {
+    let Some(raw) = raw else {
+        return Ok(DyadicPreference::Auto);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => Ok(DyadicPreference::Auto),
+        "golden" => Ok(DyadicPreference::Golden),
+        "barrett" => Ok(DyadicPreference::Barrett),
+        "montgomery" => Ok(DyadicPreference::Montgomery),
+        "ifma" => Ok(DyadicPreference::Ifma),
+        _ => Err(format!(
+            "{DYADIC_KERNEL_ENV} must be auto|golden|barrett|montgomery|ifma, got {raw:?}"
+        )),
+    }
+}
+
+/// Resolves [`DYADIC_KERNEL_ENV`], panicking on garbage.
+fn preference_from_env() -> DyadicPreference {
+    let raw = std::env::var(DYADIC_KERNEL_ENV).ok();
+    parse_dyadic_preference(raw.as_deref()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Which kernel an engine dispatches to.
@@ -125,7 +186,15 @@ impl DyadicEngine {
 
     /// Builds an engine with an explicit kernel preference (capability
     /// rules still apply; check [`DyadicEngine::kernel_name`]).
+    ///
+    /// [`DyadicPreference::Auto`] additionally honours the
+    /// [`DYADIC_KERNEL_ENV`] override; explicit preferences do not.
     pub fn with_kernel(m: Modulus, pref: DyadicPreference) -> Self {
+        let pref = if pref == DyadicPreference::Auto {
+            preference_from_env()
+        } else {
+            pref
+        };
         #[cfg(target_arch = "x86_64")]
         let ifma_ok = m.q() < shoup::MAX_SHOUP52_MODULUS && crate::simd::available();
         #[cfg(not(target_arch = "x86_64"))]
@@ -206,6 +275,59 @@ impl DyadicEngine {
         }
     }
 
+    /// [`DyadicEngine::mul_assign`] for an in-place operand that may
+    /// arrive **lazy** in `[0, 4q)` — the representation
+    /// skipped-normalization forward NTTs leave behind (see
+    /// `NttPlan::forward_lazy`; for `q ≥ 2^62` no lazy producer exists
+    /// and inputs must already be canonical). The operand normalizes
+    /// in-register on the way into the product, so fusing the last
+    /// forward-NTT stage into a following dyadic multiply costs no
+    /// extra memory pass. Bit-identical to normalizing `a` first and
+    /// calling [`DyadicEngine::mul_assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_assign_lazy(&self, a: &mut [u64], b: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        let q = self.m.q();
+        match self.kernel {
+            Kernel::Golden => {
+                if q < shoup::MAX_SHOUP_MODULUS {
+                    for (x, &y) in a.iter_mut().zip(b) {
+                        *x = self.m.mul(shoup::normalize_4q(*x, q), y);
+                    }
+                } else {
+                    // No lazy producer exists at this width (the golden
+                    // NTT is always canonical); 4q would overflow.
+                    self.mul_assign(a, b);
+                }
+            }
+            Kernel::Barrett => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    let xn = shoup::normalize_4q(*x, q);
+                    *x = self.barrett.reduce(xn as u128 * y as u128);
+                }
+            }
+            Kernel::Montgomery => {
+                let r2 = self.mont.r2();
+                for (x, &y) in a.iter_mut().zip(b) {
+                    let xn = shoup::normalize_4q(*x, q);
+                    let y_dom = self.mont.redc(y as u128 * r2 as u128);
+                    *x = self.mont.redc(xn as u128 * y_dom as u128);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_assign_lazy(k, a, b);
+                for (x, &y) in a[done..].iter_mut().zip(&b[done..]) {
+                    *x = k.mul(shoup::normalize_4q(*x, q), y);
+                }
+            }
+        }
+    }
+
     /// `a[i] = a[i]·b[i] + c[i] mod q` — the fused kernel encryption and
     /// decryption use (`pk·v + e`, `c1·s + c0`).
     ///
@@ -253,6 +375,280 @@ impl DyadicEngine {
                     a[i] = shoup::reduce_once(k.mul(a[i], b[i]) + c[i], q);
                 }
             }
+        }
+    }
+
+    /// Fused `a[i] = c[i] − a[i]·b[i] mod q` — the keygen and
+    /// key-switch-keygen `-(a·s)+e` chain as one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_neg_add_assign(&self, a: &mut [u64], b: &[u64], c: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.len());
+        let q = self.m.q();
+        match self.kernel {
+            Kernel::Golden => {
+                for i in 0..a.len() {
+                    a[i] = self.m.sub(c[i], self.m.mul(a[i], b[i]));
+                }
+            }
+            Kernel::Barrett => {
+                for i in 0..a.len() {
+                    let p = self.barrett.reduce(a[i] as u128 * b[i] as u128);
+                    // c + q − p ∈ (0, 2q): one branchless csub.
+                    let t = c[i] + q - p;
+                    a[i] = t.min(t.wrapping_sub(q));
+                }
+            }
+            Kernel::Montgomery => {
+                let r2 = self.mont.r2();
+                let mont = self.mont;
+                for (x, (&y, &z)) in a.iter_mut().zip(b.iter().zip(c)) {
+                    let y_dom = mont.redc(y as u128 * r2 as u128);
+                    let p = mont.redc(*x as u128 * y_dom as u128);
+                    let t = z + q - p;
+                    *x = t.min(t.wrapping_sub(q));
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_neg_add_assign(k, a, b, c);
+                for i in done..a.len() {
+                    a[i] = shoup::reduce_once(c[i] + q - k.mul(a[i], b[i]), q);
+                }
+            }
+        }
+    }
+
+    /// Fused `a[i] = c[i] + d[i] − a[i]·b[i] mod q` — the symmetric
+    /// encrypt c0 chain `-(a·s)+e+m` as one pass (previously
+    /// mul + neg + add + add: four).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_neg_add2_assign(&self, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.len());
+        assert_eq!(a.len(), d.len());
+        let q = self.m.q();
+        match self.kernel {
+            Kernel::Golden => {
+                for i in 0..a.len() {
+                    a[i] = self.m.add(self.m.sub(c[i], self.m.mul(a[i], b[i])), d[i]);
+                }
+            }
+            Kernel::Barrett => {
+                for i in 0..a.len() {
+                    let p = self.barrett.reduce(a[i] as u128 * b[i] as u128);
+                    let t = c[i] + q - p;
+                    let t = t.min(t.wrapping_sub(q));
+                    let t = t + d[i];
+                    a[i] = t.min(t.wrapping_sub(q));
+                }
+            }
+            Kernel::Montgomery => {
+                let r2 = self.mont.r2();
+                let mont = self.mont;
+                for i in 0..a.len() {
+                    let y_dom = mont.redc(b[i] as u128 * r2 as u128);
+                    let p = mont.redc(a[i] as u128 * y_dom as u128);
+                    let t = c[i] + q - p;
+                    let t = t.min(t.wrapping_sub(q));
+                    let t = t + d[i];
+                    a[i] = t.min(t.wrapping_sub(q));
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_neg_add2_assign(k, a, b, c, d);
+                for i in done..a.len() {
+                    let t = shoup::reduce_once(c[i] + q - k.mul(a[i], b[i]), q);
+                    a[i] = shoup::reduce_once(t + d[i], q);
+                }
+            }
+        }
+    }
+
+    /// Fused `a[i] = a[i]·b[i] + c[i] + d[i] mod q` — the public-key
+    /// encrypt c0 chain `pk·v+e+m` as one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_add2_assign(&self, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.len());
+        assert_eq!(a.len(), d.len());
+        let q = self.m.q();
+        match self.kernel {
+            Kernel::Golden => {
+                for i in 0..a.len() {
+                    a[i] = self.m.add(self.m.mul_add(a[i], b[i], c[i]), d[i]);
+                }
+            }
+            Kernel::Barrett => {
+                // a·b + c + d ≤ (q−1)² + 2(q−1) = q² − 1 < 2^2k: still
+                // inside the reducer's proven domain.
+                for i in 0..a.len() {
+                    a[i] = self
+                        .barrett
+                        .reduce(a[i] as u128 * b[i] as u128 + c[i] as u128 + d[i] as u128);
+                }
+            }
+            Kernel::Montgomery => {
+                let r2 = self.mont.r2();
+                let mont = self.mont;
+                for i in 0..a.len() {
+                    let y_dom = mont.redc(b[i] as u128 * r2 as u128);
+                    let p = mont.redc(a[i] as u128 * y_dom as u128);
+                    let t = p + c[i];
+                    let t = t.min(t.wrapping_sub(q));
+                    let t = t + d[i];
+                    a[i] = t.min(t.wrapping_sub(q));
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_add2_assign(k, a, b, c, d);
+                for i in done..a.len() {
+                    let t = shoup::reduce_once(k.mul(a[i], b[i]) + c[i], q);
+                    a[i] = shoup::reduce_once(t + d[i], q);
+                }
+            }
+        }
+    }
+
+    /// Fused `a[i] = (a[i] − b[i])·s mod q` — the rescale shape
+    /// (previously sub + scalar-mul: two passes). `s` is reduced on
+    /// entry (any `u64`).
+    ///
+    /// The subtrahend `b` may be **lazy in `[0, 4q)`** when
+    /// `q < 2^62` — e.g. a forward-NTT output whose closing
+    /// normalization pass was skipped (`NttPlan::forward_lazy` in
+    /// `abc-transform`); it is normalized inside this single pass. For
+    /// `q ≥ 2^62` the subtrahend must be canonical (no lazy producer
+    /// exists there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn sub_scalar_mul_assign(&self, a: &mut [u64], b: &[u64], s: u64) {
+        assert_eq!(a.len(), b.len());
+        let q = self.m.q();
+        let s = if s >= q { self.m.reduce(s) } else { s };
+        match self.kernel {
+            Kernel::Golden => {
+                if q < shoup::MAX_SHOUP_MODULUS {
+                    for (x, &y) in a.iter_mut().zip(b) {
+                        *x = self.m.mul(self.m.sub(*x, shoup::normalize_4q(y, q)), s);
+                    }
+                } else {
+                    // No lazy producer exists for q ≥ 2^62: canonical b.
+                    for (x, &y) in a.iter_mut().zip(b) {
+                        *x = self.m.mul(self.m.sub(*x, y), s);
+                    }
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let s52 = shoup::shoup_precompute52(s, q);
+                let done = crate::simd::sub_scalar_mul_assign(k, a, b, s, s52);
+                for (x, &y) in a[done..].iter_mut().zip(&b[done..]) {
+                    let t = *x + q - shoup::normalize_4q(y, q);
+                    *x = shoup::reduce_once(shoup::mul_shoup52_lazy(t, s, s52, q), q);
+                }
+            }
+            // Barrett and Montgomery both take the 64-bit Shoup path
+            // (constant factor ⇒ precomputed quotient), as in
+            // `scalar_mul_assign`.
+            _ => {
+                if q < shoup::MAX_SHOUP_MODULUS {
+                    let ss = shoup::shoup_precompute(s, q);
+                    for (x, &y) in a.iter_mut().zip(b) {
+                        let t = *x + q - shoup::normalize_4q(y, q);
+                        *x = shoup::mul_shoup(t, s, ss, q);
+                    }
+                } else {
+                    for (x, &y) in a.iter_mut().zip(b) {
+                        *x = self.m.mul(self.m.sub(*x, y), s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fused accumulation `acc[i] += b[i]·d_pre[i] mod q` against a
+    /// vector entered with [`DyadicEngine::premul`] — the key-switch
+    /// inner-product step `acc += key·digit` as one pass, with no
+    /// scratch copy of either operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn mul_acc_assign_premul(&self, acc: &mut [u64], b: &[u64], d_pre: &[u64]) {
+        assert_eq!(acc.len(), b.len());
+        assert_eq!(acc.len(), d_pre.len());
+        let q = self.m.q();
+        match self.kernel {
+            // premul is the identity for golden/Barrett.
+            Kernel::Golden => {
+                for i in 0..acc.len() {
+                    acc[i] = self.m.mul_add(b[i], d_pre[i], acc[i]);
+                }
+            }
+            Kernel::Barrett => {
+                for i in 0..acc.len() {
+                    acc[i] = self
+                        .barrett
+                        .reduce(b[i] as u128 * d_pre[i] as u128 + acc[i] as u128);
+                }
+            }
+            Kernel::Montgomery => {
+                let mont = self.mont;
+                for i in 0..acc.len() {
+                    let p = mont.redc(b[i] as u128 * d_pre[i] as u128);
+                    let t = p + acc[i];
+                    acc[i] = t.min(t.wrapping_sub(q));
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                let k = self.mont52.as_ref().expect("ifma implies q < 2^50");
+                let done = crate::simd::mul_acc_assign_premul(k, acc, b, d_pre);
+                for i in done..acc.len() {
+                    acc[i] = shoup::reduce_once(k.mul_premul(b[i], d_pre[i]) + acc[i], q);
+                }
+            }
+        }
+    }
+
+    /// General fused multiply-accumulate entry: `a = ±(a·b) + Σ addends`
+    /// in one pass, dispatching to the specialized fused kernels.
+    /// Supports zero, one or two addends; the `negate = true, zero
+    /// addends` shape falls back to mul + neg (no chain uses it).
+    ///
+    /// # Panics
+    ///
+    /// Panics on more than two addends or mismatched lengths.
+    pub fn fused_mulacc_addsub(&self, a: &mut [u64], b: &[u64], negate: bool, addends: &[&[u64]]) {
+        match (negate, addends) {
+            (false, []) => self.mul_assign(a, b),
+            (false, [c]) => self.mul_add_assign(a, b, c),
+            (false, [c, d]) => self.mul_add2_assign(a, b, c, d),
+            (true, []) => {
+                self.mul_assign(a, b);
+                self.neg_assign(a);
+            }
+            (true, [c]) => self.mul_neg_add_assign(a, b, c),
+            (true, [c, d]) => self.mul_neg_add2_assign(a, b, c, d),
+            _ => panic!("fused_mulacc_addsub supports at most two addends"),
         }
     }
 
@@ -497,6 +893,91 @@ mod tests {
                         assert_eq!(x[i], m.mul(x0[i], b[i]), "premul {pref:?} q={q} i={i}");
                     }
                 }
+                // Fused chain kernels vs the golden composition.
+                let d = pseudo(n, q, q ^ 29);
+                let mut got = a0.clone();
+                e.mul_neg_add_assign(&mut got, &b, &c);
+                for i in 0..n {
+                    let want = m.sub(c[i], m.mul(a0[i], b[i]));
+                    assert_eq!(got[i], want, "mul_neg_add {pref:?} q={q} i={i}");
+                }
+                let mut got = a0.clone();
+                e.mul_neg_add2_assign(&mut got, &b, &c, &d);
+                for i in 0..n {
+                    let want = m.add(m.sub(c[i], m.mul(a0[i], b[i])), d[i]);
+                    assert_eq!(got[i], want, "mul_neg_add2 {pref:?} q={q} i={i}");
+                }
+                let mut got = a0.clone();
+                e.mul_add2_assign(&mut got, &b, &c, &d);
+                for i in 0..n {
+                    let want = m.add(m.mul_add(a0[i], b[i], c[i]), d[i]);
+                    assert_eq!(got[i], want, "mul_add2 {pref:?} q={q} i={i}");
+                }
+                for s in [0u64, 1, q - 1, u64::MAX] {
+                    let mut got = a0.clone();
+                    e.sub_scalar_mul_assign(&mut got, &b, s);
+                    for i in 0..n {
+                        let want = m.mul(m.sub(a0[i], b[i]), s % q);
+                        assert_eq!(got[i], want, "sub_scalar {pref:?} q={q} s={s} i={i}");
+                    }
+                }
+                // Lazy [0, 4q) operands — only defined for q < 2^62.
+                if q < shoup::MAX_SHOUP_MODULUS {
+                    let b_lazy: Vec<u64> = b
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| x + q * (i as u64 % 4))
+                        .collect();
+                    let mut got = a0.clone();
+                    e.sub_scalar_mul_assign(&mut got, &b_lazy, 5);
+                    for i in 0..n {
+                        let want = m.mul(m.sub(a0[i], b[i]), 5 % q);
+                        assert_eq!(got[i], want, "sub_scalar lazy {pref:?} q={q} i={i}");
+                    }
+                    let a_lazy: Vec<u64> = a0
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| x + q * (i as u64 % 4))
+                        .collect();
+                    let mut got = a_lazy.clone();
+                    e.mul_assign_lazy(&mut got, &b);
+                    for i in 0..n {
+                        let want = m.mul(a0[i], b[i]);
+                        assert_eq!(got[i], want, "mul lazy {pref:?} q={q} i={i}");
+                    }
+                }
+                // Canonical inputs through the lazy entry stay exact at
+                // every width (q ≥ 2^62 included).
+                let mut got = a0.clone();
+                e.mul_assign_lazy(&mut got, &b);
+                for i in 0..n {
+                    assert_eq!(
+                        got[i],
+                        m.mul(a0[i], b[i]),
+                        "mul lazy canon {pref:?} q={q} i={i}"
+                    );
+                }
+                let mut d_pre = d.clone();
+                e.premul(&mut d_pre);
+                let mut got = a0.clone();
+                e.mul_acc_assign_premul(&mut got, &b, &d_pre);
+                for i in 0..n {
+                    let want = m.mul_add(b[i], d[i], a0[i]);
+                    assert_eq!(got[i], want, "mul_acc {pref:?} q={q} i={i}");
+                }
+                // The general entry dispatches to the same kernels.
+                let mut got = a0.clone();
+                e.fused_mulacc_addsub(&mut got, &b, true, &[&c, &d]);
+                for i in 0..n {
+                    let want = m.add(m.sub(c[i], m.mul(a0[i], b[i])), d[i]);
+                    assert_eq!(got[i], want, "general entry {pref:?} q={q} i={i}");
+                }
+                let mut got = a0.clone();
+                e.fused_mulacc_addsub(&mut got, &b, true, &[]);
+                for i in 0..n {
+                    let want = m.neg(m.mul(a0[i], b[i]));
+                    assert_eq!(got[i], want, "general mul_neg {pref:?} q={q} i={i}");
+                }
             }
         }
     }
@@ -518,5 +999,56 @@ mod tests {
         let e = DyadicEngine::new(Modulus::new(97).unwrap());
         let mut a = vec![1, 2];
         e.mul_assign(&mut a, &[1]);
+    }
+
+    #[test]
+    fn parse_dyadic_preference_accepts_kernels_and_rejects_garbage() {
+        assert_eq!(parse_dyadic_preference(None), Ok(DyadicPreference::Auto));
+        assert_eq!(
+            parse_dyadic_preference(Some("")),
+            Ok(DyadicPreference::Auto)
+        );
+        assert_eq!(
+            parse_dyadic_preference(Some(" Auto ")),
+            Ok(DyadicPreference::Auto)
+        );
+        assert_eq!(
+            parse_dyadic_preference(Some("golden")),
+            Ok(DyadicPreference::Golden)
+        );
+        assert_eq!(
+            parse_dyadic_preference(Some("BARRETT")),
+            Ok(DyadicPreference::Barrett)
+        );
+        assert_eq!(
+            parse_dyadic_preference(Some("Montgomery")),
+            Ok(DyadicPreference::Montgomery)
+        );
+        assert_eq!(
+            parse_dyadic_preference(Some("ifma")),
+            Ok(DyadicPreference::Ifma)
+        );
+        assert!(parse_dyadic_preference(Some("simd")).is_err());
+        assert!(parse_dyadic_preference(Some("8")).is_err());
+    }
+
+    #[test]
+    fn env_override_forces_auto_engines_only() {
+        // `montgomery` is concurrency-safe here: every Auto engine in
+        // this binary stays bit-identical whichever kernel it lands on,
+        // and a scalar override can never violate the ifma-exclusion
+        // asserts.
+        let prev = std::env::var(DYADIC_KERNEL_ENV).ok();
+        std::env::set_var(DYADIC_KERNEL_ENV, "montgomery");
+        let m = Modulus::new(0xFFF_FFFF_C001).unwrap();
+        let auto = DyadicEngine::with_kernel(m, DyadicPreference::Auto);
+        let explicit = DyadicEngine::with_kernel(m, DyadicPreference::Barrett);
+        match prev {
+            Some(v) => std::env::set_var(DYADIC_KERNEL_ENV, v),
+            None => std::env::remove_var(DYADIC_KERNEL_ENV),
+        }
+        assert_eq!(auto.kernel_name(), "montgomery");
+        // Explicit preferences are never overridden.
+        assert_eq!(explicit.kernel_name(), "barrett");
     }
 }

@@ -18,6 +18,28 @@
 //! so `REDC52(a·b̃) = a·b mod q` directly and no exit conversion exists.
 //! See [`crate::dyadic`] for the domain lifecycle and the dispatch.
 //!
+//! # Fused chain kernels
+//!
+//! The element-wise layer is memory-bound, so beyond the single-op
+//! kernels this module fuses whole ciphertext-chain shapes into one
+//! load/store pass per operand:
+//!
+//! - [`mul_neg_add_assign`] — `a = c − a·b` (keygen `-(a·s)+e`)
+//! - [`mul_neg_add2_assign`] — `a = c + d − a·b` (symmetric encrypt)
+//! - [`mul_add2_assign`] — `a = a·b + c + d` (public-key encrypt)
+//! - [`mul_acc_assign_premul`] — `a += b·d̃` (key-switch accumulation
+//!   against a pre-entered digit, no scratch copy)
+//! - [`sub_scalar_mul_assign`] — `a = (a − b)·w` (both rescales)
+//!
+//! The fusion is free of extra reductions: one REDC lands in `[0, 2q)`,
+//! negation is `2q − r`, and up to two canonical addends keep every
+//! intermediate under `4q < 2^52` (since `q < 2^50`), so a fixed pair of
+//! conditional subtracts normalizes the result. The rescale kernel goes
+//! one step further and accepts its subtrahend **lazy in `[0, 4q)`** —
+//! the raw output of a forward NTT whose closing normalization pass was
+//! skipped — fusing the last NTT stage into the dyadic pass
+//! (see `NttPlan::forward_lazy` in `abc-transform`).
+//!
 //! All kernels return **canonical** `[0, q)` values and are therefore
 //! bit-identical to the `u128 %` golden model (asserted by the
 //! property suites). Everything is `x86_64`-only and gated at runtime
@@ -218,6 +240,51 @@ unsafe fn mul_assign_premul_impl(k: &Mont52, a: &mut [u64], b_dom: &[u64]) {
     }
 }
 
+/// [`mul_assign`] for an in-place operand that may arrive **lazy** in
+/// `[0, 4q)` — the representation a skipped-normalization forward NTT
+/// leaves behind. The operand canonicalizes in-register (two
+/// conditional subtractions) on the way into the product, so fusing the
+/// last forward-NTT stage into a following multiply costs no extra
+/// memory pass. Bit-identical to normalizing first.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn mul_assign_lazy(k: &Mont52, a: &mut [u64], b: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_assign_lazy_impl(k, &mut a[..n8], &b[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_assign_lazy_impl(k: &Mont52, a: &mut [u64], b: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let v2q = _mm512_set1_epi64(2 * k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let vr = _mm512_set1_epi64(k.r52 as i64);
+    let vrs = _mm512_set1_epi64(k.r52_shoup as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= a.len() == b.len().
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            // a ∈ [0, 4q) → canonical: a lazy operand times a domain
+            // operand (< 2q) would overshoot the single-csub REDC
+            // output bound, so normalize before the product.
+            let va = csub_x8(csub_x8(_mm512_loadu_si512(pa), v2q), vq);
+            let vb = _mm512_loadu_si512(pb);
+            let vb_dom = mul_shoup52_x8(vb, vr, vrs, vq);
+            let r = redc52_x8(va, vb_dom, vq, vqinv);
+            _mm512_storeu_si512(pa, csub_x8(r, vq));
+        }
+        j += 8;
+    }
+}
+
 /// `a[i] = a[i]·b[i] + c[i] mod q` over full 8-lane blocks; returns the
 /// count handled. Canonical inputs and outputs.
 ///
@@ -255,6 +322,230 @@ unsafe fn mul_add_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) {
             // REDC lands in [0, 2q); + c < 3q; two csubs normalize.
             let r = _mm512_add_epi64(redc52_x8(va, vb_dom, vq, vqinv), vc);
             _mm512_storeu_si512(pa, csub_x8(csub_x8(r, v2q), vq));
+        }
+        j += 8;
+    }
+}
+
+/// Fused `a[i] = c[i] − a[i]·b[i] mod q` (the keygen `-(a·s)+e` shape)
+/// over full 8-lane blocks; returns the count handled. Canonical inputs
+/// and outputs.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn mul_neg_add_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_neg_add_assign_impl(k, &mut a[..n8], &b[..n8], &c[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_neg_add_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let v2q = _mm512_set1_epi64(2 * k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let vr = _mm512_set1_epi64(k.r52 as i64);
+    let vrs = _mm512_set1_epi64(k.r52_shoup as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= len of every slice.
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let pc = c.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            let vc = _mm512_loadu_si512(pc);
+            let vb_dom = mul_shoup52_x8(vb, vr, vrs, vq);
+            // REDC lands in [0, 2q); negate as 2q − r ∈ (0, 2q];
+            // + c < 3q; two csubs normalize.
+            let neg = _mm512_sub_epi64(v2q, redc52_x8(va, vb_dom, vq, vqinv));
+            let r = _mm512_add_epi64(neg, vc);
+            _mm512_storeu_si512(pa, csub_x8(csub_x8(r, v2q), vq));
+        }
+        j += 8;
+    }
+}
+
+/// Fused `a[i] = c[i] + d[i] − a[i]·b[i] mod q` (the symmetric-encrypt
+/// `-(a·s)+e+m` shape) over full 8-lane blocks; returns the count
+/// handled. Canonical inputs and outputs.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn mul_neg_add2_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    assert_eq!(a.len(), d.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_neg_add2_assign_impl(k, &mut a[..n8], &b[..n8], &c[..n8], &d[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_neg_add2_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let v2q = _mm512_set1_epi64(2 * k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let vr = _mm512_set1_epi64(k.r52 as i64);
+    let vrs = _mm512_set1_epi64(k.r52_shoup as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= len of every slice.
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let pc = c.as_ptr().add(j) as *const __m512i;
+            let pd = d.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            let vc = _mm512_loadu_si512(pc);
+            let vd = _mm512_loadu_si512(pd);
+            let vb_dom = mul_shoup52_x8(vb, vr, vrs, vq);
+            // 2q − REDC ∈ (0, 2q]; + c + d < 4q < 2^52 (q < 2^50);
+            // the same two csubs as the 3q case normalize [0, 4q).
+            let neg = _mm512_sub_epi64(v2q, redc52_x8(va, vb_dom, vq, vqinv));
+            let r = _mm512_add_epi64(_mm512_add_epi64(neg, vc), vd);
+            _mm512_storeu_si512(pa, csub_x8(csub_x8(r, v2q), vq));
+        }
+        j += 8;
+    }
+}
+
+/// Fused `a[i] = a[i]·b[i] + c[i] + d[i] mod q` (the public-key-encrypt
+/// `pk·v+e+m` shape) over full 8-lane blocks; returns the count
+/// handled. Canonical inputs and outputs.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn mul_add2_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    assert_eq!(a.len(), d.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_add2_assign_impl(k, &mut a[..n8], &b[..n8], &c[..n8], &d[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_add2_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let v2q = _mm512_set1_epi64(2 * k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let vr = _mm512_set1_epi64(k.r52 as i64);
+    let vrs = _mm512_set1_epi64(k.r52_shoup as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= len of every slice.
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let pc = c.as_ptr().add(j) as *const __m512i;
+            let pd = d.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            let vc = _mm512_loadu_si512(pc);
+            let vd = _mm512_loadu_si512(pd);
+            let vb_dom = mul_shoup52_x8(vb, vr, vrs, vq);
+            // REDC ∈ [0, 2q); + c + d < 4q; two csubs normalize.
+            let r = _mm512_add_epi64(_mm512_add_epi64(redc52_x8(va, vb_dom, vq, vqinv), vc), vd);
+            _mm512_storeu_si512(pa, csub_x8(csub_x8(r, v2q), vq));
+        }
+        j += 8;
+    }
+}
+
+/// Fused accumulation `a[i] += b[i]·d_dom[i] mod q` against an operand
+/// already in the radix-2^52 domain (the key-switch inner-product
+/// shape), over full 8-lane blocks; returns the count handled.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn mul_acc_assign_premul(k: &Mont52, a: &mut [u64], b: &[u64], d_dom: &[u64]) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), d_dom.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { mul_acc_assign_premul_impl(k, &mut a[..n8], &b[..n8], &d_dom[..n8]) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn mul_acc_assign_premul_impl(k: &Mont52, a: &mut [u64], b: &[u64], d_dom: &[u64]) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let v2q = _mm512_set1_epi64(2 * k.q as i64);
+    let vqinv = _mm512_set1_epi64(k.qinv_neg52 as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= len of every slice.
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let pd = d_dom.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            let vd_dom = _mm512_loadu_si512(pd);
+            // REDC ∈ [0, 2q); + acc < 3q; two csubs normalize.
+            let r = _mm512_add_epi64(redc52_x8(vb, vd_dom, vq, vqinv), va);
+            _mm512_storeu_si512(pa, csub_x8(csub_x8(r, v2q), vq));
+        }
+        j += 8;
+    }
+}
+
+/// Fused `a[i] = (a[i] − b[i])·w mod q` (the rescale shape) for a
+/// constant `w < q` with Shoup-52 quotient `w52`, over full 8-lane
+/// blocks; returns the count handled.
+///
+/// The subtrahend `b` may be **lazy in `[0, 4q)`** — e.g. the raw
+/// output of a forward-NTT whose final normalization pass was skipped;
+/// it is normalized in-register, fusing that NTT stage into this pass.
+///
+/// # Panics
+///
+/// Same contract as [`mul_assign`].
+pub fn sub_scalar_mul_assign(k: &Mont52, a: &mut [u64], b: &[u64], w: u64, w52: u64) -> usize {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    assert_eq!(a.len(), b.len());
+    let n8 = a.len() - a.len() % 8;
+    // SAFETY: the assert above proves the required target features.
+    unsafe { sub_scalar_mul_assign_impl(k, &mut a[..n8], &b[..n8], w, w52) }
+    n8
+}
+
+#[target_feature(enable = "avx512f,avx512ifma")]
+unsafe fn sub_scalar_mul_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], w: u64, w52: u64) {
+    let vq = _mm512_set1_epi64(k.q as i64);
+    let v2q = _mm512_set1_epi64(2 * k.q as i64);
+    let vw = _mm512_set1_epi64(w as i64);
+    let vw52 = _mm512_set1_epi64(w52 as i64);
+    let mut j = 0;
+    while j < a.len() {
+        // SAFETY: j + 8 <= a.len() == b.len().
+        unsafe {
+            let pa = a.as_mut_ptr().add(j) as *mut __m512i;
+            let pb = b.as_ptr().add(j) as *const __m512i;
+            let va = _mm512_loadu_si512(pa);
+            let vb = _mm512_loadu_si512(pb);
+            // Normalize the (possibly 4q-lazy) subtrahend in-register,
+            // then a + (q − b) ∈ (0, 2q) < 2^51 feeds the Shoup multiply.
+            let vbn = csub_x8(csub_x8(vb, v2q), vq);
+            let t = _mm512_add_epi64(va, _mm512_sub_epi64(vq, vbn));
+            let r = mul_shoup52_x8(t, vw, vw52, vq);
+            _mm512_storeu_si512(pa, csub_x8(r, vq));
         }
         j += 8;
     }
@@ -410,6 +701,80 @@ mod tests {
         assert_eq!(addsub_assign(q, AddSubOp::Sub, &mut a, &b), n);
         for i in 0..n {
             assert_eq!(a[i], m.sub(a0[i], b[i]), "sub i={i}");
+        }
+    }
+
+    #[test]
+    fn fused_kernels_match_golden() {
+        if !available() {
+            return;
+        }
+        let q = 0xFFF_FFFF_C001u64; // 2^44 - 2^14 + 1
+        let m = Modulus::new(q).unwrap();
+        let k = Mont52::new(q);
+        let n = 40;
+        let a0 = pseudo(n, q, 11);
+        let b = pseudo(n, q, 12);
+        let c = pseudo(n, q, 13);
+        let d = pseudo(n, q, 14);
+        let mut a = a0.clone();
+        assert_eq!(mul_neg_add_assign(&k, &mut a, &b, &c), n);
+        for i in 0..n {
+            assert_eq!(a[i], m.sub(c[i], m.mul(a0[i], b[i])), "mul_neg_add i={i}");
+        }
+        let mut a = a0.clone();
+        assert_eq!(mul_neg_add2_assign(&k, &mut a, &b, &c, &d), n);
+        for i in 0..n {
+            let want = m.add(m.sub(c[i], m.mul(a0[i], b[i])), d[i]);
+            assert_eq!(a[i], want, "mul_neg_add2 i={i}");
+        }
+        let mut a = a0.clone();
+        assert_eq!(mul_add2_assign(&k, &mut a, &b, &c, &d), n);
+        for i in 0..n {
+            let want = m.add(m.mul_add(a0[i], b[i], c[i]), d[i]);
+            assert_eq!(a[i], want, "mul_add2 i={i}");
+        }
+        // Premultiplied accumulation: d̃ = d·2^52 mod q lane-wise.
+        let d_dom: Vec<u64> = d
+            .iter()
+            .map(|&x| crate::shoup::mul_shoup52_lazy(x, k.r52, k.r52_shoup, q))
+            .collect();
+        let mut a = a0.clone();
+        assert_eq!(mul_acc_assign_premul(&k, &mut a, &b, &d_dom), n);
+        for i in 0..n {
+            let want = m.mul_add(b[i], d[i], a0[i]);
+            assert_eq!(a[i], want, "mul_acc_premul i={i}");
+        }
+        let w = q / 3;
+        let w52 = crate::shoup::shoup_precompute52(w, q);
+        let mut a = a0.clone();
+        assert_eq!(sub_scalar_mul_assign(&k, &mut a, &b, w, w52), n);
+        for i in 0..n {
+            let want = m.mul(m.sub(a0[i], b[i]), w);
+            assert_eq!(a[i], want, "sub_scalar_mul i={i}");
+        }
+        // Lazy [0, 4q) subtrahend: same canonical result.
+        let b_lazy: Vec<u64> = b
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + q * ((i % 4) as u64))
+            .collect();
+        let mut a = a0.clone();
+        assert_eq!(sub_scalar_mul_assign(&k, &mut a, &b_lazy, w, w52), n);
+        for i in 0..n {
+            let want = m.mul(m.sub(a0[i], b[i]), w);
+            assert_eq!(a[i], want, "sub_scalar_mul lazy i={i}");
+        }
+        // Lazy in-place multiplicand: same canonical result.
+        let a_lazy: Vec<u64> = a0
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + q * ((i % 4) as u64))
+            .collect();
+        let mut a = a_lazy.clone();
+        assert_eq!(mul_assign_lazy(&k, &mut a, &b), n);
+        for i in 0..n {
+            assert_eq!(a[i], m.mul(a0[i], b[i]), "mul_assign_lazy i={i}");
         }
     }
 

@@ -244,6 +244,104 @@ proptest! {
             }
         }
     }
+    #[test]
+    fn fused_dyadic_kernels_bit_identical_to_unfused_composition(
+        m in arb_ntt_prime(),
+        seed in any::<u64>(),
+        s in any::<u64>(),
+    ) {
+        // Every fused chain kernel — the keygen/encrypt −(a·b)+c(+d)
+        // shapes, the rescale (a−b)·s shape, premultiplied accumulation
+        // and the lazy-operand entries — must be bit-identical to the
+        // composition of the unfused ops it replaces, on every kernel
+        // (golden, Barrett, Montgomery, IFMA with its q ≥ 2^50
+        // degradation) over the full 36–62-bit NTT-prime range.
+        let q = m.q();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state % q
+        };
+        let mut a: Vec<u64> = (0..37).map(|_| next()).collect();
+        let mut b: Vec<u64> = (0..37).map(|_| next()).collect();
+        let mut c: Vec<u64> = (0..37).map(|_| next()).collect();
+        let d: Vec<u64> = (0..37).map(|_| next()).collect();
+        (a[0], b[0], c[0]) = (q - 1, q - 1, q - 1);
+        (a[1], b[1], c[1]) = (0, q - 1, 0);
+        (a[2], b[2], c[2]) = (1, q - 1, q - 1);
+        for pref in [
+            DyadicPreference::Auto,
+            DyadicPreference::Golden,
+            DyadicPreference::Barrett,
+            DyadicPreference::Montgomery,
+            DyadicPreference::Ifma,
+        ] {
+            let e = DyadicEngine::with_kernel(m, pref);
+            if q >= shoup::MAX_SHOUP52_MODULUS {
+                prop_assert_ne!(e.kernel_name(), "ifma");
+            }
+            // c + d − a·b (and its single-addend form) vs mul/neg/add.
+            let mut mna = a.clone();
+            e.mul_assign(&mut mna, &b);
+            e.neg_assign(&mut mna);
+            e.add_assign(&mut mna, &c);
+            let mut got = a.clone();
+            e.mul_neg_add_assign(&mut got, &b, &c);
+            prop_assert_eq!(&got, &mna, "mul_neg_add {:?} q={}", pref, q);
+            let mut mna2 = mna.clone();
+            e.add_assign(&mut mna2, &d);
+            let mut got = a.clone();
+            e.mul_neg_add2_assign(&mut got, &b, &c, &d);
+            prop_assert_eq!(&got, &mna2, "mul_neg_add2 {:?} q={}", pref, q);
+            let mut got = a.clone();
+            e.fused_mulacc_addsub(&mut got, &b, true, &[&c, &d]);
+            prop_assert_eq!(&got, &mna2, "general entry {:?} q={}", pref, q);
+            // a·b + c + d vs mul_add/add.
+            let mut ma2 = a.clone();
+            e.mul_add_assign(&mut ma2, &b, &c);
+            e.add_assign(&mut ma2, &d);
+            let mut got = a.clone();
+            e.mul_add2_assign(&mut got, &b, &c, &d);
+            prop_assert_eq!(&got, &ma2, "mul_add2 {:?} q={}", pref, q);
+            // (a − b)·s vs sub/scalar_mul (any u64 s, reduced on entry).
+            let mut ssm = a.clone();
+            e.sub_assign(&mut ssm, &b);
+            e.scalar_mul_assign(&mut ssm, s);
+            let mut got = a.clone();
+            e.sub_scalar_mul_assign(&mut got, &b, s);
+            prop_assert_eq!(&got, &ssm, "sub_scalar_mul {:?} q={}", pref, q);
+            // The same with a [0, 4q)-lazy subtrahend (every pool prime
+            // is < 2^62, so lazy representatives exist at all widths).
+            let b_lazy: Vec<u64> = b
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x + q * (i as u64 % 4))
+                .collect();
+            let mut got = a.clone();
+            e.sub_scalar_mul_assign(&mut got, &b_lazy, s);
+            prop_assert_eq!(&got, &ssm, "sub_scalar_mul lazy {:?} q={}", pref, q);
+            // Lazy in-place multiplicand vs canonical multiply.
+            let mut mul_ref = a.clone();
+            e.mul_assign(&mut mul_ref, &b);
+            let mut got: Vec<u64> = a
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x + q * (i as u64 % 4))
+                .collect();
+            e.mul_assign_lazy(&mut got, &b);
+            prop_assert_eq!(&got, &mul_ref, "mul_assign_lazy {:?} q={}", pref, q);
+            // acc += b·d via the premultiplied fused accumulate vs
+            // mul + add.
+            let mut d_pre = d.clone();
+            e.premul(&mut d_pre);
+            let mut acc_ref = b.clone();
+            e.mul_assign_premul(&mut acc_ref, &d_pre);
+            e.add_assign(&mut acc_ref, &a);
+            let mut got = a.clone();
+            e.mul_acc_assign_premul(&mut got, &b, &d_pre);
+            prop_assert_eq!(&got, &acc_ref, "mul_acc_premul {:?} q={}", pref, q);
+        }
+    }
 }
 
 proptest! {

@@ -48,6 +48,43 @@ pub enum KernelPreference {
     Ifma,
 }
 
+/// Environment variable overriding the butterfly kernel of plans built
+/// with [`KernelPreference::Auto`] (`auto`, `golden`, `harvey` or
+/// `ifma`, case-insensitive; blank means `auto`).
+///
+/// Explicit preferences are never overridden and capability rules still
+/// apply. CI sets this to `harvey` (with the dyadic counterpart
+/// `ABC_FHE_DYADIC_KERNEL`) to run tier-1 down the scalar fallback
+/// paths. Note the bit-identity suites assert that an Auto plan picks a
+/// *fast* kernel, so forcing `golden` here is for ad-hoc debugging
+/// only, not for running the test suite.
+pub const NTT_KERNEL_ENV: &str = "ABC_FHE_NTT_KERNEL";
+
+/// Parses a [`NTT_KERNEL_ENV`] value. `None`, empty and blank mean
+/// [`KernelPreference::Auto`]; anything unrecognized is an error (the
+/// plan constructor turns it into a loud panic rather than silently
+/// mis-dispatching a forced-kernel CI run).
+pub fn parse_kernel_preference(raw: Option<&str>) -> Result<KernelPreference, String> {
+    let Some(raw) = raw else {
+        return Ok(KernelPreference::Auto);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => Ok(KernelPreference::Auto),
+        "golden" => Ok(KernelPreference::Golden),
+        "harvey" => Ok(KernelPreference::Harvey),
+        "ifma" => Ok(KernelPreference::Ifma),
+        _ => Err(format!(
+            "{NTT_KERNEL_ENV} must be auto|golden|harvey|ifma, got {raw:?}"
+        )),
+    }
+}
+
+/// Resolves [`NTT_KERNEL_ENV`], panicking on garbage.
+fn preference_from_env() -> KernelPreference {
+    let raw = std::env::var(NTT_KERNEL_ENV).ok();
+    parse_kernel_preference(raw.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// A ready-to-run negacyclic NTT over one RNS prime.
 ///
 /// Construction precomputes a [`TwiddleTable`]; [`NttPlan::forward_with`]
@@ -113,6 +150,13 @@ impl NttPlan {
     ///
     /// Same conditions as [`NttPlan::new`].
     pub fn with_kernel(m: Modulus, n: usize, pref: KernelPreference) -> Result<Self, MathError> {
+        // Auto additionally honours the `NTT_KERNEL_ENV` override;
+        // explicit preferences do not.
+        let pref = if pref == KernelPreference::Auto {
+            preference_from_env()
+        } else {
+            pref
+        };
         let ifma_ok =
             m.q() < abc_math::shoup::MAX_SHOUP52_MODULUS && n >= 16 && crate::ifma_supported();
         let harvey_ok = m.q() < MAX_SHOUP_MODULUS;
@@ -205,6 +249,33 @@ impl NttPlan {
         }
     }
 
+    /// In-place forward NTT **without the closing normalization**:
+    /// outputs are congruent mod `q` but may be lazy in `[0, 4q)`
+    /// (exactly `[0, q)` on the golden kernel). Pair it with a consumer
+    /// that normalizes in its own single pass — e.g.
+    /// `DyadicEngine::sub_scalar_mul_assign`, whose subtrahend contract
+    /// is `[0, 4q)` — to fuse the last forward-NTT stage into the
+    /// following dyadic op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward_lazy(&self, a: &mut [u64]) {
+        match self.kernel {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Ifma => {
+                assert_eq!(a.len(), self.n, "polynomial length must equal N");
+                let (tw, _) = self.table.forward_pairs();
+                let tw52 = self.table.forward_shoup52().expect("ifma implies q < 2^50");
+                crate::ntt_ifma::forward_lazy(a, self.m.q(), tw, tw52);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Ifma => unreachable!("ifma kernel is never selected off x86-64"),
+            Kernel::Harvey => self.forward_harvey_lazy(a),
+            Kernel::Golden => self.forward_with(&self.table, a),
+        }
+    }
+
     /// In-place inverse negacyclic INTT (Harvey fast path when
     /// `q < 2^62`, golden kernel otherwise).
     ///
@@ -212,19 +283,87 @@ impl NttPlan {
     ///
     /// Panics if `a.len() != N`.
     pub fn inverse(&self, a: &mut [u64]) {
+        self.inverse_core(a, None, None);
+    }
+
+    /// Out-of-place inverse: `dst = INTT(src)`, with the copy fused
+    /// into the first inverse stage (the fast kernels read `src` and
+    /// write `dst` in the same butterfly pass — one memory trip fewer
+    /// than `copy_from_slice` + [`NttPlan::inverse`]). `src` must be
+    /// canonical; `dst` contents are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length differs from `N`.
+    pub fn inverse_from(&self, src: &[u64], dst: &mut [u64]) {
+        self.inverse_core(dst, Some(src), None);
+    }
+
+    /// Fused `a = INTT(a − b)`: the canonical element-wise subtraction
+    /// is folded into the first inverse-NTT stage's loads instead of
+    /// running as its own memory pass. Inputs canonical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length differs from `N`.
+    pub fn sub_then_inverse(&self, a: &mut [u64], b: &[u64]) {
+        self.inverse_core(a, None, Some(b));
+    }
+
+    /// Out-of-place [`NttPlan::sub_then_inverse`]:
+    /// `dst = INTT(src − b)` with both the copy and the subtraction
+    /// fused into the first inverse stage. `dst` contents are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length differs from `N`.
+    pub fn sub_then_inverse_into(&self, src: &[u64], b: &[u64], dst: &mut [u64]) {
+        self.inverse_core(dst, Some(src), Some(b));
+    }
+
+    /// Shared core of the inverse family: `dst = INTT(src − sub)` where
+    /// `src` defaults to `dst` and `sub` to zero.
+    fn inverse_core(&self, dst: &mut [u64], src: Option<&[u64]>, sub: Option<&[u64]>) {
+        assert_eq!(dst.len(), self.n, "polynomial length must equal N");
+        if let Some(s) = src {
+            assert_eq!(s.len(), self.n, "source length must equal N");
+        }
+        if let Some(b) = sub {
+            assert_eq!(b.len(), self.n, "subtrahend length must equal N");
+        }
         match self.kernel {
             #[cfg(target_arch = "x86_64")]
             Kernel::Ifma => {
-                assert_eq!(a.len(), self.n, "polynomial length must equal N");
                 let (tw, _) = self.table.inverse_pairs();
                 let tw52 = self.table.inverse_shoup52().expect("ifma implies q < 2^50");
                 let (n_inv, n_inv_shoup52) = self.table.n_inv_pair52();
-                crate::ntt_ifma::inverse(a, self.m.q(), tw, tw52, n_inv, n_inv_shoup52);
+                crate::ntt_ifma::inverse_fused(
+                    dst,
+                    src,
+                    sub,
+                    self.m.q(),
+                    tw,
+                    tw52,
+                    n_inv,
+                    n_inv_shoup52,
+                );
             }
             #[cfg(not(target_arch = "x86_64"))]
             Kernel::Ifma => unreachable!("ifma kernel is never selected off x86-64"),
-            Kernel::Harvey => self.inverse_harvey(a),
-            Kernel::Golden => self.inverse_with(&self.table, a),
+            Kernel::Harvey => self.inverse_harvey_fused(dst, src, sub),
+            Kernel::Golden => {
+                // Reference kernel: materialize the fused prologue as
+                // plain passes (bit-identical, not perf-relevant).
+                if let Some(s) = src {
+                    dst.copy_from_slice(s);
+                }
+                if let Some(b) = sub {
+                    for (x, &y) in dst.iter_mut().zip(b) {
+                        *x = self.m.sub(*x, y);
+                    }
+                }
+                self.inverse_with(&self.table, dst);
+            }
         }
     }
 
@@ -233,6 +372,17 @@ impl NttPlan {
     /// and stage outputs stay in `[0, 4q)`; a single normalization pass
     /// at the end restores canonical `[0, q)` values.
     fn forward_harvey(&self, a: &mut [u64]) {
+        self.forward_harvey_lazy(a);
+        let q = self.m.q();
+        for x in a.iter_mut() {
+            *x = shoup::normalize_4q(*x, q);
+        }
+    }
+
+    /// The Harvey butterfly stages without the closing normalization:
+    /// outputs lazy in `[0, 4q)` (the last stage's own pass replaces
+    /// the normalization pass when a fused consumer follows).
+    fn forward_harvey_lazy(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length must equal N");
         let q = self.m.q();
         let two_q = 2 * q;
@@ -260,23 +410,39 @@ impl NttPlan {
             }
             m <<= 1;
         }
-        for x in a.iter_mut() {
-            *x = shoup::normalize_4q(*x, q);
-        }
     }
 
     /// Gentleman–Sande inverse transform with Harvey butterflies: sums
     /// are reduced lazily into `[0, 2q)`, differences go through
     /// `mul_shoup_lazy`, and the final `N^{-1}` scale doubles as the
-    /// normalization to `[0, q)`.
-    fn inverse_harvey(&self, a: &mut [u64]) {
-        assert_eq!(a.len(), self.n, "polynomial length must equal N");
+    /// normalization to `[0, q)`. The first stage's loads absorb the
+    /// optional out-of-place read from `src` and canonical subtraction
+    /// of `sub` (`x + (q − b) ∈ (0, 2q)` keeps the stage invariant).
+    fn inverse_harvey_fused(&self, a: &mut [u64], src: Option<&[u64]>, sub: Option<&[u64]>) {
         let q = self.m.q();
         let two_q = 2 * q;
         let (tw, tw_shoup) = self.table.inverse_pairs();
         let n = self.n;
-        let mut t = 1usize;
-        let mut m = n;
+        // Fused first stage (t = 1, adjacent pairs): read through
+        // src/sub, write `a`. Lanes land < 2q, as every stage expects.
+        {
+            let h = n >> 1;
+            let stage_w = tw[h..2 * h].iter().zip(&tw_shoup[h..2 * h]);
+            for (i, (&w, &ws)) in stage_w.enumerate() {
+                let (u, v) = match src {
+                    Some(s) => (s[2 * i], s[2 * i + 1]),
+                    None => (a[2 * i], a[2 * i + 1]),
+                };
+                let (u, v) = match sub {
+                    Some(b) => (u + q - b[2 * i], v + q - b[2 * i + 1]),
+                    None => (u, v),
+                };
+                a[2 * i] = shoup::add_lazy(u, v, two_q);
+                a[2 * i + 1] = shoup::mul_shoup_lazy(u + two_q - v, w, ws, q);
+            }
+        }
+        let mut t = 2usize;
+        let mut m = n >> 1;
         while m > 1 {
             let h = m >> 1;
             // Stage with `h` groups of 2t lanes: group `i` is the chunk
@@ -559,6 +725,99 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn forward_lazy_is_congruent_and_fused_inverse_bit_identical() {
+        // forward_lazy ≡ forward mod q (lazy lanes stay below 4q), and
+        // every fused-inverse entry is bit-identical to the unfused
+        // composition, on every kernel.
+        for q in [0xFFF0_0001u64, 0xFFF_FFFF_C001] {
+            let m = Modulus::new(q).unwrap();
+            for n in [4usize, 64, 1024] {
+                for pref in [
+                    KernelPreference::Golden,
+                    KernelPreference::Harvey,
+                    KernelPreference::Auto,
+                    KernelPreference::Ifma,
+                ] {
+                    let plan = NttPlan::with_kernel(m, n, pref).unwrap();
+                    let a0 = pseudo_poly(n, q, q ^ (n as u64) << 1);
+                    let b0 = pseudo_poly(n, q, q ^ (n as u64) << 2);
+                    let mut canonical = a0.clone();
+                    plan.forward(&mut canonical);
+                    let mut lazy = a0.clone();
+                    plan.forward_lazy(&mut lazy);
+                    for i in 0..n {
+                        assert!(lazy[i] < 4 * q, "lazy bound {pref:?} q={q} n={n} i={i}");
+                        assert_eq!(
+                            lazy[i] % q,
+                            canonical[i],
+                            "lazy congruence {pref:?} q={q} n={n} i={i}"
+                        );
+                    }
+                    // Unfused reference: copy, subtract, inverse.
+                    let mut want = a0.clone();
+                    for (x, &y) in want.iter_mut().zip(&b0) {
+                        *x = m.sub(*x, y);
+                    }
+                    plan.inverse(&mut want);
+                    let mut got = a0.clone();
+                    plan.sub_then_inverse(&mut got, &b0);
+                    assert_eq!(got, want, "sub_then_inverse {pref:?} q={q} n={n}");
+                    let mut got = vec![u64::MAX; n]; // dst contents ignored
+                    plan.sub_then_inverse_into(&a0, &b0, &mut got);
+                    assert_eq!(got, want, "sub_then_inverse_into {pref:?} q={q} n={n}");
+                    let mut want = a0.clone();
+                    plan.inverse(&mut want);
+                    let mut got = vec![u64::MAX; n];
+                    plan.inverse_from(&a0, &mut got);
+                    assert_eq!(got, want, "inverse_from {pref:?} q={q} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_kernel_preference_accepts_kernels_and_rejects_garbage() {
+        assert_eq!(parse_kernel_preference(None), Ok(KernelPreference::Auto));
+        assert_eq!(
+            parse_kernel_preference(Some(" ")),
+            Ok(KernelPreference::Auto)
+        );
+        assert_eq!(
+            parse_kernel_preference(Some("Harvey")),
+            Ok(KernelPreference::Harvey)
+        );
+        assert_eq!(
+            parse_kernel_preference(Some("GOLDEN")),
+            Ok(KernelPreference::Golden)
+        );
+        assert_eq!(
+            parse_kernel_preference(Some("ifma")),
+            Ok(KernelPreference::Ifma)
+        );
+        assert!(parse_kernel_preference(Some("montgomery")).is_err());
+        assert!(parse_kernel_preference(Some("2")).is_err());
+    }
+
+    #[test]
+    fn env_override_forces_auto_plans_only() {
+        // `harvey` is concurrency-safe in this binary: Auto plans stay
+        // bit-identical to golden and never become golden themselves.
+        let prev = std::env::var(NTT_KERNEL_ENV).ok();
+        std::env::set_var(NTT_KERNEL_ENV, "harvey");
+        let auto = NttPlan::with_kernel(modulus(), 64, KernelPreference::Auto).unwrap();
+        let explicit = NttPlan::with_kernel(modulus(), 64, KernelPreference::Golden).unwrap();
+        match prev {
+            Some(v) => std::env::set_var(NTT_KERNEL_ENV, v),
+            None => std::env::remove_var(NTT_KERNEL_ENV),
+        }
+        assert_eq!(auto.kernel_name(), "harvey");
+        // The plan's dyadic engine follows the forced butterfly kernel.
+        assert_eq!(auto.dyadic().kernel_name(), "montgomery");
+        // Explicit preferences are never overridden.
+        assert_eq!(explicit.kernel_name(), "golden");
     }
 
     #[test]

@@ -55,7 +55,22 @@ pub fn forward(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64]) {
     debug_assert!(q < shoup::MAX_SHOUP52_MODULUS);
     debug_assert!(a.len() >= 16 && a.len().is_power_of_two());
     // SAFETY: the assert above proves the required target features.
-    unsafe { forward_impl(a, q, tw, tw_shoup52) }
+    unsafe { forward_impl(a, q, tw, tw_shoup52, true) }
+}
+
+/// [`forward`] without the closing normalization: output lanes stay
+/// lazy in `[0, 4q)`, for consumers that normalize in their own pass
+/// (the NTT-edge fusion of `DyadicEngine::sub_scalar_mul_assign`).
+///
+/// # Panics
+///
+/// Same contract as [`forward`].
+pub fn forward_lazy(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64]) {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    debug_assert!(q < shoup::MAX_SHOUP52_MODULUS);
+    debug_assert!(a.len() >= 16 && a.len().is_power_of_two());
+    // SAFETY: the assert above proves the required target features.
+    unsafe { forward_impl(a, q, tw, tw_shoup52, false) }
 }
 
 /// Inverse negacyclic NTT, Gentleman–Sande, values lazily in `[0, 2q)`,
@@ -77,7 +92,41 @@ pub fn inverse(
     debug_assert!(q < shoup::MAX_SHOUP52_MODULUS);
     debug_assert!(a.len() >= 16 && a.len().is_power_of_two());
     // SAFETY: the assert above proves the required target features.
-    unsafe { inverse_impl(a, q, tw, tw_shoup52, n_inv, n_inv_shoup52) }
+    unsafe { inverse_impl(a, None, None, q, tw, tw_shoup52, n_inv, n_inv_shoup52) }
+}
+
+/// Fused-entry inverse NTT: `a = INTT(src − sub)`, with the copy from
+/// `src` (when given, else `a` itself) and the canonical subtraction of
+/// `sub` (when given) folded into the first Gentleman–Sande stage's
+/// loads — the preceding element-wise pass never touches DRAM.
+///
+/// `src` and `sub` lanes must be canonical `[0, q)`.
+///
+/// # Panics
+///
+/// Same contract as [`forward`], plus equal slice lengths.
+#[allow(clippy::too_many_arguments)] // the plan's precomputed tables, flattened
+pub fn inverse_fused(
+    a: &mut [u64],
+    src: Option<&[u64]>,
+    sub: Option<&[u64]>,
+    q: u64,
+    tw: &[u64],
+    tw_shoup52: &[u64],
+    n_inv: u64,
+    n_inv_shoup52: u64,
+) {
+    assert!(available(), "AVX-512IFMA not available on this CPU");
+    if let Some(s) = src {
+        assert_eq!(a.len(), s.len());
+    }
+    if let Some(b) = sub {
+        assert_eq!(a.len(), b.len());
+    }
+    debug_assert!(q < shoup::MAX_SHOUP52_MODULUS);
+    debug_assert!(a.len() >= 16 && a.len().is_power_of_two());
+    // SAFETY: the assert above proves the required target features.
+    unsafe { inverse_impl(a, src, sub, q, tw, tw_shoup52, n_inv, n_inv_shoup52) }
 }
 
 /// Eight-lane radix-2^52 Shoup multiply: returns `r ≡ y·w (mod q)` with
@@ -206,7 +255,7 @@ unsafe fn gs_layer(
 }
 
 #[target_feature(enable = "avx512f,avx512ifma")]
-unsafe fn forward_impl(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64]) {
+unsafe fn forward_impl(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64], normalize: bool) {
     let n = a.len();
     let vq = _mm512_set1_epi64(q as i64);
     let v2q = _mm512_set1_epi64(2 * q as i64);
@@ -240,7 +289,8 @@ unsafe fn forward_impl(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64]) {
         m <<= 1;
     }
     // Short-span stages t = 4, 2, 1, fused in-register per 8-lane
-    // block, then the closing normalization [0, 4q) → [0, q).
+    // block, then the closing normalization [0, 4q) → [0, q) — skipped
+    // in lazy mode, where the following dyadic pass normalizes instead.
     debug_assert_eq!(m, n / 8);
     let perms = unsafe { layer_perms() };
     for b in 0..n / 8 {
@@ -253,14 +303,22 @@ unsafe fn forward_impl(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64]) {
             for l in 0..3 {
                 v = ct_layer(v, &perms[l], ws[l], ws52[l], vq, v2q);
             }
-            _mm512_storeu_si512(p, csub_x8(csub_x8(v, v2q), vq));
+            let out = if normalize {
+                csub_x8(csub_x8(v, v2q), vq)
+            } else {
+                v
+            };
+            _mm512_storeu_si512(p, out);
         }
     }
 }
 
 #[target_feature(enable = "avx512f,avx512ifma")]
+#[allow(clippy::too_many_arguments)]
 unsafe fn inverse_impl(
     a: &mut [u64],
+    src: Option<&[u64]>,
+    sub: Option<&[u64]>,
     q: u64,
     tw: &[u64],
     tw_shoup52: &[u64],
@@ -272,14 +330,25 @@ unsafe fn inverse_impl(
     let v2q = _mm512_set1_epi64(2 * q as i64);
     // Short-span stages t = 1, 2, 4 fused in-register (the GS order is
     // the CT order reversed, so the layer tables run back to front).
+    // This first pass also absorbs the optional out-of-place read from
+    // `src` and canonical subtraction of `sub`: a + (q − b) ∈ (0, 2q)
+    // satisfies the GS input invariant without an extra memory pass.
     let perms = unsafe { layer_perms() };
     for b in 0..n / 8 {
-        // SAFETY: 8b + 8 <= n; twiddle reads stay inside the table.
+        // SAFETY: 8b + 8 <= n (equal lengths asserted by the callers);
+        // twiddle reads stay inside the table.
         unsafe {
             let p = a.as_mut_ptr().add(8 * b) as *mut __m512i;
+            let mut v = match src {
+                Some(s) => _mm512_loadu_si512(s.as_ptr().add(8 * b) as *const __m512i),
+                None => _mm512_loadu_si512(p),
+            };
+            if let Some(s) = sub {
+                let vb = _mm512_loadu_si512(s.as_ptr().add(8 * b) as *const __m512i);
+                v = _mm512_add_epi64(v, _mm512_sub_epi64(vq, vb));
+            }
             let ws = layer_twiddles(tw, n, b);
             let ws52 = layer_twiddles(tw_shoup52, n, b);
-            let mut v = _mm512_loadu_si512(p);
             for l in [2usize, 1, 0] {
                 v = gs_layer(v, &perms[l], ws[l], ws52[l], vq, v2q);
             }

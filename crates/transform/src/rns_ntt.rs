@@ -21,6 +21,20 @@
 //! runs on its plan's [`abc_math::dyadic::DyadicEngine`]
 //! (AVX-512IFMA → Montgomery dispatch) with the same thread fan-out.
 //!
+//! On top of those sit the **fused chain ops** — `dyadic_mul_neg_add_all`
+//! / `dyadic_mul_neg_add2_all` (the keygen/encrypt `−(a·s)+e(+m)`
+//! shapes), `dyadic_mul_add2_all` (`pk·v+e+m`) and `sub_scalar_mul_all`
+//! (the rescale shape) — which collapse what used to be two-to-four
+//! full memory passes per ciphertext component into one. The NTT stage
+//! boundaries fuse too: `forward_all_then_mul` hands `[0, 4q)`-lazy
+//! transform output straight to the dyadic kernel,
+//! `expand_ntt_sub_scalar_mul_all_{i64,i128}` run the whole rescale
+//! kept-limb chain (expand → lazy NTT → subtract → scalar-multiply) in
+//! one per-limb pass, and `sub_then_inverse_all` / `inverse_all_from`
+//! fold a subtraction or an out-of-place copy into the first
+//! inverse-NTT stage. All are bit-identical to the unfused sequences
+//! they replace.
+//!
 //! Transforms and dyadic ops are **bit-identical** to running each limb
 //! through its [`NttPlan`] serially — threading only changes
 //! scheduling, never values — which the property suite asserts for
@@ -301,6 +315,68 @@ impl RnsNttEngine {
         out
     }
 
+    /// The fused rescale hot path: for every kept limb `i`, expand the
+    /// centered tail coefficients under `q_i`, forward-transform them
+    /// with a **lazy** last stage, and fold the result straight into
+    /// `kept[i] = (kept[i] − NTT(tail))·s[i]` — expand, transform,
+    /// subtract and scalar-multiply in one per-limb pass with pooled
+    /// scratch, instead of a pooled-limbs round trip between separate
+    /// engine calls. Bit-identical to [`Self::expand_and_ntt_i64`] +
+    /// subtract + scalar-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != N`, `kept` has more limbs than plans,
+    /// or fewer scalars than limbs are supplied.
+    pub fn expand_ntt_sub_scalar_mul_all_i64(
+        &self,
+        kept: &mut [Vec<u64>],
+        coeffs: &[i64],
+        s: &[u64],
+    ) {
+        self.expand_ntt_sub_scalar_mul_generic(kept, coeffs, s, |m, x| m.from_i64(x));
+    }
+
+    /// [`Self::expand_ntt_sub_scalar_mul_all_i64`] for the *pair*-rescale
+    /// tail: centered `i128` coefficients (the CRT-lifted two-prime
+    /// residue, up to ~75 bits).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::expand_ntt_sub_scalar_mul_all_i64`].
+    pub fn expand_ntt_sub_scalar_mul_all_i128(
+        &self,
+        kept: &mut [Vec<u64>],
+        coeffs: &[i128],
+        s: &[u64],
+    ) {
+        self.expand_ntt_sub_scalar_mul_generic(kept, coeffs, s, |m, x| m.from_i128(x));
+    }
+
+    fn expand_ntt_sub_scalar_mul_generic<X, F>(
+        &self,
+        kept: &mut [Vec<u64>],
+        coeffs: &[X],
+        s: &[u64],
+        expand: F,
+    ) where
+        X: Copy + Sync,
+        F: Fn(&Modulus, X) -> u64 + Sync,
+    {
+        assert_eq!(coeffs.len(), self.n, "coefficient count must equal N");
+        assert!(s.len() >= kept.len(), "fewer scalars than limbs");
+        self.for_each_limb(kept, |i, plan, limb| {
+            let m = plan.modulus();
+            let mut tail = self.pool.take(self.n);
+            for (dst, &x) in tail.iter_mut().zip(coeffs) {
+                *dst = expand(m, x);
+            }
+            plan.forward_lazy(&mut tail);
+            plan.dyadic().sub_scalar_mul_assign(limb, &tail, s[i]);
+            self.pool.put(tail);
+        });
+    }
+
     // ------------------------------------------------------------------
     // RNS-wide element-wise (dyadic) operations
     // ------------------------------------------------------------------
@@ -342,6 +418,140 @@ impl RnsNttEngine {
             |i, plan, limb| plan.dyadic().mul_add_assign(limb, &b[i], &c[i]),
             DYADIC_PARALLEL_THRESHOLD,
         );
+    }
+
+    /// `a[i][j] = c[i][j] − a[i][j]·b[i][j] mod q_i` — the keygen shape
+    /// `−(a·s) + e` as **one** RNS-wide pass (multiply, negate and add
+    /// fused per element; previously three full memory passes).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::dyadic_mul_all`], extended to `c`.
+    pub fn dyadic_mul_neg_add_all(&self, a: &mut [Vec<u64>], b: &[Vec<u64>], c: &[Vec<u64>]) {
+        assert!(b.len() >= a.len(), "fewer multiplier limbs than targets");
+        assert!(c.len() >= a.len(), "fewer addend limbs than targets");
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().mul_neg_add_assign(limb, &b[i], &c[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// `a[i][j] = c[i][j] + d[i][j] − a[i][j]·b[i][j] mod q_i` — the
+    /// symmetric-encrypt `c0` chain `−(a·s) + e + m` as **one** RNS-wide
+    /// pass (previously four).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::dyadic_mul_all`], extended to `c`/`d`.
+    pub fn dyadic_mul_neg_add2_all(
+        &self,
+        a: &mut [Vec<u64>],
+        b: &[Vec<u64>],
+        c: &[Vec<u64>],
+        d: &[Vec<u64>],
+    ) {
+        assert!(b.len() >= a.len(), "fewer multiplier limbs than targets");
+        assert!(
+            c.len() >= a.len() && d.len() >= a.len(),
+            "fewer addend limbs than targets"
+        );
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().mul_neg_add2_assign(limb, &b[i], &c[i], &d[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// `a[i][j] = a[i][j]·b[i][j] + c[i][j] + d[i][j] mod q_i` — the
+    /// public-key-encrypt `c0` chain `pk0·v + e0 + m` as **one** RNS-wide
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::dyadic_mul_all`], extended to `c`/`d`.
+    pub fn dyadic_mul_add2_all(
+        &self,
+        a: &mut [Vec<u64>],
+        b: &[Vec<u64>],
+        c: &[Vec<u64>],
+        d: &[Vec<u64>],
+    ) {
+        assert!(b.len() >= a.len(), "fewer multiplier limbs than targets");
+        assert!(
+            c.len() >= a.len() && d.len() >= a.len(),
+            "fewer addend limbs than targets"
+        );
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().mul_add2_assign(limb, &b[i], &c[i], &d[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// `a[i][j] = (a[i][j] − b[i][j])·s[i] mod q_i` — the rescale shape
+    /// `(c_i − tail)·q_last^{-1}` as **one** RNS-wide pass (previously a
+    /// subtract pass plus a scalar-multiply pass). Subtrahend limbs may
+    /// arrive `[0, 4q_i)`-**lazy** straight out of
+    /// [`NttPlan::forward_lazy`]; scalars are reduced on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has more limbs than plans or `b`/`s` carry fewer
+    /// entries than `a` has limbs.
+    pub fn sub_scalar_mul_all(&self, a: &mut [Vec<u64>], b: &[Vec<u64>], s: &[u64]) {
+        assert!(b.len() >= a.len(), "fewer subtrahend limbs than targets");
+        assert!(s.len() >= a.len(), "fewer scalars than limbs");
+        self.for_each_limb_threshold(
+            a,
+            |i, plan, limb| plan.dyadic().sub_scalar_mul_assign(limb, &b[i], s[i]),
+            DYADIC_PARALLEL_THRESHOLD,
+        );
+    }
+
+    /// Forward NTT of every limb with the last stage fused into the
+    /// following dyadic multiply: `a[i] = NTT(a[i]) ⊙ b[i]`. The
+    /// transform leaves its output `[0, 4q)`-lazy and the multiply
+    /// normalizes in-register, so the stage boundary costs no extra
+    /// memory pass. Bit-identical to [`Self::forward_all`] followed by
+    /// [`Self::dyadic_mul_all`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::forward_all`], plus `b` must carry at
+    /// least as many limbs as `a`.
+    pub fn forward_all_then_mul(&self, a: &mut [Vec<u64>], b: &[Vec<u64>]) {
+        assert!(b.len() >= a.len(), "fewer multiplier limbs than targets");
+        self.for_each_limb(a, |i, plan, limb| {
+            plan.forward_lazy(limb);
+            plan.dyadic().mul_assign_lazy(limb, &b[i]);
+        });
+    }
+
+    /// `a[i] = INTT(a[i] − b[i])` per limb — the canonical subtraction
+    /// fused into the first inverse-NTT stage (one read of each operand
+    /// instead of a subtract pass plus a transform pass).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::inverse_all`], plus `b` must carry at
+    /// least as many limbs as `a`.
+    pub fn sub_then_inverse_all(&self, a: &mut [Vec<u64>], b: &[Vec<u64>]) {
+        assert!(b.len() >= a.len(), "fewer subtrahend limbs than targets");
+        self.for_each_limb(a, |i, plan, limb| plan.sub_then_inverse(limb, &b[i]));
+    }
+
+    /// `dst[i] = INTT(src[i])` per limb — out-of-place batched inverse
+    /// with the copy folded into the first inverse-NTT stage (`src` is
+    /// read once, directly by the transform).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::inverse_all`] on `dst`, plus `src` must
+    /// carry at least as many limbs as `dst`.
+    pub fn inverse_all_from(&self, src: &[Vec<u64>], dst: &mut [Vec<u64>]) {
+        assert!(src.len() >= dst.len(), "fewer source limbs than targets");
+        self.for_each_limb(dst, |i, plan, limb| plan.inverse_from(&src[i], limb));
     }
 
     /// Multiplies **both** ciphertext components by the same RNS vector
@@ -422,19 +632,15 @@ impl RnsNttEngine {
         );
         let work = |i: usize, x0: &mut Vec<u64>, x1: &mut Vec<u64>| {
             let dy = self.plans[i].dyadic();
-            // Enter d_i once (pooled scratch); each product lands in a
-            // second scratch buffer and folds into its accumulator.
+            // Enter d_i once (pooled scratch); each product folds
+            // straight into its accumulator through the fused
+            // multiply-accumulate — no per-product scratch buffer and
+            // no separate add pass.
             let mut pre = self.pool.take(self.n);
             pre.copy_from_slice(&d[i]);
             dy.premul(&mut pre);
-            let mut t = self.pool.take(self.n);
-            t.copy_from_slice(&b[i]);
-            dy.mul_assign_premul(&mut t, &pre);
-            dy.add_assign(x0, &t);
-            t.copy_from_slice(&a[i]);
-            dy.mul_assign_premul(&mut t, &pre);
-            dy.add_assign(x1, &t);
-            self.pool.put(t);
+            dy.mul_acc_assign_premul(x0, &b[i], &pre);
+            dy.mul_acc_assign_premul(x1, &a[i], &pre);
             self.pool.put(pre);
         };
         let threads = self.threads.min(k);
@@ -763,6 +969,105 @@ mod tests {
             engine.dyadic_mul_acc_pair_all(&mut acc0, &mut acc1, &d, &b, &a);
             assert_eq!(acc0, reference0, "threads={threads}");
             assert_eq!(acc1, reference1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_ops_match_unfused_sequences_across_thread_counts() {
+        // k·n = 8·2^13 = 2^16 reaches both PARALLEL_THRESHOLD and
+        // DYADIC_PARALLEL_THRESHOLD, so the threaded paths really run.
+        let n = 1usize << 13;
+        let ms = moduli(8, 2 * n as u64);
+        let k = ms.len();
+        let a0 = pseudo_limbs(&ms, n, 101);
+        let b = pseudo_limbs(&ms, n, 202);
+        let c = pseudo_limbs(&ms, n, 303);
+        let d = pseudo_limbs(&ms, n, 404);
+        let coeffs64: Vec<i64> = (0..n as i64).map(|i| (i * 77 - 999) % 100_000).collect();
+        let coeffs128: Vec<i128> = (0..n as i128)
+            .map(|i| (i - 4096) * ((1i128 << 70) + 321))
+            .collect();
+        let scalars: Vec<u64> = ms
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.q() / (i as u64 + 2))
+            .collect();
+        // Unfused references on a single-threaded engine.
+        let serial = RnsNttEngine::with_threads(&ms, n, 1).unwrap();
+        let refs = {
+            let mut mul_neg_add = a0.clone();
+            serial.dyadic_mul_all(&mut mul_neg_add, &b);
+            serial.neg_assign_all(&mut mul_neg_add);
+            serial.add_assign_all(&mut mul_neg_add, &c);
+            let mut mul_neg_add2 = a0.clone();
+            serial.dyadic_mul_all(&mut mul_neg_add2, &b);
+            serial.neg_assign_all(&mut mul_neg_add2);
+            serial.add_assign_all(&mut mul_neg_add2, &c);
+            serial.add_assign_all(&mut mul_neg_add2, &d);
+            let mut mul_add2 = a0.clone();
+            serial.dyadic_mul_add_all(&mut mul_add2, &b, &c);
+            serial.add_assign_all(&mut mul_add2, &d);
+            let mut sub_scalar = a0.clone();
+            serial.sub_assign_all(&mut sub_scalar, &b);
+            serial.dyadic_scalar_mul_all(&mut sub_scalar, &scalars);
+            let mut fwd_mul = a0.clone();
+            serial.forward_all(&mut fwd_mul);
+            serial.dyadic_mul_all(&mut fwd_mul, &b);
+            let mut sub_inv = a0.clone();
+            serial.sub_assign_all(&mut sub_inv, &b);
+            serial.inverse_all(&mut sub_inv);
+            let mut inv = a0.clone();
+            serial.inverse_all(&mut inv);
+            let mut resc64 = a0.clone();
+            let tails = serial.expand_and_ntt_i64(&coeffs64, k);
+            serial.sub_assign_all(&mut resc64, &tails);
+            serial.dyadic_scalar_mul_all(&mut resc64, &scalars);
+            drop(tails);
+            let mut resc128 = a0.clone();
+            let tails = serial.expand_and_ntt_i128(&coeffs128, k);
+            serial.sub_assign_all(&mut resc128, &tails);
+            serial.dyadic_scalar_mul_all(&mut resc128, &scalars);
+            (
+                mul_neg_add,
+                mul_neg_add2,
+                mul_add2,
+                sub_scalar,
+                fwd_mul,
+                sub_inv,
+                inv,
+                resc64,
+                resc128,
+            )
+        };
+        for threads in [1usize, 2, 4] {
+            let engine = RnsNttEngine::with_threads(&ms, n, threads).unwrap();
+            let mut got = a0.clone();
+            engine.dyadic_mul_neg_add_all(&mut got, &b, &c);
+            assert_eq!(got, refs.0, "mul_neg_add threads={threads}");
+            let mut got = a0.clone();
+            engine.dyadic_mul_neg_add2_all(&mut got, &b, &c, &d);
+            assert_eq!(got, refs.1, "mul_neg_add2 threads={threads}");
+            let mut got = a0.clone();
+            engine.dyadic_mul_add2_all(&mut got, &b, &c, &d);
+            assert_eq!(got, refs.2, "mul_add2 threads={threads}");
+            let mut got = a0.clone();
+            engine.sub_scalar_mul_all(&mut got, &b, &scalars);
+            assert_eq!(got, refs.3, "sub_scalar_mul threads={threads}");
+            let mut got = a0.clone();
+            engine.forward_all_then_mul(&mut got, &b);
+            assert_eq!(got, refs.4, "forward_then_mul threads={threads}");
+            let mut got = a0.clone();
+            engine.sub_then_inverse_all(&mut got, &b);
+            assert_eq!(got, refs.5, "sub_then_inverse threads={threads}");
+            let mut got = vec![vec![u64::MAX; n]; k];
+            engine.inverse_all_from(&a0, &mut got);
+            assert_eq!(got, refs.6, "inverse_all_from threads={threads}");
+            let mut got = a0.clone();
+            engine.expand_ntt_sub_scalar_mul_all_i64(&mut got, &coeffs64, &scalars);
+            assert_eq!(got, refs.7, "fused rescale i64 threads={threads}");
+            let mut got = a0.clone();
+            engine.expand_ntt_sub_scalar_mul_all_i128(&mut got, &coeffs128, &scalars);
+            assert_eq!(got, refs.8, "fused rescale i128 threads={threads}");
         }
     }
 

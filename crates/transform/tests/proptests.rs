@@ -212,6 +212,129 @@ proptest! {
     }
 
     #[test]
+    fn fused_rns_ops_match_unfused_sequences(seed in any::<u64>(), limbs in 1usize..6) {
+        // Every fused engine-wide chain op — the encrypt/keygen
+        // −(a·b)+c(+d) shapes, the rescale (a−b)·s shape, and the
+        // NTT-edge fused entries — must be bit-identical to the serial
+        // composition of the unfused per-limb calls it replaces, for
+        // every thread fan-out.
+        let n = 1usize << 12;
+        let pool = generate_ntt_primes(36, limbs, 1 << 13).expect("primes");
+        let moduli: Vec<Modulus> = pool
+            .into_iter()
+            .map(|q| Modulus::new(q).expect("valid"))
+            .collect();
+        let gen = |salt: u64| -> Vec<Vec<u64>> {
+            moduli
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    (0..n as u64)
+                        .map(|j| seed.wrapping_mul(salt + i as u64).wrapping_add(j * 29) % m.q())
+                        .collect()
+                })
+                .collect()
+        };
+        let (a0, b, c, d) = (gen(3), gen(107), gen(1013), gen(10007));
+        let scalars: Vec<u64> = moduli
+            .iter()
+            .enumerate()
+            .map(|(i, m)| seed.wrapping_add(i as u64 * 31) % m.q())
+            .collect();
+        let coeffs64: Vec<i64> = (0..n as i64).map(|i| (i - 2048) * 12289).collect();
+        let coeffs128: Vec<i128> = (0..n as i128)
+            .map(|i| (i - 2048) * ((1i128 << 70) + 321))
+            .collect();
+        let plans: Vec<NttPlan> =
+            moduli.iter().map(|&m| NttPlan::new(m, n).expect("plan")).collect();
+        let apply_ref = |f: &dyn Fn(usize, &mut Vec<u64>)| -> Vec<Vec<u64>> {
+            let mut out = a0.clone();
+            for (i, limb) in out.iter_mut().enumerate() {
+                f(i, limb);
+            }
+            out
+        };
+        let mna_ref = apply_ref(&|i, l| {
+            let dy = plans[i].dyadic();
+            dy.mul_assign(l, &b[i]);
+            dy.neg_assign(l);
+            dy.add_assign(l, &c[i]);
+        });
+        let mna2_ref = apply_ref(&|i, l| {
+            let dy = plans[i].dyadic();
+            dy.mul_assign(l, &b[i]);
+            dy.neg_assign(l);
+            dy.add_assign(l, &c[i]);
+            dy.add_assign(l, &d[i]);
+        });
+        let ma2_ref = apply_ref(&|i, l| {
+            let dy = plans[i].dyadic();
+            dy.mul_add_assign(l, &b[i], &c[i]);
+            dy.add_assign(l, &d[i]);
+        });
+        let ssm_ref = apply_ref(&|i, l| {
+            let dy = plans[i].dyadic();
+            dy.sub_assign(l, &b[i]);
+            dy.scalar_mul_assign(l, scalars[i]);
+        });
+        let fwd_mul_ref = apply_ref(&|i, l| {
+            plans[i].forward(l);
+            plans[i].dyadic().mul_assign(l, &b[i]);
+        });
+        let sub_inv_ref = apply_ref(&|i, l| {
+            plans[i].dyadic().sub_assign(l, &b[i]);
+            plans[i].inverse(l);
+        });
+        let inv_ref = apply_ref(&|i, l| plans[i].inverse(l));
+        let expand_ref64 = apply_ref(&|i, l| {
+            let m = plans[i].modulus();
+            let mut tail: Vec<u64> = coeffs64.iter().map(|&x| m.from_i64(x)).collect();
+            plans[i].forward(&mut tail);
+            let dy = plans[i].dyadic();
+            dy.sub_assign(l, &tail);
+            dy.scalar_mul_assign(l, scalars[i]);
+        });
+        let expand_ref128 = apply_ref(&|i, l| {
+            let m = plans[i].modulus();
+            let mut tail: Vec<u64> = coeffs128.iter().map(|&x| m.from_i128(x)).collect();
+            plans[i].forward(&mut tail);
+            let dy = plans[i].dyadic();
+            dy.sub_assign(l, &tail);
+            dy.scalar_mul_assign(l, scalars[i]);
+        });
+        for threads in [1usize, 2, 4] {
+            let engine = RnsNttEngine::with_threads(&moduli, n, threads).expect("engine");
+            let mut got = a0.clone();
+            engine.dyadic_mul_neg_add_all(&mut got, &b, &c);
+            prop_assert_eq!(&got, &mna_ref, "mul_neg_add threads = {}", threads);
+            let mut got = a0.clone();
+            engine.dyadic_mul_neg_add2_all(&mut got, &b, &c, &d);
+            prop_assert_eq!(&got, &mna2_ref, "mul_neg_add2 threads = {}", threads);
+            let mut got = a0.clone();
+            engine.dyadic_mul_add2_all(&mut got, &b, &c, &d);
+            prop_assert_eq!(&got, &ma2_ref, "mul_add2 threads = {}", threads);
+            let mut got = a0.clone();
+            engine.sub_scalar_mul_all(&mut got, &b, &scalars);
+            prop_assert_eq!(&got, &ssm_ref, "sub_scalar_mul threads = {}", threads);
+            let mut got = a0.clone();
+            engine.forward_all_then_mul(&mut got, &b);
+            prop_assert_eq!(&got, &fwd_mul_ref, "forward_then_mul threads = {}", threads);
+            let mut got = a0.clone();
+            engine.sub_then_inverse_all(&mut got, &b);
+            prop_assert_eq!(&got, &sub_inv_ref, "sub_then_inverse threads = {}", threads);
+            let mut got = vec![vec![u64::MAX; n]; moduli.len()];
+            engine.inverse_all_from(&a0, &mut got);
+            prop_assert_eq!(&got, &inv_ref, "inverse_from threads = {}", threads);
+            let mut got = a0.clone();
+            engine.expand_ntt_sub_scalar_mul_all_i64(&mut got, &coeffs64, &scalars);
+            prop_assert_eq!(&got, &expand_ref64, "expand i64 threads = {}", threads);
+            let mut got = a0.clone();
+            engine.expand_ntt_sub_scalar_mul_all_i128(&mut got, &coeffs128, &scalars);
+            prop_assert_eq!(&got, &expand_ref128, "expand i128 threads = {}", threads);
+        }
+    }
+
+    #[test]
     fn special_fft_roundtrip(seed in any::<u64>(), log_slots in 1u32..9) {
         let slots = 1usize << log_slots;
         let plan = SpecialFft::new(slots);
