@@ -6,7 +6,9 @@
 
 use abc_float::{Complex, ExtF64Field, F64Field, RealField, SoftFloatField};
 use abc_math::{primes::generate_ntt_primes, Modulus};
-use abc_transform::{NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft, SpecialFftEngine};
+use abc_transform::{
+    FftKernelPreference, NttPlan, OtfTwiddleGen, RnsNttEngine, SpecialFft, SpecialFftEngine,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ntt(c: &mut Criterion) {
@@ -105,7 +107,8 @@ fn bench_fft_field<F: RealField>(
         .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()).lift_in(&field))
         .collect();
     let mut buf = vals.clone();
-    // Planned-twiddle kernel (the new default everywhere).
+    // Planned-twiddle kernel through the Auto dispatch (avx512 on this
+    // datapath/CPU where eligible, scalar otherwise).
     g.bench_with_input(
         BenchmarkId::new(format!("forward_planned_{label}"), slots),
         &slots,
@@ -116,6 +119,22 @@ fn bench_fft_field<F: RealField>(
             })
         },
     );
+    // When Auto dispatched past the scalar kernel, pin a forced-scalar
+    // row too so the vector speedup is measured in the same sweep.
+    if plan.kernel_name() != "scalar" {
+        let scalar =
+            SpecialFft::with_field_kernel(field.clone(), slots, FftKernelPreference::Scalar);
+        g.bench_with_input(
+            BenchmarkId::new(format!("forward_scalar_{label}"), slots),
+            &slots,
+            |b, _| {
+                b.iter(|| {
+                    buf.copy_from_slice(&vals);
+                    scalar.forward(black_box(&mut buf));
+                })
+            },
+        );
+    }
     // The seed's on-the-fly kernel: two trig evaluations per butterfly.
     if with_otf {
         g.bench_with_input(
@@ -161,6 +180,25 @@ fn bench_fft(c: &mut Criterion) {
         if log_slots <= 12 {
             bench_fft_field(&mut g, SoftFloatField::fp55(), "fp55", slots, false);
             bench_fft_field(&mut g, ExtF64Field, "extf64", slots, log_slots == 11);
+        }
+    }
+    // Intra-transform threading: ONE large transform with its stages
+    // split across worker threads (engaged from slots = 2^12 up).
+    for log_slots in [13u32, 14] {
+        let slots = 1usize << log_slots;
+        let vals: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let mut buf = vals.clone();
+        for threads in [1usize, 2, 4] {
+            let engine = SpecialFftEngine::with_threads(F64Field, slots, threads);
+            let id = BenchmarkId::new(format!("forward_intra_t{threads}_fp64"), slots);
+            g.bench_with_input(id, &slots, |b, _| {
+                b.iter(|| {
+                    buf.copy_from_slice(&vals);
+                    engine.forward(black_box(&mut buf));
+                })
+            });
         }
     }
     g.finish();

@@ -29,7 +29,7 @@ use abc_ckks::precision::{
 use abc_ckks::CkksContext;
 use abc_float::{Complex, F64Field};
 use abc_prng::Seed;
-use abc_transform::{NttPlan, RnsNttEngine, SpecialFft};
+use abc_transform::{FftKernelPreference, NttPlan, RnsNttEngine, SpecialFft, SpecialFftEngine};
 use criterion::BenchRecord;
 use std::time::Instant;
 
@@ -174,6 +174,18 @@ fn main() {
         benches.push(measure("rns_ntt/forward_24limbs/2^13", 300, || {
             engine.forward_all(&mut limbs);
         }));
+        // Thread-scaling rows (flat on the 1-vCPU CI box; the ids keep
+        // multi-core hosts comparable in the same artifact).
+        for threads in [1usize, 2, 4] {
+            let engine = RnsNttEngine::with_threads(&moduli, n, threads).expect("engine");
+            benches.push(measure(
+                &format!("rns_ntt/forward_24limbs_t{threads}/2^13"),
+                200,
+                || {
+                    engine.forward_all(&mut limbs);
+                },
+            ));
+        }
     }
 
     // --- Full client pipeline at the smallest bootstrappable preset ---
@@ -195,7 +207,7 @@ fn main() {
         }));
     }
 
-    // --- SpecialFft: planned vs on-the-fly (the PR 4 headline) ---
+    // --- SpecialFft: kernel ladder + intra-transform threading ---
     {
         let slots = 1usize << 14; // N = 2^15
         let plan = SpecialFft::new(slots);
@@ -203,18 +215,58 @@ fn main() {
             .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
             .collect();
         let mut buf = vals.clone();
-        benches.push(measure(
-            "special_fft/forward_planned_fp64/2^14",
-            400,
-            || {
-                buf.copy_from_slice(&vals);
-                plan.forward(&mut buf);
-            },
-        ));
+        // `forward_planned` follows the Auto dispatch (avx512 on this
+        // CPU — `kernel_name()` says which kernel the row measured).
+        let planned = measure("special_fft/forward_planned_fp64/2^14", 400, || {
+            buf.copy_from_slice(&vals);
+            plan.forward(&mut buf);
+        });
+        // Forced-scalar row: the tentpole acceptance (avx512 ≥ 2× the
+        // planned-scalar kernel single-thread) reads straight off the
+        // planned/scalar median ratio.
+        let scalar_plan =
+            SpecialFft::with_field_kernel(F64Field, slots, FftKernelPreference::Scalar);
+        let scalar = measure("special_fft/forward_scalar_fp64/2^14", 400, || {
+            buf.copy_from_slice(&vals);
+            scalar_plan.forward(&mut buf);
+        });
+        println!(
+            "special_fft {} vs scalar speedup: {:.2}x",
+            plan.kernel_name(),
+            scalar.median_secs / planned.median_secs
+        );
+        // Transform throughput rows: each pass streams the split re/im
+        // planes (read + write) per stage, log2(slots) stages deep.
+        let bytes = 2 * slots * 16 * slots.ilog2() as usize;
+        for rec in [&planned, &scalar] {
+            let gib_s = bytes as f64 / rec.median_secs / (1u64 << 30) as f64;
+            throughput_rows.push(format!(
+                "  {{\"id\": \"{}\", \"bytes_per_op\": {bytes}, \
+                 \"median_ns\": {:.1}, \"gib_per_s\": {gib_s:.2}}}",
+                rec.id,
+                rec.median_secs * 1e9
+            ));
+        }
+        benches.push(planned);
+        benches.push(scalar);
         benches.push(measure("special_fft/forward_otf_fp64/2^14", 400, || {
             buf.copy_from_slice(&vals);
             plan.forward_otf(&mut buf);
         }));
+        // Intra-transform thread scaling: one big transform, stages
+        // split across workers (flat on the 1-vCPU CI box, comparable
+        // across hosts).
+        for threads in [1usize, 2, 4] {
+            let engine = SpecialFftEngine::with_threads(F64Field, slots, threads);
+            benches.push(measure(
+                &format!("special_fft/forward_intra_t{threads}_fp64/2^14"),
+                200,
+                || {
+                    buf.copy_from_slice(&vals);
+                    engine.forward(&mut buf);
+                },
+            ));
+        }
     }
 
     // --- Embedding datapaths: encode/decode medians + precision ---

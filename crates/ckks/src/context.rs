@@ -502,6 +502,110 @@ impl CkksContext {
         })
     }
 
+    /// [`Self::encode_batch`] as a two-stage software pipeline: a
+    /// producer thread runs the inverse-embedding FFT of message `i+1`
+    /// while this thread Δ-rounds and NTTs message `i`, with a
+    /// depth-2 channel between the stages. The producer transforms on
+    /// the *plan* (single-threaded per message) so the NTT engine's own
+    /// limb fan-out is never oversubscribed. Bit-identical to
+    /// [`Self::encode_batch`] and to encoding each message with
+    /// [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::encode`]; the first failing message aborts the batch.
+    pub fn encode_batch_pipelined(
+        &self,
+        messages: &[Vec<Complex>],
+    ) -> Result<Vec<Plaintext>, CkksError> {
+        let scale = ExactScale::from_log2(self.params.effective_scale_bits());
+        with_embedding!(self, e => {
+            let slots = self.params.slots();
+            let field = *e.plan().field();
+            for m in messages {
+                if m.len() > slots {
+                    return Err(CkksError::TooManySlots {
+                        got: m.len(),
+                        max: slots,
+                    });
+                }
+            }
+            let plan = e.plan();
+            let (tx, rx) = std::sync::mpsc::sync_channel(2);
+            std::thread::scope(|s| {
+                // Stage 1 (producer): lift + inverse embedding through
+                // the engine's pooled slot buffers, one message ahead.
+                s.spawn(move || {
+                    for m in messages {
+                        let mut vals = e.take_buf();
+                        for (dst, &z) in vals.iter_mut().zip(m) {
+                            *dst = z.lift_in(&field);
+                        }
+                        plan.inverse(&mut vals);
+                        let coeffs = plan.slots_to_coeffs(&vals);
+                        e.recycle(vals);
+                        if tx.send(coeffs).is_err() {
+                            break; // consumer aborted on a quantize error
+                        }
+                    }
+                });
+                // Stage 2 (this thread): exact Δ-rounding + batched NTT,
+                // overlapping the producer's FFT of the next message.
+                let mut out = Vec::with_capacity(messages.len());
+                for coeffs in rx {
+                    out.push(Plaintext {
+                        rns: self.quantize_coeffs(&field, &coeffs, &scale)?,
+                        scale: scale.clone(),
+                        n: self.params.n(),
+                    });
+                }
+                Ok(out)
+            })
+        })
+    }
+
+    /// [`Self::decode_batch`] as a two-stage software pipeline: a
+    /// producer thread runs INTT + exact CRT lift + scale division of
+    /// plaintext `i+1` while this thread runs the forward embedding of
+    /// plaintext `i`. Bit-identical to [`Self::decode_batch`] and to
+    /// decoding each plaintext with [`Self::decode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::decode`]; the first failing plaintext aborts the
+    /// batch.
+    pub fn decode_batch_pipelined(
+        &self,
+        pts: &[Plaintext],
+    ) -> Result<Vec<Vec<Complex>>, CkksError> {
+        with_embedding!(self, e => {
+            let field = *e.plan().field();
+            let plan = e.plan();
+            let (tx, rx) = std::sync::mpsc::sync_channel(2);
+            std::thread::scope(|s| {
+                // Stage 1 (producer): the pre-embedding half of decode,
+                // one plaintext ahead. Errors flow through the channel.
+                s.spawn(move || {
+                    for pt in pts {
+                        let res = self.decode_to_slots(e, pt);
+                        let failed = res.is_err();
+                        if tx.send(res).is_err() || failed {
+                            break;
+                        }
+                    }
+                });
+                // Stage 2 (this thread): forward embedding + narrowing.
+                let mut out = Vec::with_capacity(pts.len());
+                for slots in rx {
+                    let mut vals = slots?;
+                    plan.forward(&mut vals);
+                    out.push(vals.into_iter().map(|z| z.to_f64_in(&field)).collect());
+                }
+                Ok(out)
+            })
+        })
+    }
+
     // ------------------------------------------------------------------
     // Keys
     // ------------------------------------------------------------------
@@ -903,6 +1007,49 @@ mod tests {
         let (_, pk) = ctx.keygen(Seed::from_u128(48));
         assert_eq!(pk.byte_size(), 2 * 4 * 512 * 8);
         assert_eq!(pk.num_primes(), 4);
+    }
+
+    #[test]
+    fn pipelined_batch_encode_decode_bit_identical() {
+        let ctx = small_context();
+        let slots = ctx.params().slots();
+        let msgs: Vec<Vec<Complex>> = (0..5).map(|i| test_message(slots - 7 * i)).collect();
+        let serial = ctx.encode_batch(&msgs).unwrap();
+        let piped = ctx.encode_batch_pipelined(&msgs).unwrap();
+        assert_eq!(serial, piped, "pipelined encode must match batch encode");
+        let dec_serial = ctx.decode_batch(&serial).unwrap();
+        let dec_piped = ctx.decode_batch_pipelined(&piped).unwrap();
+        assert_eq!(
+            dec_serial, dec_piped,
+            "pipelined decode must match batch decode"
+        );
+    }
+
+    #[test]
+    fn pipelined_batch_propagates_errors() {
+        let ctx = small_context();
+        let msgs = vec![test_message(4), test_message(ctx.params().slots() + 1)];
+        assert!(matches!(
+            ctx.encode_batch_pipelined(&msgs),
+            Err(CkksError::TooManySlots { .. })
+        ));
+        let other = CkksContext::new(
+            CkksParams::builder()
+                .log_n(8)
+                .num_primes(2)
+                .secret_hamming_weight(None)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let pts = vec![
+            ctx.encode(&test_message(4)).unwrap(),
+            other.encode(&test_message(4)).unwrap(),
+        ];
+        assert!(matches!(
+            ctx.decode_batch_pipelined(&pts),
+            Err(CkksError::ContextMismatch)
+        ));
     }
 
     #[test]

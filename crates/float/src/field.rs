@@ -15,7 +15,7 @@ use crate::trig;
 /// Instantiating a kernel with [`SoftFloatField`] reproduces the rounding
 /// behaviour of a narrow hardware FPU after *every* operation, which is
 /// what the paper's Fig. 3c sweep measures.
-pub trait RealField: Clone + Send + Sync {
+pub trait RealField: Clone + Send + Sync + 'static {
     /// The scalar values that flow through this datapath.
     type Real: Copy + PartialEq + Default + core::fmt::Debug + Send + Sync;
 

@@ -1,0 +1,102 @@
+//! Structure-of-arrays (SoA) views of complex slot vectors.
+//!
+//! The AVX-512 butterfly kernel in `abc-transform` operates on split
+//! re/im planes: one `f64` vector register holds eight real parts (or
+//! eight imaginary parts), so a complex butterfly is plain lane-wise
+//! arithmetic with no shuffling between `re` and `im`. These helpers
+//! convert between the array-of-structs [`Complex`] layout the rest of
+//! the system speaks and the split-plane layout the kernel wants.
+//!
+//! All three passes are **exact**: splitting and merging move bits
+//! without arithmetic, and the fused scale of
+//! [`merge_complex_scaled`] performs the same one multiply per
+//! component a scalar scale loop would.
+
+use crate::Complex;
+
+/// Splits `src` into its real and imaginary planes.
+///
+/// # Panics
+///
+/// Panics if `re` or `im` differs in length from `src`.
+pub fn split_complex(src: &[Complex<f64>], re: &mut [f64], im: &mut [f64]) {
+    assert_eq!(src.len(), re.len(), "re plane length mismatch");
+    assert_eq!(src.len(), im.len(), "im plane length mismatch");
+    for (i, z) in src.iter().enumerate() {
+        re[i] = z.re;
+        im[i] = z.im;
+    }
+}
+
+/// Merges split planes back into the array-of-structs layout.
+///
+/// # Panics
+///
+/// Panics if `re` or `im` differs in length from `dst`.
+pub fn merge_complex(re: &[f64], im: &[f64], dst: &mut [Complex<f64>]) {
+    assert_eq!(dst.len(), re.len(), "re plane length mismatch");
+    assert_eq!(dst.len(), im.len(), "im plane length mismatch");
+    for (i, z) in dst.iter_mut().enumerate() {
+        *z = Complex::new(re[i], im[i]);
+    }
+}
+
+/// Merges split planes while scaling every component by `scale` — the
+/// inverse FFT's trailing `1/slots` multiply fused into the layout
+/// conversion (one multiply per component, exactly as the scalar scale
+/// loop performs).
+///
+/// # Panics
+///
+/// Panics if `re` or `im` differs in length from `dst`.
+pub fn merge_complex_scaled(re: &[f64], im: &[f64], scale: f64, dst: &mut [Complex<f64>]) {
+    assert_eq!(dst.len(), re.len(), "re plane length mismatch");
+    assert_eq!(dst.len(), im.len(), "im plane length mismatch");
+    for (i, z) in dst.iter_mut().enumerate() {
+        *z = Complex::new(re[i] * scale, im[i] * scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_merge_roundtrip_is_bit_exact() {
+        let src: Vec<Complex<f64>> = (0..17)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), -(i as f64) / 3.0))
+            .collect();
+        let mut re = vec![0.0; src.len()];
+        let mut im = vec![0.0; src.len()];
+        split_complex(&src, &mut re, &mut im);
+        let mut back = vec![Complex::zero(); src.len()];
+        merge_complex(&re, &im, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn scaled_merge_matches_scalar_scale_loop() {
+        let src: Vec<Complex<f64>> = (0..9)
+            .map(|i| Complex::new(1.0 + i as f64, 2.0 - i as f64))
+            .collect();
+        let mut re = vec![0.0; src.len()];
+        let mut im = vec![0.0; src.len()];
+        split_complex(&src, &mut re, &mut im);
+        let s = 1.0 / 3.0;
+        let mut merged = vec![Complex::zero(); src.len()];
+        merge_complex_scaled(&re, &im, s, &mut merged);
+        for (m, z) in merged.iter().zip(&src) {
+            assert_eq!(m.re, z.re * s);
+            assert_eq!(m.im, z.im * s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "re plane length mismatch")]
+    fn split_rejects_mismatched_planes() {
+        let src = vec![Complex::zero(); 4];
+        let mut re = vec![0.0; 3];
+        let mut im = vec![0.0; 4];
+        split_complex(&src, &mut re, &mut im);
+    }
+}

@@ -262,4 +262,49 @@ mod tests {
         assert!(blobs.iter().all(|b| !b.is_empty()));
         gw.shutdown();
     }
+
+    #[test]
+    fn batch_decrypt_round_trips() {
+        let gw = Gateway::start(small_config()).expect("start");
+        let messages = vec![msg(8), msg(12), msg(16)];
+        let Response::EncryptedBatch { blobs, .. } = gw
+            .call(Request {
+                tenant: 6,
+                deadline: None,
+                op: Operation::EncryptBatch {
+                    messages: messages.clone(),
+                    mode: UploadMode::Full,
+                },
+            })
+            .expect("batch encrypt")
+        else {
+            panic!("wrong response kind");
+        };
+        let Response::DecryptedBatch { slots } = gw
+            .call(Request {
+                tenant: 6,
+                deadline: None,
+                op: Operation::DecryptBatch { blobs },
+            })
+            .expect("batch decrypt")
+        else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(slots.len(), messages.len());
+        for (got, want) in slots.iter().zip(&messages) {
+            for (g, w) in got.iter().zip(want) {
+                assert!(g.dist(*w) < 1e-4, "slot error {}", g.dist(*w));
+            }
+        }
+        // A malformed blob in a batch is a typed client error.
+        let out = gw.call(Request {
+            tenant: 6,
+            deadline: None,
+            op: Operation::DecryptBatch {
+                blobs: vec![b"ABCF____junk".to_vec()],
+            },
+        });
+        assert!(matches!(out, Err(GatewayError::BadRequest(_))), "{out:?}");
+        gw.shutdown();
+    }
 }

@@ -42,6 +42,10 @@ pub enum Operation {
     },
     /// Validate + decrypt + decode wire bytes to slots.
     Decrypt { blob: Vec<u8> },
+    /// Decrypt + decode a batch of wire blobs (shed first under
+    /// pressure, like [`Operation::EncryptBatch`]); the decode halves
+    /// run through the context's pipelined batch path.
+    DecryptBatch { blobs: Vec<Vec<u8>> },
     /// Strictly validate an uploaded wire blob (kind 1 or 2), expanding
     /// seeded uploads to prove they are well-formed.
     Ingest { blob: Vec<u8> },
@@ -70,6 +74,8 @@ pub enum Response {
     },
     /// Decoded slots.
     Decrypted { slots: Vec<Complex> },
+    /// Decoded slots of a batch, in request order.
+    DecryptedBatch { slots: Vec<Vec<Complex>> },
     /// Ingress validation report.
     Ingested {
         compressed: bool,
@@ -181,8 +187,10 @@ impl Gateway {
         // Degradation ladder: shed bulk work first, then degrade Auto
         // uploads to the cheap path, and only at capacity shed whole
         // requests (checked by try_push under the queue lock).
-        if matches!(op, Operation::EncryptBatch { .. })
-            && depth >= self.shared.config.batch_shed_watermark
+        if matches!(
+            op,
+            Operation::EncryptBatch { .. } | Operation::DecryptBatch { .. }
+        ) && depth >= self.shared.config.batch_shed_watermark
         {
             inc(&metrics.shed_batch);
             return Err(GatewayError::BatchShed);

@@ -142,11 +142,19 @@ fn handle_job(ctx: &CkksContext, shared: &Shared, mut job: Job) {
     match plan.fault_for(job.seq) {
         Fault::PanicWorker => panic!("injected worker fault (seq {})", job.seq),
         Fault::ExtraLatency(d) => std::thread::sleep(d),
-        Fault::CorruptBlob | Fault::TruncateBlob => {
-            if let Operation::Decrypt { blob } | Operation::Ingest { blob } = &mut job.op {
+        Fault::CorruptBlob | Fault::TruncateBlob => match &mut job.op {
+            Operation::Decrypt { blob } | Operation::Ingest { blob } => {
                 plan.damage_blob(job.seq, blob);
             }
-        }
+            Operation::DecryptBatch { blobs } => {
+                // One fault per request: damage the first blob so the
+                // whole batch must fail as a typed error.
+                if let Some(blob) = blobs.first_mut() {
+                    plan.damage_blob(job.seq, blob);
+                }
+            }
+            _ => {}
+        },
         Fault::None => {}
     }
     let result = execute(ctx, shared, &job);
@@ -177,7 +185,9 @@ fn execute(ctx: &CkksContext, shared: &Shared, job: &Job) -> Result<Response, Ga
             Ok(Response::Encrypted { blob, compressed })
         }
         Operation::EncryptBatch { messages, mode } => {
-            let pts = ctx.encode_batch(messages).map_err(client_err)?;
+            // Pipelined: the embedding FFT of message i+1 overlaps the
+            // Δ-rounding + NTT of message i on a second thread.
+            let pts = ctx.encode_batch_pipelined(messages).map_err(client_err)?;
             let mut blobs = Vec::with_capacity(pts.len());
             let mut compressed = false;
             for (i, pt) in pts.iter().enumerate() {
@@ -193,6 +203,15 @@ fn execute(ctx: &CkksContext, shared: &Shared, job: &Job) -> Result<Response, Ga
             let pt = ctx.decrypt(&ct, &session.sk).map_err(client_err)?;
             let slots = ctx.decode(&pt).map_err(client_err)?;
             Ok(Response::Decrypted { slots })
+        }
+        Operation::DecryptBatch { blobs } => {
+            let mut pts = Vec::with_capacity(blobs.len());
+            for blob in blobs {
+                let ct = wire::deserialize_ciphertext(blob).map_err(client_err)?;
+                pts.push(ctx.decrypt(&ct, &session.sk).map_err(client_err)?);
+            }
+            let slots = ctx.decode_batch_pipelined(&pts).map_err(client_err)?;
+            Ok(Response::DecryptedBatch { slots })
         }
         Operation::Ingest { blob } => {
             let (primes, compressed) = ingest(ctx, blob)?;

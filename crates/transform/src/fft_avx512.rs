@@ -1,0 +1,604 @@
+//! AVX-512 split re/im (SoA) butterfly kernel for the f64 special FFT.
+//!
+//! The generic [`crate::fft::SpecialFft`] kernel walks `Complex<f64>`
+//! pairs one butterfly at a time. This module runs the same butterfly
+//! network eight lanes wide: the plan's per-stage twiddles are laid out
+//! as **split re/im planes** (structure-of-arrays, via
+//! [`abc_float::soa`]), so a complex butterfly is plain lane-wise f64
+//! arithmetic with no shuffling between real and imaginary parts.
+//!
+//! Layout of one transform:
+//!
+//! 1. **split** — copy the AoS input into pooled re/im scratch planes;
+//!    the forward direction fuses the bit-reversal permutation into
+//!    this copy (the inverse fuses it, plus the trailing `1/slots`
+//!    scale, into the merge).
+//! 2. **tail** — the three sub-vector stages (spans 1, 2, 4) run fused
+//!    in registers per 8-element block using `vpermpd` lane pairing and
+//!    masked blends, mirroring `ntt_ifma`'s lane-pairing technique.
+//!    Special-FFT twiddles are shared across blocks, so each tail layer
+//!    needs just one precomputed 8-lane twiddle pattern.
+//! 3. **long stages** — spans ≥ 8 stream whole 8-lane vectors straight
+//!    from the planes, with twiddle vectors loaded from the SoA tables.
+//! 4. **merge** — copy the planes back into the AoS slice.
+//!
+//! **Bit-identity.** Every lane performs the scalar kernel's exact
+//! operation sequence — the 4-multiply complex product (paper Eq. 12)
+//! followed by one sub/add, with **no FMA contraction** — so the vector
+//! transform is bit-identical to the scalar planned kernel on every
+//! input: a 0-ulp bound, asserted by the property suite. The speedup
+//! comes from 8-wide data parallelism, not from reassociating float
+//! arithmetic.
+//!
+//! [`forward_threaded`]/[`inverse_threaded`] additionally split each
+//! stage's independent butterflies across scoped threads with a barrier
+//! per stage (stage-chunked threading *within* one transform), which is
+//! value-preserving for any thread count: butterflies of one stage
+//! touch disjoint elements.
+
+use crate::bitrev::bit_reverse;
+use abc_float::{soa, Complex};
+use std::sync::{Barrier, Mutex};
+
+/// Minimum slot count for the SIMD kernel: at `slots ≥ 8` the three
+/// in-register tail layers (spans 1/2/4) all exist and every longer
+/// span is a multiple of the 8-lane vector width.
+pub const MIN_SIMD_SLOTS: usize = 8;
+
+/// Whether this build + CPU can run the AVX-512 f64 butterfly kernel
+/// (always `false` off x86-64).
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Cap on pooled SoA scratch pairs; one pair is checked out per
+/// in-flight transform, so this bounds concurrent transforms served
+/// without allocation, not correctness.
+const MAX_POOLED_SOA: usize = 8;
+
+/// Split-plane scratch for one transform.
+#[derive(Debug, Default)]
+struct SoaBuf {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+/// Twiddle tables of one direction, laid out for the SIMD kernel.
+#[derive(Debug)]
+struct DirTables {
+    /// Vector-span stages (span ≥ 8) in execution order:
+    /// `(span, tw_re, tw_im)`, one twiddle per butterfly position
+    /// (shared across blocks, as in the scalar plan).
+    long: Vec<(usize, Vec<f64>, Vec<f64>)>,
+    /// `log2(span)` of the three in-register tail layers in execution
+    /// order (0/1/2 forward, 2/1/0 inverse) — indexes the lane-pairing
+    /// permutation table.
+    tail_span_log: [usize; 3],
+    /// 8-lane twiddle patterns of the tail layers: lane `l` holds the
+    /// twiddle of butterfly position `l % span`. Twiddles are shared
+    /// across blocks, so one pattern serves the whole stage.
+    tail_re: [[f64; 8]; 3],
+    tail_im: [[f64; 8]; 3],
+}
+
+impl DirTables {
+    /// Splits one direction's per-stage twiddles (execution order; the
+    /// stage span equals the table length) into SoA long-stage planes
+    /// and the three tail patterns.
+    fn build(stages: &[Vec<Complex<f64>>]) -> Self {
+        let mut long = Vec::new();
+        let mut tail_idx = 0usize;
+        let mut tail_span_log = [0usize; 3];
+        let mut tail_re = [[0.0; 8]; 3];
+        let mut tail_im = [[0.0; 8]; 3];
+        for tw in stages {
+            let span = tw.len();
+            if span >= 8 {
+                long.push((
+                    span,
+                    tw.iter().map(|w| w.re).collect(),
+                    tw.iter().map(|w| w.im).collect(),
+                ));
+            } else {
+                assert!(tail_idx < 3, "more than three sub-vector stages");
+                for l in 0..8 {
+                    tail_re[tail_idx][l] = tw[l % span].re;
+                    tail_im[tail_idx][l] = tw[l % span].im;
+                }
+                tail_span_log[tail_idx] = span.trailing_zeros() as usize;
+                tail_idx += 1;
+            }
+        }
+        assert_eq!(tail_idx, 3, "expected exactly three sub-vector stages");
+        Self {
+            long,
+            tail_span_log,
+            tail_re,
+            tail_im,
+        }
+    }
+}
+
+/// The SIMD layout of one `(slots, f64)` plan: SoA twiddle tables for
+/// both directions plus a pool of split-plane scratch pairs.
+#[derive(Debug)]
+pub(crate) struct SimdPlan {
+    slots: usize,
+    fwd: DirTables,
+    inv: DirTables,
+    /// The inverse transform's trailing `1/slots` scale, fused into the
+    /// merge pass (same one multiply per component as the scalar loop).
+    inv_scale: f64,
+    /// Precomputed bit-reversal permutation (`brv[i] = bit_reverse(i)`),
+    /// so the fused split/merge passes stream an index table instead of
+    /// running the multi-op software `reverse_bits` per element.
+    brv: Vec<u32>,
+    pool: Mutex<Vec<SoaBuf>>,
+}
+
+impl SimdPlan {
+    /// Lays the generic plan's twiddle stages out for the SIMD kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots < MIN_SIMD_SLOTS`.
+    pub(crate) fn build(
+        slots: usize,
+        fwd_stages: &[Vec<Complex<f64>>],
+        inv_stages: &[Vec<Complex<f64>>],
+    ) -> Self {
+        assert!(slots >= MIN_SIMD_SLOTS, "SIMD plan needs ≥ 8 slots");
+        let bits = slots.trailing_zeros();
+        Self {
+            slots,
+            fwd: DirTables::build(fwd_stages),
+            inv: DirTables::build(inv_stages),
+            inv_scale: 1.0 / slots as f64,
+            brv: (0..slots).map(|i| bit_reverse(i, bits) as u32).collect(),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take_soa(&self) -> SoaBuf {
+        let recycled = self.pool.lock().expect("soa pool poisoned").pop();
+        let mut b = recycled.unwrap_or_default();
+        b.re.resize(self.slots, 0.0);
+        b.im.resize(self.slots, 0.0);
+        b
+    }
+
+    fn recycle_soa(&self, buf: SoaBuf) {
+        let mut guard = self.pool.lock().expect("soa pool poisoned");
+        if guard.len() < MAX_POOLED_SOA {
+            guard.push(buf);
+        }
+    }
+}
+
+/// Forward transform, single-threaded. Bit-identical to the scalar
+/// planned kernel.
+///
+/// # Panics
+///
+/// Panics if the CPU lacks AVX-512F or `vals.len() != slots`.
+pub(crate) fn forward(plan: &SimdPlan, vals: &mut [Complex<f64>]) {
+    run(plan, vals, false, 1);
+}
+
+/// Inverse transform (including the `1/slots` scale), single-threaded.
+/// Bit-identical to the scalar planned kernel.
+///
+/// # Panics
+///
+/// Panics if the CPU lacks AVX-512F or `vals.len() != slots`.
+pub(crate) fn inverse(plan: &SimdPlan, vals: &mut [Complex<f64>]) {
+    run(plan, vals, true, 1);
+}
+
+/// Forward transform with each stage's butterflies split across up to
+/// `threads` scoped threads (barrier per stage). Value-identical to the
+/// single-threaded path for any thread count.
+pub(crate) fn forward_threaded(plan: &SimdPlan, vals: &mut [Complex<f64>], threads: usize) {
+    run(plan, vals, false, threads);
+}
+
+/// Inverse counterpart of [`forward_threaded`].
+pub(crate) fn inverse_threaded(plan: &SimdPlan, vals: &mut [Complex<f64>], threads: usize) {
+    run(plan, vals, true, threads);
+}
+
+fn run(plan: &SimdPlan, vals: &mut [Complex<f64>], inverse: bool, threads: usize) {
+    // A `target_feature` call on an unsupported CPU would be UB, so the
+    // safe entry hard-asserts (same contract as `ntt_ifma`).
+    assert!(available(), "AVX-512F not available on this CPU");
+    assert_eq!(vals.len(), plan.slots, "length must equal slot count");
+    // Every thread must own ≥ 1 butterfly group (slots/16 of them) in
+    // the long stages; below that, intra-transform fan-out is pure
+    // overhead anyway.
+    let t = threads.min(plan.slots / 16).max(1);
+    let mut buf = plan.take_soa();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if t <= 1 {
+            serial(plan, vals, &mut buf, inverse);
+        } else {
+            scoped(plan, vals, &mut buf, inverse, t);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (vals, inverse, t, &mut buf);
+        unreachable!("AVX-512 FFT kernel requires x86_64");
+    }
+    plan.recycle_soa(buf);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn serial(plan: &SimdPlan, vals: &mut [Complex<f64>], buf: &mut SoaBuf, inverse: bool) {
+    let slots = plan.slots;
+    let dir = if inverse { &plan.inv } else { &plan.fwd };
+    // SAFETY: one thread owns the full element/block/group ranges; the
+    // `available()` assert in `run` guards the `target_feature` calls.
+    unsafe {
+        split_range(
+            vals.as_ptr(),
+            buf.re.as_mut_ptr(),
+            buf.im.as_mut_ptr(),
+            &plan.brv,
+            inverse,
+            0,
+            slots,
+        );
+        let re = buf.re.as_mut_ptr();
+        let im = buf.im.as_mut_ptr();
+        if inverse {
+            for (span, twr, twi) in &dir.long {
+                kern::long_stage(re, im, *span, twr, twi, 0, slots / 16, true);
+            }
+            kern::tail_pass(re, im, dir, 0, slots / 8, true);
+        } else {
+            kern::tail_pass(re, im, dir, 0, slots / 8, false);
+            for (span, twr, twi) in &dir.long {
+                kern::long_stage(re, im, *span, twr, twi, 0, slots / 16, false);
+            }
+        }
+        merge_range(
+            vals.as_mut_ptr(),
+            buf.re.as_ptr(),
+            buf.im.as_ptr(),
+            &plan.brv,
+            plan.inv_scale,
+            inverse,
+            0,
+            slots,
+        );
+    }
+}
+
+/// Raw shared pointer handed to scoped stage workers. Safety rests on
+/// the workers writing disjoint ranges within a pass and a barrier
+/// separating passes.
+struct SyncPtr<T>(*mut T);
+
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+// SAFETY: see `SyncPtr` — disjoint writes + barriers between passes.
+unsafe impl<T> Send for SyncPtr<T> {}
+// SAFETY: as above.
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+/// Splits `total` work units into `t` near-equal contiguous ranges.
+fn chunk_range(total: usize, t: usize, tid: usize) -> (usize, usize) {
+    let chunk = total.div_ceil(t);
+    ((tid * chunk).min(total), ((tid + 1) * chunk).min(total))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn scoped(plan: &SimdPlan, vals: &mut [Complex<f64>], buf: &mut SoaBuf, inverse: bool, t: usize) {
+    let slots = plan.slots;
+    let dir = if inverse { &plan.inv } else { &plan.fwd };
+    let barrier = Barrier::new(t);
+    let re = SyncPtr(buf.re.as_mut_ptr());
+    let im = SyncPtr(buf.im.as_mut_ptr());
+    let vp = SyncPtr(vals.as_mut_ptr());
+    std::thread::scope(|s| {
+        for tid in 0..t {
+            let barrier = &barrier;
+            s.spawn(move || {
+                // Capture the whole wrappers (closure field capture
+                // would otherwise grab the raw pointers, which are not
+                // `Send`).
+                let (re, im, vp) = (re, im, vp);
+                // Per-thread ranges: elements for split/merge, 8-element
+                // blocks for the tail, 8-butterfly groups for the long
+                // stages. Disjoint across threads by construction.
+                let (e_lo, e_hi) = chunk_range(slots, t, tid);
+                let (b_lo, b_hi) = chunk_range(slots / 8, t, tid);
+                let (g_lo, g_hi) = chunk_range(slots / 16, t, tid);
+                // SAFETY: each pass writes only this thread's range; the
+                // barrier orders passes, so no write races or stale
+                // reads; `run` asserted AVX-512F support.
+                unsafe {
+                    split_range(vp.0 as *const _, re.0, im.0, &plan.brv, inverse, e_lo, e_hi);
+                    barrier.wait();
+                    if inverse {
+                        for (span, twr, twi) in &dir.long {
+                            kern::long_stage(re.0, im.0, *span, twr, twi, g_lo, g_hi, true);
+                            barrier.wait();
+                        }
+                        kern::tail_pass(re.0, im.0, dir, b_lo, b_hi, true);
+                        barrier.wait();
+                    } else {
+                        kern::tail_pass(re.0, im.0, dir, b_lo, b_hi, false);
+                        barrier.wait();
+                        for (span, twr, twi) in &dir.long {
+                            kern::long_stage(re.0, im.0, *span, twr, twi, g_lo, g_hi, false);
+                            barrier.wait();
+                        }
+                    }
+                    merge_range(
+                        vp.0,
+                        re.0,
+                        im.0,
+                        &plan.brv,
+                        plan.inv_scale,
+                        inverse,
+                        e_lo,
+                        e_hi,
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// Copies elements `[lo, hi)` of the AoS input into the split planes;
+/// the forward direction reads through the precomputed bit-reversal
+/// table (the scalar kernel's in-place permute, fused into the copy).
+///
+/// # Safety
+///
+/// `vals` must point to `brv.len()` elements and `re`/`im` to planes of
+/// the same length; concurrent callers must write disjoint `[lo, hi)`
+/// ranges.
+unsafe fn split_range(
+    vals: *const Complex<f64>,
+    re: *mut f64,
+    im: *mut f64,
+    brv: &[u32],
+    inverse: bool,
+    lo: usize,
+    hi: usize,
+) {
+    if inverse {
+        let src = std::slice::from_raw_parts(vals.add(lo), hi - lo);
+        let re = std::slice::from_raw_parts_mut(re.add(lo), hi - lo);
+        let im = std::slice::from_raw_parts_mut(im.add(lo), hi - lo);
+        soa::split_complex(src, re, im);
+    } else {
+        for (i, &j) in brv[lo..hi].iter().enumerate().map(|(k, j)| (lo + k, j)) {
+            let z = *vals.add(j as usize);
+            *re.add(i) = z.re;
+            *im.add(i) = z.im;
+        }
+    }
+}
+
+/// Merges elements `[lo, hi)` of the split planes back into the AoS
+/// slice; the inverse direction reads through the bit-reversal table
+/// and applies the `1/slots` scale (one multiply per component, exactly
+/// as the scalar trailing loops).
+///
+/// # Safety
+///
+/// As [`split_range`], with `vals` as the write side.
+#[allow(clippy::too_many_arguments)]
+unsafe fn merge_range(
+    vals: *mut Complex<f64>,
+    re: *const f64,
+    im: *const f64,
+    brv: &[u32],
+    inv_scale: f64,
+    inverse: bool,
+    lo: usize,
+    hi: usize,
+) {
+    if inverse {
+        for (i, &j) in brv[lo..hi].iter().enumerate().map(|(k, j)| (lo + k, j)) {
+            let j = j as usize;
+            *vals.add(i) = Complex::new(*re.add(j) * inv_scale, *im.add(j) * inv_scale);
+        }
+    } else {
+        let re = std::slice::from_raw_parts(re.add(lo), hi - lo);
+        let im = std::slice::from_raw_parts(im.add(lo), hi - lo);
+        let dst = std::slice::from_raw_parts_mut(vals.add(lo), hi - lo);
+        soa::merge_complex(re, im, dst);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod kern {
+    use super::DirTables;
+    use core::arch::x86_64::*;
+
+    /// Lane pairing of one in-register layer: `idx_lo`/`idx_hi` gather
+    /// each lane's butterfly operands with `vpermpd`, `hi_mask` selects
+    /// which lanes receive the "hi" result — the same tables as
+    /// `ntt_ifma::layer_perms`, applied to f64 lanes.
+    struct LayerPerm {
+        idx_lo: __m512i,
+        idx_hi: __m512i,
+        hi_mask: __mmask8,
+    }
+
+    /// Permutation tables indexed by `log2(span)` for spans 1, 2, 4.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn layer_perms() -> [LayerPerm; 3] {
+        // _mm512_set_epi64 lists lanes high-to-low.
+        [
+            LayerPerm {
+                // span 1: adjacent pairs (u, v).
+                idx_lo: _mm512_set_epi64(6, 6, 4, 4, 2, 2, 0, 0),
+                idx_hi: _mm512_set_epi64(7, 7, 5, 5, 3, 3, 1, 1),
+                hi_mask: 0b1010_1010,
+            },
+            LayerPerm {
+                // span 2: blocks of 4 (u0 u1 v0 v1).
+                idx_lo: _mm512_set_epi64(5, 4, 5, 4, 1, 0, 1, 0),
+                idx_hi: _mm512_set_epi64(7, 6, 7, 6, 3, 2, 3, 2),
+                hi_mask: 0b1100_1100,
+            },
+            LayerPerm {
+                // span 4: one block of 8 (u0..u3 v0..v3).
+                idx_lo: _mm512_set_epi64(3, 2, 1, 0, 3, 2, 1, 0),
+                idx_hi: _mm512_set_epi64(7, 6, 5, 4, 7, 6, 5, 4),
+                hi_mask: 0b1111_0000,
+            },
+        ]
+    }
+
+    /// `(ar + i·ai) · (wr + i·wi)` with the scalar kernel's exact
+    /// operation order — four independent multiplies, then one sub and
+    /// one add (paper Eq. 12), **no FMA** — so every lane is
+    /// bit-identical to `Complex::mul_in`.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn cmul(ar: __m512d, ai: __m512d, wr: __m512d, wi: __m512d) -> (__m512d, __m512d) {
+        let ac = _mm512_mul_pd(ar, wr);
+        let bd = _mm512_mul_pd(ai, wi);
+        let ad = _mm512_mul_pd(ar, wi);
+        let bc = _mm512_mul_pd(ai, wr);
+        (_mm512_sub_pd(ac, bd), _mm512_add_pd(ad, bc))
+    }
+
+    /// Runs the three sub-vector layers fully in registers for
+    /// 8-element blocks `[blk_lo, blk_hi)` of both planes.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX-512F, plane length ≥ `8·blk_hi`, and that
+    /// concurrent callers own disjoint block ranges.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn tail_pass(
+        re: *mut f64,
+        im: *mut f64,
+        dir: &DirTables,
+        blk_lo: usize,
+        blk_hi: usize,
+        inverse: bool,
+    ) {
+        let perms = layer_perms();
+        let mut w = [(_mm512_setzero_pd(), _mm512_setzero_pd()); 3];
+        for (l, wl) in w.iter_mut().enumerate() {
+            *wl = (
+                _mm512_loadu_pd(dir.tail_re[l].as_ptr()),
+                _mm512_loadu_pd(dir.tail_im[l].as_ptr()),
+            );
+        }
+        for blk in blk_lo..blk_hi {
+            let pr = re.add(blk * 8);
+            let pi = im.add(blk * 8);
+            let mut vr = _mm512_loadu_pd(pr);
+            let mut vi = _mm512_loadu_pd(pi);
+            for (l, &(wr, wi)) in w.iter().enumerate() {
+                let p = &perms[dir.tail_span_log[l]];
+                let lo_r = _mm512_permutexvar_pd(p.idx_lo, vr);
+                let lo_i = _mm512_permutexvar_pd(p.idx_lo, vi);
+                let hi_r = _mm512_permutexvar_pd(p.idx_hi, vr);
+                let hi_i = _mm512_permutexvar_pd(p.idx_hi, vi);
+                if inverse {
+                    // u = lo + hi; v = (lo − hi)·w (Gentleman–Sande).
+                    let sr = _mm512_add_pd(lo_r, hi_r);
+                    let si = _mm512_add_pd(lo_i, hi_i);
+                    let dr = _mm512_sub_pd(lo_r, hi_r);
+                    let di = _mm512_sub_pd(lo_i, hi_i);
+                    let (tr, ti) = cmul(dr, di, wr, wi);
+                    vr = _mm512_mask_blend_pd(p.hi_mask, sr, tr);
+                    vi = _mm512_mask_blend_pd(p.hi_mask, si, ti);
+                } else {
+                    // v = hi·w; u ± v (Cooley–Tukey).
+                    let (tr, ti) = cmul(hi_r, hi_i, wr, wi);
+                    let ar = _mm512_add_pd(lo_r, tr);
+                    let ai = _mm512_add_pd(lo_i, ti);
+                    let sr = _mm512_sub_pd(lo_r, tr);
+                    let si = _mm512_sub_pd(lo_i, ti);
+                    vr = _mm512_mask_blend_pd(p.hi_mask, ar, sr);
+                    vi = _mm512_mask_blend_pd(p.hi_mask, ai, si);
+                }
+            }
+            _mm512_storeu_pd(pr, vr);
+            _mm512_storeu_pd(pi, vi);
+        }
+    }
+
+    /// One vector-span stage over butterfly-group range `[g_lo, g_hi)`.
+    /// Each group is eight consecutive butterflies of the stage's
+    /// global butterfly index space (`b = block·span + j`); since
+    /// `span % 8 == 0` and groups are 8-aligned, a group never
+    /// straddles a block boundary.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX-512F, plane length ≥ `16·g_hi`, twiddle
+    /// planes of length `span`, and disjoint group ranges across
+    /// concurrent callers.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn long_stage(
+        re: *mut f64,
+        im: *mut f64,
+        span: usize,
+        twr: &[f64],
+        twi: &[f64],
+        g_lo: usize,
+        g_hi: usize,
+        inverse: bool,
+    ) {
+        // span is a power of two ≥ 8, so per-group block/offset math
+        // reduces to shifts over the groups-per-block count.
+        let gpb_log = (span / 8).trailing_zeros();
+        for g in g_lo..g_hi {
+            let blk = g >> gpb_log;
+            let j = (g - (blk << gpb_log)) * 8;
+            let base = blk * 2 * span + j;
+            let plo_r = re.add(base);
+            let plo_i = im.add(base);
+            let phi_r = re.add(base + span);
+            let phi_i = im.add(base + span);
+            let lo_r = _mm512_loadu_pd(plo_r);
+            let lo_i = _mm512_loadu_pd(plo_i);
+            let hi_r = _mm512_loadu_pd(phi_r);
+            let hi_i = _mm512_loadu_pd(phi_i);
+            let wr = _mm512_loadu_pd(twr.as_ptr().add(j));
+            let wi = _mm512_loadu_pd(twi.as_ptr().add(j));
+            if inverse {
+                let sr = _mm512_add_pd(lo_r, hi_r);
+                let si = _mm512_add_pd(lo_i, hi_i);
+                let dr = _mm512_sub_pd(lo_r, hi_r);
+                let di = _mm512_sub_pd(lo_i, hi_i);
+                let (tr, ti) = cmul(dr, di, wr, wi);
+                _mm512_storeu_pd(plo_r, sr);
+                _mm512_storeu_pd(plo_i, si);
+                _mm512_storeu_pd(phi_r, tr);
+                _mm512_storeu_pd(phi_i, ti);
+            } else {
+                let (tr, ti) = cmul(hi_r, hi_i, wr, wi);
+                _mm512_storeu_pd(plo_r, _mm512_add_pd(lo_r, tr));
+                _mm512_storeu_pd(plo_i, _mm512_add_pd(lo_i, ti));
+                _mm512_storeu_pd(phi_r, _mm512_sub_pd(lo_r, tr));
+                _mm512_storeu_pd(phi_i, _mm512_sub_pd(lo_i, ti));
+            }
+        }
+    }
+}

@@ -21,14 +21,47 @@
 use crate::fft::SpecialFft;
 use crate::rns_ntt::threads_from_env;
 use abc_float::{Complex, RealField};
-use std::sync::Mutex;
+use std::sync::{Barrier, Mutex};
 
 /// Cap on pooled scratch buffers, bounding steady-state memory.
 const MAX_POOLED_BUFS: usize = 64;
 
+/// High-water cap on pooled scratch **bytes**: a burst of large-slot
+/// batches must not pin peak memory forever, so buffers returned past
+/// this watermark are dropped (evicted) instead of retained.
+pub const MAX_POOLED_BYTES: usize = 1 << 22;
+
 /// Below this much total work (`vectors × slots`), thread spawn overhead
 /// outweighs the fan-out and the engine runs serially.
 const PARALLEL_THRESHOLD: usize = 1 << 12;
+
+/// Minimum slot count for stage-chunked threading *within* a single
+/// transform; below it, per-stage barrier costs dominate.
+const INTRA_PARALLEL_THRESHOLD: usize = 1 << 12;
+
+/// Scratch pool state: the buffers plus their retained byte total
+/// (tracked so eviction is O(1) on return).
+#[derive(Debug, Default)]
+struct PoolState<R> {
+    bufs: Vec<Vec<Complex<R>>>,
+    bytes: usize,
+}
+
+/// Raw shared pointer for the scalar stage workers; safety rests on
+/// disjoint per-thread butterfly ranges within a stage and a barrier
+/// between stages.
+struct SyncPtr<T>(*mut T);
+
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+// SAFETY: see `SyncPtr` — disjoint writes + barriers between stages.
+unsafe impl<T> Send for SyncPtr<T> {}
+// SAFETY: as above.
+unsafe impl<T> Sync for SyncPtr<T> {}
 
 /// Batched forward/inverse special FFT: one shared per-(slots, datapath)
 /// [`SpecialFft`] plan, vector fan-out over scoped threads, and pooled
@@ -57,7 +90,7 @@ const PARALLEL_THRESHOLD: usize = 1 << 12;
 pub struct SpecialFftEngine<F: RealField> {
     plan: SpecialFft<F>,
     threads: usize,
-    pool: Mutex<Vec<Vec<Complex<F::Real>>>>,
+    pool: Mutex<PoolState<F::Real>>,
 }
 
 impl<F: RealField> SpecialFftEngine<F> {
@@ -83,7 +116,7 @@ impl<F: RealField> SpecialFftEngine<F> {
         Self {
             plan: SpecialFft::with_field(field, slots),
             threads: threads.max(1),
-            pool: Mutex::new(Vec::new()),
+            pool: Mutex::new(PoolState::default()),
         }
     }
 
@@ -104,20 +137,108 @@ impl<F: RealField> SpecialFftEngine<F> {
 
     /// Forward transform of a single vector through the shared plan.
     ///
+    /// For large transforms (`slots ≥ 2^12`) with `threads > 1`, the
+    /// engine splits each stage's independent butterflies across scoped
+    /// threads with a barrier per stage, so single-message latency
+    /// drops — not just batch throughput. Bit-identical to the serial
+    /// plan for any thread count (butterflies of a stage touch disjoint
+    /// element pairs, and no value's operation sequence changes).
+    ///
     /// # Panics
     ///
     /// Panics if `vals.len() != slots`.
     pub fn forward(&self, vals: &mut [Complex<F::Real>]) {
-        self.plan.forward(vals);
+        self.transform_single(vals, false);
     }
 
-    /// Inverse transform of a single vector through the shared plan.
+    /// Inverse transform of a single vector through the shared plan,
+    /// with the same intra-transform stage threading as
+    /// [`Self::forward`].
     ///
     /// # Panics
     ///
     /// Panics if `vals.len() != slots`.
     pub fn inverse(&self, vals: &mut [Complex<F::Real>]) {
-        self.plan.inverse(vals);
+        self.transform_single(vals, true);
+    }
+
+    fn transform_single(&self, vals: &mut [Complex<F::Real>], inverse: bool) {
+        let slots = self.plan.slots();
+        // Every thread needs ≥ 1 butterfly per stage.
+        let t = self.threads.min(slots / 2).max(1);
+        if t <= 1 || slots < INTRA_PARALLEL_THRESHOLD {
+            if inverse {
+                self.plan.inverse(vals);
+            } else {
+                self.plan.forward(vals);
+            }
+            return;
+        }
+        // SIMD fast path: the AVX-512 kernel carries its own
+        // stage-chunked threading over the SoA planes.
+        let handled = if inverse {
+            self.plan.inverse_threaded_simd(vals, t)
+        } else {
+            self.plan.forward_threaded_simd(vals, t)
+        };
+        if handled {
+            return;
+        }
+        self.scalar_threaded(vals, inverse, t);
+    }
+
+    /// Stage-chunked threading for the generic scalar kernel: the
+    /// butterfly index space of each stage (`slots/2` butterflies,
+    /// disjoint element pairs) is split into contiguous per-thread
+    /// ranges; a barrier separates stages. Per-element operation
+    /// sequences are untouched, so results are bit-identical to the
+    /// serial plan.
+    fn scalar_threaded(&self, vals: &mut [Complex<F::Real>], inverse: bool, t: usize) {
+        assert_eq!(
+            vals.len(),
+            self.plan.slots(),
+            "length must equal slot count"
+        );
+        if !inverse {
+            crate::bitrev::bit_reverse_permute(vals);
+        }
+        let stages = self.plan.stages();
+        let total = self.plan.slots() / 2;
+        let chunk = total.div_ceil(t);
+        let barrier = Barrier::new(t);
+        let ptr = SyncPtr(vals.as_mut_ptr());
+        let plan = &self.plan;
+        std::thread::scope(|s| {
+            for tid in 0..t {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    // Capture the whole wrapper (closure field capture
+                    // would otherwise grab the raw pointer, which is
+                    // not `Send`).
+                    let ptr = ptr;
+                    let lo = (tid * chunk).min(total);
+                    let hi = ((tid + 1) * chunk).min(total);
+                    for stage in 0..stages {
+                        if lo < hi {
+                            // SAFETY: `[lo, hi)` ranges are disjoint
+                            // across threads and the barrier orders
+                            // stages.
+                            unsafe {
+                                if inverse {
+                                    plan.inv_stage_range_raw(ptr.0, stage, lo, hi);
+                                } else {
+                                    plan.fwd_stage_range_raw(ptr.0, stage, lo, hi);
+                                }
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        if inverse {
+            self.plan.inverse_tail(vals);
+        }
     }
 
     /// In-place forward FFT of every vector, fanned out across threads.
@@ -141,7 +262,14 @@ impl<F: RealField> SpecialFftEngine<F> {
     /// Checks a zeroed slot buffer of length `slots` out of the pool;
     /// hand it back with [`Self::recycle`].
     pub fn take_buf(&self) -> Vec<Complex<F::Real>> {
-        let recycled = self.pool.lock().expect("fft pool poisoned").pop();
+        let recycled = {
+            let mut guard = self.pool.lock().expect("fft pool poisoned");
+            let b = guard.bufs.pop();
+            if let Some(b) = &b {
+                guard.bytes -= b.capacity() * core::mem::size_of::<Complex<F::Real>>();
+            }
+            b
+        };
         match recycled {
             Some(mut b) => {
                 b.clear();
@@ -152,12 +280,28 @@ impl<F: RealField> SpecialFftEngine<F> {
         }
     }
 
-    /// Returns a scratch buffer to the pool.
+    /// Returns a scratch buffer to the pool. Buffers whose retention
+    /// would push the pool past [`MAX_POOLED_BYTES`] (or the count cap)
+    /// are dropped instead — a burst of batches must not pin its peak
+    /// memory forever.
     pub fn recycle(&self, buf: Vec<Complex<F::Real>>) {
+        let bytes = buf.capacity() * core::mem::size_of::<Complex<F::Real>>();
         let mut guard = self.pool.lock().expect("fft pool poisoned");
-        if guard.len() < MAX_POOLED_BUFS {
-            guard.push(buf);
+        if guard.bufs.len() < MAX_POOLED_BUFS && guard.bytes + bytes <= MAX_POOLED_BYTES {
+            guard.bytes += bytes;
+            guard.bufs.push(buf);
         }
+    }
+
+    /// Bytes currently retained by the scratch pool (capacity of every
+    /// pooled buffer) — always ≤ [`MAX_POOLED_BYTES`].
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool.lock().expect("fft pool poisoned").bytes
+    }
+
+    /// Number of buffers currently retained by the scratch pool.
+    pub fn pooled_bufs(&self) -> usize {
+        self.pool.lock().expect("fft pool poisoned").bufs.len()
     }
 
     /// Applies `op(plan, vec)` to every vector, splitting the batch into
@@ -273,5 +417,63 @@ mod tests {
         let engine = SpecialFftEngine::with_threads(F64Field, 16, 1);
         let mut batch = vec![vec![Complex::zero(); 8]];
         engine.forward_batch(&mut batch);
+    }
+
+    #[test]
+    fn intra_transform_threading_is_bit_identical() {
+        // slots = 2^12 clears INTRA_PARALLEL_THRESHOLD, so the
+        // stage-chunked path really runs for threads > 1 — on both the
+        // SIMD plan (if this host resolves avx512) and, via ExtF64, the
+        // generic scalar stage-range path.
+        let slots = 1usize << 12;
+        let v0 = sample(slots, 7);
+        let plan = SpecialFft::new(slots);
+        let mut fwd_ref = v0.clone();
+        plan.forward(&mut fwd_ref);
+        let mut inv_ref = v0.clone();
+        plan.inverse(&mut inv_ref);
+        for threads in [1usize, 2, 4] {
+            let engine = SpecialFftEngine::with_threads(F64Field, slots, threads);
+            let mut v = v0.clone();
+            engine.forward(&mut v);
+            assert_eq!(v, fwd_ref, "fwd threads={threads}");
+            let mut v = v0.clone();
+            engine.inverse(&mut v);
+            assert_eq!(v, inv_ref, "inv threads={threads}");
+        }
+        let fe = ExtF64Field;
+        let w0: Vec<_> = v0.iter().map(|z| z.lift_in(&fe)).collect();
+        let ext_plan = SpecialFft::with_field(ExtF64Field, slots);
+        let mut ext_ref = w0.clone();
+        ext_plan.inverse(&mut ext_ref);
+        for threads in [2usize, 4] {
+            let engine = SpecialFftEngine::with_threads(ExtF64Field, slots, threads);
+            let mut w = w0.clone();
+            engine.inverse(&mut w);
+            assert_eq!(w, ext_ref, "ext inv threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_evicts_past_byte_watermark() {
+        // 2^13 slots × 16 B = 128 KiB per buffer: 128 returned buffers
+        // would retain 16 MiB without the byte cap; the watermark keeps
+        // only MAX_POOLED_BYTES / 128 KiB = 32 of them.
+        let slots = 1usize << 13;
+        let engine = SpecialFftEngine::with_threads(F64Field, slots, 1);
+        let bufs: Vec<_> = (0..128).map(|_| engine.take_buf()).collect();
+        for b in bufs {
+            engine.recycle(b);
+        }
+        assert!(engine.pooled_bytes() <= MAX_POOLED_BYTES);
+        let per_buf = slots * core::mem::size_of::<Complex<f64>>();
+        assert_eq!(engine.pooled_bufs(), MAX_POOLED_BYTES / per_buf);
+        // Taking drains the accounting symmetrically.
+        let b = engine.take_buf();
+        assert_eq!(
+            engine.pooled_bytes(),
+            MAX_POOLED_BYTES / per_buf * per_buf - per_buf
+        );
+        engine.recycle(b);
     }
 }

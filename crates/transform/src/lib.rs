@@ -14,7 +14,11 @@
 //!   datapath so the same kernel runs at FP64, the paper's FP55, or the
 //!   double-double `ExtF64` embedding, with per-(slots, datapath)
 //!   twiddle tables materialized once per plan (OTF kernels retained as
-//!   the hardware-generator model and benchmark baseline).
+//!   the hardware-generator model and benchmark baseline), dispatched
+//!   avx512 → scalar → otf like the NTT ([`fft::FftKernelPreference`],
+//!   env override `ABC_FHE_FFT_KERNEL`; the AVX-512 kernel runs split
+//!   re/im 8-lane butterflies in [`fft_avx512`], bit-identical to the
+//!   scalar path).
 //!
 //! [`rns_ntt::RnsNttEngine`] batches the NTT across all RNS limbs of a
 //! polynomial — one plan per prime, limb fan-out over scoped threads
@@ -47,6 +51,7 @@
 
 pub mod bitrev;
 pub mod fft;
+pub mod fft_avx512;
 pub mod fft_engine;
 pub mod ntt;
 #[cfg(target_arch = "x86_64")]
@@ -57,7 +62,7 @@ pub mod stream;
 pub mod stream_fft;
 pub mod twiddle;
 
-pub use fft::SpecialFft;
+pub use fft::{parse_fft_kernel_preference, FftKernelPreference, SpecialFft, FFT_KERNEL_ENV};
 pub use fft_engine::SpecialFftEngine;
 pub use ntt::{KernelPreference, NttPlan};
 pub use rns_ntt::RnsNttEngine;

@@ -50,6 +50,11 @@ pub const THREADS_ENV: &str = "ABC_FHE_THREADS";
 /// Cap on pooled scratch buffers, bounding steady-state memory.
 const MAX_POOLED_BUFS: usize = 64;
 
+/// High-water cap on pooled scratch **bytes**: a burst at a large ring
+/// degree must not pin its peak memory forever, so buffers returned
+/// past this watermark are dropped (evicted) instead of retained.
+pub const MAX_POOLED_BYTES: usize = 1 << 23;
+
 /// Below this much total work (`limbs × N`), thread spawn overhead
 /// outweighs the fan-out and the engine runs serially.
 const PARALLEL_THRESHOLD: usize = 1 << 14;
@@ -59,10 +64,19 @@ const PARALLEL_THRESHOLD: usize = 1 << 14;
 /// off only on larger batches.
 const DYADIC_PARALLEL_THRESHOLD: usize = 1 << 16;
 
-/// A recycling pool of `Vec<u64>` scratch buffers.
+/// A recycling pool of `Vec<u64>` scratch buffers, capped both by
+/// count and by retained bytes ([`MAX_POOLED_BYTES`]).
 #[derive(Debug, Default)]
 struct BufferPool {
-    bufs: Mutex<Vec<Vec<u64>>>,
+    bufs: Mutex<PoolState>,
+}
+
+/// Pool contents plus their retained byte total (capacity of every
+/// buffer), tracked so the byte-watermark eviction is O(1) on return.
+#[derive(Debug, Default)]
+struct PoolState {
+    bufs: Vec<Vec<u64>>,
+    bytes: usize,
 }
 
 impl BufferPool {
@@ -71,8 +85,9 @@ impl BufferPool {
     /// memset that every caller immediately overwrites.
     fn take(&self, n: usize) -> Vec<u64> {
         let mut guard = self.bufs.lock().expect("buffer pool poisoned");
-        match guard.pop() {
+        match guard.bufs.pop() {
             Some(mut b) => {
+                guard.bytes -= b.capacity() * core::mem::size_of::<u64>();
                 b.resize(n, 0);
                 b
             }
@@ -80,11 +95,23 @@ impl BufferPool {
         }
     }
 
+    /// Returns a buffer, dropping it instead when retention would pass
+    /// the count cap or the [`MAX_POOLED_BYTES`] high-water mark.
     fn put(&self, b: Vec<u64>) {
+        let bytes = b.capacity() * core::mem::size_of::<u64>();
         let mut guard = self.bufs.lock().expect("buffer pool poisoned");
-        if guard.len() < MAX_POOLED_BUFS {
-            guard.push(b);
+        if guard.bufs.len() < MAX_POOLED_BUFS && guard.bytes + bytes <= MAX_POOLED_BYTES {
+            guard.bytes += bytes;
+            guard.bufs.push(b);
         }
+    }
+
+    fn bytes(&self) -> usize {
+        self.bufs.lock().expect("buffer pool poisoned").bytes
+    }
+
+    fn len(&self) -> usize {
+        self.bufs.lock().expect("buffer pool poisoned").bufs.len()
     }
 }
 
@@ -212,9 +239,21 @@ impl RnsNttEngine {
         self.pool.take(self.n)
     }
 
-    /// Returns a scratch buffer to the pool.
+    /// Returns a scratch buffer to the pool (dropped instead when the
+    /// pool sits at its count cap or [`MAX_POOLED_BYTES`] watermark).
     pub fn recycle(&self, buf: Vec<u64>) {
         self.pool.put(buf);
+    }
+
+    /// Bytes currently retained by the scratch pool (capacity of every
+    /// pooled buffer) — always ≤ [`MAX_POOLED_BYTES`].
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool.bytes()
+    }
+
+    /// Number of buffers currently retained by the scratch pool.
+    pub fn pooled_bufs(&self) -> usize {
+        self.pool.len()
     }
 
     /// Checks out `k` limb buffers (contents unspecified, as in
@@ -870,6 +909,32 @@ mod tests {
                     .collect()
             })
             .collect()
+    }
+
+    #[test]
+    fn pool_evicts_past_byte_watermark() {
+        // 2^14 words × 8 B = 128 KiB per buffer: 128 returned buffers
+        // would retain 16 MiB without the byte cap; the watermark keeps
+        // only MAX_POOLED_BYTES / 128 KiB = 64... capped at
+        // MAX_POOLED_BUFS first, so double the length to make the byte
+        // cap bind: 2^15 words = 256 KiB per buffer → 32 retained.
+        let n = 1usize << 15;
+        let ms = moduli(1, 2 * n as u64);
+        let engine = RnsNttEngine::with_threads(&ms, n, 1).unwrap();
+        let bufs: Vec<_> = (0..128).map(|_| engine.take_buf()).collect();
+        for b in bufs {
+            engine.recycle(b);
+        }
+        assert!(engine.pooled_bytes() <= MAX_POOLED_BYTES);
+        let per_buf = n * core::mem::size_of::<u64>();
+        assert_eq!(engine.pooled_bufs(), MAX_POOLED_BYTES / per_buf);
+        // Taking drains the accounting symmetrically.
+        let b = engine.take_buf();
+        assert_eq!(
+            engine.pooled_bytes(),
+            MAX_POOLED_BYTES / per_buf * per_buf - per_buf
+        );
+        engine.recycle(b);
     }
 
     #[test]
