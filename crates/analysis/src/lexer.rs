@@ -1,0 +1,484 @@
+//! A small Rust lexer — just enough syntax to make the rule engine
+//! sound against the inputs that defeat `grep`-grade checkers.
+//!
+//! The workspace's hot files are full of strings and comments that
+//! *mention* `unsafe`, `_mm512_*` or `ABC_FHE_*` without *being* code
+//! (module docs, SAFETY comments, assert messages). The rules must see
+//! the difference, so this lexer classifies every byte of a source file
+//! into exactly one token:
+//!
+//! * identifiers (including raw `r#ident` forms) and numbers,
+//! * string-ish literals — normal/raw/byte/byte-raw/C strings with any
+//!   number of `#` guards, and character literals (disambiguated from
+//!   lifetimes),
+//! * line comments (`//`, doc `///` and `//!`) and block comments
+//!   (`/* */`, arbitrarily **nested**, doc `/** */` and `/*! */`),
+//! * single-character punctuation (brace tracking is built on these).
+//!
+//! Positions are 1-based `(line, col)`; the raw text of every token is
+//! retained so rules can inspect comment/doc contents.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the parser decides which).
+    Ident,
+    /// Lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// Numeric literal, consumed loosely.
+    Number,
+    /// Any string/char/byte literal; `text` keeps the quotes.
+    Str,
+    /// `//` comment; `doc` marks `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* */` comment (nesting already resolved); `doc` marks
+    /// `/** */` and `/*! */` forms.
+    BlockComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// One punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its source position (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether the token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment { .. } | TokKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether the token is a doc comment.
+    pub fn is_doc(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment { doc: true } | TokKind::BlockComment { doc: true }
+        )
+    }
+
+    /// Whether the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Byte-walking cursor with line/column bookkeeping.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals and
+/// comments extend to end-of-file (the rule engine treats a clean lex
+/// as part of the workspace contract, but a damaged file must still
+/// produce diagnostics rather than a crash).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        let text =
+            |c: &Cursor, start: usize| String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                let doc = (c.starts_with("///") && !c.starts_with("////")) || c.starts_with("//!");
+                while let Some(nb) = c.peek(0) {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment { doc },
+                    text: text(&c, start),
+                    line,
+                    col,
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                let doc =
+                    (c.starts_with("/**") && !c.starts_with("/***") && !c.starts_with("/**/"))
+                        || c.starts_with("/*!");
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    if c.starts_with("/*") {
+                        depth += 1;
+                        c.bump();
+                        c.bump();
+                    } else if c.starts_with("*/") {
+                        depth -= 1;
+                        c.bump();
+                        c.bump();
+                    } else if c.bump().is_none() {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment { doc },
+                    text: text(&c, start),
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' | b'c' if starts_string(&c) => {
+                lex_string(&mut c);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: text(&c, start),
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_string(&mut c);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: text(&c, start),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'x` followed by another
+                // `'` is a char; `'ident` not closed by `'` is a
+                // lifetime; escapes are always chars.
+                let is_lifetime = match (c.peek(1), c.peek(2)) {
+                    (Some(n1), n2) if is_ident_start(n1) && n1 != b'\\' => n2 != Some(b'\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    c.bump();
+                    while c.peek(0).is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: text(&c, start),
+                        line,
+                        col,
+                    });
+                } else {
+                    c.bump();
+                    loop {
+                        match c.bump() {
+                            Some(b'\\') => {
+                                c.bump();
+                            }
+                            Some(b'\'') | None => break,
+                            _ => {}
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: text(&c, start),
+                        line,
+                        col,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                c.bump();
+                // Raw identifier `r#ident` (raw strings were already
+                // excluded by the `starts_string` guard above).
+                if b == b'r' && c.peek(0) == Some(b'#') && c.peek(1).is_some_and(is_ident_start) {
+                    c.bump();
+                }
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: text(&c, start),
+                    line,
+                    col,
+                });
+            }
+            b'#' if c.peek(1) == Some(b'!') || c.peek(1) == Some(b'[') => {
+                // Attribute leader: emitted as punctuation; the parser
+                // assembles `#[...]` groups.
+                c.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct('#'),
+                    text: "#".into(),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                c.bump();
+                // Loose: consume alphanumerics, `_`, and a `.` only when
+                // followed by a digit (so `0..n` ranges split correctly).
+                loop {
+                    match c.peek(0) {
+                        Some(nb) if nb.is_ascii_alphanumeric() || nb == b'_' => {
+                            c.bump();
+                        }
+                        Some(b'.') if c.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                            c.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: text(&c, start),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                c.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct(b as char),
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Whether the cursor sits on a string literal with a `r`/`b`/`c`
+/// prefix combination (`r"`, `r#`, `b"`, `b'`, `br"`, `rb` is not a
+/// thing, `c"`, `cr#"` ...).
+fn starts_string(c: &Cursor) -> bool {
+    let mut i = 0;
+    // Up to two prefix letters (`br`, `cr`).
+    while i < 2 {
+        match c.peek(i) {
+            Some(b'r') | Some(b'b') | Some(b'c') => i += 1,
+            _ => break,
+        }
+    }
+    if i == 0 {
+        return false;
+    }
+    match c.peek(i) {
+        Some(b'"') => true,
+        Some(b'\'') => c.peek(i - 1) == Some(b'b'), // b'x'
+        Some(b'#') => {
+            // Raw-string guards (`r##"`)— or a raw identifier `r#ident`.
+            let mut j = i;
+            while c.peek(j) == Some(b'#') {
+                j += 1;
+            }
+            c.peek(j) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Consumes one string literal (cursor on the first prefix byte or the
+/// opening quote).
+fn lex_string(c: &mut Cursor) {
+    let mut raw = false;
+    // Prefix letters.
+    while let Some(b) = c.peek(0) {
+        match b {
+            b'r' => {
+                raw = true;
+                c.bump();
+            }
+            b'b' | b'c' => {
+                c.bump();
+            }
+            _ => break,
+        }
+    }
+    if c.peek(0) == Some(b'\'') {
+        // Byte char b'x'.
+        c.bump();
+        loop {
+            match c.bump() {
+                Some(b'\\') => {
+                    c.bump();
+                }
+                Some(b'\'') | None => break,
+                _ => {}
+            }
+        }
+        return;
+    }
+    let mut hashes = 0usize;
+    while raw && c.peek(0) == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    // Opening quote.
+    c.bump();
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks.
+        loop {
+            match c.bump() {
+                Some(b'"') => {
+                    let mut k = 0;
+                    while k < hashes && c.peek(0) == Some(b'#') {
+                        c.bump();
+                        k += 1;
+                    }
+                    if k == hashes {
+                        return;
+                    }
+                }
+                None => return,
+                _ => {}
+            }
+        }
+    } else {
+        loop {
+            match c.bump() {
+                Some(b'\\') => {
+                    c.bump();
+                }
+                Some(b'"') | None => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let toks = lex(r#"let s = "unsafe { }"; call();"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = lex(r###"let s = r#"quote " inside"#; x"###);
+        let s: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, r###"r#"quote " inside"#"###);
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ fn");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].is_comment());
+        assert!(toks[1].is_ident("fn"));
+    }
+
+    #[test]
+    fn doc_comment_flags() {
+        let toks = lex("/// docs\n//! inner\n// plain\n//// not doc\n/** block */\n/*! inner */");
+        let docs: Vec<bool> = toks.iter().map(|t| t.is_doc()).collect();
+        assert_eq!(docs, vec![true, true, false, false, true, true]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("let r#fn = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#fn"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let k = kinds("for i in 0..16 { a[i] = 1.5e3; }");
+        assert!(k.contains(&TokKind::Number));
+        // `0..16` must not swallow the range dots.
+        let toks = lex("0..16");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].text, "0");
+        assert_eq!(toks[3].text, "16");
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,95 @@
+//! Rule 3 — `lazy-domain-doc`.
+//!
+//! The lazy-reduction kernels deliberately return values outside the
+//! canonical `[0, q)` residue domain (`[0, 2q)` after one Montgomery
+//! round, `[0, 4q)` between butterfly layers). Two of the three real
+//! bugs this repo has shipped (the `scalar_mul_assign` overflow in
+//! PR 5, the 3q-bound lazy multiply in PR 8) were domain-contract
+//! violations between such functions. The rule makes the contract
+//! non-optional: any non-test function whose *name* or *parameters*
+//! mention a lazy domain (`*_lazy`, `2q`, `4q`) must state an explicit
+//! interval bound — `[0, 2q)`, `[0, 4q)`, `[0, q)` and friends — in its
+//! doc comment.
+
+use crate::parse::File;
+use crate::report::Finding;
+
+use super::{finding, Ctx};
+
+pub(super) const RULE: &str = "lazy-domain-doc";
+
+/// Whether `name`/`params` put the fn in scope for the rule.
+fn rule_applies(name: &str, params: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.contains("lazy")
+        || n.contains("2q")
+        || n.contains("4q")
+        || params.to_ascii_lowercase().contains("lazy")
+}
+
+/// Whether `doc` states an interval domain bound: a `[` or `(` opening
+/// an interval whose upper end mentions `q` — e.g. `[0, 2q)`,
+/// `[0, 4q)`, `[0, q)`, `[0, 2*q)`.
+fn states_domain_bound(doc: &str) -> bool {
+    let bytes = doc.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let window_end = (i + 24).min(bytes.len());
+        let window = &doc[i..window_end];
+        if let Some(q) = window.find('q') {
+            let after = window[q + 1..].chars().next();
+            if matches!(after, Some(')') | Some(']')) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+pub(super) fn check(_ctx: &Ctx, f: &File, out: &mut Vec<Finding>) {
+    for item in &f.fns {
+        if item.in_test || !rule_applies(&item.name, &item.params) {
+            continue;
+        }
+        if states_domain_bound(&item.doc) {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            f,
+            item.line,
+            1,
+            format!(
+                "fn `{}` works in a lazy-reduction domain but its doc comment states no \
+                 interval bound (expected e.g. `[0, 2q)` / `[0, 4q)` for inputs and outputs)",
+                item.name
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_detection() {
+        assert!(states_domain_bound("Output is in `[0, 2q)`."));
+        assert!(states_domain_bound("inputs in [0, 4q), output canonical"));
+        assert!(states_domain_bound("result lies in `[0, q)`"));
+        assert!(states_domain_bound("bound: [0, 2*q)"));
+        assert!(!states_domain_bound("reduces lazily for speed"));
+        assert!(!states_domain_bound("see [the spec] for details"));
+    }
+
+    #[test]
+    fn scope_detection() {
+        assert!(rule_applies("redc52_lazy", ""));
+        assert!(rule_applies("normalize_4q", ""));
+        assert!(rule_applies("add_2q", ""));
+        assert!(rule_applies("combine", "a_lazy : & [ u64 ]"));
+        assert!(!rule_applies("forward", "vals : & mut [ u64 ]"));
+    }
+}

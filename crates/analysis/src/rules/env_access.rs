@@ -1,0 +1,71 @@
+//! Rule 4 — `env-access`.
+//!
+//! `ABC_FHE_*` environment variables steer kernel dispatch and thread
+//! counts. Reading them ad hoc scatters configuration; *writing* them
+//! ad hoc in tests races against every other `#[test]` thread in the
+//! same process (the bug class fixed by `abc_math::envtest::EnvGuard`).
+//! The rule forbids direct `std::env::var` / `set_var` / `remove_var`
+//! calls whose key is an `ABC_FHE_*` literal — or a `const` that
+//! resolves to one via the workspace-wide const map — everywhere except
+//! the `EnvGuard` helper itself (`envtest.rs`). The few hardened
+//! parser read-sites are suppressed in `analysis-allow.toml`, each with
+//! a justification.
+
+use crate::lexer::TokKind;
+use crate::parse::{unquote, File};
+use crate::report::Finding;
+
+use super::{finding, Ctx};
+
+pub(super) const RULE: &str = "env-access";
+
+const GUARDED_PREFIX: &str = "ABC_FHE_";
+
+pub(super) fn check(ctx: &Ctx, f: &File, out: &mut Vec<Finding>) {
+    // The EnvGuard implementation is the one sanctioned caller.
+    if f.path.ends_with("/envtest.rs") {
+        return;
+    }
+    let toks = &f.toks;
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    for w in code.windows(5) {
+        let &[a, b, c, d, e] = w else { continue };
+        if !toks[a].is_ident("env")
+            || !toks[b].is_punct(':')
+            || !toks[c].is_punct(':')
+            || !toks[e].is_punct('(')
+        {
+            continue;
+        }
+        let method = toks[d].text.as_str();
+        if !matches!(method, "var" | "var_os" | "set_var" | "remove_var") {
+            continue;
+        }
+        // First argument: string literal or const ident.
+        let Some(&arg) = code.iter().find(|&&i| i > e) else {
+            continue;
+        };
+        let key = match toks[arg].kind {
+            TokKind::Str => unquote(&toks[arg].text),
+            TokKind::Ident => match ctx.str_consts.get(&toks[arg].text) {
+                Some(v) => v.clone(),
+                None => continue,
+            },
+            _ => continue,
+        };
+        if !key.starts_with(GUARDED_PREFIX) {
+            continue;
+        }
+        out.push(finding(
+            RULE,
+            f,
+            toks[a].line,
+            toks[a].col,
+            format!(
+                "direct `env::{}` on `{}`: route through `abc_math::envtest::EnvGuard` \
+                 (tests) or a hardened parser module (allowlisted)",
+                method, key
+            ),
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! The rule engine: shared context plus the five shipped rules.
+//!
+//! Each rule is a function `fn(&Ctx, &File, &mut Vec<Finding>)`; rules
+//! never read the filesystem — everything they need (token streams,
+//! function items, the workspace-wide const-string map, the
+//! `#[target_feature]` registry) is precomputed in [`Ctx`], which makes
+//! the engine trivially testable against synthetic fixtures.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::parse::File;
+use crate::report::Finding;
+
+mod domain_doc;
+mod env_access;
+mod panic_path;
+mod safety;
+mod simd_gating;
+
+/// Workspace-wide facts shared by all rules.
+pub struct Ctx {
+    /// `const NAME: &str = "VALUE"` bindings across the workspace
+    /// (used to resolve env-var names passed by identifier).
+    pub str_consts: HashMap<String, String>,
+    /// Names of functions carrying `#[target_feature]`, per file path.
+    pub target_feature_fns: HashMap<String, HashSet<String>>,
+    /// Names of functions whose body invokes `is_x86_feature_detected!`
+    /// anywhere in the workspace (runtime-detection registry).
+    pub detector_fns: HashSet<String>,
+}
+
+impl Ctx {
+    /// Builds the shared context from all parsed files.
+    pub fn build(files: &[File]) -> Ctx {
+        let mut str_consts = HashMap::new();
+        let mut target_feature_fns: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut detector_fns = HashSet::new();
+        for f in files {
+            for (name, value) in &f.consts {
+                str_consts.insert(name.clone(), value.clone());
+            }
+            for item in &f.fns {
+                if item.attrs.iter().any(|a| a.text.contains("target_feature")) {
+                    target_feature_fns
+                        .entry(f.path.clone())
+                        .or_default()
+                        .insert(item.name.clone());
+                }
+                if let Some((b0, b1)) = item.body {
+                    if f.toks[b0..=b1]
+                        .iter()
+                        .any(|t| t.is_ident("is_x86_feature_detected"))
+                    {
+                        detector_fns.insert(item.name.clone());
+                    }
+                }
+            }
+        }
+        Ctx {
+            str_consts,
+            target_feature_fns,
+            detector_fns,
+        }
+    }
+}
+
+/// Runs every rule over every file; findings come back sorted by
+/// (path, line, col, rule) for deterministic output.
+pub fn run(files: &[File]) -> Vec<Finding> {
+    let ctx = Ctx::build(files);
+    let mut findings = Vec::new();
+    for f in files {
+        safety::check(&ctx, f, &mut findings);
+        simd_gating::check(&ctx, f, &mut findings);
+        domain_doc::check(&ctx, f, &mut findings);
+        env_access::check(&ctx, f, &mut findings);
+        panic_path::check(&ctx, f, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    findings
+}
+
+/// Helper: constructs a finding anchored at token position.
+pub(crate) fn finding(
+    rule: &'static str,
+    f: &File,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: f.path.clone(),
+        line,
+        col,
+        message,
+        excerpt: f.line_text(line).to_string(),
+    }
+}

@@ -1,0 +1,73 @@
+//! Rule 5 — `gateway-panic-free`.
+//!
+//! The gateway's request path holds locks and channel endpoints across
+//! tenant workloads; a panic there either poisons shared state for
+//! every other tenant or silently kills a worker. Request-path code in
+//! `crates/gateway/src/` (excluding `src/bin/` utilities and
+//! `#[cfg(test)]` regions) must therefore not call `.unwrap()` /
+//! `.expect(...)` or invoke `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!`. Lock acquisition goes through the poison-tolerant
+//! `sync::lock` helper instead; genuinely unreachable states return
+//! typed errors. The deliberate injected-fault panic in `worker.rs` is
+//! allowlisted with its justification.
+
+use crate::parse::File;
+use crate::report::Finding;
+
+use super::{finding, Ctx};
+
+pub(super) const RULE: &str = "gateway-panic-free";
+
+fn in_scope(path: &str) -> bool {
+    path.contains("crates/gateway/src/") && !path.contains("crates/gateway/src/bin/")
+}
+
+pub(super) fn check(_ctx: &Ctx, f: &File, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path) {
+        return;
+    }
+    let toks = &f.toks;
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    for w in code.windows(3) {
+        let &[a, b, c] = w else { continue };
+        let t = &toks[b];
+        if f.line_in_test(t.line) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`
+        if toks[a].is_punct('.')
+            && matches!(t.text.as_str(), "unwrap" | "expect")
+            && toks[c].is_punct('(')
+        {
+            out.push(finding(
+                RULE,
+                f,
+                t.line,
+                t.col,
+                format!(
+                    "`.{}()` in gateway request-path code: return a typed error or use the \
+                     poison-tolerant lock helper",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // `panic!(` and friends (token before must not be `.`, and the
+        // macro bang must follow).
+        if !toks[a].is_punct('.')
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && toks[c].is_punct('!')
+        {
+            out.push(finding(
+                RULE,
+                f,
+                t.line,
+                t.col,
+                format!("`{}!` in gateway request-path code", t.text),
+            ));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Rule 1 — `unsafe-safety-comment`.
+//!
+//! Every `unsafe {` block, `unsafe fn`, `unsafe impl`, and
+//! `unsafe trait` must be annotated: a `// SAFETY:` comment immediately
+//! above the statement/item (attribute lines and doc comments may sit
+//! in between), or — for `unsafe fn` declarations — a `# Safety`
+//! section in the doc comment. This is the contract that caught the
+//! PR 2 Barrett-bound bug class in review; the rule makes it
+//! machine-checked everywhere, including test code.
+
+use crate::lexer::TokKind;
+use crate::parse::File;
+use crate::report::Finding;
+
+use super::{finding, Ctx};
+
+pub(super) const RULE: &str = "unsafe-safety-comment";
+
+pub(super) fn check(_ctx: &Ctx, f: &File, out: &mut Vec<Finding>) {
+    let toks = &f.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let Some(next) = f.next_code(i + 1) else {
+            continue;
+        };
+        let form = match toks[next].kind {
+            TokKind::Punct('{') => Form::Block,
+            TokKind::Ident => match toks[next].text.as_str() {
+                "fn" | "extern" => Form::Fn,
+                "impl" => Form::Impl,
+                "trait" => Form::Trait,
+                _ => continue,
+            },
+            _ => continue,
+        };
+        // `unsafe` inside a fn-pointer type (`unsafe fn(u64) -> u64`)
+        // has no name after `fn`; skip those.
+        if form == Form::Fn {
+            let Some(after) = f.next_code(next + 1) else {
+                continue;
+            };
+            if toks[next].is_ident("fn") && toks[after].kind != TokKind::Ident {
+                continue;
+            }
+        }
+        if form == Form::Fn {
+            // Accept a `# Safety` doc section on the fn item.
+            if let Some(item) = f.fns.iter().find(|x| x.is_unsafe && x.line == t.line) {
+                if item.doc.contains("# Safety") || item.doc.contains("SAFETY") {
+                    continue;
+                }
+            }
+        }
+        let anchor = stmt_anchor_line(f, i);
+        if has_safety_comment_above(f, anchor) || trailing_safety_on(f, t.line, anchor) {
+            continue;
+        }
+        let what = match form {
+            Form::Block => "unsafe block",
+            Form::Fn => "unsafe fn",
+            Form::Impl => "unsafe impl",
+            Form::Trait => "unsafe trait",
+        };
+        out.push(finding(
+            RULE,
+            f,
+            t.line,
+            t.col,
+            format!(
+                "{} without a `// SAFETY:` comment (or `# Safety` doc section for unsafe fn)",
+                what
+            ),
+        ));
+    }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Form {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+}
+
+/// Finds the first line of the statement/item containing token `idx`:
+/// walks backwards over header qualifiers, attributes, and expression
+/// tokens until a statement boundary (`;`, `{`, `}`, `,`).
+fn stmt_anchor_line(f: &File, idx: usize) -> u32 {
+    let toks = &f.toks;
+    let mut anchor = toks[idx].line;
+    let mut j = idx;
+    while j > 0 {
+        let k = j - 1;
+        let t = &toks[k];
+        if t.is_comment() {
+            j = k;
+            continue;
+        }
+        match t.kind {
+            TokKind::Punct(';' | '{' | '}' | ',') => break,
+            // An attribute `#[...]` above the item: jump to its `#`.
+            TokKind::Punct(']') if f.matches[k] != usize::MAX => {
+                let open = f.matches[k];
+                if open > 0 && toks[open - 1].is_punct('#') {
+                    anchor = toks[open - 1].line;
+                    j = open - 1;
+                } else {
+                    anchor = t.line;
+                    j = k;
+                }
+            }
+            // A closed group (e.g. `pub(crate)`, call args): jump to
+            // its opener.
+            TokKind::Punct(')') if f.matches[k] != usize::MAX => {
+                let open = f.matches[k];
+                anchor = toks[open].line;
+                j = open;
+            }
+            _ => {
+                anchor = t.line;
+                j = k;
+            }
+        }
+    }
+    anchor
+}
+
+/// Scans upwards from `anchor - 1`: contiguous comment and attribute
+/// lines are examined; the run ends at the first other line (blank
+/// lines break attachment). Returns true if any line in the run
+/// mentions `SAFETY` (or a doc line mentions `# Safety`).
+fn has_safety_comment_above(f: &File, anchor: u32) -> bool {
+    let mut line = anchor.saturating_sub(1);
+    while line >= 1 {
+        let text = f.line_text(line);
+        if text.starts_with("//") || text.starts_with("/*") || text.starts_with('*') {
+            if text.contains("SAFETY") || text.contains("# Safety") {
+                return true;
+            }
+            line -= 1;
+            continue;
+        }
+        if text.starts_with('#') {
+            // Attribute lines (including multi-line attribute bodies
+            // never occur mid-run in this workspace's style).
+            line -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Accepts a trailing `// SAFETY:` on the anchor..=unsafe lines, e.g.
+/// `let p = base.add(i); // SAFETY: i < len`.
+fn trailing_safety_on(f: &File, unsafe_line: u32, anchor: u32) -> bool {
+    f.toks.iter().any(|t| {
+        t.is_comment() && t.line >= anchor && t.line <= unsafe_line && t.text.contains("SAFETY")
+    })
+}

@@ -1,0 +1,105 @@
+//! Rule 2 — `simd-gating`.
+//!
+//! Two checks keep every AVX-512 kernel behind runtime detection:
+//!
+//! 1. A function whose body uses `_mm*` intrinsics must be an
+//!    `unsafe fn` carrying either `#[target_feature(...)]` or
+//!    `#[inline(always)]`. The second form exists because rustc
+//!    rejects `#[inline(always)]` + `#[target_feature]` on one item:
+//!    small shared helpers (`mul_shoup52_x8`, `csub_x8`, ...) are
+//!    `#[inline(always)] unsafe fn` and inherit the caller's features
+//!    after inlining into a `#[target_feature]` kernel.
+//! 2. A *safe* function that references a `#[target_feature]` function
+//!    defined in the same file is a dispatch entry point: its body must
+//!    invoke `is_x86_feature_detected!` directly or call one of the
+//!    workspace's detector functions (e.g. `available`). This is what
+//!    keeps an intrinsic kernel from becoming reachable ungated when
+//!    someone adds a new wrapper and forgets the `assert!(available())`.
+
+use crate::parse::File;
+use crate::report::Finding;
+
+use super::{finding, Ctx};
+
+pub(super) const RULE: &str = "simd-gating";
+
+/// Idents treated as intrinsic uses.
+fn is_intrinsic(name: &str) -> bool {
+    name.starts_with("_mm512_") || name.starts_with("_mm256_") || name.starts_with("_mm_")
+}
+
+pub(super) fn check(ctx: &Ctx, f: &File, out: &mut Vec<Finding>) {
+    let tf_here = ctx.target_feature_fns.get(&f.path);
+    for item in &f.fns {
+        let Some((b0, b1)) = item.body else {
+            continue;
+        };
+        let body = &f.toks[b0..=b1];
+        let uses_intrinsics = body
+            .iter()
+            .any(|t| !t.is_comment() && is_intrinsic(&t.text));
+        if uses_intrinsics {
+            let has_tf = item.attrs.iter().any(|a| a.text.contains("target_feature"));
+            let has_inline_always = item
+                .attrs
+                .iter()
+                .any(|a| a.text.starts_with("inline") && a.text.contains("always"));
+            if !item.is_unsafe {
+                out.push(finding(
+                    RULE,
+                    f,
+                    item.line,
+                    1,
+                    format!(
+                        "fn `{}` uses `_mm*` intrinsics but is not an `unsafe fn`",
+                        item.name
+                    ),
+                ));
+            } else if !has_tf && !has_inline_always {
+                out.push(finding(
+                    RULE,
+                    f,
+                    item.line,
+                    1,
+                    format!(
+                        "fn `{}` uses `_mm*` intrinsics without `#[target_feature]` \
+                         (or `#[inline(always)]` for feature-inheriting helpers)",
+                        item.name
+                    ),
+                ));
+            }
+        }
+        // Dispatch-entry cross-check: safe fn referencing a
+        // target_feature fn from this file.
+        if item.is_unsafe {
+            continue;
+        }
+        let Some(tf) = tf_here else { continue };
+        let references_tf = body.iter().any(|t| {
+            !t.is_comment()
+                && tf.contains(&t.text)
+                // Not its own recursive mention.
+                && t.text != item.name
+        });
+        if !references_tf {
+            continue;
+        }
+        let gated = body.iter().any(|t| {
+            !t.is_comment()
+                && (t.text == "is_x86_feature_detected" || ctx.detector_fns.contains(&t.text))
+        });
+        if !gated {
+            out.push(finding(
+                RULE,
+                f,
+                item.line,
+                1,
+                format!(
+                    "safe fn `{}` dispatches to a `#[target_feature]` kernel without a \
+                     runtime-detection check (`is_x86_feature_detected!` or a detector fn)",
+                    item.name
+                ),
+            ));
+        }
+    }
+}

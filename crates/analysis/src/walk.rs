@@ -1,0 +1,48 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under the workspace root, skipping build
+//! output (`target/`), VCS metadata, and any directory named
+//! `fixtures` (reserved for intentionally-violating analyzer test
+//! inputs). Paths come back workspace-relative with forward slashes,
+//! sorted, so reports are deterministic across machines.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == ".git" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Returns (workspace-relative path, contents) for every `.rs` file
+/// under `root`.
+pub fn collect(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if ty.is_file() && name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let content = fs::read_to_string(&path)?;
+                files.push((rel, content));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}

@@ -1,0 +1,413 @@
+//! Fixture tests: every rule must fire on the broken form and stay
+//! silent on the fixed form, including the lexing edge cases that sank
+//! naive regex-based checkers (`unsafe` inside strings and comments,
+//! raw strings, nested block comments, `#[cfg(test)]` regions).
+
+use abc_analysis::allowlist;
+use abc_analysis::{analyze, Finding};
+
+/// Runs the analyzer over a single in-memory file.
+fn findings(path: &str, src: &str) -> Vec<Finding> {
+    analyze(&[(path.to_string(), src.to_string())])
+}
+
+fn rules(found: &[Finding]) -> Vec<&str> {
+    found.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- rule 1
+
+#[test]
+fn unsafe_block_without_safety_comment_fires() {
+    let src = r#"
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+"#;
+    let found = findings("crates/x/src/a.rs", src);
+    assert_eq!(rules(&found), ["unsafe-safety-comment"], "{found:?}");
+    assert_eq!(found[0].line, 3);
+}
+
+#[test]
+fn unsafe_block_with_safety_comment_is_clean() {
+    let src = r#"
+pub fn read(p: *const u64) -> u64 {
+    // SAFETY: the caller promises `p` is valid and aligned.
+    unsafe { *p }
+}
+"#;
+    assert!(findings("crates/x/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_jumps_over_attributes_and_multiline_statements() {
+    let src = r#"
+pub fn read(p: *const u64) -> u64 {
+    // SAFETY: the caller promises `p` is valid.
+    #[allow(clippy::let_and_return)]
+    let v =
+        unsafe { *p };
+    v
+}
+"#;
+    assert!(findings("crates/x/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_fn_requires_safety_doc_section() {
+    let bad = r#"
+/// Reads a raw pointer.
+pub unsafe fn read(p: *const u64) -> u64 {
+    // SAFETY: caller contract.
+    unsafe { *p }
+}
+"#;
+    let found = findings("crates/x/src/a.rs", bad);
+    assert_eq!(rules(&found), ["unsafe-safety-comment"], "{found:?}");
+
+    let good = r#"
+/// Reads a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid and aligned.
+pub unsafe fn read(p: *const u64) -> u64 {
+    // SAFETY: caller upholds the contract above.
+    unsafe { *p }
+}
+"#;
+    assert!(findings("crates/x/src/a.rs", good).is_empty());
+}
+
+#[test]
+fn unsafe_keyword_in_strings_and_comments_is_ignored() {
+    let src = r##"
+pub fn describe() -> &'static str {
+    // This mentions unsafe { code } but is only a comment.
+    /* so does unsafe { this } */
+    "unsafe { not_code() }"
+}
+
+pub fn raw() -> &'static str {
+    r#"unsafe fn looks_like_code() { "nested \"quotes\" stay in" }"#
+}
+"##;
+    assert!(findings("crates/x/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_hide_code() {
+    let src = r#"
+/* outer /* unsafe { inner() } */ still a comment */
+pub fn fine() {}
+"#;
+    assert!(findings("crates/x/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_inside_a_string_does_not_count() {
+    let src = r#"
+pub fn read(p: *const u64) -> u64 {
+    let _banner = "// SAFETY: not a comment";
+    unsafe { *p }
+}
+"#;
+    let found = findings("crates/x/src/a.rs", src);
+    assert_eq!(rules(&found), ["unsafe-safety-comment"], "{found:?}");
+}
+
+// ---------------------------------------------------------------- rule 2
+
+#[test]
+fn intrinsic_without_target_feature_fires() {
+    let src = r#"
+use std::arch::x86_64::*;
+
+pub fn bad(a: __m512i, b: __m512i) -> __m512i {
+    _mm512_add_epi64(a, b)
+}
+"#;
+    let found = findings("crates/x/src/simd.rs", src);
+    assert_eq!(rules(&found), ["simd-gating"], "{found:?}");
+}
+
+#[test]
+fn gated_kernel_with_detected_dispatch_is_clean() {
+    let src = r#"
+use std::arch::x86_64::*;
+
+/// # Safety
+///
+/// The CPU must support AVX-512F.
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel(a: __m512i, b: __m512i) -> __m512i {
+    _mm512_add_epi64(a, b)
+}
+
+pub fn dispatch(a: __m512i, b: __m512i) -> __m512i {
+    assert!(is_x86_feature_detected!("avx512f"));
+    // SAFETY: the assert above proves the feature is present.
+    unsafe { kernel(a, b) }
+}
+"#;
+    assert!(findings("crates/x/src/simd.rs", src).is_empty());
+}
+
+#[test]
+fn calling_target_feature_fn_without_detection_fires() {
+    let src = r#"
+use std::arch::x86_64::*;
+
+/// # Safety
+///
+/// The CPU must support AVX-512F.
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel(a: __m512i, b: __m512i) -> __m512i {
+    _mm512_add_epi64(a, b)
+}
+
+pub fn dispatch(a: __m512i, b: __m512i) -> __m512i {
+    // SAFETY: (wrong!) nothing checked the feature.
+    unsafe { kernel(a, b) }
+}
+"#;
+    let found = findings("crates/x/src/simd.rs", src);
+    assert_eq!(rules(&found), ["simd-gating"], "{found:?}");
+    assert!(found[0].message.contains("is_x86_feature_detected"));
+}
+
+// ---------------------------------------------------------------- rule 3
+
+#[test]
+fn lazy_fn_without_domain_doc_fires() {
+    let src = r#"
+pub fn mul_assign_lazy(a: &mut [u64], b: &[u64]) {
+    let _ = (a, b);
+}
+"#;
+    let found = findings("crates/x/src/a.rs", src);
+    assert_eq!(rules(&found), ["lazy-domain-doc"], "{found:?}");
+}
+
+#[test]
+fn lazy_fn_with_domain_doc_is_clean() {
+    let src = r#"
+/// Lazy product: outputs stay in the lazy domain `[0, 2q)`.
+pub fn mul_assign_lazy(a: &mut [u64], b: &[u64]) {
+    let _ = (a, b);
+}
+"#;
+    assert!(findings("crates/x/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn lazy_fn_inside_cfg_test_is_exempt() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    fn helper_lazy(a: &mut [u64]) {
+        let _ = a;
+    }
+}
+"#;
+    assert!(findings("crates/x/src/a.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- rule 4
+
+#[test]
+fn direct_env_var_on_abc_fhe_key_fires() {
+    let src = r#"
+pub fn threads() -> Option<String> {
+    std::env::var("ABC_FHE_THREADS").ok()
+}
+"#;
+    let found = findings("crates/x/src/a.rs", src);
+    assert_eq!(rules(&found), ["env-access"], "{found:?}");
+}
+
+#[test]
+fn env_var_through_const_is_still_caught() {
+    let src = r#"
+pub const THREADS_ENV: &str = "ABC_FHE_THREADS";
+
+pub fn threads() -> Option<String> {
+    std::env::var(THREADS_ENV).ok()
+}
+"#;
+    let found = findings("crates/x/src/a.rs", src);
+    assert_eq!(rules(&found), ["env-access"], "{found:?}");
+    assert!(found[0].message.contains("ABC_FHE_THREADS"));
+}
+
+#[test]
+fn set_var_in_tests_is_also_flagged() {
+    // The whole point of the rule: tests must use EnvGuard, not raw
+    // set_var, so parallel tests cannot race each other.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn racy() {
+        std::env::set_var("ABC_FHE_THREADS", "1");
+    }
+}
+"#;
+    let found = findings("crates/x/src/a.rs", src);
+    assert_eq!(rules(&found), ["env-access"], "{found:?}");
+}
+
+#[test]
+fn non_abc_keys_and_envtest_module_are_exempt() {
+    let other = r#"
+pub fn path() -> Option<String> {
+    std::env::var("PATH").ok()
+}
+"#;
+    assert!(findings("crates/x/src/a.rs", other).is_empty());
+
+    let guard = r#"
+pub fn set(key: &str, value: &str) {
+    std::env::set_var("ABC_FHE_THREADS", value);
+    let _ = key;
+}
+"#;
+    assert!(findings("crates/math/src/envtest.rs", guard).is_empty());
+}
+
+// ---------------------------------------------------------------- rule 5
+
+#[test]
+fn unwrap_in_gateway_request_path_fires() {
+    let src = r#"
+pub fn depth(q: &std::sync::Mutex<Vec<u64>>) -> usize {
+    q.lock().unwrap().len()
+}
+"#;
+    let found = findings("crates/gateway/src/queue.rs", src);
+    assert_eq!(rules(&found), ["gateway-panic-free"], "{found:?}");
+}
+
+#[test]
+fn panic_macros_in_gateway_fire_but_tests_and_other_crates_do_not() {
+    let src = r#"
+pub fn boom() {
+    panic!("nope");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_can_unwrap() {
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+    let found = findings("crates/gateway/src/worker.rs", src);
+    assert_eq!(rules(&found), ["gateway-panic-free"], "{found:?}");
+    assert_eq!(found[0].line, 3);
+
+    // Same source outside the gateway: out of the rule's scope.
+    assert!(findings("crates/math/src/a.rs", src).is_empty());
+    // Gateway binaries (loadgen harness) are out of scope too.
+    assert!(findings("crates/gateway/src/bin/loadgen.rs", src).is_empty());
+}
+
+#[test]
+fn unwrap_or_else_is_not_unwrap() {
+    let src = r#"
+pub fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+"#;
+    assert!(findings("crates/gateway/src/sync.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------ allowlist
+
+#[test]
+fn allowlist_suppresses_and_reports_stale_entries() {
+    let src = r#"
+pub fn threads() -> Option<String> {
+    std::env::var("ABC_FHE_THREADS").ok()
+}
+"#;
+    let found = findings("crates/x/src/a.rs", src);
+    assert_eq!(found.len(), 1);
+
+    let toml = r#"
+[[allow]]
+rule = "env-access"
+path = "crates/x/src/a.rs"
+contains = "ABC_FHE_THREADS"
+justification = "fixture"
+
+[[allow]]
+rule = "env-access"
+path = "crates/x/src/gone.rs"
+justification = "matches nothing: reported stale"
+"#;
+    let entries = allowlist::parse(toml).expect("parse");
+    assert_eq!(entries.len(), 2);
+    let (reported, allowed, stale) = allowlist::apply(found, &entries);
+    assert!(reported.is_empty(), "{reported:?}");
+    assert_eq!(allowed.len(), 1);
+    assert_eq!(allowed[0].justification, "fixture");
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].contains("gone.rs"), "{stale:?}");
+}
+
+#[test]
+fn allowlist_rejects_entries_without_justification() {
+    let toml = r#"
+[[allow]]
+rule = "env-access"
+path = "crates/x/src/a.rs"
+"#;
+    let errors = allowlist::parse(toml).expect_err("must fail");
+    assert!(
+        errors.iter().any(|e| e.contains("justification")),
+        "{errors:?}"
+    );
+}
+
+#[test]
+fn allowlist_matches_by_path_suffix_only() {
+    let src = r#"
+pub fn boom() {
+    panic!("nope");
+}
+"#;
+    let found = findings("crates/gateway/src/worker.rs", src);
+    let toml = r#"
+[[allow]]
+rule = "gateway-panic-free"
+path = "src/other.rs"
+justification = "wrong file: must not match"
+"#;
+    let entries = allowlist::parse(toml).expect("parse");
+    let (reported, allowed, stale) = allowlist::apply(found, &entries);
+    assert_eq!(reported.len(), 1);
+    assert!(allowed.is_empty());
+    assert_eq!(stale.len(), 1);
+}
+
+// ------------------------------------------------------------- ordering
+
+#[test]
+fn findings_are_sorted_and_deterministic() {
+    let src = r#"
+pub fn two(p: *const u64) -> u64 {
+    let a = unsafe { *p };
+    let b = unsafe { *p.add(1) };
+    a + b
+}
+"#;
+    let a = findings("crates/x/src/a.rs", src);
+    let b = findings("crates/x/src/a.rs", src);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 2);
+    assert!(a[0].line < a[1].line);
+}

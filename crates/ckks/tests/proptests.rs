@@ -396,15 +396,12 @@ proptest! {
         };
         // Engines capture the thread count at construction, so build one
         // context per fan-out under a temporary env override.
-        let saved = std::env::var(THREADS_ENV).ok();
-        std::env::set_var(THREADS_ENV, "1");
+        let mut env = abc_math::envtest::EnvGuard::lock();
+        env.set(THREADS_ENV, "1");
         let ctx1 = build();
-        std::env::set_var(THREADS_ENV, "4");
+        env.set(THREADS_ENV, "4");
         let ctx4 = build();
-        match saved {
-            Some(v) => std::env::set_var(THREADS_ENV, v),
-            None => std::env::remove_var(THREADS_ENV),
-        }
+        drop(env);
         let slots = ctx1.params().slots();
         let steps = raw_steps % slots;
         let msg = message_from_seed(slots, seed);

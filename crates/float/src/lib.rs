@@ -47,6 +47,14 @@
 //! assert!((lo - hi).abs() < 1e-12);
 //! ```
 
+// This crate is currently unsafe-free; the deny keeps any future
+// unsafe op inside an `unsafe fn` from compiling without an explicit
+// `unsafe {}` block (audited by `cargo run -p abc-analysis -- check`).
+#![deny(unsafe_op_in_unsafe_fn)]
+// Public APIs in the hardened crates must be documented (the unsafe
+// ones additionally need a `# Safety` section, enforced by abc-analysis).
+#![deny(missing_docs)]
+
 pub mod complex;
 pub mod extended;
 pub mod field;

@@ -90,11 +90,7 @@ impl FaultPlan {
         if !self.window.contains(&seq) {
             return Fault::None;
         }
-        let raw = u64::from_le_bytes(
-            self.seed.derive(seq).0[..8]
-                .try_into()
-                .expect("seed is 16 bytes"),
-        );
+        let raw = self.seed.derive(seq).low64();
         let roll = (raw % 1024) as u16;
         let pick = raw >> 10;
         let mut bound = self.panic_per_1024;
@@ -125,11 +121,7 @@ impl FaultPlan {
         if blob.is_empty() {
             return;
         }
-        let raw = u64::from_le_bytes(
-            self.seed.derive(seq ^ 0x00D0_DE5E_ED00_0000).0[..8]
-                .try_into()
-                .expect("seed is 16 bytes"),
-        );
+        let raw = self.seed.derive(seq ^ 0x00D0_DE5E_ED00_0000).low64();
         match self.fault_for(seq) {
             Fault::CorruptBlob => {
                 let at = (raw as usize) % blob.len();

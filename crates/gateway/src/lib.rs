@@ -54,6 +54,7 @@ pub mod queue;
 pub mod retry;
 pub mod service;
 pub mod session;
+pub(crate) mod sync;
 pub(crate) mod worker;
 
 pub use config::GatewayConfig;

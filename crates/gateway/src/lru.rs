@@ -65,13 +65,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             return None;
         }
         let evicted = if self.map.len() >= self.capacity {
-            let victim = self
-                .map
+            // At capacity the map is non-empty, so a victim always
+            // exists; `and_then` keeps the path panic-free regardless.
+            self.map
                 .iter()
                 .min_by_key(|(_, (_, stamp))| *stamp)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty at capacity");
-            self.map.remove(&victim).map(|(v, _)| (victim, v))
+                .and_then(|victim| self.map.remove(&victim).map(|(v, _)| (victim, v)))
         } else {
             None
         };

@@ -87,15 +87,13 @@ pub(crate) fn inc(counter: &AtomicU64) {
 impl Metrics {
     /// Records one end-to-end request latency.
     pub fn record_latency(&self, latency: Duration) {
-        self.latencies_us
-            .lock()
-            .expect("metrics lock")
+        crate::sync::lock(&self.latencies_us)
             .push(latency.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Copies the counters and computes latency percentiles.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut lat = self.latencies_us.lock().expect("metrics lock").clone();
+        let mut lat = crate::sync::lock(&self.latencies_us).clone();
         lat.sort_unstable();
         let pct = |p: f64| {
             if lat.is_empty() {

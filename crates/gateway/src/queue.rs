@@ -55,7 +55,7 @@ impl<T> BoundedQueue<T> {
     /// Current depth (advisory: may change before the caller acts on
     /// it; admission decisions re-check under the lock).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        crate::sync::lock(&self.inner).items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -71,7 +71,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// See [`PushError`]; the rejected item is always handed back.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = crate::sync::lock(&self.inner);
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -90,7 +90,7 @@ impl<T> BoundedQueue<T> {
     /// before [`close`](Self::close) are still delivered — shutdown
     /// never strands an admitted request.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = crate::sync::lock(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -98,11 +98,13 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            // Timed wait so a missed notify can never hang a worker.
-            let (guard, _) = self
-                .ready
-                .wait_timeout(inner, Duration::from_millis(50))
-                .expect("queue lock");
+            // Timed wait so a missed notify can never hang a worker;
+            // recover from poison like `sync::lock` (a panicking worker
+            // must not take the queue down with it).
+            let (guard, _) = match self.ready.wait_timeout(inner, Duration::from_millis(50)) {
+                Ok(woke) => woke,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             inner = guard;
         }
     }
@@ -110,7 +112,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: admissions fail from now on, consumers drain
     /// what is left and then see `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        crate::sync::lock(&self.inner).closed = true;
         self.ready.notify_all();
     }
 }

@@ -41,11 +41,7 @@ impl RetryPolicy {
             .base
             .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
             .min(self.cap);
-        let raw = u64::from_le_bytes(
-            seed.derive(u64::from(attempt)).0[..8]
-                .try_into()
-                .expect("seed is 16 bytes"),
-        );
+        let raw = seed.derive(u64::from(attempt)).low64();
         let jitter = 0.5 + (raw % 1024) as f64 / 2048.0;
         exp.mul_f64(jitter)
     }

@@ -154,16 +154,29 @@ impl Gateway {
             config,
         });
         let live_workers = Arc::new(AtomicU64::new(0));
-        let workers = (0..shared.config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let live = Arc::clone(&live_workers);
-                std::thread::Builder::new()
-                    .name(format!("gw-worker-{i}"))
-                    .spawn(move || worker::worker_main(shared, live))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for i in 0..shared.config.workers {
+            let worker_shared = Arc::clone(&shared);
+            let live = Arc::clone(&live_workers);
+            let spawned = std::thread::Builder::new()
+                .name(format!("gw-worker-{i}"))
+                .spawn(move || worker::worker_main(worker_shared, live));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(err) => {
+                    // Unwind cleanly: close the queue and join the
+                    // workers already running so no thread outlives
+                    // the failed constructor.
+                    shared.queue.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(GatewayError::Internal(format!(
+                        "cannot spawn worker thread {i}: {err}"
+                    )));
+                }
+            }
+        }
         Ok(Self {
             shared,
             workers: Mutex::new(workers),
@@ -277,7 +290,7 @@ impl Gateway {
     /// Swaps the live fault schedule (chaos drivers use this to phase
     /// a single gateway through clean → storm → recovery).
     pub fn set_fault_plan(&self, plan: crate::fault::FaultPlan) {
-        *self.shared.fault.lock().expect("fault lock") = plan;
+        *crate::sync::lock(&self.shared.fault) = plan;
     }
 
     /// Current admission-queue depth.
@@ -320,7 +333,7 @@ impl Gateway {
 
     fn teardown(&self) {
         self.shared.queue.close();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("worker list"));
+        let workers = std::mem::take(&mut *crate::sync::lock(&self.workers));
         for handle in workers {
             let _ = handle.join();
         }

@@ -43,7 +43,7 @@ impl SessionStore {
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        self.cache.lock().expect("session lock").len()
+        crate::sync::lock(&self.cache).len()
     }
 
     /// Whether no sessions are cached.
@@ -55,7 +55,7 @@ impl SessionStore {
     /// `ctx` supplies the key-generation pipeline; all workers share
     /// one parameter set, so sessions are context-portable.
     pub fn get_or_create(&self, tenant: u64, ctx: &CkksContext) -> Arc<TenantSession> {
-        if let Some(hit) = self.cache.lock().expect("session lock").get(&tenant) {
+        if let Some(hit) = crate::sync::lock(&self.cache).get(&tenant) {
             return Arc::clone(hit);
         }
         // Keygen outside the lock: it is the expensive step, and the
@@ -63,10 +63,7 @@ impl SessionStore {
         // bit-identical.
         let (sk, pk) = ctx.keygen(self.master_seed.derive(tenant));
         let session = Arc::new(TenantSession { tenant, sk, pk });
-        self.cache
-            .lock()
-            .expect("session lock")
-            .insert(tenant, Arc::clone(&session));
+        crate::sync::lock(&self.cache).insert(tenant, Arc::clone(&session));
         session
     }
 }

@@ -1,0 +1,19 @@
+//! Poison-tolerant locking for the gateway request path.
+//!
+//! Fault injection deliberately panics workers ([`crate::fault`]), and a
+//! panicking thread poisons every `Mutex` it holds. The gateway's shared
+//! state (counters, caches, the fault plan) keeps its invariants at every
+//! point a lock can be dropped — a panic mid-critical-section can leave
+//! the data *stale* but never *torn* — so propagating the poison with
+//! `.expect()` would convert one injected fault into a cascade that takes
+//! the whole gateway down. The request path therefore routes every lock
+//! through [`lock`], which recovers the guard from a poisoned mutex
+//! instead of panicking. The `gateway-panic-free` rule in `abc-analysis`
+//! flags any `.unwrap()` / `.expect()` that bypasses this helper.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard when a panicking worker poisoned it.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -138,7 +138,7 @@ fn handle_job(ctx: &CkksContext, shared: &Shared, mut job: Job) {
             .resolve(Err(GatewayError::Timeout(TimeoutStage::Queued)));
         return;
     }
-    let plan = shared.fault.lock().expect("fault lock").clone();
+    let plan = crate::sync::lock(&shared.fault).clone();
     match plan.fault_for(job.seq) {
         Fault::PanicWorker => panic!("injected worker fault (seq {})", job.seq),
         Fault::ExtraLatency(d) => std::thread::sleep(d),

@@ -1038,15 +1038,12 @@ mod tests {
         // this binary stays bit-identical whichever kernel it lands on,
         // and a scalar override can never violate the ifma-exclusion
         // asserts.
-        let prev = std::env::var(DYADIC_KERNEL_ENV).ok();
-        std::env::set_var(DYADIC_KERNEL_ENV, "montgomery");
+        let mut env = crate::envtest::EnvGuard::lock();
+        env.set(DYADIC_KERNEL_ENV, "montgomery");
         let m = Modulus::new(0xFFF_FFFF_C001).unwrap();
         let auto = DyadicEngine::with_kernel(m, DyadicPreference::Auto);
         let explicit = DyadicEngine::with_kernel(m, DyadicPreference::Barrett);
-        match prev {
-            Some(v) => std::env::set_var(DYADIC_KERNEL_ENV, v),
-            None => std::env::remove_var(DYADIC_KERNEL_ENV),
-        }
+        drop(env);
         assert_eq!(auto.kernel_name(), "montgomery");
         // Explicit preferences are never overridden.
         assert_eq!(explicit.kernel_name(), "barrett");

@@ -42,8 +42,17 @@
 //! # }
 //! ```
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a SAFETY comment — enforced here and audited
+// by `cargo run -p abc-analysis -- check`.
+#![deny(unsafe_op_in_unsafe_fn)]
+// Public APIs in the hardened crates must be documented (the unsafe
+// ones additionally need a `# Safety` section, enforced by abc-analysis).
+#![deny(missing_docs)]
+
 pub mod bigint;
 pub mod dyadic;
+pub mod envtest;
 pub mod modulus;
 pub mod poly;
 pub mod primes;
@@ -64,7 +73,12 @@ pub enum MathError {
     /// The modulus was zero, one, even, or too large for the 63-bit datapath.
     InvalidModulus(u64),
     /// A multiplicative inverse was requested for a non-invertible element.
-    NotInvertible { value: u64, modulus: u64 },
+    NotInvertible {
+        /// The element with no inverse.
+        value: u64,
+        /// The modulus it was inverted against.
+        modulus: u64,
+    },
     /// Prime generation could not find enough primes under the constraints.
     PrimeSearchExhausted {
         /// Requested bit width.
@@ -76,9 +90,19 @@ pub enum MathError {
     },
     /// The modulus is not congruent to 1 modulo `2N`, so no 2N-th root of
     /// unity exists and the negacyclic NTT is undefined.
-    NoRootOfUnity { modulus: u64, order: u64 },
+    NoRootOfUnity {
+        /// The offending modulus.
+        modulus: u64,
+        /// The root order (`2N`) that was requested.
+        order: u64,
+    },
     /// An RNS basis was constructed from non-coprime or repeated moduli.
-    BasisNotCoprime { a: u64, b: u64 },
+    BasisNotCoprime {
+        /// First member of the non-coprime pair.
+        a: u64,
+        /// Second member of the non-coprime pair.
+        b: u64,
+    },
     /// An empty RNS basis or empty polynomial was supplied.
     Empty,
 }

@@ -126,8 +126,17 @@ impl Mont52 {
 
 /// Eight-lane radix-2^52 Shoup multiply by the constant pair
 /// `(w, w52)`: lanes in `[0, 2q)` (mirror of the NTT kernel's helper).
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA; the helper is
+/// `#[inline(always)]` so it inherits the features of the
+/// `target_feature` kernel it inlines into (register-only arithmetic,
+/// no memory access).
 #[inline(always)]
 unsafe fn mul_shoup52_x8(y: __m512i, w: __m512i, w52: __m512i, vq: __m512i) -> __m512i {
+    // SAFETY: register-only IFMA arithmetic; the caller (an
+    // avx512f+avx512ifma kernel) guarantees the features.
     unsafe {
         let zero = _mm512_setzero_si512();
         let mask52 = _mm512_set1_epi64(shoup::MASK52 as i64);
@@ -140,16 +149,29 @@ unsafe fn mul_shoup52_x8(y: __m512i, w: __m512i, w52: __m512i, vq: __m512i) -> _
 
 /// Eight-lane conditional subtract: `min(x, x − m)` unsigned maps
 /// `[0, 2m)` into `[0, m)`.
+///
+/// # Safety
+///
+/// As [`mul_shoup52_x8`]: AVX-512F via inlining into a
+/// `target_feature` kernel, register-only.
 #[inline(always)]
 unsafe fn csub_x8(x: __m512i, m: __m512i) -> __m512i {
+    // SAFETY: register-only arithmetic; the caller guarantees AVX-512F.
     unsafe { _mm512_min_epu64(x, _mm512_sub_epi64(x, m)) }
 }
 
 /// Eight-lane radix-2^52 REDC of the product `a·b_dom`: returns lanes
 /// in `[0, 2q)` congruent to `a·b_dom·2^{-52} (mod q)`, for
 /// `a < 2^52`, `b_dom < 2q < 2^51`.
+///
+/// # Safety
+///
+/// As [`mul_shoup52_x8`]: AVX-512F+IFMA via inlining into a
+/// `target_feature` kernel, register-only.
 #[inline(always)]
 unsafe fn redc52_x8(va: __m512i, vb_dom: __m512i, vq: __m512i, vqinv: __m512i) -> __m512i {
+    // SAFETY: register-only IFMA arithmetic; the caller guarantees the
+    // features.
     unsafe {
         let zero = _mm512_setzero_si512();
         // 104-bit product split at bit 52.
@@ -181,6 +203,11 @@ pub fn mul_assign(k: &Mont52, a: &mut [u64], b: &[u64]) -> usize {
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -221,6 +248,11 @@ pub fn mul_assign_premul(k: &Mont52, a: &mut [u64], b_dom: &[u64]) -> usize {
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_assign_premul_impl(k: &Mont52, a: &mut [u64], b_dom: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -259,6 +291,14 @@ pub fn mul_assign_lazy(k: &Mont52, a: &mut [u64], b: &[u64]) -> usize {
     n8
 }
 
+/// Lazy product: canonical inputs, lanes of `a` come back in the lazy
+/// domain `[0, 2q)` — the final conditional subtract is the caller's.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_assign_lazy_impl(k: &Mont52, a: &mut [u64], b: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -301,6 +341,11 @@ pub fn mul_add_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) -> usize 
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_add_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -344,6 +389,11 @@ pub fn mul_neg_add_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) -> us
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_neg_add_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -390,6 +440,11 @@ pub fn mul_neg_add2_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_neg_add2_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -438,6 +493,11 @@ pub fn mul_add2_assign(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_add2_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], c: &[u64], d: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -483,6 +543,11 @@ pub fn mul_acc_assign_premul(k: &Mont52, a: &mut [u64], b: &[u64], d_dom: &[u64]
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn mul_acc_assign_premul_impl(k: &Mont52, a: &mut [u64], b: &[u64], d_dom: &[u64]) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -526,6 +591,11 @@ pub fn sub_scalar_mul_assign(k: &Mont52, a: &mut [u64], b: &[u64], w: u64, w52: 
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn sub_scalar_mul_assign_impl(k: &Mont52, a: &mut [u64], b: &[u64], w: u64, w52: u64) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -565,6 +635,11 @@ pub fn scalar_mul_assign(k: &Mont52, a: &mut [u64], w: u64, w52: u64) -> usize {
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn scalar_mul_assign_impl(k: &Mont52, a: &mut [u64], w: u64, w52: u64) {
     let vq = _mm512_set1_epi64(k.q as i64);
@@ -607,6 +682,11 @@ pub fn addsub_assign(q: u64, op: AddSubOp, a: &mut [u64], b: &[u64]) -> usize {
     n8
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrapper
+/// asserts [`available`] before dispatching here), and every slice
+/// argument must have the same length, a multiple of 8.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn addsub_assign_impl(q: u64, op: AddSubOp, a: &mut [u64], b: &[u64]) {
     let vq = _mm512_set1_epi64(q as i64);

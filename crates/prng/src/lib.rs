@@ -46,4 +46,28 @@ impl Seed {
         let hi = rng.next_u64() as u128;
         Self::from_u128(lo | (hi << 64))
     }
+
+    /// The low 64 bits of the seed (little-endian) — a direct `u64` draw
+    /// from a derived seed, with no fallible slice conversion.
+    pub fn low64(&self) -> u64 {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.0[..8]);
+        u64::from_le_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low64_matches_the_le_byte_layout() {
+        let seed = Seed::from_u128(0x1122_3344_5566_7788_99AA_BBCC_DDEE_FF00);
+        assert_eq!(seed.low64(), 0x99AA_BBCC_DDEE_FF00);
+        let derived = seed.derive(7);
+        assert_eq!(
+            derived.low64(),
+            u64::from_le_bytes(derived.0[..8].try_into().unwrap())
+        );
+    }
 }

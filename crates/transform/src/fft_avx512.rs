@@ -226,10 +226,14 @@ fn run(plan: &SimdPlan, vals: &mut [Complex<f64>], inverse: bool, threads: usize
     let mut buf = plan.take_soa();
     #[cfg(target_arch = "x86_64")]
     {
-        if t <= 1 {
-            serial(plan, vals, &mut buf, inverse);
-        } else {
-            scoped(plan, vals, &mut buf, inverse, t);
+        // SAFETY: the `available()` assert above proves AVX-512F, the
+        // only hardware precondition `serial`/`scoped` document.
+        unsafe {
+            if t <= 1 {
+                serial(plan, vals, &mut buf, inverse);
+            } else {
+                scoped(plan, vals, &mut buf, inverse, t);
+            }
         }
     }
     #[cfg(not(target_arch = "x86_64"))]
@@ -240,8 +244,14 @@ fn run(plan: &SimdPlan, vals: &mut [Complex<f64>], inverse: bool, threads: usize
     plan.recycle_soa(buf);
 }
 
+/// Single-threaded datapath: split → butterfly passes → merge.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F (the caller asserts `available()`
+/// before dispatching here).
 #[cfg(target_arch = "x86_64")]
-fn serial(plan: &SimdPlan, vals: &mut [Complex<f64>], buf: &mut SoaBuf, inverse: bool) {
+unsafe fn serial(plan: &SimdPlan, vals: &mut [Complex<f64>], buf: &mut SoaBuf, inverse: bool) {
     let slots = plan.slots;
     let dir = if inverse { &plan.inv } else { &plan.fwd };
     // SAFETY: one thread owns the full element/block/group ranges; the
@@ -304,8 +314,20 @@ fn chunk_range(total: usize, t: usize, tid: usize) -> (usize, usize) {
     ((tid * chunk).min(total), ((tid + 1) * chunk).min(total))
 }
 
+/// Threaded datapath: `t` scoped workers, barrier between passes.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F (the caller asserts `available()`
+/// before dispatching here).
 #[cfg(target_arch = "x86_64")]
-fn scoped(plan: &SimdPlan, vals: &mut [Complex<f64>], buf: &mut SoaBuf, inverse: bool, t: usize) {
+unsafe fn scoped(
+    plan: &SimdPlan,
+    vals: &mut [Complex<f64>],
+    buf: &mut SoaBuf,
+    inverse: bool,
+    t: usize,
+) {
     let slots = plan.slots;
     let dir = if inverse { &plan.inv } else { &plan.fwd };
     let barrier = Barrier::new(t);
@@ -382,15 +404,25 @@ unsafe fn split_range(
     hi: usize,
 ) {
     if inverse {
-        let src = std::slice::from_raw_parts(vals.add(lo), hi - lo);
-        let re = std::slice::from_raw_parts_mut(re.add(lo), hi - lo);
-        let im = std::slice::from_raw_parts_mut(im.add(lo), hi - lo);
-        soa::split_complex(src, re, im);
+        // SAFETY: `lo <= hi <= brv.len()` and the caller promises
+        // `brv.len()`-element allocations behind all three pointers;
+        // disjoint `[lo, hi)` ranges keep concurrent callers apart.
+        unsafe {
+            let src = std::slice::from_raw_parts(vals.add(lo), hi - lo);
+            let re = std::slice::from_raw_parts_mut(re.add(lo), hi - lo);
+            let im = std::slice::from_raw_parts_mut(im.add(lo), hi - lo);
+            soa::split_complex(src, re, im);
+        }
     } else {
         for (i, &j) in brv[lo..hi].iter().enumerate().map(|(k, j)| (lo + k, j)) {
-            let z = *vals.add(j as usize);
-            *re.add(i) = z.re;
-            *im.add(i) = z.im;
+            // SAFETY: `i < hi <= brv.len()` for the writes; `j` is an
+            // entry of the bit-reversal permutation over
+            // `0..brv.len()`, so the gather read stays in bounds.
+            unsafe {
+                let z = *vals.add(j as usize);
+                *re.add(i) = z.re;
+                *im.add(i) = z.im;
+            }
         }
     }
 }
@@ -417,13 +449,23 @@ unsafe fn merge_range(
     if inverse {
         for (i, &j) in brv[lo..hi].iter().enumerate().map(|(k, j)| (lo + k, j)) {
             let j = j as usize;
-            *vals.add(i) = Complex::new(*re.add(j) * inv_scale, *im.add(j) * inv_scale);
+            // SAFETY: `i < hi <= brv.len()` for the write; `j` is a
+            // bit-reversal index below `brv.len()`, keeping both plane
+            // reads inside the caller-promised allocations.
+            unsafe {
+                *vals.add(i) = Complex::new(*re.add(j) * inv_scale, *im.add(j) * inv_scale);
+            }
         }
     } else {
-        let re = std::slice::from_raw_parts(re.add(lo), hi - lo);
-        let im = std::slice::from_raw_parts(im.add(lo), hi - lo);
-        let dst = std::slice::from_raw_parts_mut(vals.add(lo), hi - lo);
-        soa::merge_complex(re, im, dst);
+        // SAFETY: `lo <= hi <= brv.len()` and all three pointers back
+        // `brv.len()`-element allocations; disjoint `[lo, hi)` ranges
+        // keep concurrent callers apart.
+        unsafe {
+            let re = std::slice::from_raw_parts(re.add(lo), hi - lo);
+            let im = std::slice::from_raw_parts(im.add(lo), hi - lo);
+            let dst = std::slice::from_raw_parts_mut(vals.add(lo), hi - lo);
+            soa::merge_complex(re, im, dst);
+        }
     }
 }
 
@@ -443,6 +485,11 @@ mod kern {
     }
 
     /// Permutation tables indexed by `log2(span)` for spans 1, 2, 4.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX-512F (pure in-register table builds, no
+    /// memory access — the feature is the only precondition).
     #[target_feature(enable = "avx512f")]
     unsafe fn layer_perms() -> [LayerPerm; 3] {
         // _mm512_set_epi64 lists lanes high-to-low.
@@ -472,6 +519,11 @@ mod kern {
     /// operation order — four independent multiplies, then one sub and
     /// one add (paper Eq. 12), **no FMA** — so every lane is
     /// bit-identical to `Complex::mul_in`.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees AVX-512F (register-only arithmetic, no memory
+    /// access — the feature is the only precondition).
     #[inline]
     #[target_feature(enable = "avx512f")]
     unsafe fn cmul(ar: __m512d, ai: __m512d, wr: __m512d, wi: __m512d) -> (__m512d, __m512d) {
@@ -498,47 +550,58 @@ mod kern {
         blk_hi: usize,
         inverse: bool,
     ) {
-        let perms = layer_perms();
+        // SAFETY: caller guarantees AVX-512F (the only precondition of
+        // `layer_perms`).
+        let perms = unsafe { layer_perms() };
         let mut w = [(_mm512_setzero_pd(), _mm512_setzero_pd()); 3];
         for (l, wl) in w.iter_mut().enumerate() {
-            *wl = (
-                _mm512_loadu_pd(dir.tail_re[l].as_ptr()),
-                _mm512_loadu_pd(dir.tail_im[l].as_ptr()),
-            );
+            // SAFETY: each tail twiddle table holds exactly 8 lanes.
+            *wl = unsafe {
+                (
+                    _mm512_loadu_pd(dir.tail_re[l].as_ptr()),
+                    _mm512_loadu_pd(dir.tail_im[l].as_ptr()),
+                )
+            };
         }
         for blk in blk_lo..blk_hi {
-            let pr = re.add(blk * 8);
-            let pi = im.add(blk * 8);
-            let mut vr = _mm512_loadu_pd(pr);
-            let mut vi = _mm512_loadu_pd(pi);
-            for (l, &(wr, wi)) in w.iter().enumerate() {
-                let p = &perms[dir.tail_span_log[l]];
-                let lo_r = _mm512_permutexvar_pd(p.idx_lo, vr);
-                let lo_i = _mm512_permutexvar_pd(p.idx_lo, vi);
-                let hi_r = _mm512_permutexvar_pd(p.idx_hi, vr);
-                let hi_i = _mm512_permutexvar_pd(p.idx_hi, vi);
-                if inverse {
-                    // u = lo + hi; v = (lo − hi)·w (Gentleman–Sande).
-                    let sr = _mm512_add_pd(lo_r, hi_r);
-                    let si = _mm512_add_pd(lo_i, hi_i);
-                    let dr = _mm512_sub_pd(lo_r, hi_r);
-                    let di = _mm512_sub_pd(lo_i, hi_i);
-                    let (tr, ti) = cmul(dr, di, wr, wi);
-                    vr = _mm512_mask_blend_pd(p.hi_mask, sr, tr);
-                    vi = _mm512_mask_blend_pd(p.hi_mask, si, ti);
-                } else {
-                    // v = hi·w; u ± v (Cooley–Tukey).
-                    let (tr, ti) = cmul(hi_r, hi_i, wr, wi);
-                    let ar = _mm512_add_pd(lo_r, tr);
-                    let ai = _mm512_add_pd(lo_i, ti);
-                    let sr = _mm512_sub_pd(lo_r, tr);
-                    let si = _mm512_sub_pd(lo_i, ti);
-                    vr = _mm512_mask_blend_pd(p.hi_mask, ar, sr);
-                    vi = _mm512_mask_blend_pd(p.hi_mask, ai, si);
+            // SAFETY: `blk < blk_hi` with caller-promised plane length
+            // ≥ `8·blk_hi` keeps lanes `blk*8..blk*8+8` in bounds for
+            // every load/store; this caller owns the block exclusively;
+            // `cmul` needs only the feature the caller guarantees.
+            unsafe {
+                let pr = re.add(blk * 8);
+                let pi = im.add(blk * 8);
+                let mut vr = _mm512_loadu_pd(pr);
+                let mut vi = _mm512_loadu_pd(pi);
+                for (l, &(wr, wi)) in w.iter().enumerate() {
+                    let p = &perms[dir.tail_span_log[l]];
+                    let lo_r = _mm512_permutexvar_pd(p.idx_lo, vr);
+                    let lo_i = _mm512_permutexvar_pd(p.idx_lo, vi);
+                    let hi_r = _mm512_permutexvar_pd(p.idx_hi, vr);
+                    let hi_i = _mm512_permutexvar_pd(p.idx_hi, vi);
+                    if inverse {
+                        // u = lo + hi; v = (lo − hi)·w (Gentleman–Sande).
+                        let sr = _mm512_add_pd(lo_r, hi_r);
+                        let si = _mm512_add_pd(lo_i, hi_i);
+                        let dr = _mm512_sub_pd(lo_r, hi_r);
+                        let di = _mm512_sub_pd(lo_i, hi_i);
+                        let (tr, ti) = cmul(dr, di, wr, wi);
+                        vr = _mm512_mask_blend_pd(p.hi_mask, sr, tr);
+                        vi = _mm512_mask_blend_pd(p.hi_mask, si, ti);
+                    } else {
+                        // v = hi·w; u ± v (Cooley–Tukey).
+                        let (tr, ti) = cmul(hi_r, hi_i, wr, wi);
+                        let ar = _mm512_add_pd(lo_r, tr);
+                        let ai = _mm512_add_pd(lo_i, ti);
+                        let sr = _mm512_sub_pd(lo_r, tr);
+                        let si = _mm512_sub_pd(lo_i, ti);
+                        vr = _mm512_mask_blend_pd(p.hi_mask, ar, sr);
+                        vi = _mm512_mask_blend_pd(p.hi_mask, ai, si);
+                    }
                 }
+                _mm512_storeu_pd(pr, vr);
+                _mm512_storeu_pd(pi, vi);
             }
-            _mm512_storeu_pd(pr, vr);
-            _mm512_storeu_pd(pi, vi);
         }
     }
 
@@ -572,32 +635,40 @@ mod kern {
             let blk = g >> gpb_log;
             let j = (g - (blk << gpb_log)) * 8;
             let base = blk * 2 * span + j;
-            let plo_r = re.add(base);
-            let plo_i = im.add(base);
-            let phi_r = re.add(base + span);
-            let phi_i = im.add(base + span);
-            let lo_r = _mm512_loadu_pd(plo_r);
-            let lo_i = _mm512_loadu_pd(plo_i);
-            let hi_r = _mm512_loadu_pd(phi_r);
-            let hi_i = _mm512_loadu_pd(phi_i);
-            let wr = _mm512_loadu_pd(twr.as_ptr().add(j));
-            let wi = _mm512_loadu_pd(twi.as_ptr().add(j));
-            if inverse {
-                let sr = _mm512_add_pd(lo_r, hi_r);
-                let si = _mm512_add_pd(lo_i, hi_i);
-                let dr = _mm512_sub_pd(lo_r, hi_r);
-                let di = _mm512_sub_pd(lo_i, hi_i);
-                let (tr, ti) = cmul(dr, di, wr, wi);
-                _mm512_storeu_pd(plo_r, sr);
-                _mm512_storeu_pd(plo_i, si);
-                _mm512_storeu_pd(phi_r, tr);
-                _mm512_storeu_pd(phi_i, ti);
-            } else {
-                let (tr, ti) = cmul(hi_r, hi_i, wr, wi);
-                _mm512_storeu_pd(plo_r, _mm512_add_pd(lo_r, tr));
-                _mm512_storeu_pd(plo_i, _mm512_add_pd(lo_i, ti));
-                _mm512_storeu_pd(phi_r, _mm512_sub_pd(lo_r, tr));
-                _mm512_storeu_pd(phi_i, _mm512_sub_pd(lo_i, ti));
+            // SAFETY: `g < g_hi` with caller-promised plane length
+            // ≥ `16·g_hi` puts both half-vectors (`base..base+8` and
+            // `base+span..base+span+8`) in bounds; `j + 8 ≤ span` keeps
+            // the twiddle window inside the `span`-element planes; this
+            // caller owns the group exclusively; `cmul` needs only the
+            // feature the caller guarantees.
+            unsafe {
+                let plo_r = re.add(base);
+                let plo_i = im.add(base);
+                let phi_r = re.add(base + span);
+                let phi_i = im.add(base + span);
+                let lo_r = _mm512_loadu_pd(plo_r);
+                let lo_i = _mm512_loadu_pd(plo_i);
+                let hi_r = _mm512_loadu_pd(phi_r);
+                let hi_i = _mm512_loadu_pd(phi_i);
+                let wr = _mm512_loadu_pd(twr.as_ptr().add(j));
+                let wi = _mm512_loadu_pd(twi.as_ptr().add(j));
+                if inverse {
+                    let sr = _mm512_add_pd(lo_r, hi_r);
+                    let si = _mm512_add_pd(lo_i, hi_i);
+                    let dr = _mm512_sub_pd(lo_r, hi_r);
+                    let di = _mm512_sub_pd(lo_i, hi_i);
+                    let (tr, ti) = cmul(dr, di, wr, wi);
+                    _mm512_storeu_pd(plo_r, sr);
+                    _mm512_storeu_pd(plo_i, si);
+                    _mm512_storeu_pd(phi_r, tr);
+                    _mm512_storeu_pd(phi_i, ti);
+                } else {
+                    let (tr, ti) = cmul(hi_r, hi_i, wr, wi);
+                    _mm512_storeu_pd(plo_r, _mm512_add_pd(lo_r, tr));
+                    _mm512_storeu_pd(plo_i, _mm512_add_pd(lo_i, ti));
+                    _mm512_storeu_pd(phi_r, _mm512_sub_pd(lo_r, tr));
+                    _mm512_storeu_pd(phi_i, _mm512_sub_pd(lo_i, ti));
+                }
             }
         }
     }

@@ -49,6 +49,14 @@
 //! # }
 //! ```
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a SAFETY comment — enforced here and audited
+// by `cargo run -p abc-analysis -- check`.
+#![deny(unsafe_op_in_unsafe_fn)]
+// Public APIs in the hardened crates must be documented (the unsafe
+// ones additionally need a `# Safety` section, enforced by abc-analysis).
+#![deny(missing_docs)]
+
 pub mod bitrev;
 pub mod fft;
 pub mod fft_avx512;

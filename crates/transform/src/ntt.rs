@@ -805,14 +805,11 @@ mod tests {
     fn env_override_forces_auto_plans_only() {
         // `harvey` is concurrency-safe in this binary: Auto plans stay
         // bit-identical to golden and never become golden themselves.
-        let prev = std::env::var(NTT_KERNEL_ENV).ok();
-        std::env::set_var(NTT_KERNEL_ENV, "harvey");
+        let mut env = abc_math::envtest::EnvGuard::lock();
+        env.set(NTT_KERNEL_ENV, "harvey");
         let auto = NttPlan::with_kernel(modulus(), 64, KernelPreference::Auto).unwrap();
         let explicit = NttPlan::with_kernel(modulus(), 64, KernelPreference::Golden).unwrap();
-        match prev {
-            Some(v) => std::env::set_var(NTT_KERNEL_ENV, v),
-            None => std::env::remove_var(NTT_KERNEL_ENV),
-        }
+        drop(env);
         assert_eq!(auto.kernel_name(), "harvey");
         // The plan's dyadic engine follows the forced butterfly kernel.
         assert_eq!(auto.dyadic().kernel_name(), "montgomery");

@@ -131,8 +131,15 @@ pub fn inverse_fused(
 
 /// Eight-lane radix-2^52 Shoup multiply: returns `r ≡ y·w (mod q)` with
 /// every lane in `[0, 2q)`, for lanes `y < 2^52`, `w < q < 2^50`.
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA; the helper is
+/// `#[inline(always)]` so it inherits the features of the
+/// `target_feature` kernel it inlines into.
 #[inline(always)]
 unsafe fn mul_shoup52_x8(y: __m512i, w: __m512i, w52: __m512i, vq: __m512i) -> __m512i {
+    // SAFETY: register-only IFMA arithmetic; the caller (an
+    // avx512f+avx512ifma kernel) guarantees the features.
     unsafe {
         let zero = _mm512_setzero_si512();
         let mask52 = _mm512_set1_epi64(shoup::MASK52 as i64);
@@ -147,8 +154,15 @@ unsafe fn mul_shoup52_x8(y: __m512i, w: __m512i, w52: __m512i, vq: __m512i) -> _
 /// Eight-lane conditional subtract: `min(x, x − m)` unsigned maps
 /// `[0, 2m)` into `[0, m)` (the wrapped lane is huge, so `min` picks
 /// the in-range representative).
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA; the helper is
+/// `#[inline(always)]` so it inherits the features of the
+/// `target_feature` kernel it inlines into.
 #[inline(always)]
 unsafe fn csub_x8(x: __m512i, m: __m512i) -> __m512i {
+    // SAFETY: register-only arithmetic; the caller (an
+    // avx512f+avx512ifma kernel) guarantees the features.
     unsafe { _mm512_min_epu64(x, _mm512_sub_epi64(x, m)) }
 }
 
@@ -163,8 +177,15 @@ struct LayerPerm {
 }
 
 /// Builds the three short-span layer permutations (t = 4, 2, 1).
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA; the helper is
+/// `#[inline(always)]` so it inherits the features of the
+/// `target_feature` kernel it inlines into.
 #[inline(always)]
 unsafe fn layer_perms() -> [LayerPerm; 3] {
+    // SAFETY: register-only table builds; the caller (an
+    // avx512f+avx512ifma kernel) guarantees the features.
     unsafe {
         [
             // t = 4: pairs (l, l+4).
@@ -192,8 +213,15 @@ unsafe fn layer_perms() -> [LayerPerm; 3] {
 /// Per-lane twiddle vectors for the short-span layers of block `b`
 /// (`n/8` blocks of 8 lanes): layer t=4 uses one twiddle, t=2 two,
 /// t=1 four, each repeated across its chunk's lanes.
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA; the helper is
+/// `#[inline(always)]` so it inherits the features of the
+/// `target_feature` kernel it inlines into.
 #[inline(always)]
 unsafe fn layer_twiddles(col: &[u64], n: usize, b: usize) -> [__m512i; 3] {
+    // SAFETY: register-only broadcasts from in-bounds table reads (the caller keeps `b < n/8` and the twiddle columns hold `n` entries); the caller (an
+    // avx512f+avx512ifma kernel) guarantees the features.
     unsafe {
         let w4 = _mm512_set1_epi64(col[n / 8 + b] as i64);
         let (w20, w21) = (col[n / 4 + 2 * b] as i64, col[n / 4 + 2 * b + 1] as i64);
@@ -213,6 +241,11 @@ unsafe fn layer_twiddles(col: &[u64], n: usize, b: usize) -> [__m512i; 3] {
 /// One Cooley–Tukey layer fully inside a vector: every lane computes
 /// `u = csub(lo)`, `v = lo-lane·w`, then takes `u + v` (low half) or
 /// `u + 2q − v` (high half).
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA; the helper is
+/// `#[inline(always)]` so it inherits the features of the
+/// `target_feature` kernel it inlines into.
 #[inline(always)]
 unsafe fn ct_layer(
     v: __m512i,
@@ -222,6 +255,8 @@ unsafe fn ct_layer(
     vq: __m512i,
     v2q: __m512i,
 ) -> __m512i {
+    // SAFETY: register-only arithmetic through [`mul_shoup52_x8`]/[`csub_x8`]; the caller (an
+    // avx512f+avx512ifma kernel) guarantees the features.
     unsafe {
         let lo = _mm512_permutexvar_epi64(p.idx_lo, v);
         let hi = _mm512_permutexvar_epi64(p.idx_hi, v);
@@ -235,6 +270,11 @@ unsafe fn ct_layer(
 
 /// One Gentleman–Sande layer inside a vector: low half takes the lazily
 /// reduced sum, high half multiplies the lifted difference.
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA; the helper is
+/// `#[inline(always)]` so it inherits the features of the
+/// `target_feature` kernel it inlines into.
 #[inline(always)]
 unsafe fn gs_layer(
     v: __m512i,
@@ -244,6 +284,8 @@ unsafe fn gs_layer(
     vq: __m512i,
     v2q: __m512i,
 ) -> __m512i {
+    // SAFETY: register-only arithmetic through [`mul_shoup52_x8`]/[`csub_x8`]; the caller (an
+    // avx512f+avx512ifma kernel) guarantees the features.
     unsafe {
         let lo = _mm512_permutexvar_epi64(p.idx_lo, v);
         let hi = _mm512_permutexvar_epi64(p.idx_hi, v);
@@ -254,6 +296,11 @@ unsafe fn gs_layer(
     }
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrappers
+/// assert [`available`] before dispatching here); slice lengths are a
+/// power of two ≥ 16, all equal, with twiddle tables of the same size.
 #[target_feature(enable = "avx512f,avx512ifma")]
 unsafe fn forward_impl(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64], normalize: bool) {
     let n = a.len();
@@ -292,6 +339,8 @@ unsafe fn forward_impl(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64], no
     // block, then the closing normalization [0, 4q) → [0, q) — skipped
     // in lazy mode, where the following dyadic pass normalizes instead.
     debug_assert_eq!(m, n / 8);
+    // SAFETY: this `target_feature` kernel already owns the features
+    // `layer_perms` needs.
     let perms = unsafe { layer_perms() };
     for b in 0..n / 8 {
         // SAFETY: 8b + 8 <= n; twiddle reads stay inside the table.
@@ -313,6 +362,11 @@ unsafe fn forward_impl(a: &mut [u64], q: u64, tw: &[u64], tw_shoup52: &[u64], no
     }
 }
 
+/// # Safety
+///
+/// The CPU must support AVX-512F and AVX-512IFMA (the public wrappers
+/// assert [`available`] before dispatching here); slice lengths are a
+/// power of two ≥ 16, all equal, with twiddle tables of the same size.
 #[target_feature(enable = "avx512f,avx512ifma")]
 #[allow(clippy::too_many_arguments)]
 unsafe fn inverse_impl(
@@ -333,6 +387,8 @@ unsafe fn inverse_impl(
     // This first pass also absorbs the optional out-of-place read from
     // `src` and canonical subtraction of `sub`: a + (q − b) ∈ (0, 2q)
     // satisfies the GS input invariant without an extra memory pass.
+    // SAFETY: this `target_feature` kernel already owns the features
+    // `layer_perms` needs.
     let perms = unsafe { layer_perms() };
     for b in 0..n / 8 {
         // SAFETY: 8b + 8 <= n (equal lengths asserted by the callers);

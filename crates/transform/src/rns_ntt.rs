@@ -1175,17 +1175,12 @@ mod tests {
 
     #[test]
     fn env_override_is_honoured() {
-        // Serialise against other env-reading tests by using a unique
-        // sentinel value and restoring afterwards.
-        let prev = std::env::var(THREADS_ENV).ok();
-        std::env::set_var(THREADS_ENV, "3");
+        let mut env = abc_math::envtest::EnvGuard::lock();
+        env.set(THREADS_ENV, "3");
         let n = 16usize;
         let ms = moduli(1, 2 * n as u64);
         let engine = RnsNttEngine::new(&ms, n).unwrap();
-        match prev {
-            Some(v) => std::env::set_var(THREADS_ENV, v),
-            None => std::env::remove_var(THREADS_ENV),
-        }
+        drop(env);
         assert_eq!(engine.threads(), 3);
         // Invalid values fall back to the default.
         assert!(threads_from_env() >= 1);

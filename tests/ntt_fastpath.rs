@@ -90,16 +90,13 @@ fn abc_fhe_threads_env_controls_engine() {
     // `RnsNttEngine::new` — and the result stays bit-identical to the
     // serial reference. (Other tests in this binary construct engines
     // only through `with_threads`, so the temporary override is safe.)
-    let prev = std::env::var(THREADS_ENV).ok();
-    std::env::set_var(THREADS_ENV, "4");
+    let mut env = abc_fhe::math::envtest::EnvGuard::lock();
+    env.set(THREADS_ENV, "4");
     assert_eq!(threads_from_env(), 4);
     let n = 1usize << 13;
     let moduli = preset_moduli(13, 4);
     let engine = RnsNttEngine::new(&moduli, n).expect("engine");
-    match prev {
-        Some(v) => std::env::set_var(THREADS_ENV, v),
-        None => std::env::remove_var(THREADS_ENV),
-    }
+    drop(env);
     assert_eq!(engine.threads(), 4);
     let original: Vec<Vec<u64>> = moduli
         .iter()
